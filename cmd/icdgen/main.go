@@ -1,0 +1,110 @@
+// Command icdgen generates deterministic synthetic workloads: test files
+// for the prototype peers and working-set scenarios for the simulator.
+//
+// Generate a 32MB test file (the paper's §6.1 size):
+//
+//	icdgen file -out test.bin -size 33554432 -seed 7
+//
+// Print a two-peer §6.3 scenario as symbol-id lists (for external
+// tooling):
+//
+//	icdgen scenario -n 2000 -stretch 1.1 -corr 0.2 -seed 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"icd/internal/prng"
+	"icd/internal/transfer"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "file":
+		genFile(os.Args[2:])
+	case "scenario":
+		genScenario(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: icdgen file|scenario [flags]")
+	os.Exit(2)
+}
+
+func genFile(args []string) {
+	fs := flag.NewFlagSet("file", flag.ExitOnError)
+	var (
+		out  = fs.String("out", "", "output path")
+		size = fs.Int("size", 32<<20, "file size in bytes")
+		seed = fs.Uint64("seed", 7, "PRNG seed")
+	)
+	fs.Parse(args)
+	if *out == "" || *size <= 0 {
+		fmt.Fprintln(os.Stderr, "icdgen file: -out and positive -size required")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	rng := prng.New(*seed)
+	var word [8]byte
+	remaining := *size
+	for remaining > 0 {
+		v := rng.Uint64()
+		for i := 0; i < 8; i++ {
+			word[i] = byte(v >> (8 * i))
+		}
+		n := 8
+		if remaining < 8 {
+			n = remaining
+		}
+		if _, err := w.Write(word[:n]); err != nil {
+			fatal(err)
+		}
+		remaining -= n
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("icdgen: wrote %d bytes to %s\n", *size, *out)
+}
+
+func genScenario(args []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	var (
+		n       = fs.Int("n", 2000, "source blocks")
+		stretch = fs.Float64("stretch", transfer.CompactStretch, "distinct symbols / n")
+		corr    = fs.Float64("corr", 0, "working-set correlation")
+		seed    = fs.Uint64("seed", 1, "PRNG seed")
+	)
+	fs.Parse(args)
+	recv, send, err := transfer.TwoPeerScenario(prng.New(*seed), *n, *stretch, *corr)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# n=%d stretch=%.2f corr=%.3f receiver=%d sender=%d target=%d\n",
+		*n, *stretch, *corr, recv.Len(), send.Len(), transfer.Target(*n))
+	recv.Each(func(id uint64) { fmt.Fprintf(w, "R %016x\n", id) })
+	send.Each(func(id uint64) { fmt.Fprintf(w, "S %016x\n", id) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icdgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Package icd implements informed content delivery across adaptive
+// overlay networks, after Byers, Considine, Mitzenmacher and Rost
+// (SIGCOMM 2002).
+//
+// The library provides the paper's full toolbox for collaborating
+// end-systems that exchange digital-fountain-encoded content:
+//
+//   - Coarse working-set estimation (§4): min-wise permutation sketches
+//     (plus random-sample and mod-k baselines) that estimate the overlap
+//     of two peers' working sets from a single 1KB message, support
+//     unions for multi-peer planning, and update incrementally.
+//
+//   - Fine-grained approximate reconciliation (§5): Bloom filter
+//     summaries and Approximate Reconciliation Trees — a hash-balanced
+//     collapsed trie whose XOR node values are shipped in two small Bloom
+//     filters — letting a peer locate the symbols its neighbor lacks with
+//     O(d log n) work and a few bits per element.
+//
+//   - Sparse parity-check codes and recoding (§5.4): an LT-style
+//     fountain codec (robust-soliton family, 64-bit symbol seeds,
+//     substitution-rule peeling decoder) plus the recoding layer that
+//     lets peers holding only partial content act as useful, additive
+//     senders, with informed degree selection driven by sketch estimates.
+//
+//   - Delivery machinery (§6): the five transfer strategies the paper
+//     evaluates (Random, Random/BF, Recode, Recode/BF, Recode/MW), a
+//     round-based transfer simulator, an overlay-network simulator with
+//     loss injection and reconfiguration, and a real TCP prototype with
+//     parallel downloads and stateless connection migration.
+//
+// # Quick start
+//
+// Serve a file from a full sender and fetch it:
+//
+//	info, content := icd.DescribeContent(0xF00D, data, 1400)
+//	srv, _ := icd.NewFullServer(info, content)
+//	go srv.ListenAndServe("127.0.0.1:9000")
+//	res, _ := icd.Fetch([]string{"127.0.0.1:9000"}, info.ID, icd.FetchOptions{})
+//	os.WriteFile("out", res.Data, 0o644)
+//
+// Estimate how useful a candidate peer is before connecting:
+//
+//	mine := icd.BuildSketch(seed, 128, myWorkingSet)
+//	theirs := ... // received in one packet
+//	r, _ := mine.Resemblance(theirs)
+//
+// The runnable programs under examples/ walk through reconciliation,
+// collaborative overlay delivery, and parallel downloading from partial
+// senders; cmd/icdbench regenerates every figure and table of the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+package icd

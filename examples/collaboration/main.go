@@ -1,0 +1,67 @@
+// Collaboration reproduces the paper's motivating Figure 1 on the overlay
+// simulator: a source S with full content, peers A/B holding different
+// halves, and C/D/E holding quarters, delivered through (a) a multicast
+// tree, (b) parallel downloads, and (c) collaborative "perpendicular"
+// transfers — blind forwarding vs informed (reconciled) transfers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icd/internal/overlay"
+	"icd/internal/transfer"
+)
+
+func main() {
+	const n = 2000 // source blocks
+	target := transfer.Target(n)
+	fmt.Printf("Figure 1 scenario: %d blocks, completion at %d distinct symbols\n\n", n, target)
+	fmt.Printf("%-15s %-16s %8s %14s %10s\n", "topology", "forwarding", "rounds", "transmissions", "efficiency")
+
+	for _, cfg := range []overlay.Fig1Config{
+		overlay.Fig1Tree, overlay.Fig1Parallel, overlay.Fig1Collaborative,
+	} {
+		for _, mode := range []overlay.Mode{overlay.RandomForward, overlay.Reconciled} {
+			nw, err := overlay.BuildFigure1(cfg, mode, target, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := nw.Run(200*target, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := fmt.Sprintf("%d", res.Rounds)
+			if !res.AllComplete {
+				status += " (incomplete)"
+			}
+			fmt.Printf("%-15s %-16s %8s %14d %9.1f%%\n",
+				cfg, mode, status, res.Transmissions,
+				100*float64(res.Useful)/float64(res.Transmissions))
+		}
+	}
+
+	fmt.Println("\nThe paper's point: richer connectivity helps only with informed")
+	fmt.Println("collaboration — and perpendicular transfers between complementary")
+	fmt.Println("peers (C/D/E) cut completion time well below any tree.")
+
+	// Adaptivity (§2.1): now fail the A→C link mid-transfer and let the
+	// overlay reroute C to B.
+	nw, err := overlay.BuildFigure1(overlay.Fig1Tree, overlay.Reconciled, target, 43)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := []overlay.Event{
+		{Round: 100, Apply: func(x *overlay.Network) error {
+			x.RemoveEdge("A", "C")
+			return x.AddEdge(overlay.Edge{From: "B", To: "C", Mode: overlay.Reconciled})
+		}},
+	}
+	res, err := nw.Run(200*target, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a link failure at round 100 and a reroute (A→C becomes B→C):\n")
+	fmt.Printf("  all nodes complete: %v after %d rounds (C at round %d)\n",
+		res.AllComplete, res.Rounds, res.Completion["C"])
+}

@@ -1,0 +1,60 @@
+// Paralleldownload demonstrates the paper's headline capability: a
+// receiver drawing useful content from several senders that each hold
+// only *partial* content, at rates approaching the sum of the
+// connections — provided transfers are informed (Figures 7/8).
+//
+// It runs the §6.3 simulation for 4 partial senders at a few correlation
+// levels and compares the Random strategy (Swarmcast-style blind
+// forwarding) against Recode/BF (Bloom-informed recoding).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icd"
+)
+
+func main() {
+	const (
+		n       = 2000
+		senders = 4
+		trials  = 3
+	)
+	target := icd.TransferTarget(n)
+	fmt.Printf("parallel download: %d partial senders, %d blocks, completion at %d distinct symbols\n",
+		senders, n, target)
+	fmt.Printf("baseline: a single full sender needs (target − held) rounds\n\n")
+	fmt.Printf("%-12s %-12s %-14s %-14s\n", "correlation", "strategy", "relative rate", "(ideal ≤ 4)")
+
+	for _, corr := range []float64{0.0, 0.25, 0.5} {
+		for _, kind := range []icd.Strategy{icd.Random, icd.RecodeBF} {
+			var rateSum float64
+			for tr := 0; tr < trials; tr++ {
+				recv, partials, err := icd.MultiPeerScenario(uint64(100+tr), n, icd.CompactStretch, corr, senders)
+				if err != nil {
+					log.Fatal(err)
+				}
+				specs := make([]icd.SenderSpec, len(partials))
+				for i, s := range partials {
+					specs[i] = icd.SenderSpec{Set: s, Kind: kind}
+				}
+				res, err := icd.RunTransfer(icd.TransferConfig{
+					Receiver: recv,
+					Senders:  specs,
+					Target:   target,
+					Seed:     uint64(tr),
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				baseline := target - recv.Len()
+				rateSum += float64(baseline) / float64(res.Rounds)
+			}
+			fmt.Printf("%-12.2f %-12v %-14.2f\n", corr, kind, rateSum/trials)
+		}
+	}
+
+	fmt.Println("\nInformed partial senders are additive like true fountains (§6.3);")
+	fmt.Println("blind forwarding collapses to the coupon collector's problem.")
+}

@@ -1,0 +1,294 @@
+// Package core assembles the paper's toolbox into the informed-delivery
+// control loop an end-system runs (§3):
+//
+//  1. maintain a working set of encoded symbols with an incrementally
+//     updated min-wise sketch — the 1KB "calling card" (§4);
+//  2. on meeting a candidate peer, exchange sketches and run admission
+//     control: reject identical peers, estimate containment, and choose
+//     between coarse (recoding) and fine-grained (Bloom filter / ART)
+//     reconciliation based on how large the set difference is (§3's
+//     menu of approaches and their costs);
+//  3. when selecting among many candidates, greedily pick the set of
+//     senders whose combined working set adds the most, using the
+//     coordinate-wise-min union of sketches (§4's third-peer trick).
+//
+// The heavy lifting lives in the substrate packages; this package holds
+// the decision logic and the per-peer state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icd/internal/bloom"
+	"icd/internal/keyset"
+	"icd/internal/minwise"
+	"icd/internal/recon"
+	"icd/internal/strategy"
+)
+
+// Config fixes the universally agreed parameters of a deployment. The
+// zero value selects the paper's defaults.
+type Config struct {
+	MinwiseFamilySeed uint64
+	MinwiseSize       int     // default 128 (1KB sketch)
+	BloomSeed         uint64  //
+	BloomBits         float64 // bits/element, default 8
+	BloomHashes       int     // default 5
+	ARTParams         recon.Params
+	ARTBits           float64 // total bits/element, default 8
+	ARTLeafBits       float64 // default 5
+	ARTCorrection     int     // default 5
+
+	// IdenticalReject is the resemblance at or above which a candidate is
+	// rejected as holding (nearly) identical content. Default 1.0 — only
+	// perfect sketches reject, as in §4's admission control.
+	IdenticalReject float64
+	// FineGrainedThreshold is the containment above which fine-grained
+	// reconciliation (summaries) is recommended: when most of a peer's
+	// content is already held, random or oblivious recoded transfers are
+	// mostly redundant and the (more expensive) searchable summaries pay
+	// for themselves (§3, §5.3). Default 0.2.
+	FineGrainedThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinwiseSize == 0 {
+		c.MinwiseSize = minwise.DefaultSize
+	}
+	if c.BloomBits == 0 {
+		c.BloomBits = 8
+	}
+	if c.BloomHashes == 0 {
+		c.BloomHashes = 5
+	}
+	if c.ARTParams == (recon.Params{}) {
+		c.ARTParams = recon.DefaultParams
+	}
+	if c.ARTBits == 0 {
+		c.ARTBits = 8
+	}
+	if c.ARTLeafBits == 0 {
+		c.ARTLeafBits = 5
+	}
+	if c.ARTCorrection == 0 {
+		c.ARTCorrection = 5
+	}
+	if c.IdenticalReject == 0 {
+		c.IdenticalReject = 1
+	}
+	if c.FineGrainedThreshold == 0 {
+		c.FineGrainedThreshold = 0.2
+	}
+	return c
+}
+
+// Peer is one end-system's informed-delivery state for one content item.
+// Not safe for concurrent mutation.
+type Peer struct {
+	cfg     Config
+	working *keyset.Set
+	sketch  *minwise.Sketch
+}
+
+// NewPeer creates an empty peer.
+func NewPeer(cfg Config) *Peer {
+	cfg = cfg.withDefaults()
+	return &Peer{
+		cfg:     cfg,
+		working: keyset.New(256),
+		sketch:  minwise.New(cfg.MinwiseFamilySeed, cfg.MinwiseSize),
+	}
+}
+
+// AddSymbol records receipt of an encoded symbol; the sketch updates in
+// O(sketch size) — constant per symbol, as §4 requires.
+func (p *Peer) AddSymbol(id uint64) bool {
+	if !p.working.Add(id) {
+		return false
+	}
+	p.sketch.Add(id)
+	return true
+}
+
+// Working exposes the working set (read-only by convention).
+func (p *Peer) Working() *keyset.Set { return p.working }
+
+// Sketch returns the current min-wise sketch (do not mutate).
+func (p *Peer) Sketch() *minwise.Sketch { return p.sketch }
+
+// BloomSummary builds the §5.2 summary of the current working set.
+func (p *Peer) BloomSummary() *bloom.Filter {
+	return bloom.FromSet(p.cfg.BloomSeed, p.working, p.cfg.BloomBits, p.cfg.BloomHashes)
+}
+
+// ARTSummary builds the §5.3 summary of the current working set.
+func (p *Peer) ARTSummary() (*recon.Summary, error) {
+	tree := recon.Build(p.cfg.ARTParams, p.working)
+	return tree.Summarize(recon.SummaryOptions{
+		TotalBitsPerElement: p.cfg.ARTBits,
+		LeafBitsPerElement:  p.cfg.ARTLeafBits,
+	})
+}
+
+// FindMissingFrom searches the local working set against a remote ART
+// summary, returning symbols the remote peer likely lacks — the inputs to
+// a reconciled transfer.
+func (p *Peer) FindMissingFrom(remote *recon.Summary) []uint64 {
+	tree := recon.Build(p.cfg.ARTParams, p.working)
+	missing, _ := tree.FindMissing(remote, p.cfg.ARTCorrection)
+	return missing
+}
+
+// Decision is the admission-control outcome for one candidate sender.
+type Decision int
+
+const (
+	// Reject: the candidate's content is (likely) identical — connecting
+	// is useless (§4: "receivers immediately reject candidate senders
+	// whose content is identical to their own").
+	Reject Decision = iota
+	// CoarseTransfer: working sets differ a lot; cheap strategies
+	// (random or oblivious recoding) already deliver mostly-useful
+	// symbols.
+	CoarseTransfer
+	// FineGrained: substantial overlap; invest in a Bloom filter or ART
+	// exchange and run reconciled/informed transfers.
+	FineGrained
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Reject:
+		return "reject"
+	case CoarseTransfer:
+		return "coarse"
+	case FineGrained:
+		return "fine-grained"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Assessment is the full admission-control result.
+type Assessment struct {
+	Resemblance    float64 // |A∩B| / |A∪B| estimate
+	Containment    float64 // |A∩B| / |B| estimate — how much of B we hold
+	UsefulFraction float64 // 1 − Containment: how useful B rates to be
+	Decision       Decision
+	Strategy       strategy.Kind // recommended §6.2 strategy
+}
+
+// EvaluateCandidate runs §4 admission control against a candidate
+// sender's sketch.
+func (p *Peer) EvaluateCandidate(remote *minwise.Sketch) (Assessment, error) {
+	if remote == nil {
+		return Assessment{}, errors.New("core: nil remote sketch")
+	}
+	r, err := p.sketch.Resemblance(remote)
+	if err != nil {
+		return Assessment{}, err
+	}
+	c, err := p.sketch.ContainmentOf(remote)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a := Assessment{Resemblance: r, Containment: c, UsefulFraction: 1 - c}
+	identical, err := p.sketch.LikelyIdentical(remote)
+	if err != nil {
+		return Assessment{}, err
+	}
+	switch {
+	case identical || r >= p.cfg.IdenticalReject:
+		a.Decision = Reject
+		a.Strategy = strategy.Random // moot
+	case c >= p.cfg.FineGrainedThreshold:
+		a.Decision = FineGrained
+		a.Strategy = strategy.RecodeBF
+	default:
+		a.Decision = CoarseTransfer
+		a.Strategy = strategy.RecodeMW
+	}
+	return a, nil
+}
+
+// PlanSenders greedily selects up to k candidate senders maximizing the
+// estimated growth of the receiver's working set, peer by peer. After
+// each pick the receiver's sketch is unioned with the pick's sketch
+// (coordinate-wise min), so later marginal estimates account for what
+// earlier picks will already deliver — §4's "estimate the overlap of a
+// third peer's working set with the combined working set A∪B". It
+// returns candidate indices in pick order.
+func (p *Peer) PlanSenders(candidates []*minwise.Sketch, k int) ([]int, error) {
+	if k <= 0 || len(candidates) == 0 {
+		return nil, nil
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	current := p.sketch
+	picked := make([]int, 0, k)
+	used := make([]bool, len(candidates))
+	for len(picked) < k {
+		bestIdx, bestGain := -1, 0.0
+		for i, cand := range candidates {
+			if used[i] || cand == nil {
+				continue
+			}
+			c, err := current.ContainmentOf(cand)
+			if err != nil {
+				return nil, fmt.Errorf("core: candidate %d: %w", i, err)
+			}
+			gain := (1 - c) * float64(cand.SetSize) // expected new symbols
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 || bestGain <= 0 {
+			break // nothing further adds anything
+		}
+		used[bestIdx] = true
+		picked = append(picked, bestIdx)
+		u, err := current.Union(candidates[bestIdx])
+		if err != nil {
+			return nil, err
+		}
+		current = u
+	}
+	return picked, nil
+}
+
+// LoadBalance partitions identical-content candidates (per their
+// sketches) into groups so a receiver can spread load: candidates whose
+// pairwise resemblance exceeds the identical threshold land in one
+// group. Groups are returned as index lists, largest first (§4: "the
+// receivers will also be able to distribute the load among the senders
+// whose content is identical").
+func LoadBalance(candidates []*minwise.Sketch, identicalThreshold float64) ([][]int, error) {
+	var groups [][]int
+	assigned := make([]bool, len(candidates))
+	for i := range candidates {
+		if assigned[i] || candidates[i] == nil {
+			continue
+		}
+		group := []int{i}
+		assigned[i] = true
+		for j := i + 1; j < len(candidates); j++ {
+			if assigned[j] || candidates[j] == nil {
+				continue
+			}
+			r, err := candidates[i].Resemblance(candidates[j])
+			if err != nil {
+				return nil, err
+			}
+			if r >= identicalThreshold {
+				group = append(group, j)
+				assigned[j] = true
+			}
+		}
+		groups = append(groups, group)
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return len(groups[a]) > len(groups[b]) })
+	return groups, nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/minwise"
+	"icd/internal/prng"
+	"icd/internal/strategy"
+)
+
+func peerWith(cfg Config, keys []uint64) *Peer {
+	p := NewPeer(cfg)
+	for _, k := range keys {
+		p.AddSymbol(k)
+	}
+	return p
+}
+
+func sketchOf(cfg Config, set *keyset.Set) *minwise.Sketch {
+	cfg = cfg.withDefaults()
+	return minwise.Build(cfg.MinwiseFamilySeed, cfg.MinwiseSize, set)
+}
+
+func TestAddSymbolDedupes(t *testing.T) {
+	p := NewPeer(Config{})
+	if !p.AddSymbol(1) || p.AddSymbol(1) {
+		t.Fatal("dedupe broken")
+	}
+	if p.Working().Len() != 1 || p.Sketch().SetSize != 1 {
+		t.Fatal("state inconsistent")
+	}
+}
+
+func TestEvaluateIdenticalRejected(t *testing.T) {
+	rng := prng.New(1)
+	keys := keyset.Random(rng, 500).Keys()
+	a := peerWith(Config{}, keys)
+	b := peerWith(Config{}, keys)
+	got, err := a.EvaluateCandidate(b.Sketch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != Reject {
+		t.Fatalf("identical candidate not rejected: %+v", got)
+	}
+}
+
+func TestEvaluateDisjointCoarse(t *testing.T) {
+	rng := prng.New(2)
+	a := peerWith(Config{}, keyset.Random(rng, 400).Keys())
+	b := peerWith(Config{}, keyset.Random(rng, 400).Keys())
+	got, err := a.EvaluateCandidate(b.Sketch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != CoarseTransfer {
+		t.Fatalf("disjoint candidate: %+v", got)
+	}
+	if got.UsefulFraction < 0.9 {
+		t.Fatalf("useful fraction %.3f, want ≈1", got.UsefulFraction)
+	}
+	if got.Strategy != strategy.RecodeMW {
+		t.Fatalf("strategy = %v", got.Strategy)
+	}
+}
+
+func TestEvaluateOverlappingFineGrained(t *testing.T) {
+	rng := prng.New(3)
+	shared := keyset.Random(rng, 800)
+	a := peerWith(Config{}, shared.Keys())
+	bKeys := shared.Keys()[:600]
+	b := peerWith(Config{}, bKeys)
+	for i := 0; i < 100; i++ {
+		b.AddSymbol(rng.Uint64())
+	}
+	// a holds 600/700 of b's content: containment ≈ 0.86.
+	got, err := a.EvaluateCandidate(b.Sketch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != FineGrained {
+		t.Fatalf("overlapping candidate: %+v", got)
+	}
+	if got.Strategy != strategy.RecodeBF {
+		t.Fatalf("strategy = %v", got.Strategy)
+	}
+	if got.Containment < 0.6 {
+		t.Fatalf("containment %.3f, want ≈0.86", got.Containment)
+	}
+}
+
+func TestEvaluateNilSketch(t *testing.T) {
+	p := NewPeer(Config{})
+	if _, err := p.EvaluateCandidate(nil); err == nil {
+		t.Fatal("nil sketch accepted")
+	}
+}
+
+func TestBloomAndARTSummaries(t *testing.T) {
+	rng := prng.New(4)
+	keys := keyset.Random(rng, 1000).Keys()
+	a := peerWith(Config{}, keys)
+	bf := a.BloomSummary()
+	for _, k := range keys[:100] {
+		if !bf.Contains(k) {
+			t.Fatal("bloom summary false negative")
+		}
+	}
+	// ART summary from a, searched by a richer peer b.
+	sum, err := a.ARTSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := peerWith(Config{}, keys)
+	var extras []uint64
+	for i := 0; i < 50; i++ {
+		k := rng.Uint64()
+		if b.AddSymbol(k) {
+			extras = append(extras, k)
+		}
+	}
+	missing := b.FindMissingFrom(sum)
+	if len(missing) == 0 {
+		t.Fatal("ART found no differences")
+	}
+	extraSet := keyset.FromKeys(extras)
+	for _, k := range missing {
+		if !extraSet.Contains(k) {
+			t.Fatalf("ART reported %d which a holds", k)
+		}
+	}
+}
+
+func TestPlanSendersPrefersComplementary(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	rng := prng.New(5)
+	universe := keyset.Random(rng, 3000)
+	slice := func(lo, hi int) *keyset.Set {
+		s := keyset.New(hi - lo)
+		for i := lo; i < hi; i++ {
+			s.Add(universe.At(i))
+		}
+		return s
+	}
+	me := peerWith(cfg, slice(0, 1000).Keys())
+	// Candidate 0 duplicates me; candidate 1 overlaps half; candidate 2
+	// is fully complementary; candidate 3 duplicates candidate 2.
+	cands := []*minwise.Sketch{
+		sketchOf(cfg, slice(0, 1000)),
+		sketchOf(cfg, slice(500, 1500)),
+		sketchOf(cfg, slice(1000, 2000)),
+		sketchOf(cfg, slice(1000, 2000)),
+	}
+	picks, err := me.PlanSenders(cands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 2 {
+		t.Fatalf("picked %v", picks)
+	}
+	if picks[0] != 2 && picks[0] != 3 {
+		t.Fatalf("first pick %d, want the complementary candidate", picks[0])
+	}
+	// Second pick must NOT be the duplicate of the first (the union
+	// sketch makes its marginal value ≈ 0); it should be candidate 1.
+	if picks[1] != 1 {
+		t.Fatalf("second pick %d, want 1 (union-aware marginal gain)", picks[1])
+	}
+}
+
+func TestPlanSendersEdges(t *testing.T) {
+	p := NewPeer(Config{})
+	if picks, err := p.PlanSenders(nil, 3); err != nil || picks != nil {
+		t.Fatalf("empty candidates: %v %v", picks, err)
+	}
+	cfg := Config{}.withDefaults()
+	rng := prng.New(6)
+	cand := sketchOf(cfg, keyset.Random(rng, 100))
+	picks, err := p.PlanSenders([]*minwise.Sketch{cand, nil}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1 || picks[0] != 0 {
+		t.Fatalf("picks = %v", picks)
+	}
+}
+
+func TestLoadBalanceGroups(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	rng := prng.New(7)
+	s1 := keyset.Random(rng, 500)
+	s2 := keyset.Random(rng, 500)
+	cands := []*minwise.Sketch{
+		sketchOf(cfg, s1),
+		sketchOf(cfg, s2),
+		sketchOf(cfg, s1.Clone()),
+		sketchOf(cfg, s1.Clone()),
+	}
+	groups, err := LoadBalance(cands, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 { // the three s1 copies, largest first
+		t.Fatalf("largest group = %v", groups[0])
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	if Reject.String() != "reject" || CoarseTransfer.String() != "coarse" ||
+		FineGrained.String() != "fine-grained" {
+		t.Fatal("decision strings")
+	}
+	if Decision(9).String() != "Decision(9)" {
+		t.Fatal("unknown decision string")
+	}
+}
+
+func BenchmarkAddSymbol(b *testing.B) {
+	p := NewPeer(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AddSymbol(uint64(i))
+	}
+}
+
+func BenchmarkEvaluateCandidate(b *testing.B) {
+	rng := prng.New(1)
+	a := peerWith(Config{}, keyset.Random(rng, 1000).Keys())
+	c := peerWith(Config{}, keyset.Random(rng, 1000).Keys())
+	sk := c.Sketch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EvaluateCandidate(sk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"icd/internal/bloom"
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/recon"
+)
+
+// reconTrial holds one planted-difference reconciliation instance: peer A
+// holds base, peer B holds base plus diffs extra keys, mirroring the
+// Figure 4 setup (small difference, large shared core).
+type reconTrial struct {
+	treeA, treeB *recon.Tree
+	setA, setB   *keyset.Set
+	diffs        int
+}
+
+func newReconTrial(rng *prng.Rand, n, diffs int) reconTrial {
+	base := keyset.Random(rng, n)
+	super := base.Clone()
+	for super.Len() < n+diffs {
+		super.Add(rng.Uint64())
+	}
+	return reconTrial{
+		treeA: recon.Build(recon.DefaultParams, base),
+		treeB: recon.Build(recon.DefaultParams, super),
+		setA:  base,
+		setB:  super,
+		diffs: diffs,
+	}
+}
+
+// artAccuracy measures the fraction of the planted difference that peer B
+// finds from A's summary at the given split and correction level.
+func (tr reconTrial) artAccuracy(totalBits, leafBits float64, correction int) (float64, error) {
+	sum, err := tr.treeA.Summarize(recon.SummaryOptions{
+		TotalBitsPerElement: totalBits,
+		LeafBitsPerElement:  leafBits,
+	})
+	if err != nil {
+		return 0, err
+	}
+	missing, _ := tr.treeB.FindMissing(sum, correction)
+	return float64(len(missing)) / float64(tr.diffs), nil
+}
+
+// Fig4a reproduces Figure 4(a): fraction of differences found as the
+// leaf filter's share of an 8-bit budget varies from 1 to 7 bits per
+// element, one curve per correction level 0–5.
+func Fig4a(o Options) (Figure, error) {
+	o = o.withDefaults()
+	const totalBits = 8.0
+	leafShares := []float64{1, 2, 3, 4, 5, 6, 7}
+	fig := Figure{
+		ID:     "fig4a",
+		Title:  "Accuracy tradeoffs at 8 bits per element (paper Fig 4a)",
+		XLabel: "leaf-bits",
+		YLabel: "fraction of differences found",
+		X:      leafShares,
+	}
+	for corr := 5; corr >= 0; corr-- {
+		fig.Series = append(fig.Series, Series{Label: fmt.Sprintf("correction=%d", corr)})
+	}
+	rng := prng.New(o.Seed)
+	trials := make([]reconTrial, o.Trials)
+	for i := range trials {
+		trials[i] = newReconTrial(rng.Split(), o.SetSize, o.Diffs)
+	}
+	for _, leaf := range leafShares {
+		for si, corr := 0, 5; corr >= 0; si, corr = si+1, corr-1 {
+			var sum float64
+			for _, tr := range trials {
+				acc, err := tr.artAccuracy(totalBits, leaf, corr)
+				if err != nil {
+					return Figure{}, err
+				}
+				sum += acc
+			}
+			fig.Series[si].Y = append(fig.Series[si].Y, sum/float64(len(trials)))
+		}
+	}
+	return fig, nil
+}
+
+// bestSplitAccuracy finds the leaf/internal split maximizing accuracy for
+// a bit budget and correction level — Table 4(b)'s "optimal distribution
+// of bits between leaves and interior nodes".
+func bestSplitAccuracy(trials []reconTrial, totalBits float64, corr int) (float64, error) {
+	best := 0.0
+	for leaf := 0.5; leaf < totalBits; leaf += 0.5 {
+		var sum float64
+		for _, tr := range trials {
+			acc, err := tr.artAccuracy(totalBits, leaf, corr)
+			if err != nil {
+				return 0, err
+			}
+			sum += acc
+		}
+		if avg := sum / float64(len(trials)); avg > best {
+			best = avg
+		}
+	}
+	return best, nil
+}
+
+// Table4b reproduces Table 4(b): accuracy of approximate reconciliation
+// trees for 2/4/6/8 bits per element and correction levels 0–5, at the
+// per-cell optimal split.
+func Table4b(o Options) (Table, error) {
+	o = o.withDefaults()
+	bits := []float64{2, 4, 6, 8}
+	tab := Table{
+		ID:     "tab4b",
+		Title:  "Accuracy of approximate reconciliation trees (paper Table 4b)",
+		Header: []string{"Correction", "2 bits", "4 bits", "6 bits", "8 bits"},
+	}
+	rng := prng.New(o.Seed)
+	trials := make([]reconTrial, o.Trials)
+	for i := range trials {
+		trials[i] = newReconTrial(rng.Split(), o.SetSize, o.Diffs)
+	}
+	for corr := 0; corr <= 5; corr++ {
+		row := []string{fmt.Sprintf("%d", corr)}
+		for _, b := range bits {
+			acc, err := bestSplitAccuracy(trials, b, corr)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", acc))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}
+
+// Table4cResult carries the measured quantities behind Table 4(c) for
+// benchmark reporting.
+type Table4cResult struct {
+	BloomBitsPerElement float64
+	BloomAccuracy       float64
+	BloomProbes         int // membership probes = |S_B| (Θ(n) work)
+	BloomSearch         time.Duration
+	ARTAccuracy         float64
+	ARTNodesVisited     int // O(d log n) work
+	ARTSearch           time.Duration
+}
+
+// Table4c reproduces Table 4(c): at 8 bits per element, a plain Bloom
+// filter finds ≈98% of differences with Θ(n) search work, while an ART at
+// correction 5 finds ≈92% with O(d log n) work.
+func Table4c(o Options) (Table, error) {
+	res, err := Table4cMeasure(o)
+	if err != nil {
+		return Table{}, err
+	}
+	tab := Table{
+		ID:     "tab4c",
+		Title:  "High level structure comparison at 8 bits per element (paper Table 4c)",
+		Header: []string{"Data Structure", "Size in bits", "Accuracy", "Search work", "Search time"},
+	}
+	o = o.withDefaults()
+	tab.Rows = append(tab.Rows,
+		[]string{"Bloom filter", fmt.Sprintf("8n (n=%d)", o.SetSize),
+			fmt.Sprintf("%.1f%%", 100*res.BloomAccuracy),
+			fmt.Sprintf("O(n): %d probes", res.BloomProbes),
+			res.BloomSearch.String()},
+		[]string{"A.R.T. (correction=5)", fmt.Sprintf("8n (n=%d)", o.SetSize),
+			fmt.Sprintf("%.1f%%", 100*res.ARTAccuracy),
+			fmt.Sprintf("O(d log n): %d nodes", res.ARTNodesVisited),
+			res.ARTSearch.String()},
+	)
+	return tab, nil
+}
+
+// Table4cMeasure performs the underlying measurement.
+func Table4cMeasure(o Options) (Table4cResult, error) {
+	o = o.withDefaults()
+	rng := prng.New(o.Seed)
+	var out Table4cResult
+	out.BloomBitsPerElement = 8
+	for t := 0; t < o.Trials; t++ {
+		tr := newReconTrial(rng.Split(), o.SetSize, o.Diffs)
+
+		// Bloom filter path: A summarizes its whole set at 8 bits/elem;
+		// B probes every one of its symbols (Θ(n)).
+		filter := bloom.FromSet(o.Seed, tr.setA, 8, 5)
+		start := time.Now()
+		missing := filter.Missing(tr.setB)
+		out.BloomSearch += time.Since(start)
+		out.BloomAccuracy += float64(len(missing)) / float64(tr.diffs)
+		out.BloomProbes += tr.setB.Len()
+
+		// ART path: correction 5 at a 3/5 split of the same budget.
+		sum, err := tr.treeA.Summarize(recon.SummaryOptions{
+			TotalBitsPerElement: 8,
+			LeafBitsPerElement:  5,
+		})
+		if err != nil {
+			return Table4cResult{}, err
+		}
+		start = time.Now()
+		found, stats := tr.treeB.FindMissing(sum, 5)
+		out.ARTSearch += time.Since(start)
+		out.ARTAccuracy += float64(len(found)) / float64(tr.diffs)
+		out.ARTNodesVisited += stats.NodesVisited
+	}
+	n := float64(o.Trials)
+	out.BloomAccuracy /= n
+	out.ARTAccuracy /= n
+	out.BloomProbes /= o.Trials
+	out.ARTNodesVisited /= o.Trials
+	out.BloomSearch /= time.Duration(o.Trials)
+	out.ARTSearch /= time.Duration(o.Trials)
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Package gf implements arithmetic over the prime field GF(p) with
+// p = 2^61 − 1 (a Mersenne prime, so reduction is shift-and-add), plus
+// the small amount of linear algebra the characteristic-polynomial set
+// reconciliation of §5.1 needs: polynomial evaluation and Gaussian
+// elimination.
+package gf
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// P is the field modulus, 2^61 − 1.
+const P = (1 << 61) - 1
+
+// Elem is a field element in [0, P).
+type Elem uint64
+
+// Reduce folds an arbitrary uint64 into the field.
+func Reduce(x uint64) Elem {
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return Elem(x)
+}
+
+// Add returns a + b mod p.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= P {
+		s -= P
+	}
+	return Elem(s)
+}
+
+// Sub returns a − b mod p.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns −a mod p.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a·b mod p via a 128-bit intermediate.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// lo = low 64 bits; hi has weight 2^64 ≡ 8 (mod p) since 2^61 ≡ 1.
+	s := lo & P
+	s += lo >> 61
+	s = uint64(Reduce(s))
+	s += (hi << 3) & P
+	s = uint64(Reduce(s))
+	s += hi >> 58
+	return Reduce(s)
+}
+
+// Pow returns a^e mod p.
+func Pow(a Elem, e uint64) Elem {
+	result := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^(p−2) = a^{-1} mod p. It panics on zero.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return Pow(a, P-2)
+}
+
+// Poly is a dense polynomial, coefficient i on z^i. The zero-length
+// polynomial is the zero polynomial.
+type Poly []Elem
+
+// Eval evaluates the polynomial at z (Horner).
+func (p Poly) Eval(z Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, z), p[i])
+	}
+	return acc
+}
+
+// Degree returns the degree, or −1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// MulPoly returns p·q.
+func MulPoly(p, q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			if b == 0 {
+				continue
+			}
+			out[i+j] = Add(out[i+j], Mul(a, b))
+		}
+	}
+	return out
+}
+
+// FromRoots builds the monic polynomial Π (z − r) over the given roots —
+// the characteristic polynomial of a set.
+func FromRoots(roots []Elem) Poly {
+	p := Poly{1}
+	for _, r := range roots {
+		p = MulPoly(p, Poly{Neg(r), 1})
+	}
+	return p
+}
+
+// ErrSingular reports a linear system without a unique solution.
+var ErrSingular = errors.New("gf: singular system")
+
+// SolveLinear solves A·x = b over GF(p) by Gaussian elimination with
+// partial pivoting; A is row-major n×n and is clobbered, as is b. It
+// returns ErrSingular when no unique solution exists.
+func SolveLinear(a [][]Elem, b []Elem) ([]Elem, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("gf: malformed system")
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, errors.New("gf: non-square matrix")
+		}
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := Inv(a[col][col])
+		for c := col; c < n; c++ {
+			a[col][c] = Mul(a[col][c], inv)
+		}
+		b[col] = Mul(b[col], inv)
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for c := col; c < n; c++ {
+				a[r][c] = Sub(a[r][c], Mul(f, a[col][c]))
+			}
+			b[r] = Sub(b[r], Mul(f, b[col]))
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,223 @@
+package gf
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	norm := func(x uint64) Elem { return Reduce(x) }
+	// Commutativity, associativity, distributivity.
+	f := func(xr, yr, zr uint64) bool {
+		x, y, z := norm(xr), norm(yr), norm(zr)
+		if Add(x, y) != Add(y, x) || Mul(x, y) != Mul(y, x) {
+			return false
+		}
+		if Add(Add(x, y), z) != Add(x, Add(y, z)) {
+			return false
+		}
+		if Mul(Mul(x, y), z) != Mul(x, Mul(y, z)) {
+			return false
+		}
+		return Mul(x, Add(y, z)) == Add(Mul(x, y), Mul(x, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBigInt(t *testing.T) {
+	p := big.NewInt(P)
+	f := func(ar, br uint64) bool {
+		a, b := Reduce(ar), Reduce(br)
+		got := Mul(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(uint64(a)), new(big.Int).SetUint64(uint64(b)))
+		want.Mod(want, p)
+		return uint64(got) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(xr uint64) bool {
+		x := Reduce(xr)
+		if x == 0 {
+			return true
+		}
+		return Mul(x, Inv(x)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestSubNeg(t *testing.T) {
+	f := func(ar, br uint64) bool {
+		a, b := Reduce(ar), Reduce(br)
+		if Add(Sub(a, b), b) != a {
+			return false
+		}
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 10) != 1024 {
+		t.Fatalf("2^10 = %d", Pow(2, 10))
+	}
+	if Pow(5, 0) != 1 {
+		t.Fatal("x^0 != 1")
+	}
+	// Fermat: a^(p-1) = 1.
+	for _, a := range []Elem{2, 3, 12345678901} {
+		if Pow(a, P-1) != 1 {
+			t.Fatalf("%d^(p-1) != 1", a)
+		}
+	}
+}
+
+func TestPolyFromRootsAndEval(t *testing.T) {
+	roots := []Elem{5, 9, 100}
+	p := FromRoots(roots)
+	if p.Degree() != 3 {
+		t.Fatalf("degree %d", p.Degree())
+	}
+	for _, r := range roots {
+		if p.Eval(r) != 0 {
+			t.Fatalf("poly does not vanish at root %d", r)
+		}
+	}
+	if p.Eval(6) == 0 {
+		t.Fatal("poly vanishes off-root")
+	}
+	// (z-5)(z-9)(z-100) at z=0 is (−5)(−9)(−100) = −4500 mod p.
+	if got := p.Eval(0); got != Neg(4500) {
+		t.Fatalf("p(0) = %d", got)
+	}
+}
+
+func TestPolyZero(t *testing.T) {
+	var z Poly
+	if z.Degree() != -1 || z.Eval(7) != 0 {
+		t.Fatal("zero polynomial misbehaves")
+	}
+	if MulPoly(z, Poly{1, 2}) != nil {
+		t.Fatal("0 * p != 0")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + 3y = 8 ; x + 4y = 9  → x = 1, y = 2.
+	a := [][]Elem{{2, 3}, {1, 4}}
+	b := []Elem{8, 9}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]Elem{{1, 2}, {2, 4}}
+	b := []Elem{3, 6}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Fatal("singular accepted")
+	}
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := SolveLinear([][]Elem{{1}}, []Elem{1, 2}); err == nil {
+		t.Fatal("mismatched accepted")
+	}
+	if _, err := SolveLinear([][]Elem{{1, 2}}, []Elem{1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+// Property: solving a random nonsingular system and substituting back
+// reproduces b.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		// Build a random 4x4 system from the seed.
+		n := 4
+		s := seed
+		next := func() Elem {
+			s = s*6364136223846793005 + 1442695040888963407
+			return Reduce(s)
+		}
+		a := make([][]Elem, n)
+		orig := make([][]Elem, n)
+		for i := range a {
+			a[i] = make([]Elem, n)
+			orig[i] = make([]Elem, n)
+			for j := range a[i] {
+				v := next()
+				a[i][j] = v
+				orig[i][j] = v
+			}
+		}
+		b := make([]Elem, n)
+		origB := make([]Elem, n)
+		for i := range b {
+			b[i] = next()
+			origB[i] = b[i]
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return true // singular random matrix: fine
+		}
+		for i := 0; i < n; i++ {
+			var acc Elem
+			for j := 0; j < n; j++ {
+				acc = Add(acc, Mul(orig[i][j], x[j]))
+			}
+			if acc != origB[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc Elem = 12345
+	for i := 0; i < b.N; i++ {
+		acc = Mul(acc, 987654321)
+	}
+	_ = acc
+}
+
+func BenchmarkSolve16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 16
+		a := make([][]Elem, n)
+		rhs := make([]Elem, n)
+		s := uint64(i + 1)
+		for r := range a {
+			a[r] = make([]Elem, n)
+			for c := range a[r] {
+				s = s*6364136223846793005 + 1442695040888963407
+				a[r][c] = Reduce(s)
+			}
+			rhs[r] = Reduce(s ^ 0xABCDEF)
+		}
+		SolveLinear(a, rhs)
+	}
+}

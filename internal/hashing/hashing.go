@@ -1,0 +1,148 @@
+// Package hashing supplies the hash-function substrate used throughout the
+// library: 64-bit avalanche mixing, pairwise-independent linear permutations
+// over the Mersenne-prime field p = 2^61 − 1 (the "simple permutations"
+// π(x) = ax + b mod |U| of Broder et al. that the paper adopts for min-wise
+// sketches), and double-hashing families for Bloom filters following
+// Kirsch–Mitzenmacher.
+//
+// Everything here is deterministic given its seed so that experiments are
+// reproducible, and allocation-free on the hot paths.
+package hashing
+
+import "math/bits"
+
+// MersennePrime61 is 2^61 − 1, the modulus of the permutation field. Using
+// a Mersenne prime makes reduction branch-light and keeps the family close
+// to a true permutation family over 61-bit keys.
+const MersennePrime61 = (1 << 61) - 1
+
+// Mix64 is the splitmix64 finalizer: a fast bijective avalanche over
+// uint64. It is the standard way we turn structured integers (indices,
+// seeds, coordinates) into uniformly distributed keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix64Pair mixes two words into one, for hashing composite keys.
+func Mix64Pair(x, y uint64) uint64 {
+	return Mix64(Mix64(x) ^ (y * 0x9e3779b97f4a7c15))
+}
+
+// mulmod61 returns a*b mod 2^61−1 using a 128-bit intermediate product.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// Split the 128-bit product into 61-bit chunks: since
+	// 2^61 ≡ 1 (mod p), the value is the sum of the chunks mod p.
+	// product = hi*2^64 + lo = hi*8*2^61 + lo.
+	s := lo & MersennePrime61
+	s += lo >> 61 // bits 61..63 of lo, weight 2^61 ≡ 1
+	s = reduce61(s)
+	// hi has weight 2^64 = 8 * 2^61 ≡ 8 (mod p). hi < 2^61 here because
+	// a,b < 2^61 implies hi < 2^58, so 8*hi < 2^61 fits without overflow
+	// only when hi < 2^58; a,b < 2^61 gives hi ≤ (2^61-1)^2 / 2^64 < 2^58.
+	s += (hi << 3) & MersennePrime61
+	s = reduce61(s)
+	s += hi >> 58
+	return reduce61(s)
+}
+
+// reduce61 folds a value < 2^62 into [0, p).
+func reduce61(x uint64) uint64 {
+	x = (x & MersennePrime61) + (x >> 61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+// Permutation is a pairwise-independent linear permutation
+// π(x) = (a·x + b) mod p over the field p = 2^61 − 1, with a ≠ 0.
+// Keys are first folded into the field.
+//
+// Broder, Charikar, Frieze, Mitzenmacher ("Min-wise independent
+// permutations") show that such simple families are adequate in practice
+// for resemblance estimation, which is exactly how the paper uses them.
+type Permutation struct {
+	A, B uint64
+}
+
+// NewPermutation derives a permutation deterministically from seed; any two
+// distinct seeds yield independent-looking (a, b) pairs.
+func NewPermutation(seed uint64) Permutation {
+	a := Mix64(seed) % MersennePrime61
+	if a == 0 {
+		a = 1
+	}
+	b := Mix64(seed+0x6a09e667f3bcc909) % MersennePrime61
+	return Permutation{A: a, B: b}
+}
+
+// Apply evaluates π(x). Keys outside the field are folded in first; the
+// composition fold∘π is no longer a strict bijection over all of uint64,
+// but remains one over [0, p), which is what the min-wise analysis needs.
+func (p Permutation) Apply(x uint64) uint64 {
+	x = reduce61(x)
+	return reduce61(mulmod61(p.A, x) + p.B)
+}
+
+// PermutationFamily is a fixed, universally agreed-upon list of
+// permutations. Two peers construct the same family from the same seed, as
+// the paper requires ("the peers must agree on these permutations in
+// advance; we assume they are fixed universally off-line").
+type PermutationFamily struct {
+	perms []Permutation
+}
+
+// NewPermutationFamily builds n permutations derived from seed.
+func NewPermutationFamily(seed uint64, n int) *PermutationFamily {
+	if n <= 0 {
+		panic("hashing: non-positive family size")
+	}
+	f := &PermutationFamily{perms: make([]Permutation, n)}
+	for i := range f.perms {
+		f.perms[i] = NewPermutation(Mix64Pair(seed, uint64(i)))
+	}
+	return f
+}
+
+// Len returns the number of permutations in the family.
+func (f *PermutationFamily) Len() int { return len(f.perms) }
+
+// At returns the i-th permutation.
+func (f *PermutationFamily) At(i int) Permutation { return f.perms[i] }
+
+// Pair is a pair of independent 64-bit hashes of one key, the seed material
+// for double hashing: g_i(x) = h1 + i·h2 simulates k independent hash
+// functions with only two evaluations (Kirsch–Mitzenmacher).
+type Pair struct {
+	H1, H2 uint64
+}
+
+// HashPair hashes key under the family identified by seed.
+func HashPair(seed, key uint64) Pair {
+	h1 := Mix64(key ^ seed)
+	h2 := Mix64(h1 ^ 0x94d049bb133111eb ^ seed)
+	// Force h2 odd so successive probes cycle through all residues of a
+	// power-of-two table and never degenerate to a fixed point.
+	return Pair{H1: h1, H2: h2 | 1}
+}
+
+// Probe returns the i-th double-hashing probe reduced mod m (m > 0).
+func (p Pair) Probe(i int, m uint64) uint64 {
+	return (p.H1 + uint64(i)*p.H2) % m
+}
+
+// RangeHash maps key uniformly into [0, n) using fixed-point
+// multiplication (Lemire's fast range reduction) — cheaper and less biased
+// than mod for arbitrary n.
+func RangeHash(seed, key uint64, n uint64) uint64 {
+	if n == 0 {
+		panic("hashing: zero range")
+	}
+	h := Mix64(key ^ seed)
+	hi, _ := bits.Mul64(h, n)
+	return hi
+}

@@ -1,0 +1,249 @@
+package hashing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// A bijection never collides; sample a window of inputs.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %#x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 1000
+	totalFlips := 0
+	for i := 0; i < trials; i++ {
+		x := Mix64(uint64(i) * 0x9e3779b97f4a7c15)
+		bit := uint(i % 64)
+		d := Mix64(x) ^ Mix64(x^(1<<bit))
+		totalFlips += popcount(d)
+	}
+	mean := float64(totalFlips) / trials
+	if mean < 24 || mean > 40 {
+		t.Fatalf("avalanche mean flips = %.2f, want ≈32", mean)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestMulmod61MatchesBigInt(t *testing.T) {
+	p := big.NewInt(MersennePrime61)
+	cases := [][2]uint64{
+		{0, 0},
+		{1, 1},
+		{MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61 - 1, 2},
+		{1234567890123456789 % MersennePrime61, 987654321987654321 % MersennePrime61},
+	}
+	for _, c := range cases {
+		got := mulmod61(c[0], c[1])
+		want := new(big.Int).Mul(big.NewInt(int64(c[0])), big.NewInt(int64(c[1])))
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Errorf("mulmod61(%d,%d) = %d, want %d", c[0], c[1], got, want.Uint64())
+		}
+	}
+}
+
+func TestQuickMulmod61(t *testing.T) {
+	p := big.NewInt(MersennePrime61)
+	f := func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		got := mulmod61(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return got == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationBijectiveOnField(t *testing.T) {
+	// π(x) = ax+b mod p is injective on [0,p); spot check a window.
+	perm := NewPermutation(42)
+	seen := make(map[uint64]uint64, 1<<15)
+	for x := uint64(0); x < 1<<15; x++ {
+		y := perm.Apply(x)
+		if y >= MersennePrime61 {
+			t.Fatalf("Apply(%d) = %d out of field", x, y)
+		}
+		if prev, ok := seen[y]; ok {
+			t.Fatalf("permutation collision: %d and %d -> %d", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+func TestPermutationInvertibleAlgebraically(t *testing.T) {
+	// Verify ax+b ≡ y has the expected preimage via modular inverse.
+	perm := NewPermutation(7)
+	p := big.NewInt(MersennePrime61)
+	ainv := new(big.Int).ModInverse(big.NewInt(int64(perm.A)), p)
+	if ainv == nil {
+		t.Fatal("a not invertible")
+	}
+	for x := uint64(1); x < 1000; x += 13 {
+		y := perm.Apply(x)
+		// x' = (y - b) * a^{-1} mod p
+		yb := new(big.Int).Sub(new(big.Int).SetUint64(y), new(big.Int).SetUint64(perm.B))
+		yb.Mod(yb, p)
+		yb.Mul(yb, ainv)
+		yb.Mod(yb, p)
+		if yb.Uint64() != x%MersennePrime61 {
+			t.Fatalf("inverse mismatch at x=%d", x)
+		}
+	}
+}
+
+func TestNewPermutationNonZeroA(t *testing.T) {
+	for seed := uint64(0); seed < 1000; seed++ {
+		if NewPermutation(seed).A == 0 {
+			t.Fatalf("seed %d produced a=0", seed)
+		}
+	}
+}
+
+func TestPermutationFamilyDeterministic(t *testing.T) {
+	f1 := NewPermutationFamily(99, 16)
+	f2 := NewPermutationFamily(99, 16)
+	if f1.Len() != 16 {
+		t.Fatalf("Len = %d", f1.Len())
+	}
+	for i := 0; i < 16; i++ {
+		if f1.At(i) != f2.At(i) {
+			t.Fatalf("family not deterministic at %d", i)
+		}
+	}
+	f3 := NewPermutationFamily(100, 16)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if f1.At(i) == f3.At(i) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("different seeds produced identical families")
+	}
+}
+
+func TestPermutationFamilyPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewPermutationFamily(1, 0)
+}
+
+func TestHashPairOddH2(t *testing.T) {
+	for k := uint64(0); k < 4096; k++ {
+		if HashPair(1, k).H2&1 != 1 {
+			t.Fatalf("even H2 for key %d", k)
+		}
+	}
+}
+
+func TestProbeDistribution(t *testing.T) {
+	// Double-hash probes over a modest table should be near-uniform.
+	const m = 512
+	counts := make([]int, m)
+	n := 0
+	for key := uint64(0); key < 2000; key++ {
+		pr := HashPair(77, key)
+		for i := 0; i < 5; i++ {
+			counts[pr.Probe(i, m)]++
+			n++
+		}
+	}
+	mean := float64(n) / m
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	// df = 511; mean chi2 ≈ 511, sd ≈ 32. Allow generous slack.
+	if chi2 > 700 {
+		t.Fatalf("chi2 = %.1f, probes badly non-uniform", chi2)
+	}
+}
+
+func TestRangeHashBounds(t *testing.T) {
+	f := func(seed, key uint64, nRaw uint32) bool {
+		n := uint64(nRaw)%1000 + 1
+		return RangeHash(seed, key, n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeHashZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	RangeHash(1, 2, 0)
+}
+
+func TestRangeHashUniform(t *testing.T) {
+	const n = 100
+	counts := make([]int, n)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[RangeHash(5, uint64(i), n)]++
+	}
+	want := trials / n
+	for b, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("bucket %d count %d far from %d", b, c, want)
+		}
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Mix64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPermutationApply(b *testing.B) {
+	p := NewPermutation(3)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Apply(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkHashPairProbe5(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		pr := HashPair(9, uint64(i))
+		for j := 0; j < 5; j++ {
+			sink ^= pr.Probe(j, 1<<20)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,240 @@
+// Package keyset implements working sets of symbol keys.
+//
+// Throughout the paper each element of a peer's working set is identified
+// by an integer key (§4: "each element of the working sets of peers is
+// identified by an integer key... we may assume that the integer keys are
+// random"). This package provides the set representation used by sketches,
+// summaries, reconciliation and the transfer simulator: an indexed set over
+// uint64 keys with O(1) membership, O(1) uniform random choice (needed by
+// the stateless "random selection" sender strategy), and deterministic
+// insertion-order iteration so seeded experiments are exactly reproducible.
+package keyset
+
+import (
+	"sort"
+
+	"icd/internal/prng"
+)
+
+// Set is an indexed set of uint64 keys. The zero value is NOT usable;
+// construct with New, FromKeys or Random. Set is not safe for concurrent
+// mutation.
+type Set struct {
+	idx  map[uint64]int // key -> position in keys
+	keys []uint64       // insertion order
+}
+
+// New returns an empty set with capacity hint n.
+func New(n int) *Set {
+	return &Set{idx: make(map[uint64]int, n), keys: make([]uint64, 0, n)}
+}
+
+// FromKeys builds a set from keys, ignoring duplicates.
+func FromKeys(keys []uint64) *Set {
+	s := New(len(keys))
+	for _, k := range keys {
+		s.Add(k)
+	}
+	return s
+}
+
+// Random returns a set of n distinct pseudo-random keys drawn from rng.
+func Random(rng *prng.Rand, n int) *Set {
+	s := New(n)
+	for s.Len() < n {
+		s.Add(rng.Uint64())
+	}
+	return s
+}
+
+// Add inserts k, reporting whether it was newly added.
+func (s *Set) Add(k uint64) bool {
+	if _, ok := s.idx[k]; ok {
+		return false
+	}
+	s.idx[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+	return true
+}
+
+// Remove deletes k, reporting whether it was present.
+func (s *Set) Remove(k uint64) bool {
+	i, ok := s.idx[k]
+	if !ok {
+		return false
+	}
+	last := len(s.keys) - 1
+	moved := s.keys[last]
+	s.keys[i] = moved
+	s.idx[moved] = i
+	s.keys = s.keys[:last]
+	delete(s.idx, k)
+	return true
+}
+
+// Contains reports membership of k.
+func (s *Set) Contains(k uint64) bool {
+	_, ok := s.idx[k]
+	return ok
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return len(s.keys) }
+
+// At returns the key at position i in the current internal order.
+func (s *Set) At(i int) uint64 { return s.keys[i] }
+
+// Random returns a uniformly random member. It panics on an empty set.
+func (s *Set) Random(rng *prng.Rand) uint64 {
+	if len(s.keys) == 0 {
+		panic("keyset: Random on empty set")
+	}
+	return s.keys[rng.Intn(len(s.keys))]
+}
+
+// Sample returns k distinct members chosen uniformly without replacement.
+// It panics if k exceeds the set size.
+func (s *Set) Sample(rng *prng.Rand, k int) []uint64 {
+	pos := rng.SampleInts(len(s.keys), k)
+	out := make([]uint64, k)
+	for i, p := range pos {
+		out[i] = s.keys[p]
+	}
+	return out
+}
+
+// SampleWithReplacement returns k members chosen uniformly with
+// replacement (the paper's "select k elements of the working set at random
+// (with replacement)" sketch).
+func (s *Set) SampleWithReplacement(rng *prng.Rand, k int) []uint64 {
+	if len(s.keys) == 0 {
+		panic("keyset: sample from empty set")
+	}
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = s.keys[rng.Intn(len(s.keys))]
+	}
+	return out
+}
+
+// Keys returns a copy of the keys in insertion order.
+func (s *Set) Keys() []uint64 {
+	out := make([]uint64, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// SortedKeys returns a sorted copy of the keys.
+func (s *Set) SortedKeys() []uint64 {
+	out := s.Keys()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Each calls fn for every key in insertion order.
+func (s *Set) Each(fn func(uint64)) {
+	for _, k := range s.keys {
+		fn(k)
+	}
+}
+
+// Clone returns a deep copy preserving order.
+func (s *Set) Clone() *Set {
+	c := New(len(s.keys))
+	for _, k := range s.keys {
+		c.idx[k] = len(c.keys)
+		c.keys = append(c.keys, k)
+	}
+	return c
+}
+
+// Union returns a new set containing members of s then of other.
+func (s *Set) Union(other *Set) *Set {
+	u := s.Clone()
+	for _, k := range other.keys {
+		u.Add(k)
+	}
+	return u
+}
+
+// Intersect returns a new set with the members common to s and other,
+// in s's order.
+func (s *Set) Intersect(other *Set) *Set {
+	out := New(min(s.Len(), other.Len()))
+	for _, k := range s.keys {
+		if other.Contains(k) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// Diff returns a new set holding s − other, in s's order.
+func (s *Set) Diff(other *Set) *Set {
+	out := New(s.Len())
+	for _, k := range s.keys {
+		if !other.Contains(k) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// IntersectionSize returns |s ∩ other| without materializing the set.
+func (s *Set) IntersectionSize(other *Set) int {
+	a, b := s, other
+	if b.Len() < a.Len() {
+		a, b = b, a
+	}
+	n := 0
+	for _, k := range a.keys {
+		if b.Contains(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// ContainmentIn returns |s ∩ other| / |s|: the fraction of s's elements
+// that other also has. In the paper's notation with s = B_F (a candidate
+// sender) and other = A_F (the receiver), this is the quantity
+// |A_F ∩ B_F| / |B_F| whose complement measures how useful B is to A.
+// It returns 0 for an empty s.
+func (s *Set) ContainmentIn(other *Set) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	return float64(s.IntersectionSize(other)) / float64(s.Len())
+}
+
+// Resemblance returns |s ∩ other| / |s ∪ other| (Broder resemblance),
+// the quantity min-wise sketches estimate. It returns 1 when both sets
+// are empty.
+func (s *Set) Resemblance(other *Set) float64 {
+	inter := s.IntersectionSize(other)
+	union := s.Len() + other.Len() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Equal reports whether both sets hold exactly the same keys.
+func (s *Set) Equal(other *Set) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	for _, k := range s.keys {
+		if !other.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

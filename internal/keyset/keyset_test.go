@@ -1,0 +1,292 @@
+package keyset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icd/internal/prng"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(4)
+	if !s.Add(10) || !s.Add(20) {
+		t.Fatal("fresh Add returned false")
+	}
+	if s.Add(10) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Len() != 2 || !s.Contains(10) || !s.Contains(20) || s.Contains(30) {
+		t.Fatal("membership wrong after adds")
+	}
+	if !s.Remove(10) {
+		t.Fatal("Remove of member returned false")
+	}
+	if s.Remove(10) {
+		t.Fatal("Remove of non-member returned true")
+	}
+	if s.Len() != 1 || s.Contains(10) || !s.Contains(20) {
+		t.Fatal("membership wrong after remove")
+	}
+}
+
+func TestRemoveSwapKeepsIndexConsistent(t *testing.T) {
+	s := FromKeys([]uint64{1, 2, 3, 4, 5})
+	s.Remove(2) // forces swap-with-last
+	for _, k := range []uint64{1, 3, 4, 5} {
+		if !s.Contains(k) {
+			t.Fatalf("lost key %d after swap-remove", k)
+		}
+	}
+	// All positions must round-trip through At.
+	for i := 0; i < s.Len(); i++ {
+		k := s.At(i)
+		if !s.Contains(k) {
+			t.Fatalf("At(%d)=%d not a member", i, k)
+		}
+	}
+	// Remove everything.
+	for _, k := range []uint64{1, 3, 4, 5} {
+		if !s.Remove(k) {
+			t.Fatalf("failed removing %d", k)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", s.Len())
+	}
+}
+
+func TestFromKeysDedups(t *testing.T) {
+	s := FromKeys([]uint64{7, 7, 8, 7})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestRandomSetDistinct(t *testing.T) {
+	rng := prng.New(1)
+	s := Random(rng, 1000)
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestKeysOrderAndSorted(t *testing.T) {
+	s := FromKeys([]uint64{5, 1, 9})
+	k := s.Keys()
+	if k[0] != 5 || k[1] != 1 || k[2] != 9 {
+		t.Fatalf("Keys order = %v", k)
+	}
+	sk := s.SortedKeys()
+	if sk[0] != 1 || sk[1] != 5 || sk[2] != 9 {
+		t.Fatalf("SortedKeys = %v", sk)
+	}
+	// Keys returns a copy.
+	k[0] = 42
+	if s.At(0) != 5 {
+		t.Fatal("Keys did not copy")
+	}
+}
+
+func TestRandomMemberUniform(t *testing.T) {
+	rng := prng.New(3)
+	s := FromKeys([]uint64{0, 1, 2, 3, 4})
+	counts := map[uint64]int{}
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		counts[s.Random(rng)]++
+	}
+	want := float64(trials) / 5
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("key %d count %d, want ≈%.0f", k, c, want)
+		}
+	}
+}
+
+func TestRandomEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0).Random(prng.New(1))
+}
+
+func TestSample(t *testing.T) {
+	rng := prng.New(5)
+	s := Random(rng, 100)
+	got := s.Sample(rng, 10)
+	seen := map[uint64]bool{}
+	for _, k := range got {
+		if !s.Contains(k) || seen[k] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleWithReplacementMembers(t *testing.T) {
+	rng := prng.New(6)
+	s := FromKeys([]uint64{1, 2, 3})
+	for _, k := range s.SampleWithReplacement(rng, 100) {
+		if !s.Contains(k) {
+			t.Fatalf("sampled non-member %d", k)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromKeys([]uint64{1, 2, 3, 4})
+	b := FromKeys([]uint64{3, 4, 5})
+
+	u := a.Union(b)
+	if u.Len() != 5 {
+		t.Fatalf("union len %d", u.Len())
+	}
+	in := a.Intersect(b)
+	if in.Len() != 2 || !in.Contains(3) || !in.Contains(4) {
+		t.Fatalf("intersect wrong: %v", in.Keys())
+	}
+	d := a.Diff(b)
+	if d.Len() != 2 || !d.Contains(1) || !d.Contains(2) {
+		t.Fatalf("diff wrong: %v", d.Keys())
+	}
+	if got := a.IntersectionSize(b); got != 2 {
+		t.Fatalf("IntersectionSize = %d", got)
+	}
+	if got := b.ContainmentIn(a); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("ContainmentIn = %v", got)
+	}
+	if got := a.Resemblance(b); math.Abs(got-2.0/5) > 1e-12 {
+		t.Fatalf("Resemblance = %v", got)
+	}
+}
+
+func TestResemblanceEdgeCases(t *testing.T) {
+	e1, e2 := New(0), New(0)
+	if e1.Resemblance(e2) != 1 {
+		t.Fatal("empty/empty resemblance != 1")
+	}
+	a := FromKeys([]uint64{1})
+	if a.Resemblance(e1) != 0 {
+		t.Fatal("disjoint resemblance != 0")
+	}
+	if e1.ContainmentIn(a) != 0 {
+		t.Fatal("empty containment != 0")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromKeys([]uint64{1, 2, 3})
+	b := FromKeys([]uint64{3, 2, 1})
+	if !a.Equal(b) {
+		t.Fatal("order should not matter")
+	}
+	b.Add(4)
+	if a.Equal(b) {
+		t.Fatal("different sizes equal")
+	}
+	c := FromKeys([]uint64{1, 2, 9})
+	if a.Equal(c) {
+		t.Fatal("different contents equal")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromKeys([]uint64{1, 2})
+	c := a.Clone()
+	c.Add(3)
+	c.Remove(1)
+	if !a.Contains(1) || a.Contains(3) {
+		t.Fatal("clone not independent")
+	}
+}
+
+// Property: |A∪B| + |A∩B| == |A| + |B| (inclusion-exclusion).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(len(xs)), New(len(ys))
+		for _, x := range xs {
+			a.Add(uint64(x % 64)) // force overlap
+		}
+		for _, y := range ys {
+			b.Add(uint64(y % 64))
+		}
+		return a.Union(b).Len()+a.IntersectionSize(b) == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff and Intersect partition the receiver.
+func TestQuickDiffIntersectPartition(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(len(xs)), New(len(ys))
+		for _, x := range xs {
+			a.Add(uint64(x % 100))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y % 100))
+		}
+		d, in := a.Diff(b), a.Intersect(b)
+		if d.Len()+in.Len() != a.Len() {
+			return false
+		}
+		if d.IntersectionSize(in) != 0 {
+			return false
+		}
+		return d.Union(in).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: symmetric resemblance.
+func TestQuickResemblanceSymmetric(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(len(xs)), New(len(ys))
+		for _, x := range xs {
+			a.Add(uint64(x % 50))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y % 50))
+		}
+		return a.Resemblance(b) == b.Resemblance(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkRandomMember(b *testing.B) {
+	rng := prng.New(1)
+	s := Random(rng, 23968)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Random(rng)
+	}
+	_ = sink
+}
+
+func BenchmarkIntersectionSize(b *testing.B) {
+	rng := prng.New(2)
+	a := Random(rng, 10000)
+	c := a.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.IntersectionSize(c)
+	}
+}

@@ -1,0 +1,232 @@
+// Package minwise implements the min-wise permutation sketches of §4, the
+// paper's preferred coarse-grained reconciliation tool (Figure 2).
+//
+// A sketch is the vector v(S) = (min π_1(S), …, min π_m(S)) of minima of
+// the working set under m universally agreed pseudo-random permutations.
+// For two sets A and B,
+//
+//	P[min π_j(A) = min π_j(B)] = |A ∩ B| / |A ∪ B| = r,
+//
+// so the fraction of matching coordinates is an unbiased estimate of the
+// resemblance r. The sketches are
+//
+//   - tiny: m = 128 minima of 64 bits fill the paper's 1KB packet budget,
+//   - incrementally updatable in O(m) per new element,
+//   - unionable: v(A ∪ B) = coordinate-wise min of v(A) and v(B), which
+//     lets a receiver estimate the overlap of a third peer with a set of
+//     peers it is already downloading from (§4's "calling card" use).
+//
+// True random permutations are impractical; following Broder et al. and
+// the paper we use linear permutations π(x) = ax + b over the prime field
+// 2^61 − 1 from internal/hashing.
+package minwise
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"icd/internal/hashing"
+	"icd/internal/keyset"
+)
+
+// DefaultSize is the number of permutations used when none is specified:
+// 128 64-bit minima = 1KB, the paper's one-packet sketch budget.
+const DefaultSize = 128
+
+// noElement marks an empty coordinate: larger than any permuted value
+// (the field has order 2^61−1, so 2^64−1 can never be a real minimum).
+const noElement = ^uint64(0)
+
+// Sketch is a min-wise summary of one working set. Two sketches are
+// comparable only if built from the same family seed and size.
+type Sketch struct {
+	FamilySeed uint64   // identifies the universally agreed permutation family
+	Minima     []uint64 // per-permutation minima; noElement where the set was empty
+	SetSize    int      // |S| at sketch time (piggybacked, used for conversions)
+
+	family *hashing.PermutationFamily // lazily rebuilt after unmarshal
+}
+
+// New returns an empty sketch over m permutations derived from familySeed.
+func New(familySeed uint64, m int) *Sketch {
+	if m <= 0 {
+		panic("minwise: non-positive sketch size")
+	}
+	s := &Sketch{
+		FamilySeed: familySeed,
+		Minima:     make([]uint64, m),
+		family:     hashing.NewPermutationFamily(familySeed, m),
+	}
+	for i := range s.Minima {
+		s.Minima[i] = noElement
+	}
+	return s
+}
+
+// Build sketches an entire working set.
+func Build(familySeed uint64, m int, set *keyset.Set) *Sketch {
+	s := New(familySeed, m)
+	set.Each(s.Add)
+	return s
+}
+
+// Add folds one new element into the sketch: O(m) as required for
+// incremental maintenance while a transfer is in progress.
+func (s *Sketch) Add(key uint64) {
+	fam := s.ensureFamily()
+	for i := range s.Minima {
+		if v := fam.At(i).Apply(key); v < s.Minima[i] {
+			s.Minima[i] = v
+		}
+	}
+	s.SetSize++
+}
+
+func (s *Sketch) ensureFamily() *hashing.PermutationFamily {
+	if s.family == nil {
+		s.family = hashing.NewPermutationFamily(s.FamilySeed, len(s.Minima))
+	}
+	return s.family
+}
+
+// Len returns the number of permutations (coordinates).
+func (s *Sketch) Len() int { return len(s.Minima) }
+
+func (s *Sketch) compatible(other *Sketch) error {
+	if other == nil {
+		return errors.New("minwise: nil sketch")
+	}
+	if s.FamilySeed != other.FamilySeed {
+		return fmt.Errorf("minwise: family seed mismatch (%#x vs %#x)", s.FamilySeed, other.FamilySeed)
+	}
+	if len(s.Minima) != len(other.Minima) {
+		return fmt.Errorf("minwise: size mismatch (%d vs %d)", len(s.Minima), len(other.Minima))
+	}
+	return nil
+}
+
+// Resemblance estimates r = |A∩B| / |A∪B| as the fraction of matching
+// coordinates, exactly the comparison step of Figure 2.
+func (s *Sketch) Resemblance(other *Sketch) (float64, error) {
+	if err := s.compatible(other); err != nil {
+		return 0, err
+	}
+	match := 0
+	for i, v := range s.Minima {
+		if v == other.Minima[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(s.Minima)), nil
+}
+
+// IntersectionEstimate converts a resemblance estimate into |A∩B| using
+// the piggybacked set sizes and inclusion–exclusion:
+// |A∩B| = r/(1+r) · (|A|+|B|).
+func (s *Sketch) IntersectionEstimate(other *Sketch) (float64, error) {
+	r, err := s.Resemblance(other)
+	if err != nil {
+		return 0, err
+	}
+	return r / (1 + r) * float64(s.SetSize+other.SetSize), nil
+}
+
+// ContainmentOf estimates c = |A∩B| / |B| where B is the peer summarized
+// by `other` — the fraction of the other peer's symbols we already hold.
+// This is the quantity the recoding strategies of §5.4.2 and §6.2 consume.
+// The result is clamped to [0,1].
+func (s *Sketch) ContainmentOf(other *Sketch) (float64, error) {
+	if other != nil && other.SetSize == 0 {
+		return 0, nil
+	}
+	inter, err := s.IntersectionEstimate(other)
+	if err != nil {
+		return 0, err
+	}
+	c := inter / float64(other.SetSize)
+	return math.Max(0, math.Min(1, c)), nil
+}
+
+// LikelyIdentical reports whether the two sketched sets are identical with
+// high probability (every coordinate matches) — the §4 admission-control
+// test that lets a receiver "immediately reject candidate senders whose
+// content is identical to their own".
+func (s *Sketch) LikelyIdentical(other *Sketch) (bool, error) {
+	r, err := s.Resemblance(other)
+	if err != nil {
+		return false, err
+	}
+	return r == 1 && s.SetSize == other.SetSize, nil
+}
+
+// Union returns the sketch of the union of the two underlying sets: the
+// coordinate-wise minimum. This is exact (not an estimate): the minimum
+// over A∪B is the smaller of the two minima. SetSize is approximated by
+// inclusion–exclusion from the resemblance estimate.
+func (s *Sketch) Union(other *Sketch) (*Sketch, error) {
+	if err := s.compatible(other); err != nil {
+		return nil, err
+	}
+	inter, _ := s.IntersectionEstimate(other)
+	u := &Sketch{
+		FamilySeed: s.FamilySeed,
+		Minima:     make([]uint64, len(s.Minima)),
+		SetSize:    s.SetSize + other.SetSize - int(inter+0.5),
+	}
+	for i, v := range s.Minima {
+		if ov := other.Minima[i]; ov < v {
+			u.Minima[i] = ov
+		} else {
+			u.Minima[i] = v
+		}
+	}
+	return u, nil
+}
+
+// wire format: familySeed, setSize, m, then m minima, little-endian.
+const headerLen = 8 + 8 + 4
+
+// MarshalBinary encodes the sketch; with DefaultSize coordinates the
+// result is 20 + 128·8 = 1044 bytes ≈ the paper's single 1KB packet.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, headerLen+8*len(s.Minima))
+	binary.LittleEndian.PutUint64(buf[0:], s.FamilySeed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.SetSize))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(s.Minima)))
+	for i, v := range s.Minima {
+		binary.LittleEndian.PutUint64(buf[headerLen+8*i:], v)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < headerLen {
+		return errors.New("minwise: short buffer")
+	}
+	m := binary.LittleEndian.Uint32(data[16:])
+	const maxCoords = 1 << 20
+	if m == 0 || m > maxCoords {
+		return fmt.Errorf("minwise: implausible coordinate count %d", m)
+	}
+	if len(data) != headerLen+8*int(m) {
+		return fmt.Errorf("minwise: want %d bytes, have %d", headerLen+8*int(m), len(data))
+	}
+	s.FamilySeed = binary.LittleEndian.Uint64(data[0:])
+	s.SetSize = int(binary.LittleEndian.Uint64(data[8:]))
+	s.Minima = make([]uint64, m)
+	for i := range s.Minima {
+		s.Minima[i] = binary.LittleEndian.Uint64(data[headerLen+8*i:])
+	}
+	s.family = nil
+	return nil
+}
+
+// StdErr returns the standard error of the resemblance estimator at true
+// resemblance r with m coordinates: sqrt(r(1−r)/m). Exposed so callers can
+// size sketches for a target precision.
+func StdErr(r float64, m int) float64 {
+	return math.Sqrt(r * (1 - r) / float64(m))
+}

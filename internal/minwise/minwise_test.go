@@ -1,0 +1,324 @@
+package minwise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+const testSeed = 0xfeedface
+
+func overlapping(rng *prng.Rand, na, nb, shared int) (*keyset.Set, *keyset.Set) {
+	common := keyset.Random(rng, shared)
+	a, b := common.Clone(), common.Clone()
+	for a.Len() < na {
+		a.Add(rng.Uint64())
+	}
+	for b.Len() < nb {
+		b.Add(rng.Uint64())
+	}
+	return a, b
+}
+
+func TestResemblanceAccuracy(t *testing.T) {
+	rng := prng.New(1)
+	for _, shared := range []int{0, 500, 2000, 4000, 5000} {
+		a, b := overlapping(rng, 5000, 5000, shared)
+		truth := a.Resemblance(b)
+		// Average over several independent families to beat sketch noise.
+		var sum float64
+		const fams = 10
+		for f := 0; f < fams; f++ {
+			sa := Build(uint64(f), DefaultSize, a)
+			sb := Build(uint64(f), DefaultSize, b)
+			r, err := sa.Resemblance(sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += r
+		}
+		est := sum / fams
+		tol := 4 * StdErr(math.Max(truth, 0.05), DefaultSize*fams)
+		if math.Abs(est-truth) > math.Max(tol, 0.02) {
+			t.Errorf("shared=%d: resemblance %.4f, truth %.4f", shared, est, truth)
+		}
+	}
+}
+
+func TestIdenticalSets(t *testing.T) {
+	rng := prng.New(2)
+	a := keyset.Random(rng, 1000)
+	sa := Build(testSeed, DefaultSize, a)
+	sb := Build(testSeed, DefaultSize, a.Clone())
+	r, err := sa.Resemblance(sb)
+	if err != nil || r != 1 {
+		t.Fatalf("identical sets: r=%v err=%v", r, err)
+	}
+	id, err := sa.LikelyIdentical(sb)
+	if err != nil || !id {
+		t.Fatalf("LikelyIdentical = %v, %v", id, err)
+	}
+}
+
+func TestDisjointSetsLowResemblance(t *testing.T) {
+	rng := prng.New(3)
+	a := keyset.Random(rng, 2000)
+	b := keyset.Random(rng, 2000)
+	sa := Build(testSeed, DefaultSize, a)
+	sb := Build(testSeed, DefaultSize, b)
+	r, _ := sa.Resemblance(sb)
+	if r > 0.05 {
+		t.Fatalf("disjoint sets resemblance %v", r)
+	}
+	id, _ := sa.LikelyIdentical(sb)
+	if id {
+		t.Fatal("disjoint sets flagged identical")
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := prng.New(4)
+	set := keyset.Random(rng, 500)
+	batch := Build(testSeed, 64, set)
+	inc := New(testSeed, 64)
+	set.Each(inc.Add)
+	for i := range batch.Minima {
+		if batch.Minima[i] != inc.Minima[i] {
+			t.Fatalf("coordinate %d differs", i)
+		}
+	}
+	if inc.SetSize != set.Len() {
+		t.Fatalf("SetSize = %d", inc.SetSize)
+	}
+}
+
+func TestUnionIsCoordinatewiseMin(t *testing.T) {
+	rng := prng.New(5)
+	a, b := overlapping(rng, 800, 900, 300)
+	sa := Build(testSeed, 64, a)
+	sb := Build(testSeed, 64, b)
+	su, err := sa.Union(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := Build(testSeed, 64, a.Union(b))
+	for i := range su.Minima {
+		if su.Minima[i] != direct.Minima[i] {
+			t.Fatalf("union sketch coordinate %d: %d vs %d", i, su.Minima[i], direct.Minima[i])
+		}
+	}
+}
+
+func TestUnionThirdPeerEstimate(t *testing.T) {
+	// §4: estimate overlap of C with A∪B using only the three sketches.
+	rng := prng.New(6)
+	a, b := overlapping(rng, 2000, 2000, 1000)
+	c, _ := overlapping(rng, 2000, 1, 0)
+	// Make C overlap with the union: borrow half of A's keys.
+	keys := a.Keys()
+	for i := 0; i < 1000; i++ {
+		c.Add(keys[i])
+	}
+	sa := Build(testSeed, DefaultSize, a)
+	sb := Build(testSeed, DefaultSize, b)
+	sc := Build(testSeed, DefaultSize, c)
+	su, err := sa.Union(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := su.Resemblance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := a.Union(b).Resemblance(c)
+	if math.Abs(est-truth) > 0.12 {
+		t.Fatalf("union-vs-C resemblance %.3f, truth %.3f", est, truth)
+	}
+}
+
+func TestContainmentEstimate(t *testing.T) {
+	rng := prng.New(7)
+	// B: 4000 symbols, A holds 60% of them plus 2000 others.
+	b := keyset.Random(rng, 4000)
+	a := keyset.New(5000)
+	keys := b.Keys()
+	for i := 0; i < 2400; i++ {
+		a.Add(keys[i])
+	}
+	for a.Len() < 4400 {
+		a.Add(rng.Uint64())
+	}
+	truth := b.ContainmentIn(a) // |A∩B|/|B| = 0.6
+	var sum float64
+	const fams = 10
+	for f := 0; f < fams; f++ {
+		sa := Build(uint64(f), DefaultSize, a)
+		sb := Build(uint64(f), DefaultSize, b)
+		c, err := sa.ContainmentOf(sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	if est := sum / fams; math.Abs(est-truth) > 0.06 {
+		t.Fatalf("containment %.3f, truth %.3f", est, truth)
+	}
+}
+
+func TestContainmentOfEmptyPeer(t *testing.T) {
+	sa := Build(testSeed, 32, keyset.FromKeys([]uint64{1, 2}))
+	sb := New(testSeed, 32)
+	c, err := sa.ContainmentOf(sb)
+	if err != nil || c != 0 {
+		t.Fatalf("containment of empty peer = %v, %v", c, err)
+	}
+}
+
+func TestIncompatibleSketches(t *testing.T) {
+	a := New(1, 32)
+	b := New(2, 32)
+	if _, err := a.Resemblance(b); err == nil {
+		t.Fatal("family mismatch accepted")
+	}
+	c := New(1, 64)
+	if _, err := a.Resemblance(c); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := a.Resemblance(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := a.Union(b); err == nil {
+		t.Fatal("union of mismatched families accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := prng.New(8)
+	s := Build(testSeed, DefaultSize, keyset.Random(rng, 100))
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's budget: sketch must fit in ~1KB.
+	if len(data) > 1100 {
+		t.Fatalf("marshaled sketch is %d bytes, want ≈1KB", len(data))
+	}
+	var got Sketch
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.FamilySeed != s.FamilySeed || got.SetSize != s.SetSize {
+		t.Fatal("header mismatch")
+	}
+	r, err := got.Resemblance(s)
+	if err != nil || r != 1 {
+		t.Fatalf("round-tripped sketch differs: r=%v err=%v", r, err)
+	}
+	// Unmarshaled sketch must still be updatable (family rebuild).
+	got.Add(12345)
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var s Sketch
+	for i, data := range [][]byte{nil, {1, 2, 3}, make([]byte, 21), make([]byte, 2000)} {
+		if err := s.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1, 0)
+}
+
+// Property: resemblance is symmetric and within [0,1]; union sketch
+// resemblance with either operand is ≥ each...
+func TestQuickResemblanceSymmetric(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := keyset.New(len(xs))
+		b := keyset.New(len(ys))
+		for _, x := range xs {
+			a.Add(uint64(x % 256))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y % 256))
+		}
+		sa := Build(9, 32, a)
+		sb := Build(9, 32, b)
+		r1, err1 := sa.Resemblance(sb)
+		r2, err2 := sb.Resemblance(sa)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1 == r2 && r1 >= 0 && r1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding an element already reflected in the sketch never
+// changes the minima (monotonicity).
+func TestQuickAddMonotone(t *testing.T) {
+	f := func(xs []uint16, extra uint16) bool {
+		s := New(5, 16)
+		for _, x := range xs {
+			s.Add(uint64(x))
+		}
+		before := append([]uint64(nil), s.Minima...)
+		s.Add(uint64(extra))
+		for i := range before {
+			if s.Minima[i] > before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	if got := StdErr(0.5, 100); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("StdErr = %v", got)
+	}
+	if got := StdErr(0, 128); got != 0 {
+		t.Fatalf("StdErr(0) = %v", got)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(1, DefaultSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := prng.New(1)
+	set := keyset.Random(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(1, DefaultSize, set)
+	}
+}
+
+func BenchmarkResemblance(b *testing.B) {
+	rng := prng.New(1)
+	sa := Build(1, DefaultSize, keyset.Random(rng, 1000))
+	sb := Build(1, DefaultSize, keyset.Random(rng, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = sa.Resemblance(sb)
+	}
+}

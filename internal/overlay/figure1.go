@@ -1,0 +1,115 @@
+package overlay
+
+import (
+	"fmt"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// Figure 1 of the paper: source S holds the full content; A and B each
+// hold a different 50% of the total; C, D, E each hold 25%, with C and D
+// disjoint. Three delivery configurations are compared:
+//
+//	(a) Tree:           S→A, S→B, A→C, A→D, B→E
+//	(b) Parallel:       (a) plus cross-parent downloads C←B, D←B, E←A
+//	(c) Collaborative:  (b) plus perpendicular peer links among
+//	                    {A,B} and {C,D,E} in both directions
+//
+// The paper's point is qualitative: each added layer of connectivity —
+// and especially the perpendicular exchanges between peers with
+// complementary working sets — cuts completion time, provided transfers
+// are informed. Topology (b)/(c) edge choices follow Figure 1's panels;
+// the exact peer pairs in (c) are the figure's legend pairs.
+type Fig1Config int
+
+const (
+	Fig1Tree Fig1Config = iota
+	Fig1Parallel
+	Fig1Collaborative
+)
+
+func (c Fig1Config) String() string {
+	switch c {
+	case Fig1Tree:
+		return "tree"
+	case Fig1Parallel:
+		return "parallel"
+	case Fig1Collaborative:
+		return "collaborative"
+	default:
+		return fmt.Sprintf("Fig1Config(%d)", int(c))
+	}
+}
+
+// BuildFigure1 constructs the Figure 1 network over a content of
+// `target` distinct symbols with the given forwarding mode on every edge.
+// Working sets follow the figure: |A|=|B|=target/2 (disjoint),
+// |C|=|D|=target/4 (disjoint subsets of A's half side of the universe),
+// |E|=target/4 (overlapping B's half).
+func BuildFigure1(cfg Fig1Config, mode Mode, target int, seed uint64) (*Network, error) {
+	if target < 8 {
+		return nil, fmt.Errorf("overlay: target %d too small for the Figure 1 split", target)
+	}
+	rng := prng.New(seed)
+	universe := keyset.Random(rng, target)
+	slice := func(lo, hi int) *keyset.Set {
+		s := keyset.New(hi - lo)
+		for i := lo; i < hi; i++ {
+			s.Add(universe.At(i))
+		}
+		return s
+	}
+	half := target / 2
+	quarter := target / 4
+
+	nw := New(target, rng.Uint64())
+	add := func(id NodeID, full bool, set *keyset.Set) error {
+		_, err := nw.AddNode(id, full, set)
+		return err
+	}
+	if err := add("S", true, nil); err != nil {
+		return nil, err
+	}
+	if err := add("A", false, slice(0, half)); err != nil {
+		return nil, err
+	}
+	if err := add("B", false, slice(half, target)); err != nil {
+		return nil, err
+	}
+	if err := add("C", false, slice(0, quarter)); err != nil {
+		return nil, err
+	}
+	if err := add("D", false, slice(quarter, 2*quarter)); err != nil {
+		return nil, err
+	}
+	if err := add("E", false, slice(half, half+quarter)); err != nil {
+		return nil, err
+	}
+
+	edges := []Edge{
+		// (a) the multicast tree
+		{From: "S", To: "A"}, {From: "S", To: "B"},
+		{From: "A", To: "C"}, {From: "A", To: "D"}, {From: "B", To: "E"},
+	}
+	if cfg >= Fig1Parallel {
+		// (b) parallel downloads: each leaf adds a second parent
+		edges = append(edges,
+			Edge{From: "B", To: "C"}, Edge{From: "B", To: "D"}, Edge{From: "A", To: "E"})
+	}
+	if cfg >= Fig1Collaborative {
+		// (c) perpendicular collaboration between complementary peers
+		edges = append(edges,
+			Edge{From: "A", To: "B"}, Edge{From: "B", To: "A"},
+			Edge{From: "C", To: "D"}, Edge{From: "D", To: "C"},
+			Edge{From: "C", To: "E"}, Edge{From: "E", To: "C"},
+			Edge{From: "D", To: "E"}, Edge{From: "E", To: "D"})
+	}
+	for _, e := range edges {
+		e.Mode = mode
+		if err := nw.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return nw, nil
+}

@@ -1,0 +1,269 @@
+package overlay
+
+import (
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+func TestSingleEdgeFountainDelivery(t *testing.T) {
+	nw := New(100, 1)
+	if _, err := nw.AddNode("S", true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.AddNode("R", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddEdge(Edge{From: "S", To: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatal("did not complete")
+	}
+	// A fountain source delivers one new symbol per round: exactly 100.
+	if res.Rounds != 100 {
+		t.Fatalf("rounds = %d, want 100", res.Rounds)
+	}
+	if res.Useful != 100 || res.Transmissions != 100 {
+		t.Fatalf("useful=%d transmissions=%d", res.Useful, res.Transmissions)
+	}
+	if res.Completion["R"] != 100 || res.Completion["S"] != 0 {
+		t.Fatalf("completion map wrong: %v", res.Completion)
+	}
+}
+
+func TestCapacityScalesDelivery(t *testing.T) {
+	nw := New(100, 2)
+	nw.AddNode("S", true, nil)
+	nw.AddNode("R", false, nil)
+	nw.AddEdge(Edge{From: "S", To: "R", Capacity: 4})
+	res, err := nw.Run(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 25 {
+		t.Fatalf("rounds = %d, want 25 at capacity 4", res.Rounds)
+	}
+}
+
+func TestLossInjectionSlowsDelivery(t *testing.T) {
+	run := func(loss float64) int {
+		nw := New(200, 3)
+		nw.AddNode("S", true, nil)
+		nw.AddNode("R", false, nil)
+		nw.AddEdge(Edge{From: "S", To: "R", Loss: loss})
+		res, err := nw.Run(5000, nil)
+		if err != nil || !res.AllComplete {
+			t.Fatalf("loss=%v: %v complete=%v", loss, err, res.AllComplete)
+		}
+		if loss > 0 && res.Dropped == 0 {
+			t.Fatalf("loss=%v but nothing dropped", loss)
+		}
+		return res.Rounds
+	}
+	clean := run(0)
+	lossy := run(0.3)
+	if lossy <= clean {
+		t.Fatalf("lossy link (%d rounds) not slower than clean (%d)", lossy, clean)
+	}
+	// ~1/(1−0.3) slowdown expected.
+	if float64(lossy) < 1.15*float64(clean) {
+		t.Fatalf("slowdown too small: %d vs %d", lossy, clean)
+	}
+}
+
+func TestReconciledAvoidsDuplicates(t *testing.T) {
+	// Two peers with complementary halves: reconciled links transfer
+	// everything with zero waste.
+	rng := prng.New(4)
+	universe := keyset.Random(rng, 200)
+	a, b := keyset.New(100), keyset.New(100)
+	for i := 0; i < 100; i++ {
+		a.Add(universe.At(i))
+		b.Add(universe.At(100 + i))
+	}
+	nw := New(200, 5)
+	nw.AddNode("A", false, a)
+	nw.AddNode("B", false, b)
+	nw.AddEdge(Edge{From: "A", To: "B", Mode: Reconciled})
+	nw.AddEdge(Edge{From: "B", To: "A", Mode: Reconciled})
+	res, err := nw.Run(500, nil)
+	if err != nil || !res.AllComplete {
+		t.Fatalf("err=%v complete=%v", err, res.AllComplete)
+	}
+	if res.Useful != res.Transmissions {
+		t.Fatalf("reconciled transfer wasted: %d useful of %d sent", res.Useful, res.Transmissions)
+	}
+	if res.Rounds != 100 {
+		t.Fatalf("rounds = %d, want 100", res.Rounds)
+	}
+}
+
+func TestRandomForwardWastes(t *testing.T) {
+	rng := prng.New(6)
+	universe := keyset.Random(rng, 200)
+	a, b := keyset.New(100), keyset.New(100)
+	for i := 0; i < 100; i++ {
+		a.Add(universe.At(i))
+		b.Add(universe.At(100 + i))
+	}
+	nw := New(200, 7)
+	nw.AddNode("A", false, a)
+	nw.AddNode("B", false, b)
+	nw.AddEdge(Edge{From: "A", To: "B", Mode: RandomForward})
+	nw.AddEdge(Edge{From: "B", To: "A", Mode: RandomForward})
+	res, err := nw.Run(5000, nil)
+	if err != nil || !res.AllComplete {
+		t.Fatalf("err=%v complete=%v", err, res.AllComplete)
+	}
+	if res.Useful == res.Transmissions {
+		t.Fatal("random forwarding sent no duplicates?!")
+	}
+}
+
+func TestQuiescenceDetected(t *testing.T) {
+	// Two partial nodes with identical content and reconciled links have
+	// nothing to exchange: the run must stop early, incomplete.
+	rng := prng.New(8)
+	s := keyset.Random(rng, 50)
+	nw := New(100, 9)
+	nw.AddNode("A", false, s)
+	nw.AddNode("B", false, s.Clone())
+	nw.AddEdge(Edge{From: "A", To: "B", Mode: Reconciled})
+	res, err := nw.Run(100000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllComplete {
+		t.Fatal("cannot be complete")
+	}
+	if res.Rounds >= 100000 {
+		t.Fatal("quiescence not detected")
+	}
+}
+
+func TestReconfigurationEvents(t *testing.T) {
+	// The receiver starts connected to a dead-end; at round 50 the
+	// overlay reroutes to the source (§2.1 adaptivity).
+	nw := New(100, 10)
+	nw.AddNode("S", true, nil)
+	nw.AddNode("Dead", false, nil)
+	nw.AddNode("R", false, nil)
+	nw.AddEdge(Edge{From: "Dead", To: "R"})
+	events := []Event{
+		{Round: 50, Apply: func(n *Network) error {
+			if !n.RemoveEdge("Dead", "R") {
+				t.Error("edge not found")
+			}
+			return n.AddEdge(Edge{From: "S", To: "R"})
+		}},
+	}
+	res, err := nw.Run(10000, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion["R"] < 0 {
+		t.Fatal("receiver never completed after reroute")
+	}
+	if res.Completion["R"] < 149 || res.Completion["R"] > 151 {
+		t.Fatalf("completed at %d, want ≈150 (50 idle + 100 transfer)", res.Completion["R"])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	nw := New(10, 1)
+	nw.AddNode("A", false, nil)
+	if _, err := nw.AddNode("A", false, nil); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := nw.AddEdge(Edge{From: "A", To: "Z"}); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+	if err := nw.AddEdge(Edge{From: "A", To: "A"}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	nw.AddNode("B", false, nil)
+	if err := nw.AddEdge(Edge{From: "A", To: "B", Loss: 1.5}); err == nil {
+		t.Error("loss ≥ 1 accepted")
+	}
+	if _, err := nw.Run(0, nil); err == nil {
+		t.Error("maxRounds 0 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestFigure1Orderings(t *testing.T) {
+	// E12: the paper's qualitative claims. With informed transfers,
+	// richer connectivity must strictly reduce completion time; informed
+	// must beat blind forwarding on the same topology.
+	const target = 400
+	rounds := func(cfg Fig1Config, mode Mode) int {
+		nw, err := BuildFigure1(cfg, mode, target, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nw.Run(100*target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllComplete {
+			t.Fatalf("%v/%v did not complete", cfg, mode)
+		}
+		return res.Rounds
+	}
+	treeR := rounds(Fig1Tree, Reconciled)
+	parR := rounds(Fig1Parallel, Reconciled)
+	colR := rounds(Fig1Collaborative, Reconciled)
+	if !(colR < parR && parR < treeR) {
+		t.Fatalf("informed: collaborative %d < parallel %d < tree %d violated", colR, parR, treeR)
+	}
+	treeF := rounds(Fig1Tree, RandomForward)
+	if treeR >= treeF {
+		t.Fatalf("informed tree (%d) not faster than blind tree (%d)", treeR, treeF)
+	}
+	t.Logf("Figure 1 rounds: tree blind=%d, tree=%d, parallel=%d, collaborative=%d",
+		treeF, treeR, parR, colR)
+}
+
+func TestBuildFigure1Validation(t *testing.T) {
+	if _, err := BuildFigure1(Fig1Tree, Reconciled, 4, 1); err == nil {
+		t.Fatal("tiny target accepted")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if RandomForward.String() != "random-forward" || Reconciled.String() != "reconciled" {
+		t.Fatal("mode strings wrong")
+	}
+	if Fig1Tree.String() != "tree" || Fig1Collaborative.String() != "collaborative" {
+		t.Fatal("config strings wrong")
+	}
+}
+
+func BenchmarkStepReconciled(b *testing.B) {
+	rng := prng.New(1)
+	universe := keyset.Random(rng, 2000)
+	a, c := keyset.New(1000), keyset.New(1000)
+	for i := 0; i < 1000; i++ {
+		a.Add(universe.At(i))
+		c.Add(universe.At(1000 + i))
+	}
+	nw := New(2000, 2)
+	nw.AddNode("A", false, a)
+	nw.AddNode("B", false, c)
+	nw.AddEdge(Edge{From: "A", To: "B", Mode: Reconciled})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(i)
+	}
+}

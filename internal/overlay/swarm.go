@@ -1,0 +1,100 @@
+package overlay
+
+import (
+	"fmt"
+
+	"icd/internal/prng"
+)
+
+// SwarmConfig describes the paper's motivating deployment (§1): a content
+// delivery network of many machines that all want the same large file,
+// connected by a sparse random overlay, with every connection carrying
+// informed transfers in both directions.
+type SwarmConfig struct {
+	Nodes  int // total end-systems, including one full source
+	Degree int // outgoing connections per node (sparse: 2–4 typical)
+	Target int // distinct symbols for completion (transfer.Target(n))
+	Seed   uint64
+	Mode   Mode    // forwarding discipline on every edge
+	Loss   float64 // per-transmission loss on every edge
+}
+
+// BuildSwarm constructs a random overlay: node 0 is the source with full
+// content; every other node starts empty and connects to Degree random
+// earlier-joined nodes with bidirectional edges (a simple preferential
+// join that keeps the graph connected, as real overlay managers do).
+func BuildSwarm(cfg SwarmConfig) (*Network, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("overlay: swarm needs ≥ 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Degree < 1 {
+		return nil, fmt.Errorf("overlay: swarm degree %d", cfg.Degree)
+	}
+	rng := prng.New(cfg.Seed)
+	nw := New(cfg.Target, rng.Uint64())
+	if _, err := nw.AddNode(nodeName(0), true, nil); err != nil {
+		return nil, err
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if _, err := nw.AddNode(nodeName(i), false, nil); err != nil {
+			return nil, err
+		}
+		deg := cfg.Degree
+		if deg > i {
+			deg = i
+		}
+		for _, j := range rng.SampleInts(i, deg) {
+			a, b := nodeName(i), nodeName(j)
+			if err := nw.AddEdge(Edge{From: a, To: b, Mode: cfg.Mode, Loss: cfg.Loss}); err != nil {
+				return nil, err
+			}
+			if err := nw.AddEdge(Edge{From: b, To: a, Mode: cfg.Mode, Loss: cfg.Loss}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nw, nil
+}
+
+func nodeName(i int) NodeID {
+	if i == 0 {
+		return "source"
+	}
+	return NodeID(fmt.Sprintf("peer%03d", i))
+}
+
+// SwarmChurn builds reconfiguration events that repeatedly fail a random
+// existing edge and replace it with a fresh random one — the §2.1
+// transience an adaptive overlay must ride out. Events fire every
+// `interval` rounds, `count` times.
+func SwarmChurn(cfg SwarmConfig, interval, count int) []Event {
+	rng := prng.New(cfg.Seed ^ 0xC0DE)
+	events := make([]Event, 0, count)
+	for k := 1; k <= count; k++ {
+		events = append(events, Event{
+			Round: k * interval,
+			Apply: func(nw *Network) error {
+				edges := nw.Edges()
+				if len(edges) == 0 {
+					return nil
+				}
+				victim := edges[rng.Intn(len(edges))]
+				nw.RemoveEdge(victim.From, victim.To)
+				// Reconnect the orphaned receiver to a random other node.
+				for tries := 0; tries < 20; tries++ {
+					to := nodeName(rng.Intn(cfg.Nodes))
+					if to == victim.To {
+						continue
+					}
+					if err := nw.AddEdge(Edge{
+						From: to, To: victim.To, Mode: cfg.Mode, Loss: cfg.Loss,
+					}); err == nil {
+						return nil
+					}
+				}
+				return nil
+			},
+		})
+	}
+	return events
+}

@@ -1,0 +1,136 @@
+package overlay
+
+import (
+	"testing"
+)
+
+func TestSwarmEveryNodeCompletes(t *testing.T) {
+	cfg := SwarmConfig{
+		Nodes:  20,
+		Degree: 2,
+		Target: 300,
+		Seed:   1,
+		Mode:   Reconciled,
+	}
+	nw, err := BuildSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(100*cfg.Target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		incomplete := 0
+		for _, at := range res.Completion {
+			if at < 0 {
+				incomplete++
+			}
+		}
+		t.Fatalf("%d nodes incomplete after %d rounds", incomplete, res.Rounds)
+	}
+	// Informed swarm transfers should be highly efficient.
+	eff := float64(res.Useful) / float64(res.Transmissions)
+	if eff < 0.8 {
+		t.Fatalf("swarm efficiency %.2f", eff)
+	}
+	t.Logf("20-node swarm: %d rounds, efficiency %.3f", res.Rounds, eff)
+}
+
+func TestSwarmScalesBeyondSourceBandwidth(t *testing.T) {
+	// The §1 argument: with collaboration, total completion time grows
+	// far slower than nodes × (point-to-point time). A 16-node swarm
+	// should finish in a small multiple of the single-receiver time, not
+	// 15×.
+	single, err := BuildSwarm(SwarmConfig{Nodes: 2, Degree: 1, Target: 300, Seed: 3, Mode: Reconciled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSingle, err := single.Run(100000, nil)
+	if err != nil || !resSingle.AllComplete {
+		t.Fatalf("single: %v %v", err, resSingle.AllComplete)
+	}
+	swarm, err := BuildSwarm(SwarmConfig{Nodes: 16, Degree: 3, Target: 300, Seed: 3, Mode: Reconciled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSwarm, err := swarm.Run(100000, nil)
+	if err != nil || !resSwarm.AllComplete {
+		t.Fatalf("swarm: %v %v", err, resSwarm.AllComplete)
+	}
+	if resSwarm.Rounds > 4*resSingle.Rounds {
+		t.Fatalf("16-node swarm took %d rounds vs single %d — not scalable",
+			resSwarm.Rounds, resSingle.Rounds)
+	}
+	t.Logf("single-receiver %d rounds; 16-node swarm %d rounds", resSingle.Rounds, resSwarm.Rounds)
+}
+
+func TestSwarmSurvivesChurn(t *testing.T) {
+	cfg := SwarmConfig{
+		Nodes:  12,
+		Degree: 2,
+		Target: 250,
+		Seed:   5,
+		Mode:   Reconciled,
+	}
+	nw, err := BuildSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail-and-reroute an edge every 40 rounds, 10 times.
+	events := SwarmChurn(cfg, 40, 10)
+	res, err := nw.Run(100*cfg.Target, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatalf("swarm did not survive churn: %d rounds", res.Rounds)
+	}
+}
+
+func TestSwarmWithLoss(t *testing.T) {
+	cfg := SwarmConfig{
+		Nodes:  10,
+		Degree: 2,
+		Target: 200,
+		Seed:   7,
+		Mode:   Reconciled,
+		Loss:   0.2,
+	}
+	nw, err := BuildSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(100*cfg.Target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatal("lossy swarm did not complete")
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no losses recorded at 20% loss")
+	}
+}
+
+func TestSwarmValidation(t *testing.T) {
+	if _, err := BuildSwarm(SwarmConfig{Nodes: 1, Degree: 1, Target: 10}); err == nil {
+		t.Error("1-node swarm accepted")
+	}
+	if _, err := BuildSwarm(SwarmConfig{Nodes: 5, Degree: 0, Target: 10}); err == nil {
+		t.Error("degree-0 swarm accepted")
+	}
+}
+
+func BenchmarkSwarm32Nodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := SwarmConfig{Nodes: 32, Degree: 3, Target: 500, Seed: uint64(i), Mode: Reconciled}
+		nw, err := BuildSwarm(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nw.Run(100000, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icd/internal/bloom"
+	"icd/internal/fountain"
+	"icd/internal/keyset"
+	"icd/internal/protocol"
+	"icd/internal/recode"
+)
+
+// FetchOptions tune a download.
+type FetchOptions struct {
+	// Batch is the symbols-per-request granularity (default 64).
+	Batch int
+	// Timeout bounds each network operation (default 30s).
+	Timeout time.Duration
+	// Initial carries encoded symbols already held — resumed downloads
+	// and stateless migration (§2.3): nothing else is needed to continue
+	// where a previous transfer left off.
+	Initial map[uint64][]byte
+	// BloomBitsPerElement/BloomHashes size the filter sent to partial
+	// senders (defaults: the paper's 8 and 5).
+	BloomBitsPerElement float64
+	BloomHashes         int
+	// BloomSeed must match across peers (any agreed constant).
+	BloomSeed uint64
+	// MaxUselessBatches disconnects a peer after this many consecutive
+	// batches that contributed nothing (default 4).
+	MaxUselessBatches int
+	// Dial overrides the dialer (tests inject net.Pipe); nil uses TCP.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (o FetchOptions) withDefaults() FetchOptions {
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.BloomBitsPerElement <= 0 {
+		o.BloomBitsPerElement = 8
+	}
+	if o.BloomHashes <= 0 {
+		o.BloomHashes = 5
+	}
+	if o.MaxUselessBatches <= 0 {
+		o.MaxUselessBatches = 4
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, o.Timeout)
+		}
+	}
+	return o
+}
+
+// PeerStats summarizes one connection's contribution.
+type PeerStats struct {
+	Addr            string
+	Full            bool
+	SymbolsReceived int
+	UsefulSymbols   int
+	Err             error // terminal connection error, if any
+}
+
+// FetchResult is a completed (or partial) download.
+type FetchResult struct {
+	Data      []byte // reassembled content (nil if incomplete)
+	Completed bool
+	Info      ContentInfo
+	Peers     []PeerStats
+	// Held is the encoded-symbol working set at the end — pass it as
+	// FetchOptions.Initial to resume (stateless migration).
+	Held map[uint64][]byte
+	// DistinctSymbols is len(Held); DecodeOverhead is the §5.4.1 metric.
+	DistinctSymbols int
+	DecodeOverhead  float64
+}
+
+// Fetch downloads content contentID from the given peers in parallel and
+// reassembles it. At least one peer must be reachable; the set may mix
+// full and partial senders. On an incomplete download (all peers
+// exhausted) it returns the partial state with Completed=false and a nil
+// error only if some progress context is usable; callers should treat
+// !Completed as retryable with more peers.
+func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("peer: no peers given")
+	}
+	opts = opts.withDefaults()
+
+	type incoming struct {
+		peer    int
+		regular *protocol.Symbol
+		recoded *protocol.Recoded
+	}
+
+	res := &FetchResult{Peers: make([]PeerStats, len(addrs))}
+	for i, a := range addrs {
+		res.Peers[i].Addr = a
+	}
+
+	// Shared receiver state: the recode decoder tracks the encoded-symbol
+	// working set; recovered symbols feed the fountain decoder.
+	rdec := recode.NewDecoder(true)
+	var fdec *fountain.Decoder
+	var info ContentInfo
+	var infoMu sync.Mutex
+
+	ensureDecoder := func(h protocol.Hello) error {
+		infoMu.Lock()
+		defer infoMu.Unlock()
+		ci := ContentInfo{
+			ID:        h.ContentID,
+			NumBlocks: int(h.NumBlocks),
+			BlockSize: int(h.BlockSize),
+			OrigLen:   int(h.OrigLen),
+			CodeSeed:  h.CodeSeed,
+		}
+		if fdec == nil {
+			if err := ci.validate(); err != nil {
+				return err
+			}
+			code, err := fountain.NewCode(ci.NumBlocks, nil, ci.CodeSeed)
+			if err != nil {
+				return err
+			}
+			fdec, err = fountain.NewDecoder(code, ci.BlockSize)
+			if err != nil {
+				return err
+			}
+			info = ci
+			return nil
+		}
+		if info != ci {
+			return fmt.Errorf("peer: inconsistent content metadata: %+v vs %+v", info, ci)
+		}
+		return nil
+	}
+
+	// The working-set snapshot for Bloom filters sent at connection
+	// setup, and initial symbols.
+	heldIDs := keyset.New(len(opts.Initial))
+	for id, data := range opts.Initial {
+		heldIDs.Add(id)
+		rdec.AddKnown(id, append([]byte(nil), data...))
+	}
+
+	symbolCh := make(chan incoming, 4*opts.Batch)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+
+	// progress counts distinct encoded symbols decoded so far; peer
+	// goroutines use it to notice that their batches stopped helping
+	// (recoded streams never run dry, so emptiness cannot be the signal).
+	var progress atomic.Int64
+	progress.Store(int64(len(opts.Initial)))
+
+	var wg sync.WaitGroup
+	peerErr := make([]error, len(addrs))
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(idx int, addr string) {
+			defer wg.Done()
+			peerErr[idx] = fetchFromPeer(addr, contentID, opts, heldIDs, &progress, ensureDecoder,
+				func(reg *protocol.Symbol, rec *protocol.Recoded) bool {
+					select {
+					case symbolCh <- incoming{peer: idx, regular: reg, recoded: rec}:
+						return true
+					case <-done:
+						return false
+					}
+				}, done, &res.Peers[idx])
+		}(i, addr)
+	}
+
+	// Drain goroutine exit barrier.
+	go func() {
+		wg.Wait()
+		close(symbolCh)
+	}()
+
+	// Main decode loop. fdec is written under infoMu by peer goroutines
+	// (first handshake) and read here through the same lock.
+	decoder := func() *fountain.Decoder {
+		infoMu.Lock()
+		defer infoMu.Unlock()
+		return fdec
+	}
+	feedRecovered := func(dec *fountain.Decoder, ids []uint64) error {
+		for _, id := range ids {
+			data := rdec.Payload(id)
+			if data == nil {
+				continue
+			}
+			if _, err := dec.AddSymbol(fountain.Symbol{ID: id, Data: data}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	seeded := false
+	var decodeErr error
+	for in := range symbolCh {
+		dec := decoder()
+		if dec == nil {
+			continue // cannot happen: delivery follows the handshake
+		}
+		if !seeded {
+			// Feed the resumed working set into the fountain decoder once.
+			seeded = true
+			ids := make([]uint64, 0, len(opts.Initial))
+			for id := range opts.Initial {
+				ids = append(ids, id)
+			}
+			if err := feedRecovered(dec, ids); err != nil {
+				decodeErr = err
+				finish()
+				break
+			}
+		}
+		before := rdec.KnownCount()
+		var newIDs []uint64
+		if in.regular != nil {
+			if !rdec.Knows(in.regular.ID) {
+				newIDs = rdec.AddKnown(in.regular.ID, in.regular.Data)
+				newIDs = append(newIDs, in.regular.ID)
+			}
+		} else if in.recoded != nil {
+			var err error
+			newIDs, err = rdec.Add(recode.Symbol{IDs: in.recoded.IDs, Data: in.recoded.Data})
+			if err != nil {
+				decodeErr = err
+				finish()
+				break
+			}
+		}
+		res.Peers[in.peer].SymbolsReceived++
+		res.Peers[in.peer].UsefulSymbols += rdec.KnownCount() - before
+		progress.Store(int64(rdec.KnownCount()))
+		if err := feedRecovered(dec, newIDs); err != nil {
+			decodeErr = err
+			finish()
+			break
+		}
+		if dec.Done() {
+			finish()
+			break
+		}
+	}
+	finish()
+	for range symbolCh {
+		// drain remaining buffered symbols so senders unblock
+	}
+	wg.Wait()
+
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+
+	// Collect final state (all peer goroutines have exited; no races).
+	res.Info = info
+	res.Held = make(map[uint64][]byte)
+	for _, id := range rdec.KnownIDs() {
+		if data := rdec.Payload(id); data != nil {
+			res.Held[id] = data
+		}
+	}
+	res.DistinctSymbols = len(res.Held)
+	if fdec != nil {
+		res.Completed = fdec.Done()
+		res.DecodeOverhead = fdec.Overhead()
+		if res.Completed {
+			data, err := fountain.JoinBlocks(fdec.Blocks(), info.OrigLen)
+			if err != nil {
+				return nil, err
+			}
+			res.Data = data
+		}
+	}
+	for i := range res.Peers {
+		res.Peers[i].Err = peerErr[i]
+	}
+	if !res.Completed {
+		var firstErr error
+		for _, e := range peerErr {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+		if firstErr != nil {
+			return res, fmt.Errorf("peer: download incomplete: %w", firstErr)
+		}
+		return res, errors.New("peer: download incomplete: peers exhausted")
+	}
+	return res, nil
+}
+
+// fetchFromPeer runs one connection's session loop.
+func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
+	held *keyset.Set, progress *atomic.Int64, ensure func(protocol.Hello) error,
+	deliver func(*protocol.Symbol, *protocol.Recoded) bool,
+	done <-chan struct{}, stats *PeerStats) error {
+
+	conn, err := opts.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock blocked reads/writes when the download completes.
+	go func() {
+		<-done
+		conn.SetDeadline(time.Now())
+	}()
+	deadline := func() { conn.SetDeadline(time.Now().Add(opts.Timeout)) }
+	deadline()
+
+	if err := protocol.WriteFrame(conn, protocol.EncodeHello(protocol.Hello{ContentID: contentID})); err != nil {
+		return err
+	}
+	f, err := protocol.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if f.Type == protocol.TypeError {
+		msg, _ := protocol.DecodeError(f)
+		return fmt.Errorf("peer %s: %s", addr, msg)
+	}
+	hello, err := protocol.DecodeHello(f)
+	if err != nil {
+		return err
+	}
+	if err := ensure(hello); err != nil {
+		return err
+	}
+	stats.Full = hello.FullCopy
+
+	// Partial senders get our Bloom filter once (§6.1: no updates).
+	if !hello.FullCopy && held.Len() > 0 {
+		filter := bloom.FromSet(opts.BloomSeed, held, opts.BloomBitsPerElement, opts.BloomHashes)
+		data, err := filter.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := protocol.WriteFrame(conn, protocol.EncodeBloom(data)); err != nil {
+			return err
+		}
+	}
+
+	useless := 0
+	for {
+		select {
+		case <-done:
+			deadline()
+			protocol.WriteFrame(conn, protocol.EncodeDone())
+			return nil
+		default:
+		}
+		deadline()
+		progressBefore := progress.Load()
+		if err := protocol.WriteFrame(conn, protocol.EncodeRequest(uint32(opts.Batch))); err != nil {
+			return err
+		}
+		got := 0
+		for {
+			deadline()
+			f, err := protocol.ReadFrame(conn)
+			if err != nil {
+				select {
+				case <-done:
+					return nil
+				default:
+				}
+				return err
+			}
+			if f.Type == protocol.TypeDone {
+				break
+			}
+			switch f.Type {
+			case protocol.TypeSymbol:
+				sym, err := protocol.DecodeSymbol(f)
+				if err != nil {
+					return err
+				}
+				if !deliver(&sym, nil) {
+					return nil
+				}
+				got++
+			case protocol.TypeRecoded:
+				rec, err := protocol.DecodeRecoded(f)
+				if err != nil {
+					return err
+				}
+				if !deliver(nil, &rec) {
+					return nil
+				}
+				got++
+			case protocol.TypeError:
+				msg, _ := protocol.DecodeError(f)
+				return fmt.Errorf("peer %s: %s", addr, msg)
+			default:
+				return fmt.Errorf("peer %s: unexpected %v", addr, f.Type)
+			}
+		}
+		// A batch is useless when it carried nothing, or when the global
+		// decode made no progress while it was in flight (recoded streams
+		// always fill batches, so volume alone is not a signal).
+		if got == 0 || progress.Load() == progressBefore {
+			useless++
+			if useless >= opts.MaxUselessBatches {
+				protocol.WriteFrame(conn, protocol.EncodeDone())
+				return nil // this peer has nothing more for us
+			}
+		} else {
+			useless = 0
+		}
+	}
+}

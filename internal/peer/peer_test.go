@@ -1,0 +1,377 @@
+package peer
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"icd/internal/fountain"
+	"icd/internal/prng"
+	"icd/internal/protocol"
+)
+
+// testContent builds deterministic content and its metadata.
+func testContent(t testing.TB, nBlocks, blockSize int) (ContentInfo, []byte) {
+	t.Helper()
+	rng := prng.New(0xC0FFEE)
+	data := make([]byte, nBlocks*blockSize-blockSize/3)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	info := ContentInfo{
+		ID:        0xFEED,
+		NumBlocks: nBlocks,
+		BlockSize: blockSize,
+		OrigLen:   len(data),
+		CodeSeed:  7,
+	}
+	return info, data
+}
+
+// startServer serves on a random localhost port and returns its address.
+func startServer(t testing.TB, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		s.Close()
+		wg.Wait()
+	})
+	return ln.Addr().String()
+}
+
+// partialSymbols encodes `count` symbols of the content for a partial
+// sender's working set.
+func partialSymbols(t testing.TB, info ContentInfo, data []byte, count int, seed uint64) map[uint64][]byte {
+	t.Helper()
+	blocks, _, err := fountain.SplitIntoBlocks(data, info.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := fountain.NewCode(info.NumBlocks, nil, info.CodeSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := fountain.NewEncoder(code, blocks, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint64][]byte, count)
+	for len(out) < count {
+		sym := enc.Next()
+		out[sym.ID] = sym.Data
+	}
+	return out
+}
+
+func TestFetchFromFullServerTCP(t *testing.T) {
+	info, data := testContent(t, 120, 64)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+
+	res, err := Fetch([]string{addr}, info.ID, FetchOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("not completed")
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch")
+	}
+	if res.DecodeOverhead > 0.6 {
+		t.Fatalf("decode overhead %.3f too high for n=120", res.DecodeOverhead)
+	}
+	if srv.Stats().Connections != 1 {
+		t.Fatalf("connections = %d", srv.Stats().Connections)
+	}
+}
+
+func TestFetchParallelFullServers(t *testing.T) {
+	info, data := testContent(t, 150, 48)
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv, err := NewFullServer(info, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, startServer(t, srv))
+	}
+	res, err := Fetch(addrs, info.ID, FetchOptions{Batch: 16, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch")
+	}
+	// Additivity (§2.3): every peer should have contributed.
+	contributed := 0
+	for _, p := range res.Peers {
+		if p.SymbolsReceived > 0 {
+			contributed++
+		}
+	}
+	if contributed < 2 {
+		t.Fatalf("only %d/3 peers contributed", contributed)
+	}
+}
+
+func TestFetchFromPartialSenders(t *testing.T) {
+	info, data := testContent(t, 100, 32)
+	// Two partial senders, each with 80% of the needed symbols from
+	// different streams; jointly they cover the file.
+	sy1 := partialSymbols(t, info, data, 90, 1)
+	sy2 := partialSymbols(t, info, data, 90, 2)
+	s1, err := NewPartialServer(info, sy1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewPartialServer(info, sy2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{startServer(t, s1), startServer(t, s2)}
+	res, err := Fetch(addrs, info.ID, FetchOptions{Batch: 32, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("fetch: %v (distinct=%d)", err, res.DistinctSymbols)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch")
+	}
+	for i, p := range res.Peers {
+		if p.Full {
+			t.Fatalf("peer %d claims full copy", i)
+		}
+	}
+}
+
+func TestFetchMixedFullAndPartial(t *testing.T) {
+	info, data := testContent(t, 100, 32)
+	full, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartialServer(info, partialSymbols(t, info, data, 60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{startServer(t, full), startServer(t, part)}
+	res, err := Fetch(addrs, info.ID, FetchOptions{Batch: 16, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestStatelessMigration(t *testing.T) {
+	// §2.3: stop a download partway, then resume against a *different*
+	// sender passing only the held symbols — no other connection state.
+	info, data := testContent(t, 120, 40)
+	part, err := NewPartialServer(info, partialSymbols(t, info, data, 70, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := startServer(t, part)
+
+	// Phase 1: fetch from the partial sender only; it cannot finish the
+	// file (70 < ~1.07·120 needed), so the fetch ends incomplete.
+	res1, err := Fetch([]string{addr1}, info.ID, FetchOptions{
+		Batch: 16, Timeout: 10 * time.Second, MaxUselessBatches: 2,
+	})
+	if err == nil || res1 == nil {
+		t.Fatalf("phase 1 should be incomplete, got err=%v", err)
+	}
+	if res1.Completed {
+		t.Fatal("phase 1 completed?!")
+	}
+	if res1.DistinctSymbols == 0 {
+		t.Fatal("phase 1 gained nothing")
+	}
+
+	// Phase 2: resume from a full sender with only the held symbols.
+	full, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2 := startServer(t, full)
+	res2, err := Fetch([]string{addr2}, info.ID, FetchOptions{
+		Batch: 16, Timeout: 10 * time.Second, Initial: res1.Held,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res2.Data, data) {
+		t.Fatal("content mismatch after migration")
+	}
+	// The resumed transfer must have needed fewer fresh symbols than a
+	// cold start: phase-1 symbols counted.
+	if res2.DistinctSymbols <= res1.DistinctSymbols {
+		t.Fatalf("resume did not extend the working set: %d then %d",
+			res1.DistinctSymbols, res2.DistinctSymbols)
+	}
+}
+
+func TestBloomSuppressesDuplicates(t *testing.T) {
+	// Receiver already holds most of the partial sender's symbols; the
+	// Bloom filter should focus the sender on the rest.
+	info, data := testContent(t, 100, 32)
+	symbols := partialSymbols(t, info, data, 140, 5)
+	part, err := NewPartialServer(info, symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, part)
+
+	// The receiver already holds 100 of the sender's 140 symbols — not
+	// yet enough to decode n=100 blocks, but most of the way there.
+	initial := make(map[uint64][]byte)
+	for id, d := range symbols {
+		if len(initial) == 100 {
+			break
+		}
+		initial[id] = d
+	}
+	res, err := Fetch([]string{addr}, info.ID, FetchOptions{
+		Batch: 16, Timeout: 10 * time.Second, Initial: initial, MaxUselessBatches: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch")
+	}
+	// With the filter, the sender recodes over only the ~40 unknown
+	// symbols; completing the decode should take far fewer transmissions
+	// than blindly resending a 140-symbol working set.
+	if got := res.Peers[0].SymbolsReceived; got > 100 {
+		t.Fatalf("received %d symbols; Bloom-informed transfer should need far fewer", got)
+	}
+}
+
+func TestWrongContentIDRejected(t *testing.T) {
+	info, data := testContent(t, 50, 16)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	_, err = Fetch([]string{addr}, 0xBAD, FetchOptions{Timeout: 5 * time.Second})
+	if err == nil {
+		t.Fatal("wrong content id accepted")
+	}
+}
+
+func TestGarbageClientRejected(t *testing.T) {
+	// Failure injection: a client speaking garbage must not wedge the
+	// server.
+	info, data := testContent(t, 50, 16)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, srv)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	conn.Read(buf) // server closes or errors — either is fine
+	conn.Close()
+
+	// The server must still serve real clients afterwards.
+	res, err := Fetch([]string{addr}, info.ID, FetchOptions{Timeout: 10 * time.Second})
+	if err != nil || !bytes.Equal(res.Data, data) {
+		t.Fatalf("server wedged after garbage client: %v", err)
+	}
+}
+
+func TestServeConnOverPipe(t *testing.T) {
+	// The session layer is transport-agnostic: run it over net.Pipe.
+	info, data := testContent(t, 60, 24)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	defer client.Close()
+
+	if err := protocol.WriteFrame(client, protocol.EncodeHello(protocol.Hello{ContentID: info.ID})); err != nil {
+		t.Fatal(err)
+	}
+	f, err := protocol.ReadFrame(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := protocol.DecodeHello(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hello.FullCopy || hello.NumBlocks != 60 {
+		t.Fatalf("hello = %+v", hello)
+	}
+	if err := protocol.WriteFrame(client, protocol.EncodeRequest(5)); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		f, err := protocol.ReadFrame(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type == protocol.TypeDone {
+			break
+		}
+		if f.Type != protocol.TypeSymbol {
+			t.Fatalf("unexpected %v", f.Type)
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("got %d symbols, want 5", got)
+	}
+	protocol.WriteFrame(client, protocol.EncodeDone())
+}
+
+func TestServerValidation(t *testing.T) {
+	info, data := testContent(t, 50, 16)
+	if _, err := NewFullServer(ContentInfo{}, data); err == nil {
+		t.Error("bad info accepted")
+	}
+	if _, err := NewFullServer(info, data[:10]); err == nil {
+		t.Error("short content accepted")
+	}
+	if _, err := NewPartialServer(info, nil); err == nil {
+		t.Error("empty partial accepted")
+	}
+	if _, err := NewPartialServer(info, map[uint64][]byte{1: {1, 2}}); err == nil {
+		t.Error("wrong symbol size accepted")
+	}
+	if _, err := Fetch(nil, 1, FetchOptions{}); err == nil {
+		t.Error("no peers accepted")
+	}
+}
+
+func TestFetchUnreachablePeer(t *testing.T) {
+	_, err := Fetch([]string{"127.0.0.1:1"}, 1, FetchOptions{Timeout: 2 * time.Second})
+	if err == nil {
+		t.Fatal("unreachable peer succeeded")
+	}
+}

@@ -1,0 +1,84 @@
+package peer
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestTwoHopRelay exercises the CDN pattern of §1: a relay node fetches
+// part of the content from the origin, then acts as a partial sender for
+// a downstream node — which completes the file by combining the relay
+// with the origin. The relay's working set is exactly the Held state of
+// its own fetch: no re-encoding from source blocks is needed because
+// encoded symbols are relayable as-is.
+func TestTwoHopRelay(t *testing.T) {
+	info, data := testContent(t, 100, 48)
+	origin, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originAddr := startServer(t, origin)
+
+	// Hop 1: the relay downloads the full file from the origin.
+	relayFetch, err := Fetch([]string{originAddr}, info.ID, FetchOptions{
+		Batch: 32, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(relayFetch.Data, data) {
+		t.Fatal("relay fetch mismatch")
+	}
+
+	// The relay serves its received encoded symbols as a partial sender
+	// (it could also re-encode, having decoded; serving the working set
+	// directly is the §5.4 partial-content path).
+	relay, err := NewPartialServer(info, relayFetch.Held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayAddr := startServer(t, relay)
+
+	// Hop 2: a downstream node fetches from the relay alone. The relay
+	// holds (1+ε)n ≈ 107+ distinct symbols — decodable by itself.
+	downstream, err := Fetch([]string{relayAddr}, info.ID, FetchOptions{
+		Batch: 32, Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("downstream fetch from relay: %v", err)
+	}
+	if !bytes.Equal(downstream.Data, data) {
+		t.Fatal("downstream content mismatch")
+	}
+	if downstream.Peers[0].Full {
+		t.Fatal("relay should present as a partial sender")
+	}
+}
+
+// TestRelayChainThreeHops pushes the relay pattern one hop further.
+func TestRelayChainThreeHops(t *testing.T) {
+	info, data := testContent(t, 80, 32)
+	origin, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, origin)
+
+	for hop := 0; hop < 3; hop++ {
+		res, err := Fetch([]string{addr}, info.ID, FetchOptions{
+			Batch: 32, Timeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("hop %d: content mismatch", hop)
+		}
+		next, err := NewPartialServer(info, res.Held)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		addr = startServer(t, next)
+	}
+}

@@ -1,0 +1,409 @@
+// Package peer is the prototype implementation of informed content
+// delivery (§6): real senders and receivers speaking the
+// internal/protocol wire format over TCP (or any net.Conn, including
+// net.Pipe in tests).
+//
+// A Server offers one piece of content, either as a *full* sender — a
+// digital fountain streaming fresh encoded symbols — or as a *partial*
+// sender holding an arbitrary working set of encoded symbols, which it
+// serves as recoded symbols blended over the subset the receiver's Bloom
+// filter reports missing (§5.2 + §5.4.2: reconciled, informed transfers).
+//
+// A receiver uses Fetch to download from any mix of full and partial
+// senders in parallel; symbols from all connections feed one decoder, so
+// flows are additive (§2.3), connections may drop and resume statelessly,
+// and partially downloaded state can be carried into a later Fetch —
+// the §2.3 "fully stateless connection migrations".
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icd/internal/bloom"
+	"icd/internal/fountain"
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/protocol"
+	"icd/internal/recode"
+)
+
+// ContentInfo identifies and parameterizes one piece of shared content.
+// Every peer serving or fetching the same content must agree on it.
+type ContentInfo struct {
+	ID        uint64 // content identity (e.g. hash of the name)
+	NumBlocks int
+	BlockSize int
+	OrigLen   int
+	CodeSeed  uint64 // seed of the shared sparse parity-check code
+}
+
+func (ci ContentInfo) validate() error {
+	if ci.NumBlocks < 1 || ci.BlockSize < 1 || ci.OrigLen < 1 {
+		return fmt.Errorf("peer: invalid content info %+v", ci)
+	}
+	return nil
+}
+
+func (ci ContentInfo) hello(full bool, symbols int) protocol.Hello {
+	return protocol.Hello{
+		ContentID: ci.ID,
+		NumBlocks: uint32(ci.NumBlocks),
+		BlockSize: uint32(ci.BlockSize),
+		OrigLen:   uint64(ci.OrigLen),
+		CodeSeed:  ci.CodeSeed,
+		FullCopy:  full,
+		Symbols:   uint64(symbols),
+	}
+}
+
+// ServerStats exposes transfer counters.
+type ServerStats struct {
+	Connections int64
+	SymbolsSent int64
+}
+
+// Server serves one content item.
+type Server struct {
+	info     ContentInfo
+	code     *fountain.Code
+	blocks   [][]byte          // full mode
+	payloads map[uint64][]byte // partial mode
+	held     *keyset.Set       // partial mode: ids held
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+
+	streamSeed atomic.Uint64
+	stats      struct {
+		connections atomic.Int64
+		symbolsSent atomic.Int64
+	}
+}
+
+// NewFullServer builds a full sender from the content bytes themselves.
+func NewFullServer(info ContentInfo, content []byte) (*Server, error) {
+	if err := info.validate(); err != nil {
+		return nil, err
+	}
+	if len(content) != info.OrigLen {
+		return nil, fmt.Errorf("peer: content is %d bytes, info says %d", len(content), info.OrigLen)
+	}
+	blocks, _, err := fountain.SplitIntoBlocks(content, info.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != info.NumBlocks {
+		return nil, fmt.Errorf("peer: content splits into %d blocks, info says %d", len(blocks), info.NumBlocks)
+	}
+	code, err := fountain.NewCode(info.NumBlocks, nil, info.CodeSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		info:    info,
+		code:    code,
+		blocks:  blocks,
+		timeout: 30 * time.Second,
+	}, nil
+}
+
+// NewPartialServer builds a partial sender from a working set of encoded
+// symbols (id → payload). The payload map is snapshotted.
+func NewPartialServer(info ContentInfo, symbols map[uint64][]byte) (*Server, error) {
+	if err := info.validate(); err != nil {
+		return nil, err
+	}
+	if len(symbols) == 0 {
+		return nil, errors.New("peer: partial server needs at least one symbol")
+	}
+	code, err := fountain.NewCode(info.NumBlocks, nil, info.CodeSeed)
+	if err != nil {
+		return nil, err
+	}
+	payloads := make(map[uint64][]byte, len(symbols))
+	held := keyset.New(len(symbols))
+	for id, data := range symbols {
+		if len(data) != info.BlockSize {
+			return nil, fmt.Errorf("peer: symbol %d has %d bytes, want %d", id, len(data), info.BlockSize)
+		}
+		payloads[id] = append([]byte(nil), data...)
+		held.Add(id)
+	}
+	return &Server{
+		info:     info,
+		code:     code,
+		payloads: payloads,
+		held:     held,
+		timeout:  30 * time.Second,
+	}, nil
+}
+
+// Full reports whether the server holds the complete content.
+func (s *Server) Full() bool { return s.blocks != nil }
+
+// Info returns the served content's parameters.
+func (s *Server) Info() ContentInfo { return s.info }
+
+// Stats returns a snapshot of the transfer counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Connections: s.stats.connections.Load(),
+		SymbolsSent: s.stats.symbolsSent.Load(),
+	}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns the bound address via Addr once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. Each connection is served
+// on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("peer: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.stats.connections.Add(1)
+			_ = s.ServeConn(conn) // per-connection errors end that session only
+		}()
+	}
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ServeConn runs one session over an established connection (exported so
+// tests and examples can serve over net.Pipe).
+func (s *Server) ServeConn(conn net.Conn) error {
+	deadline := func() {
+		if s.timeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.timeout))
+		}
+	}
+	deadline()
+
+	// 1. Receiver announces itself.
+	f, err := protocol.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	clientHello, err := protocol.DecodeHello(f)
+	if err != nil {
+		return err
+	}
+	if clientHello.ContentID != s.info.ID {
+		protocol.WriteFrame(conn, protocol.EncodeError("unknown content"))
+		return fmt.Errorf("peer: client wants content %#x, serving %#x", clientHello.ContentID, s.info.ID)
+	}
+	// 2. Sender announces the content parameters.
+	held := 0
+	if s.held != nil {
+		held = s.held.Len()
+	}
+	if err := protocol.WriteFrame(conn, protocol.EncodeHello(s.info.hello(s.Full(), held))); err != nil {
+		return err
+	}
+
+	// 3. Session loop: summaries arrive at most once each, then batched
+	// requests. The Bloom filter is never updated mid-session (§6.1).
+	var clientBloom *bloom.Filter
+	var recoders *sessionRecoders
+	var encoder *fountain.Encoder
+	if s.Full() {
+		encoder, err = fountain.NewEncoder(s.code, s.blocks, s.streamSeed.Add(1)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		deadline()
+		f, err := protocol.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // receiver hung up: stateless, nothing to clean
+			}
+			return err
+		}
+		switch f.Type {
+		case protocol.TypeBloom:
+			clientBloom = new(bloom.Filter)
+			if err := clientBloom.UnmarshalBinary(f.Payload); err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad bloom filter"))
+				return err
+			}
+			recoders = nil // rebuild the recoding domain lazily
+
+		case protocol.TypeSketch:
+			// Sketches inform degree policies; the partial recoder here
+			// derives its information from the Bloom filter instead, so a
+			// sketch is accepted and ignored (admission control happens
+			// on the receiver side, §4).
+
+		case protocol.TypeRequest:
+			n, err := protocol.DecodeRequest(f)
+			if err != nil {
+				return err
+			}
+			const maxBatch = 1 << 16
+			if n > maxBatch {
+				n = maxBatch
+			}
+			if s.Full() {
+				if err := s.sendFull(conn, encoder, int(n)); err != nil {
+					return err
+				}
+			} else {
+				if recoders == nil {
+					recoders, err = s.buildRecoders(clientBloom)
+					if err != nil {
+						protocol.WriteFrame(conn, protocol.EncodeDone())
+						continue // nothing useful to offer; empty batch
+					}
+				}
+				if err := s.sendRecoded(conn, recoders, int(n)); err != nil {
+					return err
+				}
+			}
+
+		case protocol.TypeDone:
+			return nil
+
+		default:
+			protocol.WriteFrame(conn, protocol.EncodeError("unexpected "+f.Type.String()))
+			return fmt.Errorf("peer: unexpected frame %v", f.Type)
+		}
+	}
+}
+
+// sendFull streams n fresh encoded symbols followed by DONE.
+func (s *Server) sendFull(conn net.Conn, enc *fountain.Encoder, n int) error {
+	for i := 0; i < n; i++ {
+		sym := enc.Next()
+		if err := protocol.WriteFrame(conn, protocol.EncodeSymbol(protocol.Symbol(sym))); err != nil {
+			return err
+		}
+		s.stats.symbolsSent.Add(1)
+	}
+	return protocol.WriteFrame(conn, protocol.EncodeDone())
+}
+
+// sessionRecoders pair two recoding streams over the same domain: a
+// coverage-adaptive stream whose early transmissions are degree-1 and
+// immediately useful (§5.4.2's dynamic degree rule), and an oblivious
+// soliton stream which alone guarantees the receiver can eventually
+// decode the *entire* domain (complete LT recovery at a small constant
+// overhead). Interleaving gives linear early progress without a stalled
+// tail, with no feedback from the receiver.
+type sessionRecoders struct {
+	adaptive  *recode.Recoder
+	oblivious *recode.Recoder
+	turn      int
+}
+
+func (sr *sessionRecoders) next() recode.Symbol {
+	sr.turn++
+	if sr.turn%2 == 0 {
+		return sr.adaptive.Next(recode.CoverageAdaptive, 0)
+	}
+	return sr.oblivious.Next(recode.Oblivious, 0)
+}
+
+// buildRecoders constructs the partial sender's recoding domain: the held
+// symbols the receiver's filter reports missing (§5.2), or the whole
+// working set when no filter was provided.
+func (s *Server) buildRecoders(filter *bloom.Filter) (*sessionRecoders, error) {
+	domain := s.held
+	if filter != nil {
+		useful := keyset.New(64)
+		s.held.Each(func(id uint64) {
+			if !filter.Contains(id) {
+				useful.Add(id)
+			}
+		})
+		if useful.Len() == 0 {
+			return nil, errors.New("peer: receiver appears to hold everything we have")
+		}
+		domain = useful
+	}
+	opts := recode.Options{Payloads: s.payloads}
+	adaptive, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), domain, opts)
+	if err != nil {
+		return nil, err
+	}
+	oblivious, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), domain, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionRecoders{adaptive: adaptive, oblivious: oblivious}, nil
+}
+
+// sendRecoded streams n recoded symbols followed by DONE.
+func (s *Server) sendRecoded(conn net.Conn, sr *sessionRecoders, n int) error {
+	for i := 0; i < n; i++ {
+		sym := sr.next()
+		f, err := protocol.EncodeRecoded(protocol.Recoded{IDs: sym.IDs, Data: sym.Data})
+		if err != nil {
+			return err
+		}
+		if err := protocol.WriteFrame(conn, f); err != nil {
+			return err
+		}
+		s.stats.symbolsSent.Add(1)
+	}
+	return protocol.WriteFrame(conn, protocol.EncodeDone())
+}

@@ -1,0 +1,299 @@
+// Package protocol defines the wire format of the prototype
+// implementation (§6): a length-prefixed, checksummed binary framing over
+// any reliable byte stream, carrying the handshake, the reconciliation
+// summaries of §4–§5 (min-wise sketches, Bloom filters, approximate
+// reconciliation trees) and the §5.4 content symbols (regular encoded
+// symbols, identified by a 64-bit seed, and recoded symbols carrying
+// their constituent lists).
+//
+// Frame layout (little-endian):
+//
+//	magic   uint16  0x1CD0
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint32  payload byte count
+//	payload [length]byte
+//	crc32   uint32  IEEE CRC over type|length|payload
+//
+// The CRC turns random corruption into a detectable error instead of a
+// misparse; the magic catches stream desynchronization early. Payload
+// sizes are bounded to keep a malicious or corrupt peer from inducing
+// huge allocations.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol version spoken by this library.
+const Version = 1
+
+const magic = 0x1CD0
+
+// MaxPayload bounds a frame's payload: large enough for a Bloom filter
+// over a million-symbol working set, small enough to keep allocations
+// sane.
+const MaxPayload = 16 << 20
+
+// Type identifies a message.
+type Type uint8
+
+const (
+	TypeHello   Type = 1 // handshake and content metadata
+	TypeSketch  Type = 2 // min-wise sketch (§4)
+	TypeBloom   Type = 3 // Bloom filter summary (§5.2)
+	TypeART     Type = 4 // approximate reconciliation tree summary (§5.3)
+	TypeRequest Type = 5 // receiver asks for a batch of symbols
+	TypeSymbol  Type = 6 // one regular encoded symbol
+	TypeRecoded Type = 7 // one recoded symbol (§5.4.2)
+	TypeDone    Type = 8 // sender has satisfied the request / receiver is finished
+	TypeError   Type = 9 // fatal error, human-readable
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeSketch:
+		return "SKETCH"
+	case TypeBloom:
+		return "BLOOM"
+	case TypeART:
+		return "ART"
+	case TypeRequest:
+		return "REQUEST"
+	case TypeSymbol:
+		return "SYMBOL"
+	case TypeRecoded:
+		return "RECODED"
+	case TypeDone:
+		return "DONE"
+	case TypeError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Frame is one wire message.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+const headerLen = 2 + 1 + 1 + 4
+
+// WriteFrame serializes f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds limit", len(f.Payload))
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+4)
+	binary.LittleEndian.PutUint16(buf[0:], magic)
+	buf[2] = Version
+	buf[3] = byte(f.Type)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[3 : headerLen+len(f.Payload)])
+	binary.LittleEndian.PutUint32(buf[headerLen+len(f.Payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != magic {
+		return Frame{}, errors.New("protocol: bad magic (stream desynchronized?)")
+	}
+	if hdr[2] != Version {
+		return Frame{}, fmt.Errorf("protocol: unsupported version %d", hdr[2])
+	}
+	length := binary.LittleEndian.Uint32(hdr[4:])
+	if length > MaxPayload {
+		return Frame{}, fmt.Errorf("protocol: payload %d exceeds limit", length)
+	}
+	body := make([]byte, length+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("protocol: short frame body: %w", err)
+	}
+	payload := body[:length]
+	wantCRC := binary.LittleEndian.Uint32(body[length:])
+	crcInput := make([]byte, 0, 5+length)
+	crcInput = append(crcInput, hdr[3:]...)
+	crcInput = append(crcInput, payload...)
+	if crc32.ChecksumIEEE(crcInput) != wantCRC {
+		return Frame{}, errors.New("protocol: checksum mismatch (corrupt frame)")
+	}
+	return Frame{Type: Type(hdr[3]), Payload: payload}, nil
+}
+
+// Hello is the handshake: both sides announce identity and the sender
+// side carries the content metadata a fresh receiver needs to construct
+// its decoder. A receiver's Hello uses zero metadata fields.
+type Hello struct {
+	ContentID uint64 // identifies the file (e.g. hash of its name)
+	NumBlocks uint32 // ` source blocks
+	BlockSize uint32
+	OrigLen   uint64 // original content length in bytes
+	CodeSeed  uint64 // neighbor-expansion seed of the shared code
+	FullCopy  bool   // sender holds the complete content
+	Symbols   uint64 // sender's working set size (partial senders)
+}
+
+// EncodeHello marshals h.
+func EncodeHello(h Hello) Frame {
+	buf := make([]byte, 8+4+4+8+8+1+8)
+	binary.LittleEndian.PutUint64(buf[0:], h.ContentID)
+	binary.LittleEndian.PutUint32(buf[8:], h.NumBlocks)
+	binary.LittleEndian.PutUint32(buf[12:], h.BlockSize)
+	binary.LittleEndian.PutUint64(buf[16:], h.OrigLen)
+	binary.LittleEndian.PutUint64(buf[24:], h.CodeSeed)
+	if h.FullCopy {
+		buf[32] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[33:], h.Symbols)
+	return Frame{Type: TypeHello, Payload: buf}
+}
+
+// DecodeHello unmarshals a HELLO frame.
+func DecodeHello(f Frame) (Hello, error) {
+	if f.Type != TypeHello {
+		return Hello{}, fmt.Errorf("protocol: %v is not HELLO", f.Type)
+	}
+	if len(f.Payload) != 41 {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want 41", len(f.Payload))
+	}
+	return Hello{
+		ContentID: binary.LittleEndian.Uint64(f.Payload[0:]),
+		NumBlocks: binary.LittleEndian.Uint32(f.Payload[8:]),
+		BlockSize: binary.LittleEndian.Uint32(f.Payload[12:]),
+		OrigLen:   binary.LittleEndian.Uint64(f.Payload[16:]),
+		CodeSeed:  binary.LittleEndian.Uint64(f.Payload[24:]),
+		FullCopy:  f.Payload[32] == 1,
+		Symbols:   binary.LittleEndian.Uint64(f.Payload[33:]),
+	}, nil
+}
+
+// Symbol is a regular encoded symbol on the wire.
+type Symbol struct {
+	ID   uint64
+	Data []byte
+}
+
+// EncodeSymbol marshals s.
+func EncodeSymbol(s Symbol) Frame {
+	buf := make([]byte, 8+len(s.Data))
+	binary.LittleEndian.PutUint64(buf, s.ID)
+	copy(buf[8:], s.Data)
+	return Frame{Type: TypeSymbol, Payload: buf}
+}
+
+// DecodeSymbol unmarshals a SYMBOL frame.
+func DecodeSymbol(f Frame) (Symbol, error) {
+	if f.Type != TypeSymbol {
+		return Symbol{}, fmt.Errorf("protocol: %v is not SYMBOL", f.Type)
+	}
+	if len(f.Payload) < 9 {
+		return Symbol{}, errors.New("protocol: SYMBOL too short")
+	}
+	return Symbol{
+		ID:   binary.LittleEndian.Uint64(f.Payload),
+		Data: append([]byte(nil), f.Payload[8:]...),
+	}, nil
+}
+
+// Recoded is a recoded symbol on the wire: the §5.4.2 constituent list
+// plus XOR payload.
+type Recoded struct {
+	IDs  []uint64
+	Data []byte
+}
+
+// MaxRecodedIDs bounds the constituent list (the paper's degree limit is
+// 50; leave headroom for experimentation).
+const MaxRecodedIDs = 1024
+
+// EncodeRecoded marshals r.
+func EncodeRecoded(r Recoded) (Frame, error) {
+	if len(r.IDs) == 0 || len(r.IDs) > MaxRecodedIDs {
+		return Frame{}, fmt.Errorf("protocol: recoded degree %d outside [1,%d]", len(r.IDs), MaxRecodedIDs)
+	}
+	buf := make([]byte, 2+8*len(r.IDs)+len(r.Data))
+	binary.LittleEndian.PutUint16(buf, uint16(len(r.IDs)))
+	for i, id := range r.IDs {
+		binary.LittleEndian.PutUint64(buf[2+8*i:], id)
+	}
+	copy(buf[2+8*len(r.IDs):], r.Data)
+	return Frame{Type: TypeRecoded, Payload: buf}, nil
+}
+
+// DecodeRecoded unmarshals a RECODED frame.
+func DecodeRecoded(f Frame) (Recoded, error) {
+	if f.Type != TypeRecoded {
+		return Recoded{}, fmt.Errorf("protocol: %v is not RECODED", f.Type)
+	}
+	if len(f.Payload) < 2 {
+		return Recoded{}, errors.New("protocol: RECODED too short")
+	}
+	n := int(binary.LittleEndian.Uint16(f.Payload))
+	if n == 0 || n > MaxRecodedIDs {
+		return Recoded{}, fmt.Errorf("protocol: recoded degree %d outside [1,%d]", n, MaxRecodedIDs)
+	}
+	if len(f.Payload) < 2+8*n {
+		return Recoded{}, errors.New("protocol: RECODED id list truncated")
+	}
+	r := Recoded{IDs: make([]uint64, n)}
+	for i := range r.IDs {
+		r.IDs[i] = binary.LittleEndian.Uint64(f.Payload[2+8*i:])
+	}
+	r.Data = append([]byte(nil), f.Payload[2+8*n:]...)
+	return r, nil
+}
+
+// EncodeRequest marshals a batch request for count symbols.
+func EncodeRequest(count uint32) Frame {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, count)
+	return Frame{Type: TypeRequest, Payload: buf}
+}
+
+// DecodeRequest unmarshals a REQUEST frame.
+func DecodeRequest(f Frame) (uint32, error) {
+	if f.Type != TypeRequest {
+		return 0, fmt.Errorf("protocol: %v is not REQUEST", f.Type)
+	}
+	if len(f.Payload) != 4 {
+		return 0, errors.New("protocol: REQUEST malformed")
+	}
+	return binary.LittleEndian.Uint32(f.Payload), nil
+}
+
+// EncodeDone builds a DONE frame.
+func EncodeDone() Frame { return Frame{Type: TypeDone} }
+
+// EncodeError builds an ERROR frame.
+func EncodeError(msg string) Frame {
+	return Frame{Type: TypeError, Payload: []byte(msg)}
+}
+
+// DecodeError extracts the message of an ERROR frame.
+func DecodeError(f Frame) (string, error) {
+	if f.Type != TypeError {
+		return "", fmt.Errorf("protocol: %v is not ERROR", f.Type)
+	}
+	return string(f.Payload), nil
+}
+
+// EncodeSketch wraps a marshaled min-wise sketch.
+func EncodeSketch(data []byte) Frame { return Frame{Type: TypeSketch, Payload: data} }
+
+// EncodeBloom wraps a marshaled Bloom filter.
+func EncodeBloom(data []byte) Frame { return Frame{Type: TypeBloom, Payload: data} }

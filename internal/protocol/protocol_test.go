@@ -1,0 +1,239 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeHello, Payload: []byte{1, 2, 3}},
+		{Type: TypeDone},
+		{Type: TypeSymbol, Payload: bytes.Repeat([]byte{0xAB}, 1400)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TypeSymbol, Payload: []byte("payload-bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one payload bit in each position and expect a checksum error.
+	for i := headerLen; i < len(raw)-4; i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x10
+		if _, err := ReadFrame(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestDesyncDetected(t *testing.T) {
+	if _, err := ReadFrame(strings.NewReader("garbage-that-is-not-a-frame")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: TypeBloom, Payload: bytes.Repeat([]byte{7}, 100)})
+	raw := buf.Bytes()
+	for _, cut := range []int{1, headerLen - 1, headerLen + 10, len(raw) - 1} {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: TypeDone})
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, Frame{Type: TypeBloom, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+	// A forged header claiming a huge length must be rejected before
+	// allocation.
+	hdr := []byte{0xD0, 0x1C, Version, byte(TypeBloom), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("forged length accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	want := Hello{
+		ContentID: 0xDEADBEEF,
+		NumBlocks: 23968,
+		BlockSize: 1400,
+		OrigLen:   32 << 20,
+		CodeSeed:  42,
+		FullCopy:  true,
+		Symbols:   12345,
+	}
+	got, err := DecodeHello(EncodeHello(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("hello mismatch: %+v vs %+v", got, want)
+	}
+	if _, err := DecodeHello(Frame{Type: TypeDone}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if _, err := DecodeHello(Frame{Type: TypeHello, Payload: []byte{1}}); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestSymbolRoundTrip(t *testing.T) {
+	want := Symbol{ID: 987654321, Data: []byte("block-data")}
+	got, err := DecodeSymbol(EncodeSymbol(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("symbol mismatch")
+	}
+	if _, err := DecodeSymbol(Frame{Type: TypeSymbol, Payload: []byte{1, 2}}); err == nil {
+		t.Fatal("short symbol accepted")
+	}
+}
+
+func TestRecodedRoundTrip(t *testing.T) {
+	want := Recoded{IDs: []uint64{5, 8, 13}, Data: []byte{0x1E}}
+	f, err := EncodeRecoded(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecoded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 3 || got.IDs[0] != 5 || got.IDs[2] != 13 || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("recoded mismatch: %+v", got)
+	}
+	if _, err := EncodeRecoded(Recoded{}); err == nil {
+		t.Fatal("empty recoded accepted")
+	}
+	if _, err := EncodeRecoded(Recoded{IDs: make([]uint64, MaxRecodedIDs+1)}); err == nil {
+		t.Fatal("oversize recoded accepted")
+	}
+	// Forged degree larger than the payload.
+	bad := Frame{Type: TypeRecoded, Payload: []byte{0xFF, 0x00, 1, 2, 3}}
+	if _, err := DecodeRecoded(bad); err == nil {
+		t.Fatal("truncated id list accepted")
+	}
+}
+
+func TestRequestDoneError(t *testing.T) {
+	n, err := DecodeRequest(EncodeRequest(512))
+	if err != nil || n != 512 {
+		t.Fatalf("request: %d, %v", n, err)
+	}
+	if EncodeDone().Type != TypeDone {
+		t.Fatal("done type")
+	}
+	msg, err := DecodeError(EncodeError("boom"))
+	if err != nil || msg != "boom" {
+		t.Fatalf("error: %q, %v", msg, err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeHello: "HELLO", TypeSketch: "SKETCH", TypeBloom: "BLOOM",
+		TypeART: "ART", TypeRequest: "REQUEST", TypeSymbol: "SYMBOL",
+		TypeRecoded: "RECODED", TypeDone: "DONE", TypeError: "ERROR",
+		Type(200): "Type(200)",
+	} {
+		if ty.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}
+
+// Property: any frame round-trips bit-exactly through a buffer.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(ty uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := Frame{Type: Type(ty), Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte mutations anywhere in a frame are detected (or
+// yield the identical frame when the mutation is a no-op, which cannot
+// happen for XOR with a non-zero mask).
+func TestQuickCorruptionAlwaysDetected(t *testing.T) {
+	f := func(payload []byte, pos uint16, mask uint8) bool {
+		if mask == 0 {
+			return true
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Frame{Type: TypeSymbol, Payload: payload}); err != nil {
+			return false
+		}
+		raw := buf.Bytes()
+		raw[int(pos)%len(raw)] ^= mask
+		_, err := ReadFrame(bytes.NewReader(raw))
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteReadSymbolFrame(b *testing.B) {
+	payload := make([]byte, 1408)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		WriteFrame(&buf, Frame{Type: TypeSymbol, Payload: payload})
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

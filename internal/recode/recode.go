@@ -1,0 +1,491 @@
+// Package recode implements the recoded-content machinery of §5.4.2: the
+// device that lets a peer holding only *partial* content act as a useful,
+// fountain-like sender.
+//
+// A recoded symbol is the bitwise XOR of a set of already-encoded symbols
+// and is shipped with the explicit list of the encoded-symbol identifiers
+// it blends ("a recoded symbol must enumerate the encoded symbols from
+// which it was produced ... these lists can be stored concisely in packet
+// headers"); degrees are capped (the paper uses 50) to keep that list
+// short. Decoding uses the same substitution rule as the underlying
+// sparse parity-check code, one level up: a recoded symbol with exactly
+// one constituent the receiver lacks immediately yields that encoded
+// symbol; others are buffered and resolve as the working set grows.
+//
+// Degree selection is where reconciliation information pays off. With
+// containment c = |A∩B|/|B| (receiver A, sender B), the probability that
+// a degree-d recoded symbol drawn uniformly from B's n symbols is
+// *immediately* useful is
+//
+//	P(d) = C(cn, d−1)·(1−c)n / C(n, d),
+//
+// choosing d−1 constituents the receiver has and exactly one it lacks.
+// The ratio test P(d+1) ≥ P(d) ⇔ d ≤ (cn+1)/(n−cn) shows P is unimodal
+// with maximum at
+//
+//	d* = ⌊(cn+1)/(n−cn)⌋ + 1,
+//
+// which increases with c exactly as the paper's prose says ("as recoded
+// symbols are received, correlation naturally increases and the target
+// degree increases accordingly"). (The formula printed in the paper's
+// §5.4.2 is garbled by typesetting; the derivation above reconstructs
+// it.) Because maximizing immediate utility risks fully redundant
+// symbols, §5.4.2 uses d* only as a *lower limit* and draws degrees
+// between d* and the cap from the irregular distribution; the Recode/MW
+// strategy of §6.2 instead rescales an oblivious draw d to ⌊d/(1−c)⌋.
+// Both policies are provided.
+package recode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"icd/internal/fountain"
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// MaxDegree is the paper's recoding degree limit (§6.1: "a degree limit
+// of 50").
+const MaxDegree = 50
+
+// Symbol is one recoded symbol: the identifiers of the encoded symbols
+// XORed together, and optionally the XOR payload (nil when the caller
+// works at the symbol-identity level, as the transfer simulator does).
+type Symbol struct {
+	IDs  []uint64
+	Data []byte
+}
+
+// Degree returns the number of blended encoded symbols.
+func (s Symbol) Degree() int { return len(s.IDs) }
+
+// OptimalImmediateDegree returns d*, the degree maximizing the
+// probability that a recoded symbol is immediately useful, given the
+// sender's working-set size n and the containment estimate c ∈ [0,1].
+// The result is clamped to [1, n].
+func OptimalImmediateDegree(n int, c float64) int {
+	if n <= 1 {
+		return 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	k := c * float64(n) // symbols the receiver already has
+	den := float64(n) - k
+	if den < 1 { // c ≈ 1: everything known, max blending
+		return n
+	}
+	d := int((k+1)/den) + 1
+	if d < 1 {
+		d = 1
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// ImmediateUsefulProbability evaluates P(d) above (useful for tests and
+// for the ablation bench). Computed in log space to avoid overflow.
+func ImmediateUsefulProbability(n int, c float64, d int) float64 {
+	k := int(c*float64(n) + 0.5)
+	if d < 1 || d > n || n-k < 1 || d-1 > k {
+		return 0
+	}
+	// P = C(k, d-1) * (n-k) / C(n, d)
+	// log C(a, b) via sum of logs; n is small enough in practice (≤ 10^6).
+	logC := func(a, b int) float64 {
+		if b < 0 || b > a {
+			return math.Inf(-1)
+		}
+		var s float64
+		for i := 0; i < b; i++ {
+			s += math.Log(float64(a-i)) - math.Log(float64(b-i))
+		}
+		return s
+	}
+	lp := logC(k, d-1) + math.Log(float64(n-k)) - logC(n, d)
+	return math.Exp(lp)
+}
+
+// DegreePolicy selects how a sender chooses recoded degrees.
+type DegreePolicy int
+
+const (
+	// Oblivious draws from the irregular recoding distribution with no
+	// knowledge of the receiver (the plain Recode strategy of §6.2).
+	Oblivious DegreePolicy = iota
+	// MinwiseScaled rescales an oblivious draw d to ⌊d/(1−c)⌋, capped —
+	// the Recode/MW strategy of §6.2.
+	MinwiseScaled
+	// LowerBounded draws from the distribution but clamps below by the
+	// optimal immediate degree d* — §5.4.2's "we use this value of d as a
+	// lower limit on the actual degrees generated".
+	LowerBounded
+	// CoverageAdaptive ignores the c argument and instead tracks an
+	// estimate of how much of the domain the receiver has already
+	// obtained over this connection (q̂ = sent/|domain|), choosing the
+	// optimal degree d*(q̂) each time. This is §5.4.2's dynamic note —
+	// "as recoded symbols are received, correlation naturally increases
+	// and the target degree increases accordingly" — and is the policy
+	// the Recode/BF strategy uses: its Bloom-filtered domain starts with
+	// containment exactly 0 (every symbol useful, so early transmissions
+	// are degree-1: §6.1's "a partial sender can find symbols of
+	// guaranteed utility ... recoding is not generally necessary"), and
+	// degrees rise as duplicates become likely, without any summary
+	// updates from the receiver.
+	CoverageAdaptive
+)
+
+func (p DegreePolicy) String() string {
+	switch p {
+	case Oblivious:
+		return "oblivious"
+	case MinwiseScaled:
+		return "minwise-scaled"
+	case LowerBounded:
+		return "lower-bounded"
+	case CoverageAdaptive:
+		return "coverage-adaptive"
+	default:
+		return fmt.Sprintf("DegreePolicy(%d)", int(p))
+	}
+}
+
+// Recoder generates recoded symbols from a sender's working set (or a
+// reconciled subset of it — the caller chooses the domain, which is how
+// Recode/BF restricts blending to symbols the receiver lacks).
+type Recoder struct {
+	domain   []uint64 // snapshot of blendable encoded-symbol ids
+	payloads map[uint64][]byte
+	dist     *fountain.Distribution
+	maxDeg   int
+	rng      *prng.Rand
+	sent     int     // transmissions so far
+	coverage float64 // estimated fraction of domain delivered (CoverageAdaptive)
+}
+
+// Options configure a Recoder.
+type Options struct {
+	// Dist is the recoding degree distribution; nil uses the §6.1 default
+	// (heavy-tailed, capped at MaxDegree) over the domain size.
+	Dist *fountain.Distribution
+	// MaxDegree caps degrees; 0 uses MaxDegree (50).
+	MaxDegree int
+	// Payloads, if non-nil, maps encoded symbol id → payload so that Next
+	// can produce real XOR data. If nil the Recoder works at identity
+	// level and emits nil Data.
+	Payloads map[uint64][]byte
+}
+
+// NewRecoder snapshots the domain and prepares a generator.
+func NewRecoder(rng *prng.Rand, domain *keyset.Set, opt Options) (*Recoder, error) {
+	if domain.Len() == 0 {
+		return nil, errors.New("recode: empty domain")
+	}
+	maxDeg := opt.MaxDegree
+	if maxDeg <= 0 {
+		maxDeg = MaxDegree
+	}
+	if maxDeg > domain.Len() {
+		maxDeg = domain.Len()
+	}
+	dist := opt.Dist
+	if dist == nil {
+		dist = fountain.CappedRobustSoliton(domain.Len(), 0.1, 0.5, maxDeg)
+	}
+	if dist.MaxDegree() > domain.Len() {
+		return nil, fmt.Errorf("recode: distribution max degree %d exceeds domain %d",
+			dist.MaxDegree(), domain.Len())
+	}
+	r := &Recoder{
+		domain:   domain.Keys(),
+		payloads: opt.Payloads,
+		dist:     dist,
+		maxDeg:   maxDeg,
+		rng:      rng,
+	}
+	if r.payloads != nil {
+		for _, id := range r.domain {
+			if _, ok := r.payloads[id]; !ok {
+				return nil, fmt.Errorf("recode: no payload for domain symbol %d", id)
+			}
+		}
+	}
+	return r, nil
+}
+
+// DomainSize returns the number of blendable symbols.
+func (r *Recoder) DomainSize() int { return len(r.domain) }
+
+// Next emits one recoded symbol under the given policy. c is the
+// containment estimate (ignored by Oblivious). Degrees are clamped to
+// [1, min(maxDegree, |domain|)].
+func (r *Recoder) Next(policy DegreePolicy, c float64) Symbol {
+	d := r.dist.Draw(r.rng)
+	switch policy {
+	case Oblivious:
+		// keep d
+	case MinwiseScaled:
+		if c > 0 {
+			if c >= 1 {
+				d = r.maxDeg
+			} else {
+				d = int(float64(d) / (1 - c))
+			}
+		}
+	case LowerBounded:
+		if dOpt := OptimalImmediateDegree(len(r.domain), c); d < dOpt {
+			d = dOpt
+		}
+	case CoverageAdaptive:
+		d = OptimalImmediateDegree(len(r.domain), r.coverage)
+	}
+	r.sent++
+	// Advance the self-consistent coverage estimate: the sender credits
+	// itself with the expected immediate usefulness of what it just sent.
+	// This deliberately under-counts (buffered symbols that resolve later
+	// are ignored), keeping the degree schedule conservative so it can
+	// never run far ahead of the receiver's true state.
+	if m := float64(len(r.domain)); r.coverage < 1-1/m {
+		r.coverage += ImmediateUsefulProbability(len(r.domain), r.coverage, d) / m
+		if max := 1 - 1/m; r.coverage > max {
+			r.coverage = max
+		}
+	}
+	if d > r.maxDeg {
+		d = r.maxDeg
+	}
+	if d > len(r.domain) {
+		d = len(r.domain)
+	}
+	if d < 1 {
+		d = 1
+	}
+	idx := r.rng.SampleInts(len(r.domain), d)
+	ids := make([]uint64, d)
+	for i, j := range idx {
+		ids[i] = r.domain[j]
+	}
+	sym := Symbol{IDs: ids}
+	if r.payloads != nil {
+		var data []byte
+		for _, id := range ids {
+			p := r.payloads[id]
+			if data == nil {
+				data = append([]byte(nil), p...)
+			} else {
+				for i := range data {
+					data[i] ^= p[i]
+				}
+			}
+		}
+		sym.Data = data
+	}
+	return sym
+}
+
+// Decoder peels recoded symbols back into encoded symbols. It mirrors the
+// fountain decoder one level up: known encoded symbols reduce incoming
+// recoded symbols; degree-1 residuals recover a new encoded symbol, which
+// cascades through the buffer. The §5.4.2 worked example (z1 = y13,
+// z2 = y5⊕y8, z3 = y5⊕y13 recovering y13, then y5, then y8) is exactly
+// this process and is reproduced in the tests.
+type Decoder struct {
+	known    map[uint64][]byte // encoded id -> payload (nil in identity mode)
+	pending  map[uint64][]int
+	buf      []*pendingRec
+	withData bool
+
+	received  int
+	redundant int
+	recovered int // encoded symbols recovered via recoding (not direct adds)
+}
+
+type pendingRec struct {
+	data    []byte
+	unknown map[uint64]bool
+	dead    bool
+}
+
+// NewDecoder creates a recode decoder. withData selects payload tracking;
+// identity-level users (the transfer simulator) pass false.
+func NewDecoder(withData bool) *Decoder {
+	return &Decoder{
+		known:    make(map[uint64][]byte),
+		pending:  make(map[uint64][]int),
+		withData: withData,
+	}
+}
+
+// AddKnown registers an encoded symbol the receiver already holds (its
+// initial working set, or a regular symbol received directly). data may
+// be nil in identity mode. Newly known symbols cascade through buffered
+// recoded symbols; the ids of encoded symbols recovered as a consequence
+// are returned.
+func (d *Decoder) AddKnown(id uint64, data []byte) []uint64 {
+	if _, ok := d.known[id]; ok {
+		return nil
+	}
+	return d.propagate(id, data, false)
+}
+
+// Knows reports whether the receiver holds encoded symbol id.
+func (d *Decoder) Knows(id uint64) bool {
+	_, ok := d.known[id]
+	return ok
+}
+
+// KnownCount returns the number of encoded symbols held.
+func (d *Decoder) KnownCount() int { return len(d.known) }
+
+// KnownIDs returns the ids of all encoded symbols held, in no particular
+// order.
+func (d *Decoder) KnownIDs() []uint64 {
+	ids := make([]uint64, 0, len(d.known))
+	for id := range d.known {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Payload returns the stored payload for an encoded symbol (nil in
+// identity mode or if unknown).
+func (d *Decoder) Payload(id uint64) []byte { return d.known[id] }
+
+// Received returns the number of recoded symbols ingested.
+func (d *Decoder) Received() int { return d.received }
+
+// Redundant returns the number of recoded symbols that were fully
+// reducible on arrival (contributed nothing, §5.4.2's "completely
+// redundant symbols").
+func (d *Decoder) Redundant() int { return d.redundant }
+
+// RecoveredViaRecoding returns the number of encoded symbols obtained by
+// peeling recoded symbols (excludes AddKnown).
+func (d *Decoder) RecoveredViaRecoding() int { return d.recovered }
+
+// Buffered returns the number of recoded symbols still waiting on two or
+// more unknown constituents.
+func (d *Decoder) Buffered() int {
+	n := 0
+	for _, p := range d.buf {
+		if !p.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Add ingests one recoded symbol, returning the ids of encoded symbols
+// newly recovered (directly or by cascade).
+func (d *Decoder) Add(sym Symbol) ([]uint64, error) {
+	if len(sym.IDs) == 0 {
+		return nil, errors.New("recode: empty recoded symbol")
+	}
+	if d.withData && sym.Data == nil {
+		return nil, errors.New("recode: payload-tracking decoder got nil data")
+	}
+	d.received++
+
+	var data []byte
+	if d.withData {
+		data = append([]byte(nil), sym.Data...)
+	}
+	unknown := make(map[uint64]bool)
+	for _, id := range sym.IDs {
+		if payload, ok := d.known[id]; ok {
+			if d.withData {
+				if len(payload) != len(data) {
+					return nil, fmt.Errorf("recode: payload size mismatch for %d", id)
+				}
+				for i := range data {
+					data[i] ^= payload[i]
+				}
+			}
+		} else {
+			unknown[id] = !unknown[id] // XOR semantics: duplicate ids cancel
+			if !unknown[id] {
+				delete(unknown, id)
+			}
+		}
+	}
+	switch len(unknown) {
+	case 0:
+		d.redundant++
+		return nil, nil
+	case 1:
+		var id uint64
+		for k := range unknown {
+			id = k
+		}
+		return d.propagate(id, data, true), nil
+	default:
+		pr := &pendingRec{data: data, unknown: unknown}
+		d.buf = append(d.buf, pr)
+		at := len(d.buf) - 1
+		for id := range unknown {
+			d.pending[id] = append(d.pending[id], at)
+		}
+		return nil, nil
+	}
+}
+
+// propagate records a newly known encoded symbol and runs the cascade.
+// viaRecode marks whether the root recovery came from a recoded symbol.
+func (d *Decoder) propagate(id uint64, data []byte, viaRecode bool) []uint64 {
+	type rec struct {
+		id   uint64
+		data []byte
+	}
+	var out []uint64
+	queue := []rec{{id, data}}
+	first := true
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if _, ok := d.known[r.id]; ok {
+			continue
+		}
+		d.known[r.id] = r.data
+		if viaRecode || !first {
+			d.recovered++
+			out = append(out, r.id)
+		}
+		first = false
+		waiters := d.pending[r.id]
+		delete(d.pending, r.id)
+		for _, w := range waiters {
+			pr := d.buf[w]
+			if pr.dead || !pr.unknown[r.id] {
+				continue
+			}
+			if d.withData && r.data != nil {
+				for i := range pr.data {
+					pr.data[i] ^= r.data[i]
+				}
+			}
+			delete(pr.unknown, r.id)
+			switch len(pr.unknown) {
+			case 1:
+				pr.dead = true
+				for last := range pr.unknown {
+					queue = append(queue, rec{last, pr.data})
+				}
+			case 0:
+				pr.dead = true
+			}
+		}
+	}
+	if !viaRecode && len(out) == 0 {
+		// AddKnown of a fresh id with no cascade: report nothing, but the
+		// id itself is now known (callers track that via Knows).
+		return nil
+	}
+	return out
+}

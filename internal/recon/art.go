@@ -1,0 +1,344 @@
+// Package recon implements Approximate Reconciliation Trees (ARTs), the
+// new data structure introduced in §5.3 of the paper, together with the
+// exact comparison-tree baseline used to test it.
+//
+// Construction mirrors Figure 3. Conceptually peer A builds a binary trie
+// over the key universe whose root covers the whole universe and whose
+// children split it in half; the node for interval I carries the set
+// S_A ∩ I. Directly this tree has Θ(u) nodes and, collapsed, depth up to
+// Θ(|S_A|), so two hashing steps are applied:
+//
+//  1. each key is hashed to a position in a poly(n)-sized space (we use
+//     the full 64-bit output of a seeded mix) to balance the trie — the
+//     collapsed depth becomes O(log n) w.h.p. ("Randomization for tree
+//     balancing", Fig 3a);
+//  2. each key is hashed again to a value in [1, h) to break spatial
+//     correlation ("Breaking spatial correlation", Fig 3c); an internal
+//     node's value is the XOR of its children's values (Fig 3d), so equal
+//     subsets produce equal values regardless of shape.
+//
+// Rather than shipping the tree, A summarizes the node values in two
+// Bloom filters — one for internal (branching) values, one for leaf
+// values — so the per-element cost is a small constant number of bits
+// (Fig 3e). Peer B then searches its own tree top-down: a node value
+// found in A's internal filter means the subtrees likely agree and the
+// search can be cut off; a leaf value missing from A's leaf filter
+// reveals an element of S_B − S_A. Bloom false positives prune real
+// differences, so a correction level allows a configurable number of
+// consecutive matches before a path is abandoned (§5.3's fix for searches
+// that would otherwise "never follow a full path down to the leaf").
+package recon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"icd/internal/bloom"
+	"icd/internal/hashing"
+	"icd/internal/keyset"
+)
+
+// Params fixes the two hash functions peers must agree on: position
+// hashing (tree balancing) and value hashing (spatial decorrelation).
+type Params struct {
+	PosSeed uint64 // seed of the balancing hash (Fig 3a)
+	ValSeed uint64 // seed of the value hash (Fig 3c)
+}
+
+// DefaultParams are the library-wide agreed tree hashes.
+var DefaultParams = Params{PosSeed: 0x1ce0f00d, ValSeed: 0x5eedcafe}
+
+// node is one collapsed-trie node. Exactly one of the two shapes occurs:
+// a leaf carries the original keys hashing to one position (almost always
+// a single key); an internal node has both children non-nil.
+type node struct {
+	value       uint64 // leaf: XOR of value hashes; internal: XOR of children
+	left, right *node
+	keys        []uint64 // leaf only: original keys at this position
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is one peer's approximate reconciliation tree. Build once per
+// working-set snapshot; Add supports incremental growth by rebuilding the
+// affected path lazily (we rebuild fully on demand — see Rebuild).
+type Tree struct {
+	params Params
+	root   *node // nil for empty set
+	n      int   // number of elements
+
+	internalCount int // branching nodes, = number of internal values
+}
+
+// Build constructs the tree for set under params.
+func Build(params Params, set *keyset.Set) *Tree {
+	t := &Tree{params: params, n: set.Len()}
+	if set.Len() == 0 {
+		return t
+	}
+	type elem struct{ pos, val, key uint64 }
+	elems := make([]elem, 0, set.Len())
+	set.Each(func(k uint64) {
+		elems = append(elems, elem{
+			pos: hashing.Mix64(k ^ params.PosSeed),
+			val: valueHash(params.ValSeed, k),
+			key: k,
+		})
+	})
+	sort.Slice(elems, func(i, j int) bool { return elems[i].pos < elems[j].pos })
+
+	pos := make([]uint64, len(elems))
+	vals := make([]uint64, len(elems))
+	keys := make([]uint64, len(elems))
+	for i, e := range elems {
+		pos[i], vals[i], keys[i] = e.pos, e.val, e.key
+	}
+
+	var build func(lo, hi, depth int) *node
+	build = func(lo, hi, depth int) *node {
+		if hi-lo == 1 || depth == 64 {
+			// Single position (or exhausted bits: position-hash collision,
+			// astronomically rare) — a leaf.
+			nd := &node{keys: append([]uint64(nil), keys[lo:hi]...)}
+			for i := lo; i < hi; i++ {
+				nd.value ^= vals[i]
+			}
+			return nd
+		}
+		// Split on bit (63-depth): positions are sorted, so find the first
+		// element whose bit is set.
+		bit := uint64(1) << uint(63-depth)
+		mid := lo + sort.Search(hi-lo, func(i int) bool { return pos[lo+i]&bit != 0 })
+		if mid == lo || mid == hi {
+			// Chain node: same element set as its single child — collapse
+			// (Fig 3b): no node materialized for this interval.
+			return build(lo, hi, depth+1)
+		}
+		left := build(lo, mid, depth+1)
+		right := build(mid, hi, depth+1)
+		return &node{value: left.value ^ right.value, left: left, right: right}
+	}
+	t.root = build(0, len(elems), 0)
+	t.internalCount = countInternal(t.root)
+	return t
+}
+
+func countInternal(n *node) int {
+	if n == nil || n.isLeaf() {
+		return 0
+	}
+	return 1 + countInternal(n.left) + countInternal(n.right)
+}
+
+// valueHash maps a key into [1, 2^64): 0 is reserved so that an empty
+// XOR accumulator is never a valid node value.
+func valueHash(seed, key uint64) uint64 {
+	v := hashing.Mix64(key ^ seed ^ 0x9e3779b97f4a7c15)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// N returns the number of summarized elements.
+func (t *Tree) N() int { return t.n }
+
+// InternalNodes returns the number of branching nodes (≤ n−1).
+func (t *Tree) InternalNodes() int { return t.internalCount }
+
+// Depth returns the height of the collapsed tree (0 for empty/leaf-only).
+// O(log n) w.h.p., the property the balancing hash buys (§5.3).
+func (t *Tree) Depth() int {
+	var depth func(n *node) int
+	depth = func(n *node) int {
+		if n == nil || n.isLeaf() {
+			return 0
+		}
+		l, r := depth(n.left), depth(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}
+
+// RootValue returns the XOR value at the root; equal sets have equal root
+// values (used by the exact comparison path and by tests).
+func (t *Tree) RootValue() uint64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.value
+}
+
+// Summary is what peer A actually transmits (Fig 3e): Bloom filters of
+// the internal and leaf node values, a few bytes of parameters, nothing
+// else. For an n-element set at b total bits per element the summary is
+// ≈ b·n bits.
+type Summary struct {
+	Params    Params
+	N         int // elements summarized (sizing hint for the receiver)
+	Internal  *bloom.Filter
+	Leaf      *bloom.Filter
+	RootValue uint64 // lets the receiver short-circuit identical sets
+	TotalBits float64
+	LeafBits  float64
+}
+
+// SummaryOptions control the bit budget split of §5.3's two filters and
+// the hash counts. TotalBitsPerElement is split as LeafBitsPerElement for
+// the leaf filter and the remainder for the internal filter — the
+// tradeoff swept in Figure 4(a).
+type SummaryOptions struct {
+	TotalBitsPerElement float64 // e.g. 8 (the paper's Fig 4a setting)
+	LeafBitsPerElement  float64 // 0 < leaf < total
+	Hashes              int     // per filter; ≤0 picks the optimum for its density
+}
+
+// Summarize produces the transmissible summary of the tree.
+func (t *Tree) Summarize(opt SummaryOptions) (*Summary, error) {
+	if opt.TotalBitsPerElement <= 0 {
+		return nil, errors.New("recon: non-positive bit budget")
+	}
+	if opt.LeafBitsPerElement <= 0 || opt.LeafBitsPerElement >= opt.TotalBitsPerElement {
+		return nil, fmt.Errorf("recon: leaf bits %.2f must be in (0, %.2f)",
+			opt.LeafBitsPerElement, opt.TotalBitsPerElement)
+	}
+	n := t.n
+	if n == 0 {
+		n = 1
+	}
+	internalBits := opt.TotalBitsPerElement - opt.LeafBitsPerElement
+	kLeaf := opt.Hashes
+	if kLeaf <= 0 {
+		kLeaf = bloom.OptimalHashes(opt.LeafBitsPerElement)
+	}
+	kInt := opt.Hashes
+	if kInt <= 0 {
+		kInt = bloom.OptimalHashes(internalBits)
+	}
+	s := &Summary{
+		Params:    t.params,
+		N:         t.n,
+		Internal:  bloom.NewWithBitsPerElement(t.params.ValSeed^0xA11CE, n, internalBits, kInt),
+		Leaf:      bloom.NewWithBitsPerElement(t.params.ValSeed^0xB0B, n, opt.LeafBitsPerElement, kLeaf),
+		RootValue: t.RootValue(),
+		TotalBits: opt.TotalBitsPerElement,
+		LeafBits:  opt.LeafBitsPerElement,
+	}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.isLeaf() {
+			s.Leaf.Add(nd.value)
+			return
+		}
+		s.Internal.Add(nd.value)
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return s, nil
+}
+
+// SearchStats reports the work done by FindMissing, used by the Table
+// 4(c) speed comparison: ART touches O(d log n) nodes versus the Bloom
+// filter's Θ(n) membership probes.
+type SearchStats struct {
+	NodesVisited  int
+	LeavesChecked int
+	Found         int
+}
+
+// FindMissing walks the local tree against the remote summary and returns
+// local keys believed absent from the summarized set (elements of
+// S_local − S_remote). correction is the §5.3 correction level: the
+// number of consecutive internal-filter matches tolerated before a branch
+// is pruned (0 prunes at the first match).
+//
+// Soundness: keys returned are never in the summarized set unless a
+// value-hash collision occurred (probability ≈ 2^-64 per pair).
+// Completeness is approximate: Bloom false positives can hide true
+// differences; Figure 4 quantifies the tradeoff.
+func (t *Tree) FindMissing(s *Summary, correction int) ([]uint64, SearchStats) {
+	var stats SearchStats
+	if t.root == nil || s == nil {
+		return nil, stats
+	}
+	if correction < 0 {
+		correction = 0
+	}
+	var out []uint64
+	// Identical sets short-circuit: matching root values mean (w.h.p.)
+	// nothing to reconcile regardless of filter noise.
+	if t.RootValue() == s.RootValue {
+		stats.NodesVisited = 1
+		return nil, stats
+	}
+	var walk func(nd *node, consecutive int)
+	walk = func(nd *node, consecutive int) {
+		stats.NodesVisited++
+		if nd.isLeaf() {
+			stats.LeavesChecked++
+			if !s.Leaf.Contains(nd.value) {
+				out = append(out, nd.keys...)
+				stats.Found += len(nd.keys)
+			}
+			return
+		}
+		if s.Internal.Contains(nd.value) {
+			consecutive++
+			if consecutive > correction {
+				return // pruned: subtrees assumed identical
+			}
+		} else {
+			consecutive = 0
+		}
+		walk(nd.left, consecutive)
+		walk(nd.right, consecutive)
+	}
+	walk(t.root, 0)
+	return out, stats
+}
+
+// ExactDiff compares two in-memory trees directly (the un-summarized
+// "comparison tree" of Fig 3d, in the spirit of Merkle trees) and returns
+// the keys in t's set whose leaves have no value-equal counterpart in
+// other. It is exact up to 64-bit value collisions and is used as the
+// testing baseline and for local (same-host) reconciliation.
+func (t *Tree) ExactDiff(other *Tree) []uint64 {
+	otherValues := make(map[uint64]bool)
+	var collect func(nd *node)
+	collect = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		otherValues[nd.value] = true
+		collect(nd.left)
+		collect(nd.right)
+	}
+	collect(other.root)
+
+	var out []uint64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if otherValues[nd.value] {
+			return // identical subtree exists somewhere in other
+		}
+		if nd.isLeaf() {
+			out = append(out, nd.keys...)
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return out
+}

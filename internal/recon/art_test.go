@@ -1,0 +1,345 @@
+package recon
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// diffSets returns a base set of size n and a superset with d extra keys.
+func diffSets(rng *prng.Rand, n, d int) (base, super *keyset.Set, extras []uint64) {
+	base = keyset.Random(rng, n)
+	super = base.Clone()
+	for len(extras) < d {
+		k := rng.Uint64()
+		if super.Add(k) {
+			extras = append(extras, k)
+		}
+	}
+	return base, super, extras
+}
+
+func defaultOpts() SummaryOptions {
+	return SummaryOptions{TotalBitsPerElement: 8, LeafBitsPerElement: 4}
+}
+
+func TestIdenticalSetsNothingMissing(t *testing.T) {
+	rng := prng.New(1)
+	s := keyset.Random(rng, 2000)
+	ta := Build(DefaultParams, s)
+	tb := Build(DefaultParams, s.Clone())
+	if ta.RootValue() != tb.RootValue() {
+		t.Fatal("equal sets, different root values")
+	}
+	sum, err := ta.Summarize(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, stats := tb.FindMissing(sum, 5)
+	if len(missing) != 0 {
+		t.Fatalf("identical sets: %d missing reported", len(missing))
+	}
+	if stats.NodesVisited != 1 {
+		t.Fatalf("identical sets should short-circuit, visited %d", stats.NodesVisited)
+	}
+}
+
+func TestSoundness(t *testing.T) {
+	// Everything reported missing must be a true difference.
+	rng := prng.New(2)
+	base, super, extras := diffSets(rng, 5000, 100)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	sum, err := ta.Summarize(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraSet := keyset.FromKeys(extras)
+	for corr := 0; corr <= 5; corr++ {
+		missing, _ := tb.FindMissing(sum, corr)
+		for _, k := range missing {
+			if !extraSet.Contains(k) {
+				t.Fatalf("correction %d: reported %d which peer A has", corr, k)
+			}
+		}
+	}
+}
+
+func TestAccuracyImprovesWithCorrection(t *testing.T) {
+	rng := prng.New(3)
+	base, super, extras := diffSets(rng, 10000, 100)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	sum, err := ta.Summarize(SummaryOptions{TotalBitsPerElement: 8, LeafBitsPerElement: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make([]float64, 6)
+	for corr := 0; corr <= 5; corr++ {
+		missing, _ := tb.FindMissing(sum, corr)
+		acc[corr] = float64(len(missing)) / float64(len(extras))
+	}
+	if acc[5] < acc[0] {
+		t.Fatalf("accuracy did not improve with correction: %v", acc)
+	}
+	// Table 4(b) ballpark: at 8 bits/element and correction 5 the paper
+	// reports 92%; allow a generous band for implementation differences.
+	if acc[5] < 0.70 {
+		t.Fatalf("accuracy at correction 5 = %.3f, want ≥ 0.70 (paper: ≈0.92)", acc[5])
+	}
+	if acc[5] > 1 {
+		t.Fatalf("accuracy > 1: %v", acc[5])
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	rng := prng.New(4)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		s := keyset.Random(rng, n)
+		tr := Build(DefaultParams, s)
+		if tr.N() != n {
+			t.Fatalf("N = %d, want %d", tr.N(), n)
+		}
+		if tr.InternalNodes() > n-1 && n > 0 {
+			t.Fatalf("n=%d: %d internal nodes", n, tr.InternalNodes())
+		}
+		if n >= 2 && tr.InternalNodes() != n-1 {
+			// With 64-bit positions, collisions are essentially impossible,
+			// so a binary tree over n leaves has exactly n−1 branching nodes.
+			t.Fatalf("n=%d: internal nodes = %d, want %d", n, tr.InternalNodes(), n-1)
+		}
+		maxDepth := 4*int(math.Log2(float64(n)+2)) + 8
+		if d := tr.Depth(); d > maxDepth {
+			t.Fatalf("n=%d: depth %d exceeds O(log n) bound %d", n, d, maxDepth)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(DefaultParams, keyset.New(0))
+	if tr.RootValue() != 0 || tr.Depth() != 0 || tr.N() != 0 {
+		t.Fatal("empty tree malformed")
+	}
+	sum, err := tr.Summarize(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := prng.New(5)
+	other := Build(DefaultParams, keyset.Random(rng, 50))
+	missing, _ := other.FindMissing(sum, 2)
+	// All 50 keys differ; the only losses allowed are filter noise.
+	if len(missing) < 25 {
+		t.Fatalf("only %d/50 differences vs empty set", len(missing))
+	}
+	// Searching an empty tree finds nothing.
+	osum, _ := other.Summarize(defaultOpts())
+	m2, _ := tr.FindMissing(osum, 2)
+	if len(m2) != 0 {
+		t.Fatal("empty tree reported missing keys")
+	}
+	if m3, _ := tr.FindMissing(nil, 0); m3 != nil {
+		t.Fatal("nil summary should yield nothing")
+	}
+}
+
+func TestRootValueDetectsDifference(t *testing.T) {
+	rng := prng.New(6)
+	base, super, _ := diffSets(rng, 100, 1)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	if ta.RootValue() == tb.RootValue() {
+		t.Fatal("different sets share a root value")
+	}
+}
+
+func TestExactDiff(t *testing.T) {
+	rng := prng.New(7)
+	base, super, extras := diffSets(rng, 3000, 37)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	got := tb.ExactDiff(ta)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	if len(got) != len(extras) {
+		t.Fatalf("ExactDiff found %d, want %d", len(got), len(extras))
+	}
+	for i := range got {
+		if got[i] != extras[i] {
+			t.Fatalf("ExactDiff[%d] = %d, want %d", i, got[i], extras[i])
+		}
+	}
+	// Reverse direction: base has nothing super lacks.
+	if rev := ta.ExactDiff(tb); len(rev) != 0 {
+		t.Fatalf("reverse ExactDiff = %d keys, want 0", len(rev))
+	}
+}
+
+func TestSearchCostScalesWithDifference(t *testing.T) {
+	// Table 4(c): ART search is O(d log n), so visiting counts for small d
+	// must be far below n.
+	rng := prng.New(8)
+	const n = 20000
+	base, super, _ := diffSets(rng, n, 20)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	sum, err := ta.Summarize(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := tb.FindMissing(sum, 1)
+	if stats.NodesVisited > n/4 {
+		t.Fatalf("visited %d nodes for d=20, n=%d — not O(d log n)", stats.NodesVisited, n)
+	}
+	if stats.NodesVisited == 0 {
+		t.Fatal("no nodes visited")
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	tr := Build(DefaultParams, keyset.FromKeys([]uint64{1, 2, 3}))
+	bad := []SummaryOptions{
+		{TotalBitsPerElement: 0, LeafBitsPerElement: 1},
+		{TotalBitsPerElement: 8, LeafBitsPerElement: 0},
+		{TotalBitsPerElement: 8, LeafBitsPerElement: 8},
+		{TotalBitsPerElement: 8, LeafBitsPerElement: 9},
+	}
+	for i, opt := range bad {
+		if _, err := tr.Summarize(opt); err == nil {
+			t.Errorf("case %d: bad options accepted", i)
+		}
+	}
+}
+
+func TestNegativeCorrectionClamped(t *testing.T) {
+	rng := prng.New(9)
+	base, super, _ := diffSets(rng, 100, 5)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	sum, _ := ta.Summarize(defaultOpts())
+	m1, _ := tb.FindMissing(sum, -3)
+	m0, _ := tb.FindMissing(sum, 0)
+	if len(m1) != len(m0) {
+		t.Fatal("negative correction behaves differently from 0")
+	}
+}
+
+// Property: soundness for arbitrary small sets — reported keys are always
+// true differences (no value collisions at these sizes).
+func TestQuickSoundness(t *testing.T) {
+	f := func(aKeys, bKeys []uint16) bool {
+		a := keyset.New(len(aKeys))
+		for _, k := range aKeys {
+			a.Add(uint64(k))
+		}
+		b := keyset.New(len(bKeys))
+		for _, k := range bKeys {
+			b.Add(uint64(k))
+		}
+		ta := Build(DefaultParams, a)
+		tb := Build(DefaultParams, b)
+		sum, err := ta.Summarize(SummaryOptions{TotalBitsPerElement: 8, LeafBitsPerElement: 4})
+		if err != nil {
+			return false
+		}
+		for corr := 0; corr <= 3; corr++ {
+			missing, _ := tb.FindMissing(sum, corr)
+			for _, k := range missing {
+				if a.Contains(k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ExactDiff equals the set difference for random small sets.
+func TestQuickExactDiff(t *testing.T) {
+	f := func(aKeys, bKeys []uint16) bool {
+		a := keyset.New(len(aKeys))
+		for _, k := range aKeys {
+			a.Add(uint64(k))
+		}
+		b := keyset.New(len(bKeys))
+		for _, k := range bKeys {
+			b.Add(uint64(k))
+		}
+		ta := Build(DefaultParams, a)
+		tb := Build(DefaultParams, b)
+		got := keyset.FromKeys(tb.ExactDiff(ta))
+		want := b.Diff(a)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3Walkthrough(t *testing.T) {
+	// E14: a miniature version of the paper's Figure 3 example — build a
+	// small tree and verify the structural invariants the figure shows:
+	// the root value is the XOR of all leaf values, and each internal
+	// node's value is the XOR of its children.
+	set := keyset.FromKeys([]uint64{13, 31, 29, 41, 55, 9, 33})
+	tr := Build(DefaultParams, set)
+	var leafXOR uint64
+	var walk func(n *node) uint64
+	walk = func(n *node) uint64 {
+		if n.isLeaf() {
+			leafXOR ^= n.value
+			return n.value
+		}
+		l, r := walk(n.left), walk(n.right)
+		if n.value != l^r {
+			t.Fatalf("internal value %d != children XOR %d", n.value, l^r)
+		}
+		return n.value
+	}
+	rootVal := walk(tr.root)
+	if rootVal != leafXOR {
+		t.Fatalf("root %d != XOR of leaves %d", rootVal, leafXOR)
+	}
+	if tr.InternalNodes() != set.Len()-1 {
+		t.Fatalf("internal nodes = %d, want %d", tr.InternalNodes(), set.Len()-1)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := prng.New(1)
+	s := keyset.Random(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(DefaultParams, s)
+	}
+}
+
+func BenchmarkFindMissingSmallDiff(b *testing.B) {
+	rng := prng.New(2)
+	base, super, _ := diffSets(rng, 10000, 100)
+	ta := Build(DefaultParams, base)
+	tb := Build(DefaultParams, super)
+	sum, err := ta.Summarize(defaultOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tb.FindMissing(sum, 5)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	rng := prng.New(3)
+	tr := Build(DefaultParams, keyset.Random(rng, 10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tr.Summarize(defaultOpts())
+	}
+}

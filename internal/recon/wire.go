@@ -1,0 +1,74 @@
+package recon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"icd/internal/bloom"
+)
+
+// MarshalBinary encodes the summary for transmission: tree parameters,
+// set size, root value, the bit-budget split, and the two Bloom filter
+// blobs. Total size ≈ TotalBits·n/8 bytes — the §5.3 economy (a gigabyte
+// of content summarized in ~10KB per the paper's §3 estimate).
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	if s.Internal == nil || s.Leaf == nil {
+		return nil, errors.New("recon: incomplete summary")
+	}
+	ib, err := s.Internal.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	lb, err := s.Leaf.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 56+4+len(ib)+4+len(lb))
+	binary.LittleEndian.PutUint64(buf[0:], s.Params.PosSeed)
+	binary.LittleEndian.PutUint64(buf[8:], s.Params.ValSeed)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.N))
+	binary.LittleEndian.PutUint64(buf[24:], s.RootValue)
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(s.TotalBits))
+	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(s.LeafBits))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(len(ib)))
+	copy(buf[56:], ib)
+	off := 56 + len(ib)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(lb)))
+	copy(buf[off+4:], lb)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a summary produced by MarshalBinary.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	if len(data) < 60 {
+		return errors.New("recon: summary too short")
+	}
+	s.Params.PosSeed = binary.LittleEndian.Uint64(data[0:])
+	s.Params.ValSeed = binary.LittleEndian.Uint64(data[8:])
+	s.N = int(binary.LittleEndian.Uint64(data[16:]))
+	s.RootValue = binary.LittleEndian.Uint64(data[24:])
+	s.TotalBits = math.Float64frombits(binary.LittleEndian.Uint64(data[32:]))
+	s.LeafBits = math.Float64frombits(binary.LittleEndian.Uint64(data[40:]))
+	ilen := binary.LittleEndian.Uint64(data[48:])
+	if ilen > uint64(len(data)-60) {
+		return fmt.Errorf("recon: internal filter length %d exceeds buffer", ilen)
+	}
+	off := 56 + int(ilen)
+	s.Internal = newEmptyFilter()
+	if err := s.Internal.UnmarshalBinary(data[56:off]); err != nil {
+		return fmt.Errorf("recon: internal filter: %w", err)
+	}
+	llen := binary.LittleEndian.Uint32(data[off:])
+	if int(llen) != len(data)-off-4 {
+		return fmt.Errorf("recon: leaf filter length %d, have %d", llen, len(data)-off-4)
+	}
+	s.Leaf = newEmptyFilter()
+	if err := s.Leaf.UnmarshalBinary(data[off+4:]); err != nil {
+		return fmt.Errorf("recon: leaf filter: %w", err)
+	}
+	return nil
+}
+
+func newEmptyFilter() *bloom.Filter { return new(bloom.Filter) }

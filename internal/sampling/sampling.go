@@ -1,0 +1,176 @@
+// Package sampling implements the two straightforward working-set sketches
+// of §4 of the paper: random sampling (with replacement) and Broder's
+// mod-k sampling. Both estimate the overlap between two peers' working
+// sets from a single small message; both can be maintained incrementally
+// as new symbols arrive.
+//
+// The min-wise sketch the paper ultimately prefers lives in
+// internal/minwise; this package provides the comparison points and is
+// used by the admission-control logic in internal/core.
+package sampling
+
+import (
+	"errors"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// DefaultSampleSize is the number of 64-bit keys that fit in the paper's
+// one-packet budget ("If element keys are 64 bits long, then a 1KB packet
+// can hold roughly 128 keys").
+const DefaultSampleSize = 128
+
+// RandomSample is a fixed-size uniform sample of a working set, with the
+// set's size attached ("Optionally, we may also send the size of the
+// working set"). It is maintained incrementally with reservoir sampling so
+// the holder can keep sketching while new symbols arrive.
+type RandomSample struct {
+	K       int      // target sample size
+	Samples []uint64 // current sample (length ≤ K)
+	SetSize int      // |S| at sketch time
+
+	rng  *prng.Rand
+	seen int // elements offered to the reservoir
+}
+
+// NewRandomSample creates an empty reservoir of capacity k fed by rng.
+func NewRandomSample(rng *prng.Rand, k int) *RandomSample {
+	if k <= 0 {
+		panic("sampling: non-positive sample size")
+	}
+	return &RandomSample{K: k, rng: rng}
+}
+
+// BuildRandomSample sketches an existing set in one shot by sampling k
+// elements with replacement, exactly as §4 describes.
+func BuildRandomSample(rng *prng.Rand, s *keyset.Set, k int) *RandomSample {
+	if k <= 0 {
+		panic("sampling: non-positive sample size")
+	}
+	rs := &RandomSample{K: k, SetSize: s.Len(), rng: rng}
+	if s.Len() == 0 {
+		return rs
+	}
+	rs.Samples = s.SampleWithReplacement(rng, k)
+	rs.seen = s.Len()
+	return rs
+}
+
+// Observe feeds one newly received key to the reservoir (Vitter's
+// algorithm R), keeping the sample uniform over everything observed.
+// Constant expected work per element.
+func (rs *RandomSample) Observe(key uint64) {
+	rs.seen++
+	rs.SetSize++
+	if len(rs.Samples) < rs.K {
+		rs.Samples = append(rs.Samples, key)
+		return
+	}
+	j := rs.rng.Intn(rs.seen)
+	if j < rs.K {
+		rs.Samples[j] = key
+	}
+}
+
+// EstimateContainment estimates, from a sample of peer P's set, the
+// fraction |S_P ∩ local| / |S_P| — how much of P's content the local peer
+// already holds. The receiver must search each sample key in its own set
+// (the cost §4 warns about; here membership is O(1)).
+func (rs *RandomSample) EstimateContainment(local *keyset.Set) float64 {
+	if len(rs.Samples) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, k := range rs.Samples {
+		if local.Contains(k) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(rs.Samples))
+}
+
+// EstimateIntersection estimates |S_P ∩ local| using the attached set size.
+func (rs *RandomSample) EstimateIntersection(local *keyset.Set) float64 {
+	return rs.EstimateContainment(local) * float64(rs.SetSize)
+}
+
+// EstimateResemblance estimates |S_P ∩ local| / |S_P ∪ local| via
+// inclusion–exclusion using both set sizes.
+func (rs *RandomSample) EstimateResemblance(local *keyset.Set) float64 {
+	inter := rs.EstimateIntersection(local)
+	union := float64(rs.SetSize+local.Len()) - inter
+	if union <= 0 {
+		return 1
+	}
+	return inter / union
+}
+
+// ModKSample is Broder's second sketch: the subset of keys ≡ 0 (mod k).
+// Because both peers apply the same rule, the two samples can be compared
+// directly, entirely on the small samples ("all computation can be done
+// directly on the small samples, instead of on the working sets"). Its
+// drawback — also noted in the paper — is the variable size.
+type ModKSample struct {
+	K       uint64 // modulus
+	Keys    *keyset.Set
+	SetSize int
+}
+
+// NewModKSample returns an empty mod-k sketch.
+func NewModKSample(k uint64) *ModKSample {
+	if k == 0 {
+		panic("sampling: zero modulus")
+	}
+	return &ModKSample{K: k, Keys: keyset.New(16)}
+}
+
+// BuildModKSample sketches an existing set.
+func BuildModKSample(s *keyset.Set, k uint64) *ModKSample {
+	mk := NewModKSample(k)
+	s.Each(func(key uint64) { mk.observe(key) })
+	mk.SetSize = s.Len()
+	return mk
+}
+
+// Observe feeds one newly received key to the sketch. Constant work.
+func (mk *ModKSample) Observe(key uint64) {
+	mk.observe(key)
+	mk.SetSize++
+}
+
+func (mk *ModKSample) observe(key uint64) {
+	if key%mk.K == 0 {
+		mk.Keys.Add(key)
+	}
+}
+
+// Len returns the current (variable) sample size.
+func (mk *ModKSample) Len() int { return mk.Keys.Len() }
+
+// EstimateContainmentOf estimates |S_self ∩ S_other| / |S_self| from two
+// mod-k sketches with the same modulus: |A_k ∩ B_k| / |A_k| is unbiased
+// for it when keys are random. Returns an error on modulus mismatch.
+func (mk *ModKSample) EstimateContainmentOf(other *ModKSample) (float64, error) {
+	if other == nil || mk.K != other.K {
+		return 0, errors.New("sampling: mod-k modulus mismatch")
+	}
+	if mk.Keys.Len() == 0 {
+		return 0, nil
+	}
+	inter := mk.Keys.IntersectionSize(other.Keys)
+	return float64(inter) / float64(mk.Keys.Len()), nil
+}
+
+// EstimateResemblance estimates |A ∩ B| / |A ∪ B| directly on the samples.
+func (mk *ModKSample) EstimateResemblance(other *ModKSample) (float64, error) {
+	if other == nil || mk.K != other.K {
+		return 0, errors.New("sampling: mod-k modulus mismatch")
+	}
+	inter := mk.Keys.IntersectionSize(other.Keys)
+	union := mk.Keys.Len() + other.Keys.Len() - inter
+	if union == 0 {
+		return 1, nil
+	}
+	return float64(inter) / float64(union), nil
+}

@@ -1,0 +1,219 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// overlapping returns two sets of size n whose intersection is frac*n.
+func overlapping(rng *prng.Rand, n int, frac float64) (*keyset.Set, *keyset.Set) {
+	shared := int(frac * float64(n))
+	common := keyset.Random(rng, shared)
+	a := common.Clone()
+	b := common.Clone()
+	for a.Len() < n {
+		a.Add(rng.Uint64())
+	}
+	for b.Len() < n {
+		b.Add(rng.Uint64())
+	}
+	return a, b
+}
+
+func TestRandomSampleContainmentAccuracy(t *testing.T) {
+	rng := prng.New(42)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		a, b := overlapping(rng, 5000, frac)
+		truth := a.ContainmentIn(b) // |A∩B|/|A|
+		var sum float64
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			sk := BuildRandomSample(rng, a, DefaultSampleSize)
+			sum += sk.EstimateContainment(b)
+		}
+		est := sum / trials
+		if math.Abs(est-truth) > 0.05 {
+			t.Errorf("frac=%.2f: estimate %.3f, truth %.3f", frac, est, truth)
+		}
+	}
+}
+
+func TestRandomSampleEmptySet(t *testing.T) {
+	rng := prng.New(1)
+	sk := BuildRandomSample(rng, keyset.New(0), 16)
+	if got := sk.EstimateContainment(keyset.New(0)); got != 0 {
+		t.Fatalf("containment of empty = %v", got)
+	}
+}
+
+func TestRandomSamplePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BuildRandomSample(prng.New(1), keyset.New(0), 0)
+}
+
+func TestReservoirIncrementalUniform(t *testing.T) {
+	// Feed 1000 keys through Observe with K=100; every key should appear
+	// in the final reservoir with probability ~K/N.
+	const n, k, trials = 1000, 100, 300
+	counts := make([]int, n)
+	for tr := 0; tr < trials; tr++ {
+		rs := NewRandomSample(prng.New(uint64(tr)), k)
+		for i := 0; i < n; i++ {
+			rs.Observe(uint64(i))
+		}
+		if len(rs.Samples) != k || rs.SetSize != n {
+			t.Fatalf("reservoir size %d, SetSize %d", len(rs.Samples), rs.SetSize)
+		}
+		for _, key := range rs.Samples {
+			counts[key]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n) // 30
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("key %d retained %d times, want ≈%.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirMatchesTruthOnOverlap(t *testing.T) {
+	rng := prng.New(7)
+	a, b := overlapping(rng, 3000, 0.6)
+	rs := NewRandomSample(rng, 256)
+	a.Each(rs.Observe)
+	truth := a.ContainmentIn(b)
+	if got := rs.EstimateContainment(b); math.Abs(got-truth) > 0.12 {
+		t.Fatalf("reservoir estimate %.3f, truth %.3f", got, truth)
+	}
+}
+
+func TestRandomSampleResemblance(t *testing.T) {
+	rng := prng.New(9)
+	a, b := overlapping(rng, 4000, 0.5)
+	truth := a.Resemblance(b)
+	var sum float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		sum += BuildRandomSample(rng, a, 256).EstimateResemblance(b)
+	}
+	if est := sum / trials; math.Abs(est-truth) > 0.05 {
+		t.Fatalf("resemblance estimate %.3f, truth %.3f", est, truth)
+	}
+}
+
+func TestModKAccuracy(t *testing.T) {
+	rng := prng.New(11)
+	for _, frac := range []float64{0, 0.3, 0.7, 1} {
+		a, b := overlapping(rng, 20000, frac)
+		ska := BuildModKSample(a, 64)
+		skb := BuildModKSample(b, 64)
+		truth := a.ContainmentIn(b)
+		got, err := ska.EstimateContainmentOf(skb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.1 {
+			t.Errorf("frac=%.1f: mod-k containment %.3f, truth %.3f (sample %d)",
+				frac, got, truth, ska.Len())
+		}
+		r, err := ska.EstimateResemblance(skb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-a.Resemblance(b)) > 0.1 {
+			t.Errorf("frac=%.1f: mod-k resemblance %.3f, truth %.3f", frac, r, a.Resemblance(b))
+		}
+	}
+}
+
+func TestModKVariableSize(t *testing.T) {
+	// The documented drawback: sample size is variable, roughly n/k.
+	rng := prng.New(13)
+	s := keyset.Random(rng, 32000)
+	sk := BuildModKSample(s, 64)
+	want := 32000.0 / 64
+	if float64(sk.Len()) < want/2 || float64(sk.Len()) > want*2 {
+		t.Fatalf("mod-64 sample size %d, want ≈%.0f", sk.Len(), want)
+	}
+}
+
+func TestModKIncrementalMatchesBatch(t *testing.T) {
+	rng := prng.New(17)
+	s := keyset.Random(rng, 5000)
+	batch := BuildModKSample(s, 32)
+	inc := NewModKSample(32)
+	s.Each(inc.Observe)
+	if !batch.Keys.Equal(inc.Keys) {
+		t.Fatal("incremental mod-k differs from batch")
+	}
+	if inc.SetSize != s.Len() {
+		t.Fatalf("SetSize = %d", inc.SetSize)
+	}
+}
+
+func TestModKMismatch(t *testing.T) {
+	a := NewModKSample(8)
+	b := NewModKSample(16)
+	if _, err := a.EstimateContainmentOf(b); err == nil {
+		t.Fatal("modulus mismatch accepted")
+	}
+	if _, err := a.EstimateResemblance(nil); err == nil {
+		t.Fatal("nil other accepted")
+	}
+}
+
+func TestModKZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewModKSample(0)
+}
+
+func TestModKEmptySelf(t *testing.T) {
+	a := NewModKSample(4)
+	b := NewModKSample(4)
+	got, err := a.EstimateContainmentOf(b)
+	if err != nil || got != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	r, err := a.EstimateResemblance(b)
+	if err != nil || r != 1 {
+		t.Fatalf("resemblance of empties = %v", r)
+	}
+}
+
+func BenchmarkBuildRandomSample(b *testing.B) {
+	rng := prng.New(1)
+	s := keyset.Random(rng, 23968)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildRandomSample(rng, s, DefaultSampleSize)
+	}
+}
+
+func BenchmarkReservoirObserve(b *testing.B) {
+	rs := NewRandomSample(prng.New(1), DefaultSampleSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Observe(uint64(i))
+	}
+}
+
+func BenchmarkEstimateContainment(b *testing.B) {
+	rng := prng.New(2)
+	s := keyset.Random(rng, 23968)
+	sk := BuildRandomSample(rng, s, DefaultSampleSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sk.EstimateContainment(s)
+	}
+}

@@ -1,0 +1,234 @@
+// Package setrecon implements the exact set-reconciliation baselines of
+// §5.1, against which the paper positions its approximate methods:
+//
+//   - HashedSetDiff — "peer A hashes each element and sends the set of
+//     hashes": O(|S_A| log h) bits, exact up to hash collisions;
+//   - the characteristic-polynomial method of Minsky, Trachtenberg and
+//     Zippel: peer A sends evaluations of χ_A(z) = Π_{a∈S_A}(z−a) at a
+//     handful of agreed sample points — O(d log u) bits for discrepancy
+//     d — and peer B interpolates the reduced rational function
+//     χ_A/χ_B = P/Q whose monic numerator and denominator vanish
+//     exactly on S_A−S_B and S_B−S_A. B finds its exclusive elements by
+//     evaluating Q over its own working set.
+//
+// As §5.1 observes, the polynomial method's messages are optimally small
+// but the work is Θ(d·|S_A|) evaluation plus Θ(d³) solving, and d must be
+// (bounded in advance or discovered by retrying) — which is exactly why
+// the paper replaces exactness with Bloom filters and ARTs when d is
+// large. The benchmarks make that tradeoff measurable.
+package setrecon
+
+import (
+	"errors"
+	"fmt"
+
+	"icd/internal/gf"
+	"icd/internal/hashing"
+	"icd/internal/keyset"
+)
+
+// HashedSetDiff is baseline 1: exchange hashed key sets and subtract.
+// The returned slice holds the elements of local missing from remote's
+// hash set. Exact up to 64-bit hash collisions. Message size is
+// 8·|remote| bytes — linear in the set, the cost §5.1 rejects for large
+// working sets.
+func HashedSetDiff(remoteHashes map[uint64]struct{}, local *keyset.Set, hashSeed uint64) []uint64 {
+	var out []uint64
+	local.Each(func(k uint64) {
+		if _, ok := remoteHashes[hashing.Mix64(k^hashSeed)]; !ok {
+			out = append(out, k)
+		}
+	})
+	return out
+}
+
+// HashSet builds the hashed form of a working set for HashedSetDiff.
+func HashSet(s *keyset.Set, hashSeed uint64) map[uint64]struct{} {
+	out := make(map[uint64]struct{}, s.Len())
+	s.Each(func(k uint64) {
+		out[hashing.Mix64(k^hashSeed)] = struct{}{}
+	})
+	return out
+}
+
+// toField folds a symbol key into GF(p). The fold is not injective over
+// all of uint64, but collisions are ~2^-61 per pair — the same regime as
+// the paper's hashed keys.
+func toField(key uint64) gf.Elem { return gf.Reduce(key) }
+
+// SamplePoints derives the agreed evaluation points z_1..z_k from a seed.
+// Both peers must use the same seed and count.
+func SamplePoints(seed uint64, k int) []gf.Elem {
+	pts := make([]gf.Elem, k)
+	seen := make(map[gf.Elem]bool, k)
+	ctr := uint64(0)
+	for i := 0; i < k; {
+		ctr++
+		z := gf.Reduce(hashing.Mix64Pair(seed, ctr))
+		if z == 0 || seen[z] {
+			continue
+		}
+		seen[z] = true
+		pts[i] = z
+		i++
+	}
+	return pts
+}
+
+// Summary is peer A's message: its set size and the evaluations of its
+// characteristic polynomial at the agreed points — (maxD + slack + 1)
+// field elements ≈ O(d log u) bits total.
+type Summary struct {
+	SetSize int
+	Seed    uint64
+	Evals   []gf.Elem
+}
+
+// Summarize evaluates χ_A at enough points to reconcile discrepancies up
+// to maxD (with verification slack). Work: Θ(|S_A| · points).
+func Summarize(set *keyset.Set, seed uint64, maxD int) (*Summary, error) {
+	if maxD < 1 {
+		return nil, errors.New("setrecon: non-positive discrepancy bound")
+	}
+	points := SamplePoints(seed, maxD+verifySlack+1)
+	evals := make([]gf.Elem, len(points))
+	for i := range evals {
+		evals[i] = 1
+	}
+	set.Each(func(k uint64) {
+		x := toField(k)
+		for i, z := range points {
+			evals[i] = gf.Mul(evals[i], gf.Sub(z, x))
+		}
+	})
+	return &Summary{SetSize: set.Len(), Seed: seed, Evals: evals}, nil
+}
+
+// verifySlack is the number of extra evaluation points used to validate
+// an interpolated rational function before accepting it.
+const verifySlack = 4
+
+// Reconcile recovers S_local − S_remote exactly from the remote summary:
+// the §5.1 exact method from peer B's point of view. It tries discrepancy
+// bounds of the right parity until the interpolated rational function
+// verifies on the slack points, then returns the local elements on which
+// the denominator vanishes.
+//
+// It fails if the true discrepancy exceeds the summary's bound — the
+// known limitation of exact reconciliation ("prohibitive except when d is
+// known and known to be small").
+func Reconcile(remote *Summary, local *keyset.Set) ([]uint64, error) {
+	if remote == nil || len(remote.Evals) == 0 {
+		return nil, errors.New("setrecon: empty summary")
+	}
+	points := SamplePoints(remote.Seed, len(remote.Evals))
+	maxD := len(remote.Evals) - verifySlack - 1
+
+	// B's own evaluations.
+	localEvals := make([]gf.Elem, len(points))
+	for i := range localEvals {
+		localEvals[i] = 1
+	}
+	local.Each(func(k uint64) {
+		x := toField(k)
+		for i, z := range points {
+			localEvals[i] = gf.Mul(localEvals[i], gf.Sub(z, x))
+		}
+	})
+
+	// f_i = χ_A(z_i) / χ_B(z_i) = P(z_i)/Q(z_i) with P monic vanishing on
+	// S_A−S_B and Q monic vanishing on S_B−S_A.
+	f := make([]gf.Elem, len(points))
+	for i := range f {
+		if localEvals[i] == 0 || remote.Evals[i] == 0 {
+			return nil, fmt.Errorf("setrecon: sample point %d hit a set element; re-seed", i)
+		}
+		f[i] = gf.Mul(remote.Evals[i], gf.Inv(localEvals[i]))
+	}
+
+	delta := remote.SetSize - local.Len() // deg P − deg Q
+	// Try growing total discrepancy D with the parity forced by delta.
+	start := delta
+	if start < 0 {
+		start = -start
+	}
+	for d := start; d <= maxD; d += 2 {
+		dA := (d + delta) / 2 // |S_A − S_B|
+		dB := (d - delta) / 2 // |S_B − S_A|
+		if dA < 0 || dB < 0 {
+			continue
+		}
+		q, ok := trySolve(points, f, dA, dB)
+		if !ok {
+			continue
+		}
+		// Roots of Q among the local set are exactly S_B − S_A.
+		var out []uint64
+		local.Each(func(k uint64) {
+			if q.Eval(toField(k)) == 0 {
+				out = append(out, k)
+			}
+		})
+		if len(out) != dB {
+			continue // spurious solution; enlarge d
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("setrecon: discrepancy exceeds bound %d", maxD)
+}
+
+// trySolve interpolates monic P (deg dA) and Q (deg dB) with
+// P(z_i) = f_i·Q(z_i), using dA+dB equations, verifying on the remaining
+// points. It returns Q on success.
+func trySolve(points []gf.Elem, f []gf.Elem, dA, dB int) (gf.Poly, bool) {
+	unknowns := dA + dB
+	if unknowns+verifySlack > len(points) {
+		return nil, false
+	}
+	if unknowns == 0 {
+		// Identical sets (given delta 0): verify f ≡ 1.
+		for _, v := range f {
+			if v != 1 {
+				return nil, false
+			}
+		}
+		return gf.Poly{1}, true
+	}
+	// Row i: Σ_{j<dA} p_j z^j − f_i Σ_{k<dB} q_k z^k = f_i z^dB − z^dA.
+	a := make([][]gf.Elem, unknowns)
+	b := make([]gf.Elem, unknowns)
+	for i := 0; i < unknowns; i++ {
+		z := points[i]
+		row := make([]gf.Elem, unknowns)
+		zp := gf.Elem(1)
+		for j := 0; j < dA; j++ {
+			row[j] = zp
+			zp = gf.Mul(zp, z)
+		}
+		zq := gf.Elem(1)
+		for k := 0; k < dB; k++ {
+			row[dA+k] = gf.Neg(gf.Mul(f[i], zq))
+			zq = gf.Mul(zq, z)
+		}
+		a[i] = row
+		b[i] = gf.Sub(gf.Mul(f[i], gf.Pow(z, uint64(dB))), gf.Pow(z, uint64(dA)))
+	}
+	x, err := gf.SolveLinear(a, b)
+	if err != nil {
+		return nil, false
+	}
+	p := make(gf.Poly, dA+1)
+	copy(p, x[:dA])
+	p[dA] = 1
+	q := make(gf.Poly, dB+1)
+	copy(q, x[dA:])
+	q[dB] = 1
+	// Verify on the held-out points.
+	for i := unknowns; i < len(points); i++ {
+		z := points[i]
+		if p.Eval(z) != gf.Mul(f[i], q.Eval(z)) {
+			return nil, false
+		}
+	}
+	return q, true
+}

@@ -1,0 +1,188 @@
+package setrecon
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// plant builds remote/local sets with known exclusive elements on each
+// side: remote = core ∪ remOnly, local = core ∪ locOnly.
+func plant(rng *prng.Rand, core, remOnly, locOnly int) (remote, local *keyset.Set, localExclusive []uint64) {
+	base := keyset.Random(rng, core)
+	remote = base.Clone()
+	local = base.Clone()
+	for remote.Len() < core+remOnly {
+		remote.Add(rng.Uint64() >> 3) // keep keys < 2^61 so field folding is injective
+	}
+	for len(localExclusive) < locOnly {
+		k := rng.Uint64() >> 3
+		if !remote.Contains(k) && local.Add(k) {
+			localExclusive = append(localExclusive, k)
+		}
+	}
+	return remote, local, localExclusive
+}
+
+func sorted(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestHashedSetDiffExact(t *testing.T) {
+	rng := prng.New(1)
+	remote, local, want := plant(rng, 2000, 30, 40)
+	got := HashedSetDiff(HashSet(remote, 7), local, 7)
+	g, w := sorted(got), sorted(want)
+	if len(g) != len(w) {
+		t.Fatalf("found %d, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("diff mismatch at %d", i)
+		}
+	}
+}
+
+func TestPolynomialReconcileExact(t *testing.T) {
+	rng := prng.New(2)
+	for _, tc := range []struct{ core, rem, loc int }{
+		{500, 0, 5},   // local strictly ahead
+		{500, 5, 0},   // remote strictly ahead: nothing to find
+		{500, 7, 9},   // both sides differ
+		{500, 12, 12}, // symmetric difference
+		{500, 0, 0},   // identical sets
+	} {
+		remote, local, want := plant(rng, tc.core, tc.rem, tc.loc)
+		sum, err := Summarize(remote, 99, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reconcile(sum, local)
+		if err != nil {
+			t.Fatalf("core=%d rem=%d loc=%d: %v", tc.core, tc.rem, tc.loc, err)
+		}
+		g, w := sorted(got), sorted(want)
+		if len(g) != len(w) {
+			t.Fatalf("core=%d rem=%d loc=%d: found %d, want %d", tc.core, tc.rem, tc.loc, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestReconcileMessageIsSmall(t *testing.T) {
+	// §5.1's point: the summary is O(d log u) bits regardless of set
+	// size — here 40+4+1 field elements for sets of 10000.
+	rng := prng.New(3)
+	remote, _, _ := plant(rng, 10000, 5, 5)
+	sum, err := Summarize(remote, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Evals) != 45 {
+		t.Fatalf("summary has %d evaluations", len(sum.Evals))
+	}
+}
+
+func TestReconcileBeyondBoundFails(t *testing.T) {
+	rng := prng.New(4)
+	remote, local, _ := plant(rng, 300, 30, 30) // d = 60
+	sum, err := Summarize(remote, 5, 20)        // bound 20 < 60
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconcile(sum, local); err == nil {
+		t.Fatal("discrepancy beyond bound accepted")
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	if _, err := Summarize(keyset.New(0), 1, 0); err == nil {
+		t.Fatal("bad bound accepted")
+	}
+	if _, err := Reconcile(nil, keyset.New(0)); err == nil {
+		t.Fatal("nil summary accepted")
+	}
+}
+
+func TestSamplePointsDeterministicDistinct(t *testing.T) {
+	a := SamplePoints(42, 50)
+	b := SamplePoints(42, 50)
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if seen[uint64(a[i])] {
+			t.Fatal("duplicate point")
+		}
+		seen[uint64(a[i])] = true
+	}
+}
+
+// Property: for random small scenarios the polynomial method recovers
+// exactly the local-exclusive elements.
+func TestQuickPolynomialExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		core := 50 + rng.Intn(100)
+		rem := rng.Intn(6)
+		loc := rng.Intn(6)
+		remote, local, want := plant(rng, core, rem, loc)
+		sum, err := Summarize(remote, seed, 16)
+		if err != nil {
+			return false
+		}
+		got, err := Reconcile(sum, local)
+		if err != nil {
+			return false
+		}
+		g, w := sorted(got), sorted(want)
+		if len(g) != len(w) {
+			return false
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSummarizeD40(b *testing.B) {
+	rng := prng.New(1)
+	set := keyset.Random(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(set, 1, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconcileD20(b *testing.B) {
+	rng := prng.New(2)
+	remote, local, _ := plant(rng, 5000, 10, 10)
+	sum, err := Summarize(remote, 9, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconcile(sum, local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package strategy
+
+import (
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/recode"
+)
+
+func TestChunkSizeHeuristic(t *testing.T) {
+	cfg := Config{}.Default()
+	if got := cfg.chunkSize(90); got != 128 {
+		t.Fatalf("small pool chunk = %d, want floor 128", got)
+	}
+	if got := cfg.chunkSize(3000); got != 1000 {
+		t.Fatalf("pool/3 chunk = %d, want 1000", got)
+	}
+	if got := cfg.chunkSize(100000); got != 2048 {
+		t.Fatalf("huge pool chunk = %d, want cap 2048", got)
+	}
+	explicit := Config{RecodeDomainLimit: 512}.Default()
+	if got := explicit.chunkSize(3000); got != 512 {
+		t.Fatalf("explicit limit ignored: %d", got)
+	}
+	whole := Config{RecodeDomainLimit: -1}.Default()
+	if got := whole.chunkSize(3000); got != 3000 {
+		t.Fatalf("disabled chunking: %d", got)
+	}
+}
+
+func TestChunkedRecoderCoversWholePool(t *testing.T) {
+	rng := prng.New(1)
+	pool := keyset.Random(rng, 700)
+	cr, err := newChunkedRecoder(rng, pool, 200, recode.MaxDegree, 1.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.total != 700 {
+		t.Fatalf("total = %d", cr.total)
+	}
+	// Chunks partition the pool: union of all recoder domains = pool.
+	seen := keyset.New(700)
+	covered := 0
+	for _, r := range cr.recoders {
+		covered += r.DomainSize()
+	}
+	if covered != 700 {
+		t.Fatalf("chunks cover %d of 700 symbols", covered)
+	}
+	// Emitted constituents always come from the pool.
+	for i := 0; i < 2000; i++ {
+		sym := cr.next()
+		for _, id := range sym.IDs {
+			if !pool.Contains(id) {
+				t.Fatalf("constituent %d not in pool", id)
+			}
+			seen.Add(id)
+		}
+	}
+	// With >2 full budget cycles, every chunk must have been visited:
+	// expect near-complete constituent coverage.
+	if seen.Len() < 600 {
+		t.Fatalf("only %d/700 symbols ever blended", seen.Len())
+	}
+}
+
+func TestChunkedRecoderRotation(t *testing.T) {
+	rng := prng.New(2)
+	pool := keyset.Random(rng, 400)
+	cr, err := newChunkedRecoder(rng, pool, 100, recode.MaxDegree, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.recoders) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(cr.recoders))
+	}
+	// The first budget worth of symbols must all come from chunk 0's
+	// domain; the next batch from chunk 1's.
+	domainOf := func(idx int) map[uint64]bool {
+		m := map[uint64]bool{}
+		for i := 0; i < 5000; i++ { // sample the recoder's domain
+			for _, id := range cr.recoders[idx].Next(recode.Oblivious, 0).IDs {
+				m[id] = true
+			}
+		}
+		return m
+	}
+	_ = domainOf
+	first := cr.budgets[0]
+	var fromFirst []uint64
+	for i := 0; i < first; i++ {
+		fromFirst = append(fromFirst, cr.next().IDs...)
+	}
+	if cr.cur != 1 {
+		t.Fatalf("after budget, current chunk = %d, want 1", cr.cur)
+	}
+	// All constituents so far from one 100-element chunk.
+	distinct := keyset.FromKeys(fromFirst)
+	if distinct.Len() > 101 {
+		t.Fatalf("first budget blended %d distinct symbols — crossed chunks", distinct.Len())
+	}
+}
+
+func TestChunkedRecoderTinyRemainderMerged(t *testing.T) {
+	rng := prng.New(3)
+	pool := keyset.Random(rng, 210) // chunks of 200 → remainder 10 merges
+	cr, err := newChunkedRecoder(rng, pool, 200, recode.MaxDegree, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.recoders) != 1 {
+		t.Fatalf("chunks = %d, want 1 (remainder merged)", len(cr.recoders))
+	}
+	if cr.recoders[0].DomainSize() != 210 {
+		t.Fatalf("merged chunk size %d", cr.recoders[0].DomainSize())
+	}
+}
+
+func TestRecodeBFWholePoolConfig(t *testing.T) {
+	// RecodeDomainLimit < 0 must produce a single whole-pool recoder.
+	rng := prng.New(4)
+	recv, send := sets(rng, 500, 500, 0)
+	s, err := NewSender(RecodeBF, rng, send, recv, Config{RecodeDomainLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.chunks == nil || len(s.chunks.recoders) != 1 {
+		t.Fatal("whole-pool config did not yield a single chunk")
+	}
+}

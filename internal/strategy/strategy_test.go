@@ -1,0 +1,243 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// sets builds a sender set of size nb with |A∩B| = overlap, receiver size
+// na.
+func sets(rng *prng.Rand, na, nb, overlap int) (receiver, sender *keyset.Set) {
+	common := keyset.Random(rng, overlap)
+	receiver = common.Clone()
+	sender = common.Clone()
+	for receiver.Len() < na {
+		receiver.Add(rng.Uint64())
+	}
+	for sender.Len() < nb {
+		sender.Add(rng.Uint64())
+	}
+	return receiver, sender
+}
+
+func TestKindStrings(t *testing.T) {
+	want := []string{"Random", "Random/BF", "Recode", "Recode/BF", "Recode/MW"}
+	for i, k := range AllKinds {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind string")
+	}
+	if !RandomBF.UsesBloom() || !RecodeBF.UsesBloom() || Random.UsesBloom() {
+		t.Fatal("UsesBloom wrong")
+	}
+	if !RecodeMW.UsesMinwise() || Recode.UsesMinwise() {
+		t.Fatal("UsesMinwise wrong")
+	}
+}
+
+func TestRandomEmitsMemberSymbols(t *testing.T) {
+	rng := prng.New(1)
+	recv, send := sets(rng, 100, 100, 50)
+	s, err := NewSender(Random, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		sym := s.Next()
+		if sym.Degree() != 1 {
+			t.Fatalf("Random emitted degree %d", sym.Degree())
+		}
+		if !send.Contains(sym.IDs[0]) {
+			t.Fatalf("Random emitted non-member %d", sym.IDs[0])
+		}
+	}
+	if s.Sent() != 500 {
+		t.Fatalf("Sent = %d", s.Sent())
+	}
+}
+
+func TestRandomIsWithReplacement(t *testing.T) {
+	// The coupon-collector characterization of §6.3 requires memoryless
+	// sampling: over many draws from a small pool, duplicates must occur.
+	rng := prng.New(2)
+	recv, send := sets(rng, 10, 10, 0)
+	s, _ := NewSender(Random, rng, send, recv, Config{})
+	seen := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		seen[s.Next().IDs[0]]++
+	}
+	dups := 0
+	for _, c := range seen {
+		if c > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("no duplicates over 100 draws from a 10-symbol pool")
+	}
+}
+
+func TestRandomBFPoolExcludesReceiverSymbols(t *testing.T) {
+	rng := prng.New(3)
+	recv, send := sets(rng, 2000, 2000, 1000)
+	s, err := NewSender(RandomBF, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool ≈ the 1000 symbols the receiver lacks (no false negatives ⇒
+	// every overlap symbol is filtered; FPs may remove a few useful ones).
+	if s.PoolSize() > 1000 {
+		t.Fatalf("pool %d > true useful 1000 — Bloom filter has false negatives?", s.PoolSize())
+	}
+	if s.PoolSize() < 900 {
+		t.Fatalf("pool %d, lost too many to false positives", s.PoolSize())
+	}
+	for i := 0; i < 1000; i++ {
+		sym := s.Next()
+		if recv.Contains(sym.IDs[0]) {
+			t.Fatalf("Random/BF sent a symbol the receiver holds")
+		}
+	}
+	// Diagnostic: excluded count should be near fp_rate × useful ≈ 22.
+	if s.ExcludedByFalsePositives() > 100 {
+		t.Fatalf("excluded = %d, implausible for 8 bits/elem", s.ExcludedByFalsePositives())
+	}
+}
+
+func TestRandomBFIdenticalSetsFallback(t *testing.T) {
+	rng := prng.New(4)
+	recv := keyset.Random(rng, 300)
+	send := recv.Clone()
+	s, err := NewSender(RandomBF, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything is filtered; the sender must still emit something.
+	if sym := s.Next(); sym.Degree() != 1 {
+		t.Fatal("fallback did not emit")
+	}
+}
+
+func TestRecodeEmitsRecodedSymbols(t *testing.T) {
+	rng := prng.New(5)
+	recv, send := sets(rng, 500, 500, 250)
+	s, err := NewSender(Recode, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMulti := false
+	for i := 0; i < 200; i++ {
+		sym := s.Next()
+		if sym.Degree() > 50 {
+			t.Fatalf("degree %d beyond cap", sym.Degree())
+		}
+		if sym.Degree() > 1 {
+			sawMulti = true
+		}
+		for _, id := range sym.IDs {
+			if !send.Contains(id) {
+				t.Fatalf("recoded over non-member %d", id)
+			}
+		}
+	}
+	if !sawMulti {
+		t.Fatal("Recode never blended more than one symbol")
+	}
+}
+
+func TestRecodeBFDomainExcludesReceiver(t *testing.T) {
+	rng := prng.New(6)
+	recv, send := sets(rng, 1000, 1000, 600)
+	s, err := NewSender(RecodeBF, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolSize() > 400 {
+		t.Fatalf("recode domain %d > useful 400", s.PoolSize())
+	}
+	for i := 0; i < 200; i++ {
+		for _, id := range s.Next().IDs {
+			if recv.Contains(id) {
+				t.Fatal("Recode/BF blended a symbol the receiver holds")
+			}
+		}
+	}
+}
+
+func TestRecodeMWContainmentEstimate(t *testing.T) {
+	rng := prng.New(7)
+	recv, send := sets(rng, 2000, 2000, 1200) // c = |A∩B|/|B| = 0.6
+	s, err := NewSender(RecodeMW, rng, send, recv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Containment()-0.6) > 0.15 {
+		t.Fatalf("containment estimate %.3f, truth 0.6", s.Containment())
+	}
+	// Degrees should be inflated relative to oblivious recoding.
+	so, _ := NewSender(Recode, rng, send, recv, Config{})
+	mean := func(s *Sender) float64 {
+		var sum float64
+		for i := 0; i < 1000; i++ {
+			sum += float64(s.Next().Degree())
+		}
+		return sum / 1000
+	}
+	mo, mw := mean(so), mean(s)
+	if mw <= mo {
+		t.Fatalf("Recode/MW mean degree %.2f not above oblivious %.2f", mw, mo)
+	}
+}
+
+func TestSenderErrors(t *testing.T) {
+	rng := prng.New(8)
+	recv := keyset.Random(rng, 10)
+	if _, err := NewSender(Random, rng, keyset.New(0), recv, Config{}); err == nil {
+		t.Fatal("empty sender accepted")
+	}
+	if _, err := NewSender(Kind(42), rng, recv, recv, Config{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestConfigDefault(t *testing.T) {
+	c := Config{}.Default()
+	if c.BloomBitsPerElement != 8 || c.BloomHashes != 5 || c.MinwiseSize != 128 || c.RecodeMaxDegree != 50 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{BloomBitsPerElement: 4, BloomHashes: 3}.Default()
+	if c2.BloomBitsPerElement != 4 || c2.BloomHashes != 3 {
+		t.Fatalf("explicit config overridden: %+v", c2)
+	}
+}
+
+func BenchmarkNewSenderRecodeBF(b *testing.B) {
+	rng := prng.New(1)
+	recv, send := sets(rng, 10000, 10000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSender(RecodeBF, rng, send, recv, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNextRecodeMW(b *testing.B) {
+	rng := prng.New(2)
+	recv, send := sets(rng, 10000, 10000, 5000)
+	s, err := NewSender(RecodeMW, rng, send, recv, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}

@@ -1,0 +1,109 @@
+package transfer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"icd/internal/prng"
+	"icd/internal/strategy"
+)
+
+// Property: for any strategy, seed and feasible correlation, a completed
+// run respects conservation — the receiver's final distinct count never
+// exceeds what exists (its initial set plus the senders' symbols plus
+// full-sender freshness), overhead is ≥ 1, and per-sender stats add up.
+func TestQuickRunInvariants(t *testing.T) {
+	f := func(seedRaw uint64, kindRaw uint8, corrRaw uint8) bool {
+		kind := strategy.AllKinds[int(kindRaw)%len(strategy.AllKinds)]
+		corr := float64(corrRaw%40) / 100 // 0 … 0.39
+		const n = 300
+		rng := prng.New(seedRaw)
+		recv, send, err := TwoPeerScenario(rng, n, CompactStretch, corr)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Receiver:  recv,
+			Senders:   []SenderSpec{{Set: send, Kind: kind}},
+			Target:    Target(n),
+			MaxRounds: 30 * Target(n),
+			Seed:      seedRaw,
+		})
+		if err != nil {
+			return false
+		}
+		// Conservation: the receiver can hold at most |recv ∪ send|.
+		if res.FinalCount > recv.Union(send).Len() {
+			return false
+		}
+		if res.FinalCount < res.InitialCount {
+			return false
+		}
+		if res.Overhead() < 1 && res.UsefulGained() > 0 {
+			return false
+		}
+		// Stats coherence.
+		sent := 0
+		useful := 0
+		for _, s := range res.Senders {
+			sent += s.Sent
+			useful += s.Useful
+		}
+		if sent != res.Transmissions {
+			return false
+		}
+		return useful == res.UsefulGained()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a full sender can only help — rounds with
+// full+partial never exceed the full-sender baseline (the partial sender
+// cannot slow the race down in this rate model).
+func TestQuickFullSenderMonotone(t *testing.T) {
+	f := func(seedRaw uint64, kindRaw uint8) bool {
+		kind := strategy.AllKinds[int(kindRaw)%len(strategy.AllKinds)]
+		const n = 300
+		rng := prng.New(seedRaw)
+		recv, send, err := TwoPeerScenario(rng, n, CompactStretch, 0.2)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			Receiver: recv,
+			Senders:  []SenderSpec{{Full: true}, {Set: send, Kind: kind}},
+			Target:   Target(n),
+			Seed:     seedRaw,
+		})
+		if err != nil || !res.Completed {
+			return false
+		}
+		return res.Rounds <= RunBaselineFullSender(recv, Target(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scenario feasibility bound is tight — correlations just
+// under the bound construct, just over it error.
+func TestQuickScenarioBound(t *testing.T) {
+	f := func(seedRaw uint64, stretchPick bool) bool {
+		stretch := CompactStretch
+		if stretchPick {
+			stretch = StretchedStretch
+		}
+		rng := prng.New(seedRaw)
+		max := MaxTwoPeerCorrelation(stretch)
+		if _, _, err := TwoPeerScenario(rng, 1000, stretch, max-0.02); err != nil {
+			return false
+		}
+		_, _, err := TwoPeerScenario(rng, 1000, stretch, max+0.05)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package transfer
+
+import (
+	"fmt"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// Scenario constructors reproducing the §6.3 initial conditions. The
+// "stretch" factor is the ratio of distinct symbols in the system to the
+// number of source blocks n: 1.1 for the paper's compact scenarios
+// ("only slightly more than necessary for recovery") and 1.5 for the
+// stretched ones.
+
+// CompactStretch and StretchedStretch are the §6.3 scenario factors.
+const (
+	CompactStretch   = 1.1
+	StretchedStretch = 1.5
+)
+
+// TwoPeerScenario builds the Figure 5/6 initial conditions: D = stretch·n
+// distinct symbols exist; the receiver holds half of them; the sender
+// holds the other half plus enough of the receiver's symbols to reach
+// correlation corr = |A∩B| / |B|. Per the paper, no partial peer may
+// exceed n symbols, which bounds corr by 1 − stretch/2 (0.45 compact,
+// 0.25 stretched — exactly the x-ranges of Figures 5 and 6).
+func TwoPeerScenario(rng *prng.Rand, n int, stretch, corr float64) (receiver, sender *keyset.Set, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("transfer: n = %d", n)
+	}
+	if stretch < 1 {
+		return nil, nil, fmt.Errorf("transfer: stretch %.3f < 1", stretch)
+	}
+	if corr < 0 || corr >= 1 {
+		return nil, nil, fmt.Errorf("transfer: correlation %.3f outside [0,1)", corr)
+	}
+	d := int(stretch * float64(n))
+	half := d / 2
+	senderSize := int(float64(half)/(1-corr) + 0.5)
+	if senderSize > n {
+		return nil, nil, fmt.Errorf("transfer: correlation %.3f needs sender size %d > n = %d (max corr = %.3f)",
+			corr, senderSize, n, 1-stretch/2)
+	}
+	universe := keyset.Random(rng, d)
+	receiver = keyset.New(half)
+	sender = keyset.New(senderSize)
+	for i := 0; i < half; i++ {
+		receiver.Add(universe.At(i))
+	}
+	for i := half; i < d; i++ {
+		sender.Add(universe.At(i))
+	}
+	// Overlap: sample from the receiver's half.
+	for _, id := range receiver.Sample(rng, senderSize-sender.Len()) {
+		sender.Add(id)
+	}
+	return receiver, sender, nil
+}
+
+// MultiPeerScenario builds the Figure 7/8 initial conditions: numSenders
+// partial senders plus the receiver, every peer holding the same number
+// s of symbols; a fraction corr of each peer's symbols is a pool common
+// to all peers, and the rest are unique to that peer ("each of the
+// symbols in the system is initially either distributed to all of the
+// peers or is known to only one peer"). s solves
+// s·(corr + P·(1−corr)) = stretch·n with P = numSenders+1 peers, subject
+// to s ≤ n.
+func MultiPeerScenario(rng *prng.Rand, n int, stretch, corr float64, numSenders int) (receiver *keyset.Set, senders []*keyset.Set, err error) {
+	if n <= 0 || numSenders < 1 {
+		return nil, nil, fmt.Errorf("transfer: n=%d senders=%d", n, numSenders)
+	}
+	if corr < 0 || corr >= 1 {
+		return nil, nil, fmt.Errorf("transfer: correlation %.3f outside [0,1)", corr)
+	}
+	peers := numSenders + 1
+	d := stretch * float64(n)
+	s := int(d/(corr+float64(peers)*(1-corr)) + 0.5)
+	if s > n {
+		return nil, nil, fmt.Errorf("transfer: correlation %.3f needs peer size %d > n = %d", corr, s, n)
+	}
+	if s < 1 {
+		return nil, nil, fmt.Errorf("transfer: degenerate peer size %d", s)
+	}
+	shared := int(corr*float64(s) + 0.5)
+	unique := s - shared
+
+	pool := keyset.Random(rng, shared)
+	build := func() *keyset.Set {
+		set := pool.Clone()
+		for set.Len() < shared+unique {
+			set.Add(rng.Uint64())
+		}
+		return set
+	}
+	receiver = build()
+	senders = make([]*keyset.Set, numSenders)
+	for i := range senders {
+		senders[i] = build()
+	}
+	return receiver, senders, nil
+}
+
+// MaxTwoPeerCorrelation returns the largest valid correlation for
+// TwoPeerScenario at the given stretch: 1 − stretch/2.
+func MaxTwoPeerCorrelation(stretch float64) float64 { return 1 - stretch/2 }

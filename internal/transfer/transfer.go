@@ -1,0 +1,227 @@
+// Package transfer is the round-based simulator behind the paper's §6
+// evaluation. It models one receiver downloading from any mix of full and
+// partial senders at equal per-connection rates: in each round every
+// sender transmits exactly one symbol and the receiver processes it
+// immediately (regular symbols join the working set; recoded symbols go
+// through the substitution-rule decoder of internal/recode).
+//
+// The simulator works at the symbol-identity level — §6's experiments
+// measure *which* symbols flow, not their payloads (payload correctness
+// is covered by internal/fountain, internal/recode and internal/peer).
+// Completion follows §6.1's simplifying assumption of a constant 7%
+// decoding overhead: the receiver is done when it holds
+// Target = ⌈1.07·n⌉ distinct encoded symbols.
+//
+// A full sender is a true digital fountain: every transmission is a fresh
+// symbol drawn from the unbounded encoding universe, so it is new and
+// useful with probability 1 (collisions with a 64-bit space are
+// negligible and additionally avoided by construction here).
+package transfer
+
+import (
+	"errors"
+	"fmt"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/recode"
+	"icd/internal/strategy"
+)
+
+// DecodingOverhead is §6.1's simplifying assumption: receivers need
+// (1+DecodingOverhead)·n distinct symbols to reconstruct n blocks.
+const DecodingOverhead = 0.07
+
+// Target returns the completion threshold for n source blocks.
+func Target(n int) int {
+	t := int(float64(n)*(1+DecodingOverhead) + 0.999999)
+	return t
+}
+
+// SenderSpec describes one sender.
+type SenderSpec struct {
+	// Set is the sender's working set (ignored for full senders).
+	Set *keyset.Set
+	// Kind is the strategy a partial sender runs (ignored for full
+	// senders, which always stream fresh regular symbols).
+	Kind strategy.Kind
+	// Full marks a sender holding the complete content.
+	Full bool
+}
+
+// Config configures one simulated download.
+type Config struct {
+	// Receiver is the receiver's initial working set (cloned, not
+	// mutated).
+	Receiver *keyset.Set
+	// Senders lists the senders; at least one.
+	Senders []SenderSpec
+	// Target is the number of distinct symbols that completes the
+	// transfer (use Target(n)).
+	Target int
+	// MaxRounds caps the simulation; 0 means 100 × Target.
+	MaxRounds int
+	// Strategy carries the reconciliation parameters (zero value = paper
+	// defaults).
+	Strategy strategy.Config
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// SenderStats reports one sender's contribution.
+type SenderStats struct {
+	Kind   strategy.Kind
+	Full   bool
+	Sent   int // symbols transmitted
+	Useful int // distinct encoded symbols the receiver gained processing them
+}
+
+// Result is the outcome of one simulated download.
+type Result struct {
+	Completed     bool
+	Rounds        int // rounds elapsed (completion can occur mid-round)
+	Transmissions int // total symbols sent by all senders
+	InitialCount  int // receiver's starting distinct count
+	FinalCount    int // receiver's final distinct count
+	Target        int
+	Senders       []SenderStats
+}
+
+// UsefulGained returns how many new distinct symbols the receiver
+// acquired.
+func (r Result) UsefulGained() int { return r.FinalCount - r.InitialCount }
+
+// Overhead is the Figure 5 metric: transmissions per useful symbol
+// delivered, ≥ 1. ("the additional overhead, beyond that of a baseline
+// transfer in which encoded content is used" — the baseline moves one
+// useful symbol per transmission.)
+func (r Result) Overhead() float64 {
+	if g := r.UsefulGained(); g > 0 {
+		return float64(r.Transmissions) / float64(g)
+	}
+	return float64(r.Transmissions)
+}
+
+// fullSender streams fresh, globally unique symbol ids: a digital
+// fountain over the unbounded universe. IDs are tagged into a reserved
+// region so they can never collide with scenario-constructed ids.
+type fullSender struct {
+	next uint64
+}
+
+const fullSenderTag = uint64(1) << 63
+
+func (f *fullSender) Next() recode.Symbol {
+	f.next++
+	return recode.Symbol{IDs: []uint64{fullSenderTag | f.next}}
+}
+
+// Run simulates one download to completion (or MaxRounds).
+func Run(cfg Config) (Result, error) {
+	if cfg.Receiver == nil {
+		return Result{}, errors.New("transfer: nil receiver")
+	}
+	if len(cfg.Senders) == 0 {
+		return Result{}, errors.New("transfer: no senders")
+	}
+	if cfg.Target <= 0 {
+		return Result{}, errors.New("transfer: non-positive target")
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 100 * cfg.Target
+	}
+
+	rng := prng.New(cfg.Seed)
+	dec := recode.NewDecoder(false)
+	cfg.Receiver.Each(func(id uint64) { dec.AddKnown(id, nil) })
+
+	type senderState struct {
+		spec    SenderSpec
+		partial *strategy.Sender
+		full    *fullSender
+		stats   SenderStats
+	}
+	senders := make([]*senderState, len(cfg.Senders))
+	for i, spec := range cfg.Senders {
+		st := &senderState{spec: spec, stats: SenderStats{Kind: spec.Kind, Full: spec.Full}}
+		if spec.Full {
+			st.full = &fullSender{next: uint64(i) << 40} // disjoint id streams per full sender
+		} else {
+			if spec.Set == nil || spec.Set.Len() == 0 {
+				return Result{}, fmt.Errorf("transfer: partial sender %d has no symbols", i)
+			}
+			ps, err := strategy.NewSender(spec.Kind, rng.Split(), spec.Set, cfg.Receiver, cfg.Strategy)
+			if err != nil {
+				return Result{}, fmt.Errorf("transfer: sender %d: %w", i, err)
+			}
+			st.partial = ps
+		}
+		senders[i] = st
+	}
+
+	res := Result{
+		InitialCount: dec.KnownCount(),
+		Target:       cfg.Target,
+		Senders:      make([]SenderStats, len(senders)),
+	}
+	done := dec.KnownCount() >= cfg.Target
+
+	for round := 0; !done && round < maxRounds; round++ {
+		res.Rounds = round + 1
+		for _, st := range senders {
+			var sym recode.Symbol
+			if st.full != nil {
+				sym = st.full.Next()
+			} else {
+				sym = st.partial.Next()
+			}
+			st.stats.Sent++
+			res.Transmissions++
+
+			before := dec.KnownCount()
+			if len(sym.IDs) == 1 {
+				// A regular encoded symbol: joins the working set directly
+				// and may unlock buffered recoded symbols.
+				dec.AddKnown(sym.IDs[0], nil)
+			} else {
+				if _, err := dec.Add(sym); err != nil {
+					return Result{}, err
+				}
+			}
+			st.stats.Useful += dec.KnownCount() - before
+
+			if dec.KnownCount() >= cfg.Target {
+				done = true
+				break
+			}
+		}
+	}
+	res.Completed = done
+	res.FinalCount = dec.KnownCount()
+	for i, st := range senders {
+		res.Senders[i] = st.stats
+	}
+	return res, nil
+}
+
+// RunBaselineFullSender computes the rounds a single full sender needs —
+// the denominator of the paper's speedup and relative-rate metrics. With
+// every transmission useful, it is exactly Target − |Receiver| (floored
+// at 1 to avoid division by zero).
+func RunBaselineFullSender(receiver *keyset.Set, target int) int {
+	rounds := target - receiver.Len()
+	if rounds < 1 {
+		rounds = 1
+	}
+	return rounds
+}
+
+// Speedup is the Figure 6/7/8 metric: baseline full-sender time divided
+// by the parallel time of this run.
+func Speedup(res Result, baselineRounds int) float64 {
+	if res.Rounds == 0 {
+		return 1
+	}
+	return float64(baselineRounds) / float64(res.Rounds)
+}

@@ -1,0 +1,390 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/strategy"
+)
+
+func TestTarget(t *testing.T) {
+	if got := Target(100); got != 107 {
+		t.Fatalf("Target(100) = %d", got)
+	}
+	if got := Target(23968); got != 25646 {
+		t.Fatalf("Target(23968) = %d, want 25646", got)
+	}
+}
+
+func TestFullSenderAloneIsBaseline(t *testing.T) {
+	rng := prng.New(1)
+	recv := keyset.Random(rng, 550)
+	target := Target(1000) // 1070
+	res, err := Run(Config{
+		Receiver: recv,
+		Senders:  []SenderSpec{{Full: true}},
+		Target:   target,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("full sender did not complete")
+	}
+	want := target - 550
+	if res.Transmissions != want {
+		t.Fatalf("full sender took %d transmissions, want exactly %d", res.Transmissions, want)
+	}
+	if math.Abs(res.Overhead()-1) > 1e-9 {
+		t.Fatalf("full sender overhead %.4f, want 1", res.Overhead())
+	}
+	if RunBaselineFullSender(recv, target) != want {
+		t.Fatalf("baseline helper disagrees")
+	}
+}
+
+func TestRandomCompactMatchesCouponCollector(t *testing.T) {
+	// Fig 5(a) anchor at correlation 0: receiver holds half of 1.1n, the
+	// sender the disjoint other half. Random selection with replacement
+	// needs ≈ |B|·(H(|B|) − H(|B|−need)) transmissions.
+	const n = 1000
+	rng := prng.New(2)
+	recv, send, err := TwoPeerScenario(rng, n, CompactStretch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target(n)
+	var totalOH float64
+	const trials = 10
+	for tr := 0; tr < trials; tr++ {
+		res, err := Run(Config{
+			Receiver: recv,
+			Senders:  []SenderSpec{{Set: send, Kind: strategy.Random}},
+			Target:   target,
+			Seed:     uint64(tr),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("did not complete")
+		}
+		totalOH += res.Overhead()
+	}
+	got := totalOH / trials
+
+	// Analytic expectation.
+	b := float64(send.Len())
+	need := float64(target - recv.Len())
+	var expSends float64
+	for k := 0.0; k < need; k++ {
+		expSends += b / (b - k)
+	}
+	want := expSends / need
+	if math.Abs(got-want) > 0.35 {
+		t.Fatalf("Random overhead %.3f, coupon-collector predicts %.3f", got, want)
+	}
+}
+
+func TestBFStrategiesBeatObliviousAtHighCorrelation(t *testing.T) {
+	// The qualitative Fig 5(a) result: at high correlation, Bloom-filter
+	// strategies out-perform their oblivious counterparts. Run at n=2000,
+	// the scale the experiment harness uses (the Recode/BF chunking
+	// heuristic assumes pools of several hundred symbols).
+	const n = 2000
+	rng := prng.New(3)
+	recv, send, err := TwoPeerScenario(rng, n, CompactStretch, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target(n)
+	overhead := func(kind strategy.Kind) float64 {
+		var sum float64
+		const trials = 3
+		for tr := 0; tr < trials; tr++ {
+			res, err := Run(Config{
+				Receiver: recv,
+				Senders:  []SenderSpec{{Set: send, Kind: kind}},
+				Target:   target,
+				Seed:     uint64(100 + tr),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Overhead()
+		}
+		return sum / trials
+	}
+	rand := overhead(strategy.Random)
+	randBF := overhead(strategy.RandomBF)
+	rec := overhead(strategy.Recode)
+	recBF := overhead(strategy.RecodeBF)
+	if randBF >= rand {
+		t.Errorf("Random/BF overhead %.2f not below Random %.2f at corr 0.4", randBF, rand)
+	}
+	// Recode/BF pays a constant chunk-rotation cost (§6.1 restricted
+	// domains) but must stay in the same band as Recode at high
+	// correlation and far below the random strategies.
+	if recBF >= rec+0.35 {
+		t.Errorf("Recode/BF overhead %.2f far above Recode %.2f at corr 0.4", recBF, rec)
+	}
+	if recBF >= randBF {
+		t.Errorf("Recode/BF overhead %.2f not below Random/BF %.2f", recBF, randBF)
+	}
+	t.Logf("corr=0.4 compact: Random %.2f Random/BF %.2f Recode %.2f Recode/BF %.2f",
+		rand, randBF, rec, recBF)
+}
+
+func TestSpeedupWithPartialSenderInRange(t *testing.T) {
+	// Fig 6: adding a partial sender to a full sender yields speedup in
+	// (1, 2] — it can at best double the rate.
+	const n = 600
+	rng := prng.New(4)
+	recv, send, err := TwoPeerScenario(rng, n, CompactStretch, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target(n)
+	res, err := Run(Config{
+		Receiver: recv,
+		Senders: []SenderSpec{
+			{Full: true},
+			{Set: send, Kind: strategy.RecodeBF},
+		},
+		Target: target,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	sp := Speedup(res, RunBaselineFullSender(recv, target))
+	if sp <= 1.0 || sp > 2.0+1e-9 {
+		t.Fatalf("speedup %.3f outside (1, 2]", sp)
+	}
+	if sp < 1.5 {
+		t.Fatalf("Recode/BF speedup %.3f suspiciously low (paper: near 2)", sp)
+	}
+}
+
+func TestMultiPeerScenarioShape(t *testing.T) {
+	rng := prng.New(5)
+	const n = 1000
+	recv, senders, err := MultiPeerScenario(rng, n, CompactStretch, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(senders) != 4 {
+		t.Fatalf("senders = %d", len(senders))
+	}
+	// Every peer has the same size.
+	for _, s := range senders {
+		if s.Len() != recv.Len() {
+			t.Fatalf("peer sizes differ: %d vs %d", s.Len(), recv.Len())
+		}
+	}
+	// The shared pool: intersection of all peers ≈ corr·s.
+	inter := recv.Clone()
+	for _, s := range senders {
+		inter = inter.Intersect(s)
+	}
+	wantShared := 0.2 * float64(recv.Len())
+	if math.Abs(float64(inter.Len())-wantShared) > wantShared/4+2 {
+		t.Fatalf("shared pool %d, want ≈%.0f", inter.Len(), wantShared)
+	}
+	// Union ≈ 1.1n.
+	union := recv.Clone()
+	for _, s := range senders {
+		union = union.Union(s)
+	}
+	if math.Abs(float64(union.Len())-1.1*n) > 0.05*n {
+		t.Fatalf("union %d, want ≈%d", union.Len(), int(1.1*n))
+	}
+}
+
+func TestFourPartialSendersParallelSpeedup(t *testing.T) {
+	// Fig 8 anchor: at low correlation, four Recode/BF partial senders
+	// should deliver a relative rate well above 1.
+	const n = 600
+	rng := prng.New(6)
+	recv, senders, err := MultiPeerScenario(rng, n, CompactStretch, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Target(n)
+	specs := make([]SenderSpec, len(senders))
+	for i, s := range senders {
+		specs[i] = SenderSpec{Set: s, Kind: strategy.RecodeBF}
+	}
+	res, err := Run(Config{Receiver: recv, Senders: specs, Target: target, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete: %d/%d", res.FinalCount, target)
+	}
+	rate := Speedup(res, RunBaselineFullSender(recv, target))
+	if rate < 1.5 {
+		t.Fatalf("relative rate %.3f with 4 partial senders, want > 1.5", rate)
+	}
+	if rate > 4.0+1e-9 {
+		t.Fatalf("relative rate %.3f exceeds sender count", rate)
+	}
+	t.Logf("4 × Recode/BF relative rate at corr 0.05: %.2f", rate)
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	const n = 300
+	rng1 := prng.New(7)
+	recvA, sendA, _ := TwoPeerScenario(rng1, n, CompactStretch, 0.2)
+	rng2 := prng.New(7)
+	recvB, sendB, _ := TwoPeerScenario(rng2, n, CompactStretch, 0.2)
+	if !recvA.Equal(recvB) || !sendA.Equal(sendB) {
+		t.Fatal("scenario construction not deterministic")
+	}
+	run := func(recv, send *keyset.Set) Result {
+		res, err := Run(Config{
+			Receiver: recv,
+			Senders:  []SenderSpec{{Set: send, Kind: strategy.RecodeMW}},
+			Target:   Target(n),
+			Seed:     42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(recvA, sendA), run(recvB, sendB)
+	if r1.Transmissions != r2.Transmissions || r1.Rounds != r2.Rounds || r1.FinalCount != r2.FinalCount {
+		t.Fatalf("same seed, different results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestMaxRoundsDNF(t *testing.T) {
+	rng := prng.New(8)
+	recv, send, _ := TwoPeerScenario(rng, 500, CompactStretch, 0)
+	res, err := Run(Config{
+		Receiver:  recv,
+		Senders:   []SenderSpec{{Set: send, Kind: strategy.Random}},
+		Target:    Target(500),
+		MaxRounds: 3,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("completed in 3 rounds?!")
+	}
+	if res.Rounds != 3 || res.Transmissions != 3 {
+		t.Fatalf("rounds=%d transmissions=%d", res.Rounds, res.Transmissions)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rng := prng.New(9)
+	recv := keyset.Random(rng, 10)
+	cases := []Config{
+		{Senders: []SenderSpec{{Full: true}}, Target: 5},                         // nil receiver
+		{Receiver: recv, Target: 5},                                              // no senders
+		{Receiver: recv, Senders: []SenderSpec{{Full: true}}, Target: 0},         // bad target
+		{Receiver: recv, Senders: []SenderSpec{{Set: keyset.New(0)}}, Target: 5}, // empty partial
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAlreadyComplete(t *testing.T) {
+	rng := prng.New(10)
+	recv := keyset.Random(rng, 100)
+	res, err := Run(Config{
+		Receiver: recv,
+		Senders:  []SenderSpec{{Full: true}},
+		Target:   50,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Transmissions != 0 || res.Rounds != 0 {
+		t.Fatalf("pre-complete run: %+v", res)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	rng := prng.New(11)
+	if _, _, err := TwoPeerScenario(rng, 0, 1.1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := TwoPeerScenario(rng, 100, 0.9, 0); err == nil {
+		t.Error("stretch<1 accepted")
+	}
+	if _, _, err := TwoPeerScenario(rng, 100, 1.1, -0.1); err == nil {
+		t.Error("negative corr accepted")
+	}
+	// Beyond the |B| ≤ n bound.
+	if _, _, err := TwoPeerScenario(rng, 100, 1.1, 0.6); err == nil {
+		t.Error("corr beyond bound accepted")
+	}
+	if _, _, err := MultiPeerScenario(rng, 100, 1.1, 0.2, 0); err == nil {
+		t.Error("0 senders accepted")
+	}
+	if _, _, err := MultiPeerScenario(rng, 100, 1.1, 1.0, 2); err == nil {
+		t.Error("corr=1 accepted")
+	}
+}
+
+func TestTwoPeerScenarioProperties(t *testing.T) {
+	rng := prng.New(12)
+	const n = 2000
+	for _, corr := range []float64{0, 0.15, 0.3, 0.44} {
+		recv, send, err := TwoPeerScenario(rng, n, CompactStretch, corr)
+		if err != nil {
+			t.Fatalf("corr=%v: %v", corr, err)
+		}
+		// Receiver holds half the distinct symbols.
+		if got := recv.Len(); got != int(CompactStretch*n)/2 {
+			t.Fatalf("receiver size %d", got)
+		}
+		// Correlation |A∩B|/|B| matches.
+		c := send.ContainmentIn(recv)
+		if math.Abs(c-corr) > 0.02 {
+			t.Fatalf("constructed correlation %.3f, want %.3f", c, corr)
+		}
+		// Sender within the n cap.
+		if send.Len() > n {
+			t.Fatalf("sender size %d > n", send.Len())
+		}
+		// Union covers all distinct symbols.
+		if u := recv.Union(send).Len(); u != int(CompactStretch*n) {
+			t.Fatalf("union %d, want %d", u, int(CompactStretch*n))
+		}
+	}
+}
+
+func BenchmarkRunRecodeBFCompact(b *testing.B) {
+	rng := prng.New(1)
+	recv, send, err := TwoPeerScenario(rng, 1000, CompactStretch, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Receiver: recv,
+			Senders:  []SenderSpec{{Set: send, Kind: strategy.RecodeBF}},
+			Target:   Target(1000),
+			Seed:     uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	icdbench -list
 //	icdbench -exp fig5a [-n 2000] [-trials 5] [-seed 1]
 //	icdbench -all [-n 2000] [-trials 5]
+//	icdbench -micro
 //
 // Experiment ids follow the paper: fig4a, tab4b, tab4c, fig5a, fig5b,
 // fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, coding, fig1. See DESIGN.md
@@ -27,6 +28,7 @@ func main() {
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
 		all     = flag.Bool("all", false, "run every experiment")
+		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline)")
 		exp     = flag.String("exp", "", "experiment id to run")
 		n       = flag.Int("n", 0, "source blocks for transfer experiments (default 2000)")
 		trials  = flag.Int("trials", 0, "trials per data point (default 5)")
@@ -59,6 +61,8 @@ func main() {
 	}
 
 	switch {
+	case *micro:
+		runMicro()
 	case *all:
 		for _, r := range experiment.Registry() {
 			run(r)

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"icd/internal/bloom"
+	"icd/internal/fountain"
+	"icd/internal/keyset"
+	"icd/internal/minwise"
+	"icd/internal/prng"
+	"icd/internal/recode"
+	"icd/internal/xorblock"
+)
+
+// runMicro prints the data-plane microbenchmarks: the word-level XOR
+// kernel, summary-substrate probes, and the steady-state symbol pipeline
+// with its alloc budget (0 allocs/op expected on the encode and recode
+// rows). These are the same hot paths bench_test.go tracks; having them
+// in icdbench gives a one-command smoke check without the test harness.
+func runMicro() {
+	fmt.Println("== data-plane microbenchmarks ==")
+
+	row := func(name string, bytesPerOp int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		line := fmt.Sprintf("%-28s %12.1f ns/op", name, float64(r.NsPerOp()))
+		if bytesPerOp > 0 {
+			mbps := float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
+			line += fmt.Sprintf(" %10.0f MB/s", mbps)
+		}
+		line += fmt.Sprintf(" %8d allocs/op", r.AllocsPerOp())
+		fmt.Println(line)
+	}
+
+	dst := make([]byte, 1400)
+	src := make([]byte, 1400)
+	row("xorblock 1400B", 1400, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xorblock.XorInto(dst, src)
+		}
+	})
+
+	const bloomN = 100000
+	filter := bloom.NewWithBitsPerElement(7, bloomN, 8, 5)
+	for i := uint64(0); i < bloomN; i++ {
+		filter.Add(i)
+	}
+	// Present keys only: a hit walks all k probes (the cost that matters).
+	row("bloom contains (8b/5h)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			filter.Contains(uint64(i % bloomN))
+		}
+	})
+
+	set := keyset.Random(prng.New(1), 10000)
+	row("minwise build 10k keys", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = minwise.Build(7, minwise.DefaultSize, set)
+		}
+	})
+
+	code, err := fountain.NewCode(1000, nil, 1)
+	if err != nil {
+		panic(err)
+	}
+	blocks := make([][]byte, 1000)
+	for i := range blocks {
+		blocks[i] = make([]byte, fountain.DefaultBlockSize)
+	}
+	enc, err := fountain.NewEncoder(code, blocks, 7)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		enc.Release(enc.Next())
+	}
+	row("fountain encode 1400B", fountain.DefaultBlockSize, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc.Release(enc.Next())
+		}
+	})
+
+	domain := keyset.Random(prng.New(2), 2000)
+	payloads := make(map[uint64][]byte, domain.Len())
+	domain.Each(func(id uint64) {
+		payloads[id] = make([]byte, fountain.DefaultBlockSize)
+	})
+	rec, err := recode.NewRecoder(prng.New(3), domain, recode.Options{Payloads: payloads})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		rec.Release(rec.Next(recode.Oblivious, 0))
+	}
+	row("recode next 1400B", fountain.DefaultBlockSize, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec.Release(rec.Next(recode.Oblivious, 0))
+		}
+	})
+}

@@ -48,4 +48,33 @@
 // collaborative overlay delivery, and parallel downloading from partial
 // senders; cmd/icdbench regenerates every figure and table of the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Data-plane performance model
+//
+// Every delivered byte crosses the XOR-of-blocks data plane, so its cost
+// model is kept explicit and benchmarked (bench_test.go's data-plane
+// microbenchmarks; `icdbench -micro` prints the same rows):
+//
+//   - XOR cost is words, not bytes. internal/xorblock XORs 8×8-byte
+//     words per unrolled iteration (~15 GB/s on commodity x86, vs
+//     ~2.5 GB/s for the byte loop it replaced). Encoding a symbol of
+//     degree d over b-byte blocks costs d·⌈b/8⌉ word-XORs, so with mean
+//     degree d̄ the fountain encode rate is memory-bound at roughly
+//     bus-bandwidth/d̄; decode touches each block the same way once plus
+//     once per buffered symbol it reduces.
+//
+//   - Steady-state symbol paths are zero-alloc. Encoder.Next/EncodeID,
+//     Recoder.Next and the redundant-symbol paths of both decoders
+//     recycle payload buffers (encoder/recoder freelists fed by Release,
+//     decoder spare lists fed by fully-reduced symbols) and reuse
+//     per-instance scratch for neighbor expansion and sampling;
+//     BenchmarkEncoderNextAllocs and BenchmarkRecoderNextAllocs assert
+//     0 allocs/op. Frame writes go through a sync.Pool of serialization
+//     buffers (protocol.WriteSymbol/WriteRecoded), one Write per frame.
+//
+//   - Summary probes avoid division. Bloom probes use the
+//     Kirsch–Mitzenmacher pair with Lemire multiply-shift range
+//     reduction (hashing.Reduce) instead of `% m`; min-wise sketches are
+//     built permutation-major over a once-folded key slice
+//     (minwise.Build), with incremental Add for mid-transfer updates.
 package icd

@@ -1,0 +1,3 @@
+module icd
+
+go 1.24

@@ -90,12 +90,16 @@ func (f *Filter) M() int { return f.bits.Len() }
 func (f *Filter) N() int { return f.ninact }
 
 // Add inserts key. O(k); incremental by nature, as §3 requires of the
-// searchable summaries.
+// searchable summaries. Probes step h += H2 and reduce with Lemire's
+// multiply-shift instead of a per-probe `% m` division — the probe
+// sequence equals Pair.Probe(i, m) for i = 0..K−1.
 func (f *Filter) Add(key uint64) {
 	pr := hashing.HashPair(f.Seed, key)
 	m := uint64(f.bits.Len())
+	h := pr.H1
 	for i := 0; i < f.K; i++ {
-		f.bits.Set(int(pr.Probe(i, m)))
+		f.bits.Set(int(hashing.Reduce(h, m)))
+		h += pr.H2
 	}
 	f.ninact++
 }
@@ -106,10 +110,12 @@ func (f *Filter) Add(key uint64) {
 func (f *Filter) Contains(key uint64) bool {
 	pr := hashing.HashPair(f.Seed, key)
 	m := uint64(f.bits.Len())
+	h := pr.H1
 	for i := 0; i < f.K; i++ {
-		if !f.bits.Test(int(pr.Probe(i, m))) {
+		if !f.bits.Test(int(hashing.Reduce(h, m))) {
 			return false
 		}
+		h += pr.H2
 	}
 	return true
 }

@@ -235,7 +235,10 @@ func CodingParameters(o Options) (Table, error) {
 				if i > 3*n {
 					return Table{}, fmt.Errorf("decoder stalled at n=%d", n)
 				}
-				if _, err := dec.AddSymbol(enc.Next()); err != nil {
+				sym := enc.Next()
+				_, err := dec.AddSymbol(sym)
+				enc.Release(sym) // AddSymbol copies; keep the encode loop alloc-free
+				if err != nil {
 					return Table{}, err
 				}
 			}

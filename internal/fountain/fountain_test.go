@@ -489,3 +489,82 @@ func BenchmarkDecode2000Blocks(b *testing.B) {
 		}
 	}
 }
+
+func TestEncoderReleaseReuse(t *testing.T) {
+	code, err := NewCode(32, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([][]byte, 32)
+	for i := range blocks {
+		blocks[i] = make([]byte, 64)
+		for j := range blocks[i] {
+			blocks[i][j] = byte(i*7 + j)
+		}
+	}
+	enc, err := NewEncoder(code, blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A released buffer must be recycled without leaking the previous
+	// symbol's contents into the next.
+	first := enc.EncodeID(1234)
+	want := append([]byte(nil), first.Data...)
+	enc.Release(first)
+	second := enc.EncodeID(9999)
+	enc.Release(second)
+	again := enc.EncodeID(1234)
+	if !bytes.Equal(again.Data, want) {
+		t.Fatal("EncodeID not deterministic across Release/reuse")
+	}
+	// Foreign or wrong-size buffers are ignored, not pooled.
+	enc.Release(Symbol{ID: 1, Data: make([]byte, 3)})
+	if got := enc.EncodeID(1234); !bytes.Equal(got.Data, want) {
+		t.Fatal("wrong-size Release corrupted the pool")
+	}
+}
+
+func TestAppendNeighborsMatchesNeighbors(t *testing.T) {
+	code, err := NewCode(200, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	for id := uint64(0); id < 500; id++ {
+		want := code.Neighbors(id)
+		buf = code.AppendNeighbors(id, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("id %d: len %d != %d", id, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("id %d: [%d] = %d != %d", id, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEncoderNextZeroAlloc(t *testing.T) {
+	code, err := NewCode(500, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([][]byte, 500)
+	for i := range blocks {
+		blocks[i] = make([]byte, 1400)
+	}
+	enc, err := NewEncoder(code, blocks, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the freelist and scratch buffers, then assert the documented
+	// steady-state invariant: Next+Release allocates nothing.
+	for i := 0; i < 100; i++ {
+		enc.Release(enc.Next())
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		enc.Release(enc.Next())
+	}); avg != 0 {
+		t.Fatalf("Encoder.Next steady state allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -247,3 +247,60 @@ func BenchmarkHashPairProbe5(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestReduceInRange(t *testing.T) {
+	f := func(x uint64, mRaw uint32) bool {
+		m := uint64(mRaw) + 1
+		return Reduce(x, m) < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceUniform(t *testing.T) {
+	// Lemire reduction of well-mixed inputs should be near-uniform over a
+	// non-power-of-two range.
+	const m = 513
+	counts := make([]int, m)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Reduce(Mix64(uint64(i)), m)]++
+	}
+	mean := float64(n) / m
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		chi2 += d * d / mean
+	}
+	// df = 512; mean chi2 ≈ 512, sd ≈ 32. Allow generous slack.
+	if chi2 > 700 {
+		t.Fatalf("chi2 = %.1f, Reduce badly non-uniform", chi2)
+	}
+}
+
+func TestProbeMatchesSteppedReduce(t *testing.T) {
+	// The Bloom hot loop steps h += H2 and reduces directly; Probe must
+	// agree so the two forms of the Kirsch–Mitzenmacher sequence stay
+	// interchangeable.
+	for key := uint64(0); key < 500; key++ {
+		pr := HashPair(9, key)
+		h := pr.H1
+		for i := 0; i < 7; i++ {
+			if got, want := pr.Probe(i, 12345), Reduce(h, 12345); got != want {
+				t.Fatalf("key %d probe %d: Probe %d != stepped %d", key, i, got, want)
+			}
+			h += pr.H2
+		}
+	}
+}
+
+func TestApplyFoldedMatchesApply(t *testing.T) {
+	p := NewPermutation(42)
+	f := func(x uint64) bool {
+		return p.Apply(x) == p.ApplyFolded(Fold61(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -65,10 +65,34 @@ func New(familySeed uint64, m int) *Sketch {
 	return s
 }
 
-// Build sketches an entire working set.
+// Build sketches an entire working set. Unlike repeated Add calls —
+// which walk all m permutations once per key, touching the whole family
+// and minima vector between every pair of keys — Build iterates
+// permutation-major: keys are folded into the permutation field once
+// into a contiguous scratch slice, then each permutation streams over
+// that slice with its (a, b) pair and running minimum held in registers.
+// The result is bit-identical to the incremental path.
 func Build(familySeed uint64, m int, set *keyset.Set) *Sketch {
 	s := New(familySeed, m)
-	set.Each(s.Add)
+	n := set.Len()
+	if n == 0 {
+		return s
+	}
+	folded := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		folded[j] = hashing.Fold61(set.At(j))
+	}
+	for i := range s.Minima {
+		p := s.family.At(i)
+		min := noElement
+		for _, k := range folded {
+			if v := p.ApplyFolded(k); v < min {
+				min = v
+			}
+		}
+		s.Minima[i] = min
+	}
+	s.SetSize = n
 	return s
 }
 
@@ -76,8 +100,9 @@ func Build(familySeed uint64, m int, set *keyset.Set) *Sketch {
 // incremental maintenance while a transfer is in progress.
 func (s *Sketch) Add(key uint64) {
 	fam := s.ensureFamily()
+	k := hashing.Fold61(key)
 	for i := range s.Minima {
-		if v := fam.At(i).Apply(key); v < s.Minima[i] {
+		if v := fam.At(i).ApplyFolded(k); v < s.Minima[i] {
 			s.Minima[i] = v
 		}
 	}

@@ -330,11 +330,15 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 }
 
-// sendFull streams n fresh encoded symbols followed by DONE.
+// sendFull streams n fresh encoded symbols followed by DONE. Symbols are
+// framed straight from the encoder's pooled payload buffers and released
+// after the write, so the steady-state loop is allocation-free.
 func (s *Server) sendFull(conn net.Conn, enc *fountain.Encoder, n int) error {
 	for i := 0; i < n; i++ {
 		sym := enc.Next()
-		if err := protocol.WriteFrame(conn, protocol.EncodeSymbol(protocol.Symbol(sym))); err != nil {
+		err := protocol.WriteSymbol(conn, sym.ID, sym.Data)
+		enc.Release(sym)
+		if err != nil {
 			return err
 		}
 		s.stats.symbolsSent.Add(1)
@@ -355,12 +359,12 @@ type sessionRecoders struct {
 	turn      int
 }
 
-func (sr *sessionRecoders) next() recode.Symbol {
+func (sr *sessionRecoders) next() (recode.Symbol, *recode.Recoder) {
 	sr.turn++
 	if sr.turn%2 == 0 {
-		return sr.adaptive.Next(recode.CoverageAdaptive, 0)
+		return sr.adaptive.Next(recode.CoverageAdaptive, 0), sr.adaptive
 	}
-	return sr.oblivious.Next(recode.Oblivious, 0)
+	return sr.oblivious.Next(recode.Oblivious, 0), sr.oblivious
 }
 
 // buildRecoders constructs the partial sender's recoding domain: the held
@@ -392,15 +396,15 @@ func (s *Server) buildRecoders(filter *bloom.Filter) (*sessionRecoders, error) {
 	return &sessionRecoders{adaptive: adaptive, oblivious: oblivious}, nil
 }
 
-// sendRecoded streams n recoded symbols followed by DONE.
+// sendRecoded streams n recoded symbols followed by DONE. Symbols are
+// framed straight from the recoder's pooled buffers and released after
+// the write, so the steady-state loop is allocation-free.
 func (s *Server) sendRecoded(conn net.Conn, sr *sessionRecoders, n int) error {
 	for i := 0; i < n; i++ {
-		sym := sr.next()
-		f, err := protocol.EncodeRecoded(protocol.Recoded{IDs: sym.IDs, Data: sym.Data})
+		sym, owner := sr.next()
+		err := protocol.WriteRecoded(conn, sym.IDs, sym.Data)
+		owner.Release(sym)
 		if err != nil {
-			return err
-		}
-		if err := protocol.WriteFrame(conn, f); err != nil {
 			return err
 		}
 		s.stats.symbolsSent.Add(1)

@@ -20,22 +20,27 @@ type Rand struct {
 // xoshiro authors' recommendation.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes the generator in place from seed, exactly as New
+// would. Hot paths that derive a fresh deterministic stream per symbol
+// (e.g. fountain neighbor expansion) reseed a stack-allocated Rand
+// instead of calling New, which keeps them allocation-free.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = z ^ (z >> 31)
 	}
 	// Avoid the all-zero state (probability ~2^-256, but cheap to rule out).
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 // Split derives a new independent generator from the current stream.
@@ -112,28 +117,61 @@ func (r *Rand) ShuffleUint64s(p []uint64) {
 
 // SampleInts returns k distinct values drawn uniformly from [0, n)
 // without replacement. It panics if k > n or k < 0.
-//
-// For small k relative to n it uses Floyd's algorithm (O(k) expected);
-// otherwise it shuffles a dense range.
 func (r *Rand) SampleInts(n, k int) []int {
+	return r.SampleIntsInto(n, k, nil)
+}
+
+// SampleIntsInto is SampleInts writing into buf's storage (buf is
+// re-sliced from 0 and grown only if its capacity is insufficient).
+// Passing the previous call's result back in makes repeated sampling
+// allocation-free in steady state; the consumed random stream and the
+// returned values are identical to SampleInts.
+//
+// For small k relative to n it uses Floyd's algorithm (O(k) draws);
+// otherwise it Fisher–Yates shuffles a dense range in buf. Floyd
+// duplicate detection is a linear scan while k is small (the common
+// hot-path regime: recoding degrees are capped at 50 and soliton
+// degrees are overwhelmingly small) and switches to a map above that,
+// keeping large uncapped degrees O(k) instead of O(k²).
+func (r *Rand) SampleIntsInto(n, k int, buf []int) []int {
 	if k < 0 || k > n {
 		panic("prng: SampleInts k out of range")
 	}
+	out := buf[:0]
 	if k == 0 {
-		return nil
+		return out
 	}
 	if k*4 >= n {
-		p := r.Perm(n)
-		return p[:k]
+		// Dense case: materialize [0, n), shuffle, keep the prefix. The
+		// draws match Perm exactly.
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		r.ShuffleInts(out)
+		return out[:k]
 	}
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	// Both dedup structures see the same candidate stream, so the draws
+	// and results are identical regardless of which is used.
+	const scanLimit = 64
+	var chosen map[int]struct{}
+	if k > scanLimit {
+		chosen = make(map[int]struct{}, k)
+	}
 	for j := n - k; j < n; j++ {
 		v := r.Intn(j + 1)
-		if _, dup := chosen[v]; dup {
-			v = j
+		if chosen != nil {
+			if _, dup := chosen[v]; dup {
+				v = j
+			}
+			chosen[v] = struct{}{}
+		} else {
+			for _, c := range out {
+				if c == v {
+					v = j
+					break
+				}
+			}
 		}
-		chosen[v] = struct{}{}
 		out = append(out, v)
 	}
 	return out

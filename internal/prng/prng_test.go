@@ -211,3 +211,38 @@ func BenchmarkSampleIntsFloyd(b *testing.B) {
 		_ = r.SampleInts(500000, 11)
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		a := New(seed)
+		var b Rand
+		b.Reseed(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d: Reseed stream diverges from New", seed)
+			}
+		}
+	}
+}
+
+func TestSampleIntsIntoMatchesSampleInts(t *testing.T) {
+	// Same draws, same values, across both the sparse (Floyd) and dense
+	// (shuffle) regimes — and the returned buffer must be reusable.
+	var buf []int
+	for seed := uint64(0); seed < 50; seed++ {
+		for _, nk := range [][2]int{{100, 3}, {100, 24}, {100, 99}, {7, 7}, {50, 0}} {
+			n, k := nk[0], nk[1]
+			want := New(seed).SampleInts(n, k)
+			r := New(seed)
+			buf = r.SampleIntsInto(n, k, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d != %d", n, k, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("n=%d k=%d: [%d] = %d != %d", n, k, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}

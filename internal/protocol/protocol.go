@@ -27,10 +27,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
-// Version is the protocol version spoken by this library.
-const Version = 1
+// Version is the protocol version spoken by this library. Version 2
+// changed the Bloom summary's probe positions (Lemire fast-range
+// reduction instead of `% m`), so a v1 peer's filter bits are
+// meaningless to a v2 peer; the version check turns that silent
+// reconciliation corruption into a clean handshake failure.
+const Version = 2
 
 const magic = 0x1CD0
 
@@ -87,21 +92,50 @@ type Frame struct {
 
 const headerLen = 2 + 1 + 1 + 4
 
+// frameBufs recycles serialization buffers across WriteFrame calls. The
+// Get/Put pair is scoped to one call (the buffer never escapes), so the
+// pool makes steady-state frame writing allocation-free for payloads up
+// to the pooled capacity.
+var frameBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// appendFrame serializes a frame header, payload and trailing CRC onto
+// buf. The payload is passed in up to two chunks so symbol writers can
+// frame an (id, data) pair without first concatenating it.
+func appendFrame(buf []byte, t Type, p1, p2 []byte) []byte {
+	n := len(p1) + len(p2)
+	buf = append(buf,
+		byte(magic&0xff), byte(magic>>8),
+		Version, byte(t),
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	buf = append(buf, p1...)
+	buf = append(buf, p2...)
+	crc := crc32.ChecksumIEEE(buf[len(buf)-n-5:])
+	return append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}
+
+// writeFrame2 frames and writes a two-chunk payload using a pooled buffer.
+func writeFrame2(w io.Writer, t Type, p1, p2 []byte) error {
+	if len(p1)+len(p2) > MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds limit", len(p1)+len(p2))
+	}
+	bp := frameBufs.Get().(*[]byte)
+	buf := appendFrame((*bp)[:0], t, p1, p2)
+	_, err := w.Write(buf)
+	if cap(buf) <= 1<<16 { // don't let one huge frame pin a large buffer
+		*bp = buf[:0]
+	}
+	frameBufs.Put(bp)
+	return err
+}
+
 // WriteFrame serializes f to w.
 func WriteFrame(w io.Writer, f Frame) error {
-	if len(f.Payload) > MaxPayload {
-		return fmt.Errorf("protocol: payload %d exceeds limit", len(f.Payload))
-	}
-	buf := make([]byte, headerLen+len(f.Payload)+4)
-	binary.LittleEndian.PutUint16(buf[0:], magic)
-	buf[2] = Version
-	buf[3] = byte(f.Type)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(f.Payload)))
-	copy(buf[headerLen:], f.Payload)
-	crc := crc32.ChecksumIEEE(buf[3 : headerLen+len(f.Payload)])
-	binary.LittleEndian.PutUint32(buf[headerLen+len(f.Payload):], crc)
-	_, err := w.Write(buf)
-	return err
+	return writeFrame2(w, f.Type, f.Payload, nil)
 }
 
 // ReadFrame reads and validates one frame from r.
@@ -126,10 +160,10 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	payload := body[:length]
 	wantCRC := binary.LittleEndian.Uint32(body[length:])
-	crcInput := make([]byte, 0, 5+length)
-	crcInput = append(crcInput, hdr[3:]...)
-	crcInput = append(crcInput, payload...)
-	if crc32.ChecksumIEEE(crcInput) != wantCRC {
+	// CRC over type|length|payload, computed incrementally — no scratch
+	// concatenation buffer.
+	crc := crc32.Update(crc32.ChecksumIEEE(hdr[3:]), crc32.IEEETable, payload)
+	if crc != wantCRC {
 		return Frame{}, errors.New("protocol: checksum mismatch (corrupt frame)")
 	}
 	return Frame{Type: Type(hdr[3]), Payload: payload}, nil
@@ -196,6 +230,16 @@ func EncodeSymbol(s Symbol) Frame {
 	return Frame{Type: TypeSymbol, Payload: buf}
 }
 
+// WriteSymbol frames and writes a regular encoded symbol in one Write,
+// assembling header, id, payload and CRC in a pooled buffer — the
+// allocation-free fast path senders use instead of
+// WriteFrame(EncodeSymbol(...)).
+func WriteSymbol(w io.Writer, id uint64, data []byte) error {
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], id)
+	return writeFrame2(w, TypeSymbol, idb[:], data)
+}
+
 // DecodeSymbol unmarshals a SYMBOL frame.
 func DecodeSymbol(f Frame) (Symbol, error) {
 	if f.Type != TypeSymbol {
@@ -233,6 +277,25 @@ func EncodeRecoded(r Recoded) (Frame, error) {
 	}
 	copy(buf[2+8*len(r.IDs):], r.Data)
 	return Frame{Type: TypeRecoded, Payload: buf}, nil
+}
+
+// WriteRecoded frames and writes a recoded symbol in one Write, the
+// allocation-free counterpart of WriteFrame(EncodeRecoded(...)).
+func WriteRecoded(w io.Writer, ids []uint64, data []byte) error {
+	if len(ids) == 0 || len(ids) > MaxRecodedIDs {
+		return fmt.Errorf("protocol: recoded degree %d outside [1,%d]", len(ids), MaxRecodedIDs)
+	}
+	bp := frameBufs.Get().(*[]byte)
+	pre := append((*bp)[:0], byte(len(ids)), byte(len(ids)>>8))
+	for _, id := range ids {
+		pre = append(pre,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	err := writeFrame2(w, TypeRecoded, pre, data)
+	*bp = pre[:0]
+	frameBufs.Put(bp)
+	return err
 }
 
 // DecodeRecoded unmarshals a RECODED frame.

@@ -44,6 +44,7 @@ import (
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/prng"
+	"icd/internal/xorblock"
 )
 
 // MaxDegree is the paper's recoding degree limit (§6.1: "a degree limit
@@ -160,6 +161,11 @@ func (p DegreePolicy) String() string {
 // Recoder generates recoded symbols from a sender's working set (or a
 // reconciled subset of it — the caller chooses the domain, which is how
 // Recode/BF restricts blending to symbols the receiver lacks).
+//
+// Symbol buffers (constituent lists and payloads) are drawn from
+// internal freelists; a caller that returns finished symbols via Release
+// makes the steady-state Next path allocation-free. Callers that retain
+// symbols simply never release them. Not safe for concurrent use.
 type Recoder struct {
 	domain   []uint64 // snapshot of blendable encoded-symbol ids
 	payloads map[uint64][]byte
@@ -168,6 +174,11 @@ type Recoder struct {
 	rng      *prng.Rand
 	sent     int     // transmissions so far
 	coverage float64 // estimated fraction of domain delivered (CoverageAdaptive)
+
+	idx        []int      // sampling scratch, reused across symbols
+	freeIDs    [][]uint64 // released constituent lists
+	freeData   [][]byte   // released payload buffers
+	payloadLen int        // uniform payload size (payload mode only)
 }
 
 // Options configure a Recoder.
@@ -211,9 +222,16 @@ func NewRecoder(rng *prng.Rand, domain *keyset.Set, opt Options) (*Recoder, erro
 		rng:      rng,
 	}
 	if r.payloads != nil {
-		for _, id := range r.domain {
-			if _, ok := r.payloads[id]; !ok {
+		for i, id := range r.domain {
+			p, ok := r.payloads[id]
+			if !ok {
 				return nil, fmt.Errorf("recode: no payload for domain symbol %d", id)
+			}
+			if i == 0 {
+				r.payloadLen = len(p)
+			} else if len(p) != r.payloadLen {
+				return nil, fmt.Errorf("recode: payload for symbol %d is %d bytes, want %d",
+					id, len(p), r.payloadLen)
 			}
 		}
 	}
@@ -267,27 +285,46 @@ func (r *Recoder) Next(policy DegreePolicy, c float64) Symbol {
 	if d < 1 {
 		d = 1
 	}
-	idx := r.rng.SampleInts(len(r.domain), d)
-	ids := make([]uint64, d)
-	for i, j := range idx {
-		ids[i] = r.domain[j]
+	r.idx = r.rng.SampleIntsInto(len(r.domain), d, r.idx)
+	var ids []uint64
+	if n := len(r.freeIDs); n > 0 {
+		ids = r.freeIDs[n-1][:0]
+		r.freeIDs = r.freeIDs[:n-1]
+	} else {
+		ids = make([]uint64, 0, r.maxDeg)
+	}
+	for _, j := range r.idx[:d] {
+		ids = append(ids, r.domain[j])
 	}
 	sym := Symbol{IDs: ids}
 	if r.payloads != nil {
+		first := r.payloads[ids[0]]
 		var data []byte
-		for _, id := range ids {
-			p := r.payloads[id]
-			if data == nil {
-				data = append([]byte(nil), p...)
-			} else {
-				for i := range data {
-					data[i] ^= p[i]
-				}
-			}
+		if n := len(r.freeData); n > 0 {
+			data = r.freeData[n-1]
+			r.freeData = r.freeData[:n-1]
+		} else {
+			data = make([]byte, len(first))
+		}
+		copy(data, first)
+		for _, id := range ids[1:] {
+			xorblock.XorInto(data, r.payloads[id])
 		}
 		sym.Data = data
 	}
 	return sym
+}
+
+// Release returns a symbol's buffers to the recoder's freelists. The
+// caller must not use sym afterwards. Buffers that did not come from
+// this recoder (wrong capacity or size) are ignored.
+func (r *Recoder) Release(sym Symbol) {
+	if cap(sym.IDs) >= r.maxDeg {
+		r.freeIDs = append(r.freeIDs, sym.IDs[:0])
+	}
+	if len(sym.Data) == r.payloadLen && r.payloads != nil {
+		r.freeData = append(r.freeData, sym.Data)
+	}
 }
 
 // Decoder peels recoded symbols back into encoded symbols. It mirrors the
@@ -305,12 +342,34 @@ type Decoder struct {
 	received  int
 	redundant int
 	recovered int // encoded symbols recovered via recoding (not direct adds)
+
+	unknowns []uint64 // per-Add scratch for the unresolved-id set
+	queue    []recRec
+	spare    [][]byte // payload buffers freed by redundant symbols, reused
 }
 
 type pendingRec struct {
 	data    []byte
-	unknown map[uint64]bool
+	unknown []uint64
 	dead    bool
+}
+
+type recRec struct {
+	id   uint64
+	data []byte
+}
+
+// drop removes id from the unknown set, reporting whether it was there.
+func (pr *pendingRec) drop(id uint64) bool {
+	for i, u := range pr.unknown {
+		if u == id {
+			last := len(pr.unknown) - 1
+			pr.unknown[i] = pr.unknown[last]
+			pr.unknown = pr.unknown[:last]
+			return true
+		}
+	}
+	return false
 }
 
 // NewDecoder creates a recode decoder. withData selects payload tracking;
@@ -383,7 +442,8 @@ func (d *Decoder) Buffered() int {
 }
 
 // Add ingests one recoded symbol, returning the ids of encoded symbols
-// newly recovered (directly or by cascade).
+// newly recovered (directly or by cascade). The decoder copies sym.Data;
+// the caller keeps ownership of the symbol's buffers.
 func (d *Decoder) Add(sym Symbol) ([]uint64, error) {
 	if len(sym.IDs) == 0 {
 		return nil, errors.New("recode: empty recoded symbol")
@@ -395,61 +455,89 @@ func (d *Decoder) Add(sym Symbol) ([]uint64, error) {
 
 	var data []byte
 	if d.withData {
-		data = append([]byte(nil), sym.Data...)
+		data = d.getBuf(len(sym.Data))
+		copy(data, sym.Data)
 	}
-	unknown := make(map[uint64]bool)
+	unknown := d.unknowns[:0]
 	for _, id := range sym.IDs {
 		if payload, ok := d.known[id]; ok {
 			if d.withData {
 				if len(payload) != len(data) {
+					d.spare = append(d.spare, data)
 					return nil, fmt.Errorf("recode: payload size mismatch for %d", id)
 				}
-				for i := range data {
-					data[i] ^= payload[i]
-				}
+				xorblock.XorInto(data, payload)
 			}
 		} else {
-			unknown[id] = !unknown[id] // XOR semantics: duplicate ids cancel
-			if !unknown[id] {
-				delete(unknown, id)
+			// XOR semantics: duplicate ids cancel. Degrees are capped, so
+			// the linear scan beats a per-symbol map allocation.
+			if i := indexOf(unknown, id); i >= 0 {
+				last := len(unknown) - 1
+				unknown[i] = unknown[last]
+				unknown = unknown[:last]
+			} else {
+				unknown = append(unknown, id)
 			}
 		}
 	}
+	d.unknowns = unknown[:0]
 	switch len(unknown) {
 	case 0:
 		d.redundant++
+		if data != nil {
+			d.spare = append(d.spare, data)
+		}
 		return nil, nil
 	case 1:
-		var id uint64
-		for k := range unknown {
-			id = k
-		}
-		return d.propagate(id, data, true), nil
+		return d.propagate(unknown[0], data, true), nil
 	default:
-		pr := &pendingRec{data: data, unknown: unknown}
+		pr := &pendingRec{data: data, unknown: append([]uint64(nil), unknown...)}
 		d.buf = append(d.buf, pr)
 		at := len(d.buf) - 1
-		for id := range unknown {
+		for _, id := range pr.unknown {
 			d.pending[id] = append(d.pending[id], at)
 		}
 		return nil, nil
 	}
 }
 
+func indexOf(s []uint64, v uint64) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// getBuf returns an n-byte scratch buffer, reusing buffers surrendered by
+// redundant symbols so a saturated decoder stops allocating.
+func (d *Decoder) getBuf(n int) []byte {
+	if m := len(d.spare); m > 0 {
+		b := d.spare[m-1]
+		d.spare = d.spare[:m-1]
+		if len(b) == n {
+			return b
+		}
+		// size changed mid-stream (only possible across contents); drop it
+	}
+	return make([]byte, n)
+}
+
 // propagate records a newly known encoded symbol and runs the cascade.
 // viaRecode marks whether the root recovery came from a recoded symbol.
 func (d *Decoder) propagate(id uint64, data []byte, viaRecode bool) []uint64 {
-	type rec struct {
-		id   uint64
-		data []byte
-	}
 	var out []uint64
-	queue := []rec{{id, data}}
+	queue := append(d.queue[:0], recRec{id, data})
 	first := true
-	for len(queue) > 0 {
-		r := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		r := queue[head]
 		if _, ok := d.known[r.id]; ok {
+			// Another cascade path got here first; r.data belongs to a dead
+			// pending symbol and can be recycled.
+			if r.data != nil && head > 0 {
+				d.spare = append(d.spare, r.data)
+			}
 			continue
 		}
 		d.known[r.id] = r.data
@@ -462,26 +550,25 @@ func (d *Decoder) propagate(id uint64, data []byte, viaRecode bool) []uint64 {
 		delete(d.pending, r.id)
 		for _, w := range waiters {
 			pr := d.buf[w]
-			if pr.dead || !pr.unknown[r.id] {
+			if pr.dead || !pr.drop(r.id) {
 				continue
 			}
 			if d.withData && r.data != nil {
-				for i := range pr.data {
-					pr.data[i] ^= r.data[i]
-				}
+				xorblock.XorInto(pr.data, r.data)
 			}
-			delete(pr.unknown, r.id)
 			switch len(pr.unknown) {
 			case 1:
 				pr.dead = true
-				for last := range pr.unknown {
-					queue = append(queue, rec{last, pr.data})
-				}
+				queue = append(queue, recRec{pr.unknown[0], pr.data})
 			case 0:
 				pr.dead = true
+				if pr.data != nil {
+					d.spare = append(d.spare, pr.data)
+				}
 			}
 		}
 	}
+	d.queue = queue[:0] // retain capacity for the next cascade
 	if !viaRecode && len(out) == 0 {
 		// AddKnown of a fresh id with no cascade: report nothing, but the
 		// id itself is now known (callers track that via Knows).

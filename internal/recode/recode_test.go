@@ -384,3 +384,90 @@ func BenchmarkDecoderAdd(b *testing.B) {
 		d.Add(syms[i%len(syms)])
 	}
 }
+
+func TestRecoderReleaseReuse(t *testing.T) {
+	rng := prng.New(3)
+	domain := keyset.New(16)
+	payloads := map[uint64][]byte{}
+	for i := uint64(0); i < 16; i++ {
+		domain.Add(i)
+		p := make([]byte, 32)
+		for j := range p {
+			p[j] = byte(i*3 + uint64(j))
+		}
+		payloads[i] = p
+	}
+	r, err := NewRecoder(rng, domain, Options{Payloads: payloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(true)
+	// Stream with immediate Release: the decoder copies, so recycling the
+	// symbol's buffers must never corrupt decoded state.
+	for i := 0; i < 200 && dec.KnownCount() < 16; i++ {
+		sym := r.Next(Oblivious, 0)
+		if _, err := dec.Add(sym); err != nil {
+			t.Fatal(err)
+		}
+		r.Release(sym)
+	}
+	for id, want := range payloads {
+		if got := dec.Payload(id); got != nil && !bytesEqual(got, want) {
+			t.Fatalf("payload %d corrupted by buffer reuse", id)
+		}
+	}
+	if dec.KnownCount() == 0 {
+		t.Fatal("nothing decoded")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecoderDuplicateIDsCancel(t *testing.T) {
+	// XOR semantics: a recoded symbol listing the same unknown id twice
+	// contributes nothing (y ⊕ y = 0); listing it three times is the same
+	// as once.
+	d := NewDecoder(false)
+	d.AddKnown(1, nil)
+	if got, err := d.Add(Symbol{IDs: []uint64{2, 2, 1}}); err != nil || len(got) != 0 {
+		t.Fatalf("double unknown id: got %v, %v", got, err)
+	}
+	if d.Redundant() != 1 {
+		t.Fatalf("redundant = %d, want 1", d.Redundant())
+	}
+	got, err := d.Add(Symbol{IDs: []uint64{3, 3, 3, 1}})
+	if err != nil || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("triple unknown id: got %v, %v", got, err)
+	}
+}
+
+func TestRecoderNextZeroAlloc(t *testing.T) {
+	rng := prng.New(1)
+	domain := keyset.Random(prng.New(2), 1000)
+	payloads := make(map[uint64][]byte, domain.Len())
+	domain.Each(func(id uint64) {
+		payloads[id] = make([]byte, 1400)
+	})
+	rec, err := NewRecoder(rng, domain, Options{Payloads: payloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rec.Release(rec.Next(Oblivious, 0))
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		rec.Release(rec.Next(Oblivious, 0))
+	}); avg != 0 {
+		t.Fatalf("Recoder.Next steady state allocates %.1f allocs/op, want 0", avg)
+	}
+}

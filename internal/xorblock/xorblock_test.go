@@ -1,0 +1,174 @@
+package xorblock
+
+import (
+	"bytes"
+	"testing"
+
+	"icd/internal/prng"
+)
+
+// naiveXor is the reference semantics: XOR the common prefix one byte at
+// a time, return its length.
+func naiveXor(dst, src []byte) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return n
+}
+
+// TestXorIntoMatchesNaive cross-checks the word engine against the byte
+// loop on every length 0–1025 with mismatched dst/src sizes.
+func TestXorIntoMatchesNaive(t *testing.T) {
+	rng := prng.New(1)
+	fill := func(b []byte) {
+		for i := range b {
+			b[i] = byte(rng.Uint64())
+		}
+	}
+	for dstLen := 0; dstLen <= 1025; dstLen++ {
+		// src shorter, equal and longer than dst.
+		for _, srcLen := range []int{0, dstLen / 2, dstLen, dstLen + 1, dstLen + 63} {
+			dst := make([]byte, dstLen)
+			src := make([]byte, srcLen)
+			fill(dst)
+			fill(src)
+			want := append([]byte(nil), dst...)
+			wantN := naiveXor(want, src)
+
+			got := append([]byte(nil), dst...)
+			gotN := XorInto(got, src)
+			if gotN != wantN {
+				t.Fatalf("XorInto(%d,%d) returned %d, want %d", dstLen, srcLen, gotN, wantN)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("XorInto(%d,%d) produced wrong bytes", dstLen, srcLen)
+			}
+		}
+	}
+}
+
+// TestXorIntoUnaligned exercises sub-slices at every offset mod 8 so the
+// engine is checked on buffers whose backing arrays are not word-aligned.
+func TestXorIntoUnaligned(t *testing.T) {
+	rng := prng.New(2)
+	base := make([]byte, 2100)
+	src := make([]byte, 2100)
+	for i := range base {
+		base[i] = byte(rng.Uint64())
+		src[i] = byte(rng.Uint64())
+	}
+	for off := 0; off < 16; off++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1024, 1400} {
+			dst := append([]byte(nil), base...)
+			want := append([]byte(nil), base...)
+			naiveXor(want[off:off+n], src[off:off+n])
+			XorInto(dst[off:off+n], src[off:off+n])
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("offset %d len %d: mismatch", off, n)
+			}
+		}
+	}
+}
+
+func TestXorIntoSelfInverse(t *testing.T) {
+	rng := prng.New(3)
+	a := make([]byte, 1400)
+	b := make([]byte, 1400)
+	for i := range a {
+		a[i] = byte(rng.Uint64())
+		b[i] = byte(rng.Uint64())
+	}
+	dst := append([]byte(nil), a...)
+	XorInto(dst, b)
+	XorInto(dst, b)
+	if !bytes.Equal(dst, a) {
+		t.Fatal("XOR twice is not the identity")
+	}
+}
+
+func TestXorIntoAliased(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	XorInto(a, a)
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("a[%d] = %d after self-XOR, want 0", i, v)
+		}
+	}
+}
+
+func TestXorBytesMatchesNaive(t *testing.T) {
+	rng := prng.New(4)
+	for n := 0; n <= 300; n++ {
+		a := make([]byte, n)
+		b := make([]byte, n+3)
+		for i := range a {
+			a[i] = byte(rng.Uint64())
+		}
+		for i := range b {
+			b[i] = byte(rng.Uint64())
+		}
+		dst := make([]byte, n)
+		if got := XorBytes(dst, a, b); got != n {
+			t.Fatalf("XorBytes returned %d, want %d", got, n)
+		}
+		for i := range dst {
+			if dst[i] != a[i]^b[i] {
+				t.Fatalf("n=%d: dst[%d] wrong", n, i)
+			}
+		}
+	}
+}
+
+func BenchmarkXorInto(b *testing.B) {
+	for _, size := range []int{64, 1024, 1400, 65536} {
+		dst := make([]byte, size)
+		src := make([]byte, size)
+		b.Run(benchName(size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				XorInto(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkXorIntoNaive(b *testing.B) {
+	for _, size := range []int{64, 1024, 1400, 65536} {
+		dst := make([]byte, size)
+		src := make([]byte, size)
+		b.Run(benchName(size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				naiveXor(dst, src)
+			}
+		})
+	}
+}
+
+func benchName(size int) string {
+	switch {
+	case size >= 1024 && size%1024 == 0:
+		return itoa(size/1024) + "KiB"
+	default:
+		return itoa(size) + "B"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -11,6 +11,9 @@ package icd
 // rows/series; EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"testing"
 
 	"icd/internal/bloom"
@@ -18,6 +21,7 @@ import (
 	"icd/internal/fountain"
 	"icd/internal/minwise"
 	"icd/internal/prng"
+	"icd/internal/protocol"
 	"icd/internal/recode"
 	"icd/internal/strategy"
 	"icd/internal/transfer"
@@ -318,6 +322,112 @@ func BenchmarkEncoderNextAllocs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Release(enc.Next())
+	}
+}
+
+// BenchmarkDecoderSharded measures decode throughput (MB/s of recovered
+// content) of the single-core decoder against the sharded decoder at
+// 1, 2 and 4 shards on the same pre-encoded symbol stream. On a
+// multi-core box the 4-shard row should run ≥2x the single-core rate;
+// on a single core the sharded rows mostly measure coordination
+// overhead. Blocks are 8 KiB so XOR work (which parallelizes) dominates
+// routing (which does not).
+func BenchmarkDecoderSharded(b *testing.B) {
+	const n, blockSize = 512, 8192
+	// The shared fixture and drive loops keep this benchmark, `icdbench
+	// -micro` and `icdbench -exp decode` measuring the same protocol.
+	code, stream, err := experiment.BuildDecodeFixture(n, blockSize, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("single", func(b *testing.B) {
+		b.SetBytes(int64(n * blockSize))
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.DriveSingleDecode(code, blockSize, stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(n * blockSize))
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.DriveShardedDecode(code, blockSize, shards, stream); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReceivePathAllocs proves the end-to-end receive hot path —
+// length-prefixed frame read, zero-copy symbol parse, copy into a
+// recycled buffer, AddSymbol on a saturated sharded decoder — is
+// allocation-free: the PR 2 receive-side counterpart of
+// BenchmarkEncoderNextAllocs.
+func BenchmarkReceivePathAllocs(b *testing.B) {
+	const n, blockSize = 64, 1400
+	code, err := fountain.NewCode(n, nil, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockSize)
+	}
+	enc, err := fountain.NewEncoder(code, blocks, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := fountain.NewShardedDecoder(code, blockSize, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dec.Close()
+	var stream bytes.Buffer
+	for i := 0; !dec.Done(); i++ {
+		if i > 8*n {
+			b.Fatal("stalled")
+		}
+		sym := enc.EncodeID(uint64(i))
+		if err := protocol.WriteSymbol(&stream, sym.ID, sym.Data); err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.AddSymbol(sym); err != nil {
+			b.Fatal(err)
+		}
+		enc.Release(sym)
+		if i%32 == 0 {
+			dec.Drain()
+		}
+	}
+	dec.Drain()
+
+	r := bytes.NewReader(stream.Bytes())
+	fr := protocol.NewFrameReader(r)
+	scratch := make([]byte, 0, blockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(stream.Bytes())
+		for {
+			f, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sym, err := protocol.DecodeSymbolInto(f, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scratch = sym.Data
+			if err := dec.AddSymbol(fountain.Symbol{ID: sym.ID, Data: sym.Data}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

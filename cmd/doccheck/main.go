@@ -1,0 +1,182 @@
+// Command doccheck is a go vet-style documentation gate. For every
+// package directory given it requires a package comment; with -exported
+// it additionally requires a doc comment on every exported top-level
+// identifier (funcs, methods, types, consts, vars). CI runs it so the
+// godoc story of the hot packages cannot rot:
+//
+//	doccheck ./internal/...
+//	doccheck -exported ./internal/fountain ./internal/recode ./internal/peer
+//
+// A trailing /... walks subdirectories. Test files are ignored. Exits
+// nonzero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exported := flag.Bool("exported", false, "also require doc comments on exported identifiers")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-exported] <pkg-dir> [dir/...]")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			err := filepath.WalkDir(rest, func(path string, d fs.DirEntry, err error) error {
+				if err != nil || !d.IsDir() {
+					return err
+				}
+				if hasGoFiles(path) {
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	sort.Strings(dirs)
+
+	var violations []string
+	for _, dir := range dirs {
+		violations = append(violations, checkDir(dir, *exported)...)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory and returns its violations.
+func checkDir(dir string, exported bool) []string {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %v", err)}
+	}
+	var out []string
+	pkgDocumented := false
+	anyFile := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		anyFile = true
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: parse: %v", path, err))
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			pkgDocumented = true
+		}
+		if exported {
+			out = append(out, checkFile(fset, f)...)
+		}
+	}
+	if anyFile && !pkgDocumented {
+		out = append(out, fmt.Sprintf("%s: package has no package comment", dir))
+	}
+	return out
+}
+
+// checkFile reports exported top-level identifiers lacking doc comments.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "function"
+			if d.Recv != nil {
+				// Methods on unexported types are not godoc surface.
+				if !receiverExported(d.Recv) {
+					continue
+				}
+				what = "method"
+			}
+			report(d.Pos(), what, d.Name.Name)
+		case *ast.GenDecl:
+			// A doc comment on the grouped decl covers all its specs
+			// (the idiomatic style for const blocks).
+			groupDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+							report(n.Pos(), "value", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -28,7 +28,8 @@ func main() {
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
 		all     = flag.Bool("all", false, "run every experiment")
-		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline)")
+		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline, sharded decode)")
+		jsonOut = flag.String("json", "", "with -micro: also write results as a JSON array to this path")
 		exp     = flag.String("exp", "", "experiment id to run")
 		n       = flag.Int("n", 0, "source blocks for transfer experiments (default 2000)")
 		trials  = flag.Int("trials", 0, "trials per data point (default 5)")
@@ -62,7 +63,7 @@ func main() {
 
 	switch {
 	case *micro:
-		runMicro()
+		runMicro(*jsonOut)
 	case *all:
 		for _, r := range experiment.Registry() {
 			run(r)

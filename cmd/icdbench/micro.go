@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"icd/internal/bloom"
+	"icd/internal/experiment"
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/minwise"
@@ -13,23 +17,44 @@ import (
 	"icd/internal/xorblock"
 )
 
+// microRow is one microbenchmark result, also the JSON artifact schema
+// (CI uploads the -json output as BENCH_pr2.json so decode throughput
+// and the alloc budget are tracked across commits).
+type microRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
 // runMicro prints the data-plane microbenchmarks: the word-level XOR
-// kernel, summary-substrate probes, and the steady-state symbol pipeline
-// with its alloc budget (0 allocs/op expected on the encode and recode
-// rows). These are the same hot paths bench_test.go tracks; having them
-// in icdbench gives a one-command smoke check without the test harness.
-func runMicro() {
+// kernel, summary-substrate probes, the steady-state symbol pipeline
+// with its alloc budget (0 allocs/op expected on the encode, recode and
+// saturated receive rows), and single- vs sharded-decoder throughput.
+// These are the same hot paths bench_test.go tracks; having them in
+// icdbench gives a one-command smoke check without the test harness.
+// jsonPath, when non-empty, also writes the rows as a JSON array.
+func runMicro(jsonPath string) {
 	fmt.Println("== data-plane microbenchmarks ==")
 
+	var rows []microRow
 	row := func(name string, bytesPerOp int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
-		line := fmt.Sprintf("%-28s %12.1f ns/op", name, float64(r.NsPerOp()))
-		if bytesPerOp > 0 {
-			mbps := float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
-			line += fmt.Sprintf(" %10.0f MB/s", mbps)
+		if r.N == 0 {
+			// A b.Fatal inside fn yields a zeroed result; fail loudly
+			// instead of recording a garbage row in the artifact.
+			fmt.Fprintf(os.Stderr, "icdbench: benchmark %q failed\n", name)
+			os.Exit(1)
 		}
-		line += fmt.Sprintf(" %8d allocs/op", r.AllocsPerOp())
+		entry := microRow{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+		line := fmt.Sprintf("%-28s %12.1f ns/op", name, entry.NsPerOp)
+		if bytesPerOp > 0 {
+			entry.MBPerS = float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
+			line += fmt.Sprintf(" %10.0f MB/s", entry.MBPerS)
+		}
+		line += fmt.Sprintf(" %8d allocs/op", entry.AllocsPerOp)
 		fmt.Println(line)
+		rows = append(rows, entry)
 	}
 
 	dst := make([]byte, 1400)
@@ -97,4 +122,70 @@ func runMicro() {
 			rec.Release(rec.Next(recode.Oblivious, 0))
 		}
 	})
+
+	// Decode throughput: one full decode per op, single core vs sharded,
+	// on the same fixture the decode experiment and root benchmarks use.
+	// MB/s is recovered content per unit time (what a downloader feels).
+	const dn, dblock = 256, 8192
+	dcode, stream, err := experiment.BuildDecodeFixture(dn, dblock, 9)
+	if err != nil {
+		panic(err)
+	}
+	row("fountain decode 1-core", dn*dblock, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.DriveSingleDecode(dcode, dblock, stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	shards := runtime.GOMAXPROCS(0)
+	row(fmt.Sprintf("fountain decode %d-shard", shards), dn*dblock, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.DriveShardedDecode(dcode, dblock, shards, stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Saturated receive path: AddSymbol on a completed sharded decoder
+	// (the steady state of a finished download still draining the wire);
+	// must report 0 allocs/op.
+	sat, err := fountain.NewShardedDecoder(dcode, dblock, shards)
+	if err != nil {
+		panic(err)
+	}
+	defer sat.Close()
+	var last fountain.Symbol
+	for i := 0; !sat.Done(); i++ {
+		if i > 8*dn {
+			panic("saturating decoder stalled")
+		}
+		last = stream[i%len(stream)]
+		if err := sat.AddSymbol(last); err != nil {
+			panic(err)
+		}
+		if i%16 == 0 {
+			sat.Drain()
+		}
+	}
+	sat.Drain()
+	row("receive saturated 8KiB", dblock, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sat.AddSymbol(last); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", jsonPath)
+	}
 }

@@ -77,4 +77,63 @@
 //     reduction (hashing.Reduce) instead of `% m`; min-wise sketches are
 //     built permutation-major over a once-folded key slice
 //     (minwise.Build), with incremental Add for mid-transfer updates.
+//
+// # Receive-path model (sharded decoding)
+//
+// The receive side mirrors the send side's cost discipline and adds one
+// axis the sender does not have: a downloader can decode on every core
+// it owns (fountain.ShardedDecoder; peer.Fetch uses it by default).
+//
+// Sharding strategy. Source block b is owned by shard b mod S
+// (S defaults to GOMAXPROCS). Every XOR that touches b — reducing an
+// incoming symbol by a recovered block, recovering b, propagating b
+// through buffered symbols — runs on b's owner, so payload work
+// distributes uniformly across shards and a block's bytes stay in one
+// core's cache. A symbol whose neighbors all fall in one shard is
+// routed straight there and peels exactly as in the single-core
+// decoder. AddSymbol is safe from any number of feeder goroutines;
+// routing itself does no payload work beyond one copy.
+//
+// Cross-shard symbols. A symbol spanning shards hops owner to owner
+// (each hop XORs out that owner's recovered blocks), tracked by a
+// visited mask. When it reaches degree 1 its payload is the missing
+// block's value and it goes to that block's owner for recovery; when
+// every involved shard has reduced it, it parks at a coordinator that
+// does only index bookkeeping — on a recovery announcement it
+// re-dispatches waiters to the recovering shard. The coordinator's own
+// recovered-set check closes the announce-then-park race, so no symbol
+// waits on a block that is already known.
+//
+// Buffer ownership (who may Release what, when):
+//
+//   - Encoder/Recoder payloads: the caller that received a Symbol from
+//     Next/EncodeID owns its buffers and gives them back with Release
+//     exactly once, after its last use (send loops release right after
+//     the frame write). AddSymbol always copies, so feeding a decoder
+//     never transfers ownership.
+//   - ShardedDecoder buffers: internal. Exactly one component owns each
+//     freelist buffer — the in-flight message, the parked symbol, or the
+//     recovered block. Redundant symbols surrender theirs immediately;
+//     Close reclaims parked ones; recovered blocks keep theirs (they ARE
+//     the output of Blocks).
+//   - protocol.FrameReader: its frame payload is a borrowed view, valid
+//     only until the next frame; never Release or retain it. Copy out
+//     via DecodeSymbolInto into a buffer you own (peer.Fetch keeps a
+//     pool; the borrower that consumes the symbol either hands the
+//     buffer onward — recode.Decoder.AddKnown keeps payloads — or
+//     returns it to the pool, never both).
+//
+// With frame reads through FrameReader, parses through
+// SymbolView/RecodedView and payload copies through pooled buffers, the
+// receive loop performs 0 allocs per frame in its steady states — the
+// recoded path (buffers always return to the pool) and the saturated
+// tail of a transfer (duplicates and fully-reduced symbols) — as
+// BenchmarkReceivePathAllocs and the peer/fountain AllocsPerRun tests
+// enforce. A *useful* regular symbol is the exception by design: its
+// buffer is ownership-transferred into the working set (AddKnown keeps
+// it as the stored payload), so that path costs one buffer per symbol
+// the receiver keeps forever — an allocation the content itself
+// requires, not pipeline overhead. Decode throughput scales with shards
+// until the memory bus saturates (BenchmarkDecoderSharded;
+// `icdbench -exp decode` prints the same comparison).
 package icd

@@ -122,6 +122,16 @@ func NewDecoder(code *Code, blockSize int) (*Decoder, error) {
 	return fountain.NewDecoder(code, blockSize)
 }
 
+// ShardedDecoder is a Decoder that peels symbol batches concurrently on
+// multiple cores, safe for concurrent AddSymbol from many feeders.
+type ShardedDecoder = fountain.ShardedDecoder
+
+// NewShardedDecoder prepares a sharded peeling decoder over `shards`
+// worker goroutines (≤ 0 selects GOMAXPROCS). Close it when done.
+func NewShardedDecoder(code *Code, blockSize, shards int) (*ShardedDecoder, error) {
+	return fountain.NewShardedDecoder(code, blockSize, shards)
+}
+
 // SplitIntoBlocks divides content into fixed-size blocks (zero-padded).
 func SplitIntoBlocks(data []byte, blockSize int) ([][]byte, int, error) {
 	return fountain.SplitIntoBlocks(data, blockSize)

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"icd/internal/fountain"
+	"icd/internal/prng"
+)
+
+// BuildDecodeFixture constructs the shared decode-measurement input:
+// n deterministic pseudo-random source blocks of blockSize bytes, their
+// code, and a pre-encoded 2n-symbol stream. The decode experiment,
+// `icdbench -micro` and the root benchmarks all drive decoders with
+// this one fixture (via DriveSingleDecode/DriveShardedDecode), so the
+// three surfaces measure the same protocol.
+func BuildDecodeFixture(n, blockSize int, seed uint64) (*fountain.Code, []fountain.Symbol, error) {
+	code, err := fountain.NewCode(n, nil, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks := make([][]byte, n)
+	rng := prng.New(seed + 31)
+	for i := range blocks {
+		b := make([]byte, blockSize)
+		for j := 0; j < blockSize; j += 8 {
+			v := rng.Uint64()
+			for k := 0; k < 8 && j+k < blockSize; k++ {
+				b[j+k] = byte(v >> (8 * k))
+			}
+		}
+		blocks[i] = b
+	}
+	enc, err := fountain.NewEncoder(code, blocks, seed+7)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream := make([]fountain.Symbol, 2*n)
+	for i := range stream {
+		stream[i] = enc.EncodeID(uint64(i)*0x9e3779b97f4a7c15 + seed)
+	}
+	return code, stream, nil
+}
+
+// DriveSingleDecode feeds the fixture stream into a fresh single-core
+// decoder until completion and returns the decode overhead.
+func DriveSingleDecode(code *fountain.Code, blockSize int, stream []fountain.Symbol) (float64, error) {
+	dec, err := fountain.NewDecoder(code, blockSize)
+	if err != nil {
+		return 0, err
+	}
+	for _, sym := range stream {
+		if dec.Done() {
+			break
+		}
+		if _, err := dec.AddSymbol(sym); err != nil {
+			return 0, err
+		}
+	}
+	if !dec.Done() {
+		return 0, fmt.Errorf("experiment: single decoder incomplete")
+	}
+	return dec.Overhead(), nil
+}
+
+// DriveShardedDecode is DriveSingleDecode against a sharded decoder
+// with the given worker count.
+func DriveShardedDecode(code *fountain.Code, blockSize, shards int, stream []fountain.Symbol) (float64, error) {
+	dec, err := fountain.NewShardedDecoder(code, blockSize, shards)
+	if err != nil {
+		return 0, err
+	}
+	defer dec.Close()
+	done, err := dec.AddStream(stream)
+	if err != nil {
+		return 0, err
+	}
+	if !done {
+		return 0, fmt.Errorf("experiment: sharded decoder incomplete")
+	}
+	return dec.Overhead(), nil
+}
+
+// DecodeThroughput measures receive-side decode rate (MB/s of recovered
+// content) for the single-core peeling decoder and for the sharded
+// decoder at several shard counts, on the same pre-encoded symbol
+// stream. This is the PR 2 extension of the §6.1 coding measurements:
+// the paper assumes receivers absorb content "as fast as the hardware
+// allows", and sharding is what lets a many-core receiver do so. On a
+// single-core host the multi-shard rows measure coordination overhead
+// instead of speedup.
+func DecodeThroughput(o Options) (Table, error) {
+	o = o.withDefaults()
+	n := o.N
+	if n <= 0 {
+		n = 1000
+	}
+	const blockSize = 8192 // big blocks: XOR work dominates routing
+	tab := Table{
+		ID:     "decode",
+		Title:  fmt.Sprintf("Sharded decode throughput, %d blocks x %d B (GOMAXPROCS=%d)", n, blockSize, runtime.GOMAXPROCS(0)),
+		Header: []string{"decoder", "shards", "MB/s", "overhead", "trials"},
+	}
+	code, stream, err := BuildDecodeFixture(n, blockSize, o.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	contentMB := float64(n*blockSize) / 1e6
+
+	row := func(name string, shards int, run func() (float64, error)) error {
+		var rate, overhead float64
+		for t := 0; t < o.Trials; t++ {
+			start := time.Now()
+			oh, err := run()
+			if err != nil {
+				return err
+			}
+			rate += contentMB / time.Since(start).Seconds()
+			overhead += oh
+		}
+		tab.Rows = append(tab.Rows, []string{
+			name,
+			fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%.0f", rate/float64(o.Trials)),
+			fmt.Sprintf("%.2f%%", 100*overhead/float64(o.Trials)),
+			fmt.Sprintf("%d", o.Trials),
+		})
+		return nil
+	}
+
+	if err := row("single", 1, func() (float64, error) {
+		return DriveSingleDecode(code, blockSize, stream)
+	}); err != nil {
+		return Table{}, err
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, shards := range counts {
+		shards := shards
+		if err := row("sharded", shards, func() (float64, error) {
+			return DriveShardedDecode(code, blockSize, shards, stream)
+		}); err != nil {
+			return Table{}, err
+		}
+	}
+	return tab, nil
+}

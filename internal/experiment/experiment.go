@@ -194,6 +194,10 @@ func Registry() []Runner {
 			t, err := CodingParameters(o)
 			return stringerTable{t}, err
 		}},
+		{"decode", "sharded decoder throughput: single core vs S shards (PR 2)", func(o Options) (fmt.Stringer, error) {
+			t, err := DecodeThroughput(o)
+			return stringerTable{t}, err
+		}},
 		{"fig1", "tree vs parallel vs collaborative delivery (Figure 1)", func(o Options) (fmt.Stringer, error) {
 			t, err := Fig1(o)
 			return stringerTable{t}, err

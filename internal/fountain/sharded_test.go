@@ -1,0 +1,269 @@
+package fountain
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// shardedTestContent builds deterministic pseudo-random source blocks.
+func shardedTestContent(n, blockSize int, seed byte) [][]byte {
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		b := make([]byte, blockSize)
+		x := byte(i) ^ seed
+		for j := range b {
+			x = x*167 + 13
+			b[j] = x
+		}
+		blocks[i] = b
+	}
+	return blocks
+}
+
+// TestShardedDecoderMatchesSingle feeds the same symbol stream to the
+// single-core decoder and to sharded decoders at several shard counts:
+// all must complete on the same number of symbols and recover identical
+// blocks (the sharded decoder is a parallel schedule of the same
+// peeling computation, not a different code).
+func TestShardedDecoderMatchesSingle(t *testing.T) {
+	const n, blockSize = 200, 64
+	for _, seed := range []uint64{1, 7, 42, 1001} {
+		code, err := NewCode(n, nil, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := shardedTestContent(n, blockSize, byte(seed))
+		enc, err := NewEncoder(code, blocks, seed+99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stream []Symbol
+		single, err := NewDecoder(code, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !single.Done() {
+			if len(stream) > 4*n {
+				t.Fatalf("seed %d: single decoder stalled", seed)
+			}
+			sym := enc.EncodeID(uint64(len(stream))*0x9e3779b97f4a7c15 + seed)
+			stream = append(stream, sym)
+			if _, err := single.AddSymbol(sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for _, shards := range []int{1, 2, 3, 4, 8} {
+			d, err := NewShardedDecoder(code, blockSize, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sym := range stream {
+				if err := d.AddSymbol(sym); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d.Drain()
+			if !d.Done() {
+				t.Fatalf("seed %d shards %d: not done after the stream that completed the single decoder (recovered %d/%d)",
+					seed, shards, d.Recovered(), n)
+			}
+			if d.Received() != single.Received() {
+				t.Errorf("seed %d shards %d: received %d, single %d", seed, shards, d.Received(), single.Received())
+			}
+			for i := range blocks {
+				if !bytes.Equal(d.Blocks()[i], blocks[i]) {
+					t.Fatalf("seed %d shards %d: block %d differs", seed, shards, i)
+				}
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if out := d.outstandingBuffers(); out != d.Recovered() {
+				t.Errorf("seed %d shards %d: %d buffers outstanding after Close, want %d (one per recovered block)",
+					seed, shards, out, d.Recovered())
+			}
+		}
+	}
+}
+
+// TestShardedDecoderConcurrentFeeders hammers one sharded decoder from
+// multiple feeder goroutines (the peer receive-loop topology) and then
+// checks content correctness and the buffer-accounting invariant: no
+// double-Release, no lost buffer. Run with -race.
+func TestShardedDecoderConcurrentFeeders(t *testing.T) {
+	const n, blockSize, feeders = 300, 128, 8
+	code, err := NewCode(n, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := shardedTestContent(n, blockSize, 5)
+	d, err := NewShardedDecoder(code, blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			enc, err := NewEncoder(code, blocks, uint64(f)+1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n && !d.Done(); i++ {
+				sym := enc.Next()
+				if err := d.AddSymbol(sym); err != nil {
+					t.Error(err)
+					return
+				}
+				enc.Release(sym) // AddSymbol copies; the encoder buffer is ours again
+			}
+		}(f)
+	}
+	wg.Wait()
+	d.Drain()
+	if !d.Done() {
+		t.Fatalf("not done after %d feeders x %d symbols (recovered %d/%d)", feeders, n, d.Recovered(), n)
+	}
+	for i := range blocks {
+		if !bytes.Equal(d.Blocks()[i], blocks[i]) {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out := d.outstandingBuffers(); out != n {
+		t.Errorf("%d buffers outstanding after Close, want %d: a buffer was lost or double-released", out, n)
+	}
+}
+
+// TestShardedDecoderRedundantRelease keeps feeding a completed decoder —
+// duplicates and fresh ids alike — and checks every redundant symbol's
+// buffer comes back to the freelist.
+func TestShardedDecoderRedundantRelease(t *testing.T) {
+	const n, blockSize = 100, 32
+	code, err := NewCode(n, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := shardedTestContent(n, blockSize, 9)
+	enc, err := NewEncoder(code, blocks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewShardedDecoder(code, blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fed []Symbol
+	for i := 0; !d.Done() || i < 4*n; i++ {
+		if i > 8*n {
+			t.Fatal("stalled")
+		}
+		sym := enc.EncodeID(uint64(i))
+		fed = append(fed, sym)
+		if err := d.AddSymbol(sym); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3*n {
+			d.Drain()
+		}
+	}
+	d.Drain()
+	if !d.Done() {
+		t.Fatalf("not done (recovered %d/%d)", d.Recovered(), n)
+	}
+	received := d.Received()
+	// Refeed the whole stream: all duplicates.
+	for _, sym := range fed {
+		if err := d.AddSymbol(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Drain()
+	if d.Received() != received {
+		t.Errorf("duplicates counted as received: %d -> %d", received, d.Received())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out := d.outstandingBuffers(); out != n {
+		t.Errorf("%d buffers outstanding after Close, want %d", out, n)
+	}
+}
+
+// TestShardedDecoderZeroAllocSaturated proves the saturated receive hot
+// path allocates nothing: once decoding is complete, AddSymbol of an
+// already-seen symbol must be allocation-free.
+func TestShardedDecoderZeroAllocSaturated(t *testing.T) {
+	const n, blockSize = 100, 256
+	code, err := NewCode(n, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := shardedTestContent(n, blockSize, 11)
+	enc, err := NewEncoder(code, blocks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewShardedDecoder(code, blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var sym Symbol
+	for i := 0; !d.Done(); i++ {
+		if i > 8*n {
+			t.Fatal("stalled")
+		}
+		sym = enc.EncodeID(uint64(i))
+		if err := d.AddSymbol(sym); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			d.Drain()
+		}
+	}
+	d.Drain()
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := d.AddSymbol(sym); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("saturated AddSymbol allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestShardedDecoderErrors covers argument validation and post-Close use.
+func TestShardedDecoderErrors(t *testing.T) {
+	code, err := NewCode(50, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedDecoder(code, 0, 4); err == nil {
+		t.Error("zero block size accepted")
+	}
+	d, err := NewShardedDecoder(code, 16, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() > 50 {
+		t.Errorf("shards %d not clamped to block count", d.NumShards())
+	}
+	if err := d.AddSymbol(Symbol{ID: 1, Data: make([]byte, 8)}); err == nil {
+		t.Error("wrong-size symbol accepted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := d.AddSymbol(Symbol{ID: 1, Data: make([]byte, 16)}); err == nil {
+		t.Error("AddSymbol after Close accepted")
+	}
+}

@@ -25,6 +25,10 @@ type FetchOptions struct {
 	// and stateless migration (§2.3): nothing else is needed to continue
 	// where a previous transfer left off.
 	Initial map[uint64][]byte
+	// DecodeShards sets the fountain decoder's shard-worker count
+	// (0 = GOMAXPROCS): incoming symbol batches peel concurrently on
+	// that many cores.
+	DecodeShards int
 	// BloomBitsPerElement/BloomHashes size the filter sent to partial
 	// senders (defaults: the paper's 8 and 5).
 	BloomBitsPerElement float64
@@ -85,6 +89,105 @@ type FetchResult struct {
 	DecodeOverhead  float64
 }
 
+// incoming is one symbol crossing from a receive loop to the decode
+// loop. Its data (and, for recoded symbols, ids) buffers are borrowed
+// from the fetch-wide freelists; whoever consumes the symbol either
+// hands the buffer on (rdec.AddKnown keeps regular payloads) or returns
+// it via the pools.
+type incoming struct {
+	peer    int
+	recoded bool
+	id      uint64   // regular symbols
+	ids     []uint64 // recoded constituent list (pool-owned)
+	data    []byte   // payload (pool-owned)
+}
+
+// fetchPools recycles the receive path's payload and id-list buffers so
+// the steady-state frame→symbol→decoder pipeline allocates nothing.
+// Ownership rule: exactly one party holds a borrowed buffer — the
+// receive loop between borrow and deliver, the channel while queued,
+// then the decode loop, which must either transfer it (AddKnown) or put
+// it back. Buffers are never shared after release.
+type fetchPools struct {
+	mu   sync.Mutex
+	bufs [][]byte
+	ids  [][]uint64
+}
+
+func (p *fetchPools) getBuf() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs = p.bufs[:n-1]
+		return b
+	}
+	return nil // DecodeSymbolInto/append grow nil slices as needed
+}
+
+func (p *fetchPools) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	p.mu.Lock()
+	p.bufs = append(p.bufs, b[:0])
+	p.mu.Unlock()
+}
+
+func (p *fetchPools) getIDs() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.ids); n > 0 {
+		s := p.ids[n-1]
+		p.ids = p.ids[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (p *fetchPools) putIDs(s []uint64) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.ids = append(p.ids, s[:0])
+	p.mu.Unlock()
+}
+
+// release returns all of an incoming's borrowed buffers.
+func (p *fetchPools) release(in incoming) {
+	p.putBuf(in.data)
+	p.putIDs(in.ids)
+}
+
+// symbolFromFrame converts a SYMBOL frame into an incoming, copying the
+// payload out of the frame reader's buffer into a pool buffer (the frame
+// view dies at the next read; the pool buffer travels to the decode
+// loop). This borrow-copy-deliver step is the per-frame receive hot path
+// and is allocation-free once the pools are warm.
+func symbolFromFrame(f protocol.Frame, pools *fetchPools, peerIdx int) (incoming, error) {
+	buf := pools.getBuf()
+	sym, err := protocol.DecodeSymbolInto(f, buf)
+	if err != nil {
+		pools.putBuf(buf) // keep the borrow/release invariant on malformed frames
+		return incoming{}, err
+	}
+	return incoming{peer: peerIdx, id: sym.ID, data: sym.Data}, nil
+}
+
+// recodedFromFrame is symbolFromFrame for RECODED frames: ids and
+// payload both land in pool buffers.
+func recodedFromFrame(f protocol.Frame, pools *fetchPools, peerIdx int) (incoming, error) {
+	idBuf := pools.getIDs()
+	ids, view, err := protocol.RecodedView(f, idBuf)
+	if err != nil {
+		pools.putIDs(idBuf) // keep the borrow/release invariant on malformed frames
+		return incoming{}, err
+	}
+	data := append(pools.getBuf()[:0], view...)
+	return incoming{peer: peerIdx, recoded: true, ids: ids, data: data}, nil
+}
+
 // Fetch downloads content contentID from the given peers in parallel and
 // reassembles it. At least one peer must be reachable; the set may mix
 // full and partial senders. On an incomplete download (all peers
@@ -97,21 +200,17 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 	}
 	opts = opts.withDefaults()
 
-	type incoming struct {
-		peer    int
-		regular *protocol.Symbol
-		recoded *protocol.Recoded
-	}
-
 	res := &FetchResult{Peers: make([]PeerStats, len(addrs))}
 	for i, a := range addrs {
 		res.Peers[i].Addr = a
 	}
 
 	// Shared receiver state: the recode decoder tracks the encoded-symbol
-	// working set; recovered symbols feed the fountain decoder.
+	// working set; recovered symbols feed the sharded fountain decoder,
+	// which peels batches concurrently on its shard workers.
 	rdec := recode.NewDecoder(true)
-	var fdec *fountain.Decoder
+	pools := &fetchPools{}
+	var fdec *fountain.ShardedDecoder
 	var info ContentInfo
 	var infoMu sync.Mutex
 
@@ -133,7 +232,7 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 			if err != nil {
 				return err
 			}
-			fdec, err = fountain.NewDecoder(code, ci.BlockSize)
+			fdec, err = fountain.NewShardedDecoder(code, ci.BlockSize, opts.DecodeShards)
 			if err != nil {
 				return err
 			}
@@ -171,10 +270,10 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 		wg.Add(1)
 		go func(idx int, addr string) {
 			defer wg.Done()
-			peerErr[idx] = fetchFromPeer(addr, contentID, opts, heldIDs, &progress, ensureDecoder,
-				func(reg *protocol.Symbol, rec *protocol.Recoded) bool {
+			peerErr[idx] = fetchFromPeer(addr, contentID, opts, heldIDs, &progress, ensureDecoder, pools, idx,
+				func(in incoming) bool {
 					select {
-					case symbolCh <- incoming{peer: idx, regular: reg, recoded: rec}:
+					case symbolCh <- in:
 						return true
 					case <-done:
 						return false
@@ -191,18 +290,20 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 
 	// Main decode loop. fdec is written under infoMu by peer goroutines
 	// (first handshake) and read here through the same lock.
-	decoder := func() *fountain.Decoder {
+	decoder := func() *fountain.ShardedDecoder {
 		infoMu.Lock()
 		defer infoMu.Unlock()
 		return fdec
 	}
-	feedRecovered := func(dec *fountain.Decoder, ids []uint64) error {
+	feedRecovered := func(dec *fountain.ShardedDecoder, ids []uint64) error {
 		for _, id := range ids {
 			data := rdec.Payload(id)
 			if data == nil {
 				continue
 			}
-			if _, err := dec.AddSymbol(fountain.Symbol{ID: id, Data: data}); err != nil {
+			// AddSymbol copies into the decoder's own freelist buffer,
+			// so rdec keeps ownership of its payload.
+			if err := dec.AddSymbol(fountain.Symbol{ID: id, Data: data}); err != nil {
 				return err
 			}
 		}
@@ -210,9 +311,26 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 	}
 	seeded := false
 	var decodeErr error
-	for in := range symbolCh {
+	for {
+		if len(symbolCh) == 0 {
+			// The feeders are momentarily behind the decode loop: settle
+			// the shard workers and make an exact completion check while
+			// we would otherwise just block on the channel.
+			if dec := decoder(); dec != nil {
+				dec.Drain()
+				if dec.Done() {
+					finish()
+					break
+				}
+			}
+		}
+		in, ok := <-symbolCh
+		if !ok {
+			break
+		}
 		dec := decoder()
 		if dec == nil {
+			pools.release(in)
 			continue // cannot happen: delivery follows the handshake
 		}
 		if !seeded {
@@ -223,6 +341,7 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 				ids = append(ids, id)
 			}
 			if err := feedRecovered(dec, ids); err != nil {
+				pools.release(in)
 				decodeErr = err
 				finish()
 				break
@@ -230,14 +349,19 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 		}
 		before := rdec.KnownCount()
 		var newIDs []uint64
-		if in.regular != nil {
-			if !rdec.Knows(in.regular.ID) {
-				newIDs = rdec.AddKnown(in.regular.ID, in.regular.Data)
-				newIDs = append(newIDs, in.regular.ID)
+		if !in.recoded {
+			if rdec.Knows(in.id) {
+				pools.putBuf(in.data) // duplicate: the buffer comes straight back
+			} else {
+				// AddKnown takes ownership of the pool buffer; it lives on
+				// as the stored payload (and, at the end, in res.Held).
+				newIDs = rdec.AddKnown(in.id, in.data)
+				newIDs = append(newIDs, in.id)
 			}
-		} else if in.recoded != nil {
+		} else {
 			var err error
-			newIDs, err = rdec.Add(recode.Symbol{IDs: in.recoded.IDs, Data: in.recoded.Data})
+			newIDs, err = rdec.Add(recode.Symbol{IDs: in.ids, Data: in.data})
+			pools.release(in) // rdec.Add copies; both buffers come back
 			if err != nil {
 				decodeErr = err
 				finish()
@@ -252,16 +376,31 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 			finish()
 			break
 		}
+		// Done lags in-flight shard work. Completion is impossible before
+		// the working set holds n distinct encoded symbols, so the bulk of
+		// the transfer pipelines through the shards freely; from then on,
+		// settle the workers after every symbol so completion is detected
+		// exactly (no overhead inflation past the single-core decoder).
+		if rdec.KnownCount() >= len(dec.Blocks()) {
+			dec.Drain()
+		}
 		if dec.Done() {
 			finish()
 			break
 		}
 	}
 	finish()
-	for range symbolCh {
-		// drain remaining buffered symbols so senders unblock
+	for in := range symbolCh {
+		pools.release(in) // drain remaining buffered symbols so senders unblock
 	}
 	wg.Wait()
+
+	// All feeders have exited; settle the decoder and stop its workers.
+	fdecFinal := decoder()
+	if fdecFinal != nil {
+		fdecFinal.Drain()
+		fdecFinal.Close() // accessors below stay valid after Close
+	}
 
 	if decodeErr != nil {
 		return nil, decodeErr
@@ -276,11 +415,11 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 		}
 	}
 	res.DistinctSymbols = len(res.Held)
-	if fdec != nil {
-		res.Completed = fdec.Done()
-		res.DecodeOverhead = fdec.Overhead()
+	if fdecFinal != nil {
+		res.Completed = fdecFinal.Done()
+		res.DecodeOverhead = fdecFinal.Overhead()
 		if res.Completed {
-			data, err := fountain.JoinBlocks(fdec.Blocks(), info.OrigLen)
+			data, err := fountain.JoinBlocks(fdecFinal.Blocks(), info.OrigLen)
 			if err != nil {
 				return nil, err
 			}
@@ -306,10 +445,15 @@ func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, e
 	return res, nil
 }
 
-// fetchFromPeer runs one connection's session loop.
+// fetchFromPeer runs one connection's session loop. Frames are read
+// through a FrameReader (one reusable buffer per connection) and symbol
+// payloads travel in pool buffers, so the loop allocates nothing per
+// frame except for useful regular symbols, whose buffers are kept as
+// the stored working-set payloads (an allocation the content requires).
 func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
 	held *keyset.Set, progress *atomic.Int64, ensure func(protocol.Hello) error,
-	deliver func(*protocol.Symbol, *protocol.Recoded) bool,
+	pools *fetchPools, peerIdx int,
+	deliver func(incoming) bool,
 	done <-chan struct{}, stats *PeerStats) error {
 
 	conn, err := opts.Dial(addr)
@@ -325,10 +469,11 @@ func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
 	deadline := func() { conn.SetDeadline(time.Now().Add(opts.Timeout)) }
 	deadline()
 
+	fr := protocol.NewFrameReader(conn)
 	if err := protocol.WriteFrame(conn, protocol.EncodeHello(protocol.Hello{ContentID: contentID})); err != nil {
 		return err
 	}
-	f, err := protocol.ReadFrame(conn)
+	f, err := fr.Next()
 	if err != nil {
 		return err
 	}
@@ -374,7 +519,7 @@ func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
 		got := 0
 		for {
 			deadline()
-			f, err := protocol.ReadFrame(conn)
+			f, err := fr.Next()
 			if err != nil {
 				select {
 				case <-done:
@@ -388,20 +533,22 @@ func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
 			}
 			switch f.Type {
 			case protocol.TypeSymbol:
-				sym, err := protocol.DecodeSymbol(f)
+				in, err := symbolFromFrame(f, pools, peerIdx)
 				if err != nil {
 					return err
 				}
-				if !deliver(&sym, nil) {
+				if !deliver(in) {
+					pools.release(in)
 					return nil
 				}
 				got++
 			case protocol.TypeRecoded:
-				rec, err := protocol.DecodeRecoded(f)
+				in, err := recodedFromFrame(f, pools, peerIdx)
 				if err != nil {
 					return err
 				}
-				if !deliver(nil, &rec) {
+				if !deliver(in) {
+					pools.release(in)
 					return nil
 				}
 				got++

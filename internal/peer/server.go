@@ -228,7 +228,9 @@ func (s *Server) Close() error {
 }
 
 // ServeConn runs one session over an established connection (exported so
-// tests and examples can serve over net.Pipe).
+// tests and examples can serve over net.Pipe). Frames are read through a
+// per-connection FrameReader, so the request loop allocates nothing per
+// frame (summaries are copied out by their Unmarshal step).
 func (s *Server) ServeConn(conn net.Conn) error {
 	deadline := func() {
 		if s.timeout > 0 {
@@ -237,8 +239,9 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 	deadline()
 
+	fr := protocol.NewFrameReader(conn)
 	// 1. Receiver announces itself.
-	f, err := protocol.ReadFrame(conn)
+	f, err := fr.Next()
 	if err != nil {
 		return err
 	}
@@ -272,7 +275,7 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 	for {
 		deadline()
-		f, err := protocol.ReadFrame(conn)
+		f, err := fr.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // receiver hung up: stateless, nothing to clean

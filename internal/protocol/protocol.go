@@ -59,6 +59,7 @@ const (
 	TypeError   Type = 9 // fatal error, human-readable
 )
 
+// String names the message type for logs and errors.
 func (t Type) String() string {
 	switch t {
 	case TypeHello:
@@ -138,25 +139,35 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return writeFrame2(w, f.Type, f.Payload, nil)
 }
 
-// ReadFrame reads and validates one frame from r.
-func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
+// readFrame reads and validates one frame from r into scratch storage
+// (grown only if needed), returning the frame and the storage for reuse.
+// The frame's payload aliases the returned scratch slice. hdr is a
+// headerLen-byte caller-provided buffer (callers that loop keep it in a
+// long-lived struct so it does not escape to the heap per call).
+func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, scratch, err
 	}
 	if binary.LittleEndian.Uint16(hdr[0:]) != magic {
-		return Frame{}, errors.New("protocol: bad magic (stream desynchronized?)")
+		return Frame{}, scratch, errors.New("protocol: bad magic (stream desynchronized?)")
 	}
 	if hdr[2] != Version {
-		return Frame{}, fmt.Errorf("protocol: unsupported version %d", hdr[2])
+		return Frame{}, scratch, fmt.Errorf("protocol: unsupported version %d", hdr[2])
 	}
 	length := binary.LittleEndian.Uint32(hdr[4:])
 	if length > MaxPayload {
-		return Frame{}, fmt.Errorf("protocol: payload %d exceeds limit", length)
+		return Frame{}, scratch, fmt.Errorf("protocol: payload %d exceeds limit", length)
 	}
-	body := make([]byte, length+4)
+	need := int(length) + 4
+	var body []byte
+	if cap(scratch) >= need {
+		body = scratch[:need]
+	} else {
+		body = make([]byte, need)
+		scratch = body
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, fmt.Errorf("protocol: short frame body: %w", err)
+		return Frame{}, scratch, fmt.Errorf("protocol: short frame body: %w", err)
 	}
 	payload := body[:length]
 	wantCRC := binary.LittleEndian.Uint32(body[length:])
@@ -164,9 +175,42 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	// concatenation buffer.
 	crc := crc32.Update(crc32.ChecksumIEEE(hdr[3:]), crc32.IEEETable, payload)
 	if crc != wantCRC {
-		return Frame{}, errors.New("protocol: checksum mismatch (corrupt frame)")
+		return Frame{}, scratch, errors.New("protocol: checksum mismatch (corrupt frame)")
 	}
-	return Frame{Type: Type(hdr[3]), Payload: payload}, nil
+	return Frame{Type: Type(hdr[3]), Payload: payload}, scratch, nil
+}
+
+// ReadFrame reads and validates one frame from r. The payload is freshly
+// allocated and owned by the caller; receive loops that want an
+// allocation-free steady state should use a FrameReader instead.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	f, _, err := readFrame(r, hdr[:], nil)
+	return f, err
+}
+
+// FrameReader reads frames from one stream into a reusable internal
+// buffer, making the steady-state receive path allocation-free. The
+// returned Frame's Payload aliases that buffer and is valid only until
+// the next call to Next; a caller that needs the bytes longer must copy
+// them out (DecodeSymbolInto copies into a buffer the caller owns, and
+// SymbolView/RecodedView parse without copying for same-iteration use).
+// Not safe for concurrent use; use one FrameReader per connection.
+type FrameReader struct {
+	r    io.Reader
+	hdr  [headerLen]byte
+	body []byte
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads and validates the next frame. On error the stream should be
+// considered desynchronized and the connection dropped.
+func (fr *FrameReader) Next() (Frame, error) {
+	f, body, err := readFrame(fr.r, fr.hdr[:], fr.body)
+	fr.body = body
+	return f, err
 }
 
 // Hello is the handshake: both sides announce identity and the sender
@@ -240,18 +284,34 @@ func WriteSymbol(w io.Writer, id uint64, data []byte) error {
 	return writeFrame2(w, TypeSymbol, idb[:], data)
 }
 
-// DecodeSymbol unmarshals a SYMBOL frame.
-func DecodeSymbol(f Frame) (Symbol, error) {
+// SymbolView parses a SYMBOL frame without copying: data aliases
+// f.Payload, so for frames produced by a FrameReader it is valid only
+// until the next frame is read.
+func SymbolView(f Frame) (id uint64, data []byte, err error) {
 	if f.Type != TypeSymbol {
-		return Symbol{}, fmt.Errorf("protocol: %v is not SYMBOL", f.Type)
+		return 0, nil, fmt.Errorf("protocol: %v is not SYMBOL", f.Type)
 	}
 	if len(f.Payload) < 9 {
-		return Symbol{}, errors.New("protocol: SYMBOL too short")
+		return 0, nil, errors.New("protocol: SYMBOL too short")
 	}
-	return Symbol{
-		ID:   binary.LittleEndian.Uint64(f.Payload),
-		Data: append([]byte(nil), f.Payload[8:]...),
-	}, nil
+	return binary.LittleEndian.Uint64(f.Payload), f.Payload[8:], nil
+}
+
+// DecodeSymbol unmarshals a SYMBOL frame into freshly allocated storage.
+func DecodeSymbol(f Frame) (Symbol, error) {
+	return DecodeSymbolInto(f, nil)
+}
+
+// DecodeSymbolInto is DecodeSymbol copying the payload into buf's
+// storage (re-sliced from 0, grown only if needed) instead of a fresh
+// allocation. Feeding buffers from a freelist keeps a receive loop
+// allocation-free; the returned Symbol's Data owns buf's storage.
+func DecodeSymbolInto(f Frame, buf []byte) (Symbol, error) {
+	id, view, err := SymbolView(f)
+	if err != nil {
+		return Symbol{}, err
+	}
+	return Symbol{ID: id, Data: append(buf[:0], view...)}, nil
 }
 
 // Recoded is a recoded symbol on the wire: the §5.4.2 constituent list
@@ -298,27 +358,39 @@ func WriteRecoded(w io.Writer, ids []uint64, data []byte) error {
 	return err
 }
 
-// DecodeRecoded unmarshals a RECODED frame.
-func DecodeRecoded(f Frame) (Recoded, error) {
+// RecodedView parses a RECODED frame with minimal copying: the
+// constituent ids are appended into ids' storage (re-sliced from 0,
+// grown only if needed) and data aliases f.Payload — so for frames from
+// a FrameReader, data is valid only until the next frame is read.
+func RecodedView(f Frame, ids []uint64) (_ []uint64, data []byte, err error) {
 	if f.Type != TypeRecoded {
-		return Recoded{}, fmt.Errorf("protocol: %v is not RECODED", f.Type)
+		return nil, nil, fmt.Errorf("protocol: %v is not RECODED", f.Type)
 	}
 	if len(f.Payload) < 2 {
-		return Recoded{}, errors.New("protocol: RECODED too short")
+		return nil, nil, errors.New("protocol: RECODED too short")
 	}
 	n := int(binary.LittleEndian.Uint16(f.Payload))
 	if n == 0 || n > MaxRecodedIDs {
-		return Recoded{}, fmt.Errorf("protocol: recoded degree %d outside [1,%d]", n, MaxRecodedIDs)
+		return nil, nil, fmt.Errorf("protocol: recoded degree %d outside [1,%d]", n, MaxRecodedIDs)
 	}
 	if len(f.Payload) < 2+8*n {
-		return Recoded{}, errors.New("protocol: RECODED id list truncated")
+		return nil, nil, errors.New("protocol: RECODED id list truncated")
 	}
-	r := Recoded{IDs: make([]uint64, n)}
-	for i := range r.IDs {
-		r.IDs[i] = binary.LittleEndian.Uint64(f.Payload[2+8*i:])
+	ids = ids[:0]
+	for i := 0; i < n; i++ {
+		ids = append(ids, binary.LittleEndian.Uint64(f.Payload[2+8*i:]))
 	}
-	r.Data = append([]byte(nil), f.Payload[2+8*n:]...)
-	return r, nil
+	return ids, f.Payload[2+8*n:], nil
+}
+
+// DecodeRecoded unmarshals a RECODED frame into freshly allocated
+// storage.
+func DecodeRecoded(f Frame) (Recoded, error) {
+	ids, view, err := RecodedView(f, nil)
+	if err != nil {
+		return Recoded{}, err
+	}
+	return Recoded{IDs: ids, Data: append([]byte(nil), view...)}, nil
 }
 
 // EncodeRequest marshals a batch request for count symbols.

@@ -237,3 +237,172 @@ func BenchmarkWriteReadSymbolFrame(b *testing.B) {
 		}
 	}
 }
+
+// TestFrameReaderStream checks FrameReader parses a mixed frame stream
+// identically to ReadFrame while reusing one buffer.
+func TestFrameReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSymbol(&buf, 42, []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecoded(&buf, []uint64{7, 9}, []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, EncodeDone()); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+
+	f, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, data, err := SymbolView(f)
+	if err != nil || id != 42 || string(data) != "payload-one" {
+		t.Fatalf("symbol view: id=%d data=%q err=%v", id, data, err)
+	}
+
+	f, err = fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, data, err := RecodedView(f, nil)
+	if err != nil || len(ids) != 2 || ids[0] != 7 || ids[1] != 9 || string(data) != "payload-two" {
+		t.Fatalf("recoded view: ids=%v data=%q err=%v", ids, data, err)
+	}
+
+	f, err = fr.Next()
+	if err != nil || f.Type != TypeDone {
+		t.Fatalf("done frame: %v %v", f.Type, err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+// TestFrameReaderViewInvalidation documents the aliasing contract: a
+// view from frame k is overwritten by frame k+1, and DecodeSymbolInto
+// is the escape hatch that copies into caller-owned storage.
+func TestFrameReaderViewInvalidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSymbol(&buf, 1, []byte("aaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSymbol(&buf, 2, []byte("bbbbbbbb")); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()))
+	f1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, view, err := SymbolView(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := DecodeSymbolInto(f1, make([]byte, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if string(view) == "aaaaaaaa" {
+		t.Fatal("view survived the next frame: buffer not reused")
+	}
+	if string(sym.Data) != "aaaaaaaa" {
+		t.Fatalf("DecodeSymbolInto copy clobbered: %q", sym.Data)
+	}
+}
+
+// TestDecodeSymbolIntoReuse checks that a recycled buffer is grown only
+// when needed and reused otherwise.
+func TestDecodeSymbolIntoReuse(t *testing.T) {
+	f := EncodeSymbol(Symbol{ID: 5, Data: []byte("hello world")})
+	buf := make([]byte, 0, 64)
+	sym, err := DecodeSymbolInto(f, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &sym.Data[0] != &buf[:1][0] {
+		t.Fatal("payload did not reuse the provided storage")
+	}
+	if string(sym.Data) != "hello world" {
+		t.Fatalf("payload %q", sym.Data)
+	}
+}
+
+// TestFrameReaderZeroAlloc proves the steady-state frame-read path
+// allocates nothing once the internal buffer is warm.
+func TestFrameReaderZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0xAB}, 1400)
+	for i := 0; i < 8; i++ {
+		if err := WriteSymbol(&buf, uint64(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r)
+	scratch := make([]byte, 0, 2048)
+	run := func() {
+		r.Reset(stream)
+		for {
+			f, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sym, err := DecodeSymbolInto(f, scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = sym.Data
+		}
+	}
+	run() // warm the internal buffer
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Errorf("frame read loop allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestRecodedViewMatchesDecode cross-checks the zero-copy parser against
+// DecodeRecoded.
+func TestRecodedViewMatchesDecode(t *testing.T) {
+	f, err := EncodeRecoded(Recoded{IDs: []uint64{1, 2, 3}, Data: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeRecoded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, data, err := RecodedView(f, make([]uint64, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want.IDs) || !bytes.Equal(data, want.Data) {
+		t.Fatalf("view %v/%q vs decode %v/%q", ids, data, want.IDs, want.Data)
+	}
+	for i := range ids {
+		if ids[i] != want.IDs[i] {
+			t.Fatalf("id %d: %d vs %d", i, ids[i], want.IDs[i])
+		}
+	}
+	// Error paths shared with DecodeRecoded.
+	if _, _, err := RecodedView(Frame{Type: TypeDone}, nil); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, _, err := RecodedView(Frame{Type: TypeRecoded, Payload: []byte{1}}, nil); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, _, err := RecodedView(Frame{Type: TypeRecoded, Payload: []byte{0, 0}}, nil); err == nil {
+		t.Error("zero degree accepted")
+	}
+	if _, _, err := RecodedView(Frame{Type: TypeRecoded, Payload: []byte{2, 0, 1}}, nil); err == nil {
+		t.Error("truncated id list accepted")
+	}
+}

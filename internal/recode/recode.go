@@ -143,6 +143,7 @@ const (
 	CoverageAdaptive
 )
 
+// String names the policy as the paper's §6.2 strategy table does.
 func (p DegreePolicy) String() string {
 	switch p {
 	case Oblivious:

@@ -6,12 +6,14 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"icd/internal/bloom"
 	"icd/internal/experiment"
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/minwise"
+	"icd/internal/peer"
 	"icd/internal/prng"
 	"icd/internal/recode"
 	"icd/internal/xorblock"
@@ -172,6 +174,28 @@ func runMicro(jsonPath string) {
 	row("receive saturated 8KiB", dblock, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := sat.AddSymbol(last); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Swarm end-to-end: a whole fetch through the session/orchestrator
+	// engine from an in-process full sender over net.Pipe — the row CI
+	// tracks for engine-level regressions (BENCH_pr3.json).
+	const swarmN = 600
+	fix, err := experiment.BuildSwarmFixture(swarmN, 1400, 5)
+	if err != nil {
+		panic(err)
+	}
+	fullSrv, err := peer.NewFullServer(fix.Info, fix.Content)
+	if err != nil {
+		panic(err)
+	}
+	fix.AddServer("S", fullSrv, 0)
+	row("swarm e2e fetch (1 full)", int64(len(fix.Content)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiment.DriveSwarmFetch(fix, []string{"S"},
+				peer.FetchOptions{Batch: 64, Timeout: time.Minute, MaxUselessBatches: 64}); err != nil {
 				b.Fatal(err)
 			}
 		}

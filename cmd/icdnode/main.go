@@ -13,12 +13,21 @@
 // Fetch from several peers concurrently:
 //
 //	icdnode fetch -out big.iso -id 0xF00D -peers 127.0.0.1:9000,127.0.0.1:9001
+//
+// Collaborate (Figure 1(c)): fetch from peers while simultaneously
+// serving everything learned so far as a live partial sender, so
+// complementary peers complete each other in both directions:
+//
+//	icdnode collab -out big.iso -id 0xF00D -listen 127.0.0.1:9002 \
+//	    -peers 127.0.0.1:9000,127.0.0.1:9003
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -36,13 +45,15 @@ func main() {
 		serve(os.Args[2:])
 	case "fetch":
 		fetch(os.Args[2:])
+	case "collab":
+		collab(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: icdnode serve|fetch [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, "usage: icdnode serve|fetch|collab [flags] (see -h of each)")
 	os.Exit(2)
 }
 
@@ -149,12 +160,103 @@ func fetch(args []string) {
 	elapsed := time.Since(start)
 	fmt.Printf("icdnode: fetched %d bytes in %v (decode overhead %.1f%%)\n",
 		len(res.Data), elapsed.Round(time.Millisecond), 100*res.DecodeOverhead)
+	printPeerStats(res)
+}
+
+func collab(args []string) {
+	fs := flag.NewFlagSet("collab", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "", "output file")
+		idStr    = fs.String("id", "F00D", "content id (hex)")
+		listen   = fs.String("listen", "127.0.0.1:9002", "address to serve the live working set on")
+		peers    = fs.String("peers", "", "comma-separated peer addresses")
+		batch    = fs.Int("batch", 64, "symbols per request")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+		maxPeers = fs.Int("max-peers", 0, "session cap; lowest-utility peer is dropped when exceeded (0 = unlimited)")
+		retries  = fs.Int("retries", 3, "redials per failed session (exponential backoff)")
+		linger   = fs.Duration("linger", 10*time.Second, "keep serving after completing (helps late peers finish)")
+	)
+	fs.Parse(args)
+	if *out == "" || *peers == "" {
+		fmt.Fprintln(os.Stderr, "icdnode collab: -out and -peers are required")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	o := peer.NewOrchestrator(parseID(*idStr), peer.FetchOptions{
+		Batch:         *batch,
+		Timeout:       *timeout,
+		MaxPeers:      *maxPeers,
+		MaxReconnects: *retries,
+	})
+	addrs := strings.Split(*peers, ",")
+	type outcome struct {
+		res *peer.FetchResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		res, err := o.Run(ctx, addrs...)
+		done <- outcome{res, err}
+	}()
+
+	// Start the live server as soon as the first handshake fixes the
+	// content metadata: from then on this node serves while it fetches.
+	var srv *peer.Server
+	if info, err := o.WaitInfo(ctx); err == nil {
+		srv, err = peer.NewLiveServer(info, o)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := srv.ListenAndServe(*listen); err != nil {
+				fmt.Fprintln(os.Stderr, "icdnode: live server:", err)
+			}
+		}()
+		fmt.Printf("icdnode: collaborating — serving live working set on %s while fetching from %d peer(s)\n",
+			*listen, len(addrs))
+	}
+
+	got := <-done
+	if got.err != nil {
+		fatal(got.err)
+	}
+	if err := os.WriteFile(*out, got.res.Data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("icdnode: fetched %d bytes in %v (decode overhead %.1f%%)\n",
+		len(got.res.Data), time.Since(start).Round(time.Millisecond), 100*got.res.DecodeOverhead)
+	printPeerStats(got.res)
+	if srv != nil && *linger > 0 {
+		fmt.Printf("icdnode: complete; serving for another %v (interrupt to stop)\n", *linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+		srv.Close()
+	}
+}
+
+func printPeerStats(res *peer.FetchResult) {
 	for _, p := range res.Peers {
 		kind := "partial"
 		if p.Full {
 			kind = "full"
 		}
-		fmt.Printf("  %-22s %-7s received=%-6d useful=%-6d\n", p.Addr, kind, p.SymbolsReceived, p.UsefulSymbols)
+		extra := ""
+		if p.Summary != "" {
+			extra += " summary=" + p.Summary
+		}
+		if p.Reconnects > 0 {
+			extra += fmt.Sprintf(" reconnects=%d", p.Reconnects)
+		}
+		if p.Evicted {
+			extra += " evicted"
+		}
+		fmt.Printf("  %-22s %-7s received=%-6d useful=%-6d utility=%.1f/s%s\n",
+			p.Addr, kind, p.SymbolsReceived, p.UsefulSymbols, p.Utility, extra)
 	}
 }
 

@@ -136,4 +136,58 @@
 // requires, not pipeline overhead. Decode throughput scales with shards
 // until the memory bus saturates (BenchmarkDecoderSharded;
 // `icdbench -exp decode` prints the same comparison).
+//
+// # Control plane (sessions, orchestration, negotiation)
+//
+// Above the data plane sits the adaptive swarm engine of internal/peer
+// (Fetch is now a thin wrapper over it): an Orchestrator owning one
+// download's shared state, and one session per connection.
+//
+// Session lifecycle. A session runs dial → HELLO exchange → summary
+// negotiation → batched request loop, wrapped in a redial-with-backoff
+// loop (FetchOptions.MaxReconnects/ReconnectBackoff). It ends in one of
+// four ways: the transfer completed; the peer stopped contributing
+// (MaxUselessBatches of no global progress); the orchestrator dropped
+// it (DropPeer, or lowest-utility eviction when AddPeer exceeds
+// MaxPeers — utility is useful symbols per second of session life); or
+// the connection failed terminally. Peers can be added and dropped
+// mid-transfer; late joiners inherit the current working set's summary
+// state automatically, since summaries are built from the shared set at
+// handshake time.
+//
+// Negotiation rules (protocol v3). Both HELLOs carry a working-set size
+// and a summary-method mask; the receiver picks the method with
+// protocol.ChooseSummaryMethod over the mask intersection — Bloom
+// filter for small receiver sets, ART when both sets are large and
+// similar (the difference is small and worth *searching* for), min-wise
+// sketch when sets are large and dissimilar (constant-size, steers
+// recoded degrees via the containment estimate). The sender derives its
+// transmit plan from whatever arrives (strategy.ParseSummary +
+// Plan): a membership summary restricts the recoding domain, a sketch
+// switches the informed stream to MinwiseScaled degrees. Sessions send
+// SUMMARY_REFRESH frames as the shared set grows
+// (RefreshBatches/RefreshGrowth), so senders stop retransmitting what
+// other sessions already delivered.
+//
+// Buffer ownership across the session/orchestrator boundary. Sessions
+// borrow payload and id-list buffers from the orchestrator's pools and
+// transfer ownership by delivering each parsed symbol on the symbol
+// channel; the decode loop (the single consumer) folds a whole batch
+// into the working set under one lock pass, hands useful regular
+// payloads to recode.Decoder.AddKnown (they become the stored working
+// set and, eventually, FetchResult.Held), returns everything else to
+// the pools, and feeds newly recovered symbols to the fountain decoder
+// with one batched AddSymbols call per drained batch — one router-lock
+// pass per frame batch instead of per symbol.
+//
+// Collaboration (Figure 1(c)). A Server built with NewLiveServer over a
+// WorkingSetSource — an Orchestrator implements it — serves a *growing*
+// working set: per-session recoding domains are re-derived whenever the
+// set's version moves or a refresh arrives. A node that runs an
+// Orchestrator and a live Server simultaneously both downloads and
+// uploads the same content (`icdnode collab`), which is the paper's
+// perpendicular-transfer collaboration on the real network:
+// complementary partial peers complete each other while trickling the
+// remainder from a constrained source (`icdbench -exp swarm` measures
+// the source-bandwidth savings).
 package icd

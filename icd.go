@@ -1,6 +1,8 @@
 package icd
 
 import (
+	"context"
+
 	"icd/internal/bloom"
 	"icd/internal/core"
 	"icd/internal/fountain"
@@ -302,10 +304,43 @@ func NewPartialServer(info ContentInfo, symbols map[uint64][]byte) (*Server, err
 	return peer.NewPartialServer(info, symbols)
 }
 
+// PeerStats summarizes one session's contribution to a download.
+type PeerStats = peer.PeerStats
+
 // Fetch downloads content from a mix of full and partial peers in
 // parallel.
 func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
 	return peer.Fetch(addrs, contentID, opts)
+}
+
+// FetchContext is Fetch with cancellation: the engine unwinds promptly
+// when ctx fires and returns the partial state with ctx's error.
+func FetchContext(ctx context.Context, addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
+	return peer.FetchContext(ctx, addrs, contentID, opts)
+}
+
+// Orchestrator is the adaptive swarm engine behind Fetch: it owns a
+// download's shared working set and decoders and manages per-connection
+// sessions dynamically — AddPeer/DropPeer mid-transfer, utility-ranked
+// eviction at the peer cap, reconnect backoff — the §2.1 adaptivity on
+// the real network.
+type Orchestrator = peer.Orchestrator
+
+// NewOrchestrator prepares a swarm engine for one piece of content; add
+// peers and collect the result via Run.
+func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
+	return peer.NewOrchestrator(contentID, opts)
+}
+
+// WorkingSetSource exposes a mutable working set to a live Server (an
+// Orchestrator implements it).
+type WorkingSetSource = peer.WorkingSetSource
+
+// NewLiveServer builds a partial sender over a mutable working set —
+// pass an Orchestrator to make a node serve what it has learned so far
+// while it is still downloading (Figure 1(c) collaboration).
+func NewLiveServer(info ContentInfo, src WorkingSetSource) (*Server, error) {
+	return peer.NewLiveServer(info, src)
 }
 
 // DescribeContent computes the ContentInfo for raw content at the given

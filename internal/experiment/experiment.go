@@ -198,6 +198,10 @@ func Registry() []Runner {
 			t, err := DecodeThroughput(o)
 			return stringerTable{t}, err
 		}},
+		{"swarm", "swarm engine end-to-end: fetch throughput + Figure 1(c) collaboration (PR 3)", func(o Options) (fmt.Stringer, error) {
+			t, err := SwarmE2E(o)
+			return stringerTable{t}, err
+		}},
 		{"fig1", "tree vs parallel vs collaborative delivery (Figure 1)", func(o Options) (fmt.Stringer, error) {
 			t, err := Fig1(o)
 			return stringerTable{t}, err

@@ -207,7 +207,7 @@ func TestFig1Table(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"coding", "decode", "fig1", "fig4a", "fig5a", "fig5b", "fig6a",
-		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "tab4b", "tab4c",
+		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "swarm", "tab4b", "tab4c",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -134,13 +134,13 @@ type ShardedDecoder struct {
 
 	recovered atomic.Int64
 
-	mu       sync.Mutex // guards seen/counters/inflight; cond signals inflight==0
-	cond     sync.Cond
-	seen     map[uint64]struct{}
-	received int
+	mu        sync.Mutex // guards seen/counters/inflight; cond signals inflight==0
+	cond      sync.Cond
+	seen      map[uint64]struct{}
+	received  int
 	redundant int
-	inflight int
-	closed   bool
+	inflight  int
+	closed    bool
 
 	bufMu    sync.Mutex // freelists (separate lock: shards release while feeders borrow)
 	freeBufs [][]byte
@@ -157,7 +157,7 @@ type decodeShard struct {
 	d       *ShardedDecoder
 	id      int
 	box     *mailbox[shardMsg]
-	pending map[int][]int // owned block -> indices into parked
+	pending map[int][]int    // owned block -> indices into parked
 	parked  []*pendingSymbol // the single-core Decoder's buffered-symbol record, reused
 	queue   []peelRec        // cascade scratch, reused
 }
@@ -347,9 +347,17 @@ func (d *ShardedDecoder) AddSymbol(sym Symbol) error {
 	d.inflight++
 	d.mu.Unlock()
 
-	// Neighbor expansion needs only the shared code (stack PRNG inside),
-	// so it runs outside the lock: concurrent feeders do not serialize on
-	// anything but the seen-map check above.
+	d.route(sym)
+	return nil
+}
+
+// route expands a symbol's neighbors and pushes it to its starting
+// shard. The caller must already hold an in-flight token for it (the
+// router-lock bookkeeping of AddSymbol/AddSymbols). Neighbor expansion
+// needs only the shared code (stack PRNG inside), so it runs outside the
+// lock: concurrent feeders do not serialize on anything but the seen-map
+// check.
+func (d *ShardedDecoder) route(sym Symbol) {
 	u := d.code.AppendNeighbors(sym.ID, d.getInts())
 	data := d.getBuf()
 	copy(data, sym.Data)
@@ -367,6 +375,62 @@ func (d *ShardedDecoder) AddSymbol(sym Symbol) error {
 		}
 	}
 	d.shards[target].box.push(shardMsg{data: data, unknown: u})
+}
+
+// symbolBatches recycles the accepted-symbol scratch of AddSymbols so a
+// steady-state batched receive loop allocates nothing per batch.
+var symbolBatches = sync.Pool{
+	New: func() any {
+		s := make([]Symbol, 0, 64)
+		return &s
+	},
+}
+
+// AddSymbols ingests a batch of symbols, taking the router lock once for
+// the whole batch instead of once per symbol — the path a receive loop
+// that drains frames in batches should use (≈len(syms)× fewer
+// lock/unlock pairs under feeder contention). Semantics match calling
+// AddSymbol in order: duplicates are counted redundant, the decoder
+// copies each payload, and decode effects are asynchronous.
+func (d *ShardedDecoder) AddSymbols(syms []Symbol) error {
+	if len(syms) == 0 {
+		return nil
+	}
+	for _, sym := range syms {
+		if len(sym.Data) != d.blockSize {
+			return fmt.Errorf("fountain: symbol size %d, want %d", len(sym.Data), d.blockSize)
+		}
+	}
+	bp := symbolBatches.Get().(*[]Symbol)
+	accepted := (*bp)[:0]
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		symbolBatches.Put(bp)
+		return errors.New("fountain: decoder closed")
+	}
+	for _, sym := range syms {
+		if _, dup := d.seen[sym.ID]; dup {
+			d.redundant++
+			continue
+		}
+		d.seen[sym.ID] = struct{}{}
+		d.received++
+		if d.recovered.Load() == int64(d.code.n) {
+			// Already complete: every further symbol reduces to nothing.
+			d.redundant++
+			continue
+		}
+		accepted = append(accepted, sym)
+	}
+	d.inflight += len(accepted)
+	d.mu.Unlock()
+
+	for _, sym := range accepted {
+		d.route(sym)
+	}
+	*bp = accepted[:0]
+	symbolBatches.Put(bp)
 	return nil
 }
 

@@ -267,3 +267,130 @@ func TestShardedDecoderErrors(t *testing.T) {
 		t.Error("AddSymbol after Close accepted")
 	}
 }
+
+// TestShardedDecoderAddSymbolsBatched checks the batched ingest path is
+// equivalent to per-symbol AddSymbol: same completion, same recovered
+// blocks, duplicates counted redundant, and a batch straddling
+// completion doesn't wedge the buffer accounting.
+func TestShardedDecoderAddSymbolsBatched(t *testing.T) {
+	const n, blockSize = 150, 48
+	code, err := NewCode(n, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := shardedTestContent(n, blockSize, 3)
+	enc, err := NewEncoder(code, blocks, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]Symbol, 3*n)
+	for i := range stream {
+		sym := enc.EncodeID(uint64(i)*0x9e3779b97f4a7c15 + 5)
+		stream[i] = Symbol{ID: sym.ID, Data: append([]byte(nil), sym.Data...)}
+		enc.Release(sym)
+	}
+
+	d, err := NewShardedDecoder(code, blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Feed in uneven batches, re-feeding each batch once (duplicates).
+	for lo := 0; lo < len(stream) && !d.Done(); {
+		hi := lo + 1 + lo%13
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		if err := d.AddSymbols(stream[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddSymbols(stream[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		d.Drain()
+		lo = hi
+	}
+	if !d.Done() {
+		t.Fatalf("batched ingest incomplete: %d/%d", d.Recovered(), n)
+	}
+	for i, b := range d.Blocks() {
+		if !bytes.Equal(b, blocks[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	// Every batch was fed twice, so redundancies must have been counted.
+	if d.Redundant() == 0 {
+		t.Fatalf("duplicate batches not counted redundant (received=%d)", d.Received())
+	}
+	if err := d.AddSymbols(stream[:5]); err != nil {
+		t.Fatal(err) // post-completion batches are absorbed as redundant
+	}
+	d.Drain()
+	if got := d.outstandingBuffers(); got != n {
+		// Each recovered block keeps exactly one buffer; every other
+		// borrow must have been returned.
+		t.Fatalf("%d buffers outstanding after batched ingest, want %d", got, n)
+	}
+
+	// A batch with a wrong-size payload is rejected atomically.
+	bad := []Symbol{{ID: 1, Data: make([]byte, blockSize-1)}}
+	if err := d.AddSymbols(bad); err == nil {
+		t.Fatal("wrong-size batch accepted")
+	}
+	if err := d.AddSymbols(nil); err != nil {
+		t.Fatal("empty batch must be a no-op")
+	}
+}
+
+// TestShardedDecoderAddSymbolsConcurrent hammers the batched path from
+// several feeders under the race detector.
+func TestShardedDecoderAddSymbolsConcurrent(t *testing.T) {
+	const n, blockSize, feeders = 120, 32, 4
+	code, err := NewCode(n, nil, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := shardedTestContent(n, blockSize, 9)
+	enc, err := NewEncoder(code, blocks, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]Symbol, 4*n)
+	for i := range stream {
+		sym := enc.EncodeID(uint64(i)*0x9e3779b97f4a7c15 + 77)
+		stream[i] = Symbol{ID: sym.ID, Data: append([]byte(nil), sym.Data...)}
+		enc.Release(sym)
+	}
+	d, err := NewShardedDecoder(code, blockSize, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for lo := f * 16; lo < len(stream); lo += feeders * 16 {
+				hi := lo + 16
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				if err := d.AddSymbols(stream[lo:hi]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	d.Drain()
+	if !d.Done() {
+		t.Fatalf("concurrent batched ingest incomplete: %d/%d", d.Recovered(), n)
+	}
+	for i, b := range d.Blocks() {
+		if !bytes.Equal(b, blocks[i]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+}

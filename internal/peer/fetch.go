@@ -1,18 +1,19 @@
 package peer
 
+// fetch.go is the thin public entry of the receive side: FetchOptions /
+// FetchResult / PeerStats plus the Fetch and FetchContext wrappers over
+// the Orchestrator (orchestrator.go), and the pooled receive-path
+// plumbing shared by every session (session.go). The one-shot Fetch of
+// earlier versions survives as a convenience: it builds an Orchestrator
+// over the given addresses and runs it to completion.
+
 import (
-	"errors"
-	"fmt"
+	"context"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"icd/internal/bloom"
-	"icd/internal/fountain"
-	"icd/internal/keyset"
 	"icd/internal/protocol"
-	"icd/internal/recode"
 )
 
 // FetchOptions tune a download.
@@ -38,6 +39,33 @@ type FetchOptions struct {
 	// MaxUselessBatches disconnects a peer after this many consecutive
 	// batches that contributed nothing (default 4).
 	MaxUselessBatches int
+	// MaxPeers caps concurrently connected sessions (0 = unlimited).
+	// When AddPeer would exceed it, the lowest-utility session (useful
+	// symbols per second) is dropped to make room — the adaptive
+	// re-ranking of §2.1.
+	MaxPeers int
+	// MaxReconnects is how many times a failed session redials before
+	// giving up (default 0: fail fast, the pre-churn behavior).
+	MaxReconnects int
+	// ReconnectBackoff is the delay before the first redial, doubling
+	// per attempt (default 200ms).
+	ReconnectBackoff time.Duration
+	// SummaryMask restricts which summary methods this receiver offers
+	// in its HELLO: 0 selects all (Bloom, min-wise sketch, ART),
+	// positive values are a protocol.SummaryMethod bit mask, and a
+	// negative value disables summaries entirely (the blind-streaming
+	// baseline). The session picks per peer via
+	// protocol.ChooseSummaryMethod.
+	SummaryMask int
+	// RefreshBatches is how many request batches pass between checks
+	// for a mid-session summary refresh; a refresh is sent when the
+	// working set grew ≥ RefreshGrowth since the last summary.
+	// 0 defaults to 8; negative disables refreshes (§6.1's
+	// never-update-the-filter baseline).
+	RefreshBatches int
+	// RefreshGrowth is the fractional working-set growth that triggers
+	// a refresh (default 0.1).
+	RefreshGrowth float64
 	// Dial overrides the dialer (tests inject net.Pipe); nil uses TCP.
 	Dial func(addr string) (net.Conn, error)
 }
@@ -58,6 +86,18 @@ func (o FetchOptions) withDefaults() FetchOptions {
 	if o.MaxUselessBatches <= 0 {
 		o.MaxUselessBatches = 4
 	}
+	if o.SummaryMask == 0 {
+		o.SummaryMask = int(protocol.AllSummaryMask)
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 200 * time.Millisecond
+	}
+	if o.RefreshBatches == 0 {
+		o.RefreshBatches = 8
+	}
+	if o.RefreshGrowth <= 0 {
+		o.RefreshGrowth = 0.1
+	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, o.Timeout)
@@ -66,13 +106,34 @@ func (o FetchOptions) withDefaults() FetchOptions {
 	return o
 }
 
-// PeerStats summarizes one connection's contribution.
+// summaryMask resolves the SummaryMask option to the wire-format mask
+// (negative = none; withDefaults already turned 0 into all methods).
+func (o FetchOptions) summaryMask() uint8 {
+	if o.SummaryMask < 0 {
+		return 0
+	}
+	return uint8(o.SummaryMask)
+}
+
+// PeerStats summarizes one session's contribution.
 type PeerStats struct {
 	Addr            string
 	Full            bool
 	SymbolsReceived int
 	UsefulSymbols   int
-	Err             error // terminal connection error, if any
+	// Summary is the negotiated summary method sent to this peer
+	// ("bloom", "sketch", "art", or "" when none was needed).
+	Summary string
+	// Utility is the session's score at snapshot time: useful symbols
+	// per second of connected life — the ranking AddPeer eviction uses.
+	Utility float64
+	// Reconnects counts redial attempts after connection failures
+	// (whether or not the new connection then succeeded).
+	Reconnects int
+	// Evicted reports the session was dropped deliberately (DropPeer or
+	// utility ranking), as opposed to failing or finishing.
+	Evicted bool
+	Err     error // terminal connection error, if any
 }
 
 // FetchResult is a completed (or partial) download.
@@ -89,13 +150,30 @@ type FetchResult struct {
 	DecodeOverhead  float64
 }
 
-// incoming is one symbol crossing from a receive loop to the decode
-// loop. Its data (and, for recoded symbols, ids) buffers are borrowed
-// from the fetch-wide freelists; whoever consumes the symbol either
-// hands the buffer on (rdec.AddKnown keeps regular payloads) or returns
-// it via the pools.
+// Fetch downloads content contentID from the given peers in parallel and
+// reassembles it. At least one peer must be reachable; the set may mix
+// full and partial senders. On an incomplete download (all peers
+// exhausted) it returns the partial state with Completed=false; callers
+// should treat !Completed as retryable with more peers.
+func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
+	return FetchContext(context.Background(), addrs, contentID, opts)
+}
+
+// FetchContext is Fetch with cancellation: when ctx is cancelled the
+// engine unwinds promptly (sessions are unblocked and closed) and the
+// partial state collected so far is returned with ctx's error.
+func FetchContext(ctx context.Context, addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
+	o := NewOrchestrator(contentID, opts)
+	return o.Run(ctx, addrs...)
+}
+
+// incoming is one symbol crossing from a session's receive loop to the
+// orchestrator's decode loop. Its data (and, for recoded symbols, ids)
+// buffers are borrowed from the fetch-wide freelists; whoever consumes
+// the symbol either hands the buffer on (rdec.AddKnown keeps regular
+// payloads) or returns it via the pools.
 type incoming struct {
-	peer    int
+	stats   *PeerStats
 	recoded bool
 	id      uint64   // regular symbols
 	ids     []uint64 // recoded constituent list (pool-owned)
@@ -165,19 +243,19 @@ func (p *fetchPools) release(in incoming) {
 // view dies at the next read; the pool buffer travels to the decode
 // loop). This borrow-copy-deliver step is the per-frame receive hot path
 // and is allocation-free once the pools are warm.
-func symbolFromFrame(f protocol.Frame, pools *fetchPools, peerIdx int) (incoming, error) {
+func symbolFromFrame(f protocol.Frame, pools *fetchPools, stats *PeerStats) (incoming, error) {
 	buf := pools.getBuf()
 	sym, err := protocol.DecodeSymbolInto(f, buf)
 	if err != nil {
 		pools.putBuf(buf) // keep the borrow/release invariant on malformed frames
 		return incoming{}, err
 	}
-	return incoming{peer: peerIdx, id: sym.ID, data: sym.Data}, nil
+	return incoming{stats: stats, id: sym.ID, data: sym.Data}, nil
 }
 
 // recodedFromFrame is symbolFromFrame for RECODED frames: ids and
 // payload both land in pool buffers.
-func recodedFromFrame(f protocol.Frame, pools *fetchPools, peerIdx int) (incoming, error) {
+func recodedFromFrame(f protocol.Frame, pools *fetchPools, stats *PeerStats) (incoming, error) {
 	idBuf := pools.getIDs()
 	ids, view, err := protocol.RecodedView(f, idBuf)
 	if err != nil {
@@ -185,391 +263,5 @@ func recodedFromFrame(f protocol.Frame, pools *fetchPools, peerIdx int) (incomin
 		return incoming{}, err
 	}
 	data := append(pools.getBuf()[:0], view...)
-	return incoming{peer: peerIdx, recoded: true, ids: ids, data: data}, nil
-}
-
-// Fetch downloads content contentID from the given peers in parallel and
-// reassembles it. At least one peer must be reachable; the set may mix
-// full and partial senders. On an incomplete download (all peers
-// exhausted) it returns the partial state with Completed=false and a nil
-// error only if some progress context is usable; callers should treat
-// !Completed as retryable with more peers.
-func Fetch(addrs []string, contentID uint64, opts FetchOptions) (*FetchResult, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("peer: no peers given")
-	}
-	opts = opts.withDefaults()
-
-	res := &FetchResult{Peers: make([]PeerStats, len(addrs))}
-	for i, a := range addrs {
-		res.Peers[i].Addr = a
-	}
-
-	// Shared receiver state: the recode decoder tracks the encoded-symbol
-	// working set; recovered symbols feed the sharded fountain decoder,
-	// which peels batches concurrently on its shard workers.
-	rdec := recode.NewDecoder(true)
-	pools := &fetchPools{}
-	var fdec *fountain.ShardedDecoder
-	var info ContentInfo
-	var infoMu sync.Mutex
-
-	ensureDecoder := func(h protocol.Hello) error {
-		infoMu.Lock()
-		defer infoMu.Unlock()
-		ci := ContentInfo{
-			ID:        h.ContentID,
-			NumBlocks: int(h.NumBlocks),
-			BlockSize: int(h.BlockSize),
-			OrigLen:   int(h.OrigLen),
-			CodeSeed:  h.CodeSeed,
-		}
-		if fdec == nil {
-			if err := ci.validate(); err != nil {
-				return err
-			}
-			code, err := fountain.NewCode(ci.NumBlocks, nil, ci.CodeSeed)
-			if err != nil {
-				return err
-			}
-			fdec, err = fountain.NewShardedDecoder(code, ci.BlockSize, opts.DecodeShards)
-			if err != nil {
-				return err
-			}
-			info = ci
-			return nil
-		}
-		if info != ci {
-			return fmt.Errorf("peer: inconsistent content metadata: %+v vs %+v", info, ci)
-		}
-		return nil
-	}
-
-	// The working-set snapshot for Bloom filters sent at connection
-	// setup, and initial symbols.
-	heldIDs := keyset.New(len(opts.Initial))
-	for id, data := range opts.Initial {
-		heldIDs.Add(id)
-		rdec.AddKnown(id, append([]byte(nil), data...))
-	}
-
-	symbolCh := make(chan incoming, 4*opts.Batch)
-	done := make(chan struct{})
-	var closeOnce sync.Once
-	finish := func() { closeOnce.Do(func() { close(done) }) }
-
-	// progress counts distinct encoded symbols decoded so far; peer
-	// goroutines use it to notice that their batches stopped helping
-	// (recoded streams never run dry, so emptiness cannot be the signal).
-	var progress atomic.Int64
-	progress.Store(int64(len(opts.Initial)))
-
-	var wg sync.WaitGroup
-	peerErr := make([]error, len(addrs))
-	for i, addr := range addrs {
-		wg.Add(1)
-		go func(idx int, addr string) {
-			defer wg.Done()
-			peerErr[idx] = fetchFromPeer(addr, contentID, opts, heldIDs, &progress, ensureDecoder, pools, idx,
-				func(in incoming) bool {
-					select {
-					case symbolCh <- in:
-						return true
-					case <-done:
-						return false
-					}
-				}, done, &res.Peers[idx])
-		}(i, addr)
-	}
-
-	// Drain goroutine exit barrier.
-	go func() {
-		wg.Wait()
-		close(symbolCh)
-	}()
-
-	// Main decode loop. fdec is written under infoMu by peer goroutines
-	// (first handshake) and read here through the same lock.
-	decoder := func() *fountain.ShardedDecoder {
-		infoMu.Lock()
-		defer infoMu.Unlock()
-		return fdec
-	}
-	feedRecovered := func(dec *fountain.ShardedDecoder, ids []uint64) error {
-		for _, id := range ids {
-			data := rdec.Payload(id)
-			if data == nil {
-				continue
-			}
-			// AddSymbol copies into the decoder's own freelist buffer,
-			// so rdec keeps ownership of its payload.
-			if err := dec.AddSymbol(fountain.Symbol{ID: id, Data: data}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	seeded := false
-	var decodeErr error
-	for {
-		if len(symbolCh) == 0 {
-			// The feeders are momentarily behind the decode loop: settle
-			// the shard workers and make an exact completion check while
-			// we would otherwise just block on the channel.
-			if dec := decoder(); dec != nil {
-				dec.Drain()
-				if dec.Done() {
-					finish()
-					break
-				}
-			}
-		}
-		in, ok := <-symbolCh
-		if !ok {
-			break
-		}
-		dec := decoder()
-		if dec == nil {
-			pools.release(in)
-			continue // cannot happen: delivery follows the handshake
-		}
-		if !seeded {
-			// Feed the resumed working set into the fountain decoder once.
-			seeded = true
-			ids := make([]uint64, 0, len(opts.Initial))
-			for id := range opts.Initial {
-				ids = append(ids, id)
-			}
-			if err := feedRecovered(dec, ids); err != nil {
-				pools.release(in)
-				decodeErr = err
-				finish()
-				break
-			}
-		}
-		before := rdec.KnownCount()
-		var newIDs []uint64
-		if !in.recoded {
-			if rdec.Knows(in.id) {
-				pools.putBuf(in.data) // duplicate: the buffer comes straight back
-			} else {
-				// AddKnown takes ownership of the pool buffer; it lives on
-				// as the stored payload (and, at the end, in res.Held).
-				newIDs = rdec.AddKnown(in.id, in.data)
-				newIDs = append(newIDs, in.id)
-			}
-		} else {
-			var err error
-			newIDs, err = rdec.Add(recode.Symbol{IDs: in.ids, Data: in.data})
-			pools.release(in) // rdec.Add copies; both buffers come back
-			if err != nil {
-				decodeErr = err
-				finish()
-				break
-			}
-		}
-		res.Peers[in.peer].SymbolsReceived++
-		res.Peers[in.peer].UsefulSymbols += rdec.KnownCount() - before
-		progress.Store(int64(rdec.KnownCount()))
-		if err := feedRecovered(dec, newIDs); err != nil {
-			decodeErr = err
-			finish()
-			break
-		}
-		// Done lags in-flight shard work. Completion is impossible before
-		// the working set holds n distinct encoded symbols, so the bulk of
-		// the transfer pipelines through the shards freely; from then on,
-		// settle the workers after every symbol so completion is detected
-		// exactly (no overhead inflation past the single-core decoder).
-		if rdec.KnownCount() >= len(dec.Blocks()) {
-			dec.Drain()
-		}
-		if dec.Done() {
-			finish()
-			break
-		}
-	}
-	finish()
-	for in := range symbolCh {
-		pools.release(in) // drain remaining buffered symbols so senders unblock
-	}
-	wg.Wait()
-
-	// All feeders have exited; settle the decoder and stop its workers.
-	fdecFinal := decoder()
-	if fdecFinal != nil {
-		fdecFinal.Drain()
-		fdecFinal.Close() // accessors below stay valid after Close
-	}
-
-	if decodeErr != nil {
-		return nil, decodeErr
-	}
-
-	// Collect final state (all peer goroutines have exited; no races).
-	res.Info = info
-	res.Held = make(map[uint64][]byte)
-	for _, id := range rdec.KnownIDs() {
-		if data := rdec.Payload(id); data != nil {
-			res.Held[id] = data
-		}
-	}
-	res.DistinctSymbols = len(res.Held)
-	if fdecFinal != nil {
-		res.Completed = fdecFinal.Done()
-		res.DecodeOverhead = fdecFinal.Overhead()
-		if res.Completed {
-			data, err := fountain.JoinBlocks(fdecFinal.Blocks(), info.OrigLen)
-			if err != nil {
-				return nil, err
-			}
-			res.Data = data
-		}
-	}
-	for i := range res.Peers {
-		res.Peers[i].Err = peerErr[i]
-	}
-	if !res.Completed {
-		var firstErr error
-		for _, e := range peerErr {
-			if e != nil {
-				firstErr = e
-				break
-			}
-		}
-		if firstErr != nil {
-			return res, fmt.Errorf("peer: download incomplete: %w", firstErr)
-		}
-		return res, errors.New("peer: download incomplete: peers exhausted")
-	}
-	return res, nil
-}
-
-// fetchFromPeer runs one connection's session loop. Frames are read
-// through a FrameReader (one reusable buffer per connection) and symbol
-// payloads travel in pool buffers, so the loop allocates nothing per
-// frame except for useful regular symbols, whose buffers are kept as
-// the stored working-set payloads (an allocation the content requires).
-func fetchFromPeer(addr string, contentID uint64, opts FetchOptions,
-	held *keyset.Set, progress *atomic.Int64, ensure func(protocol.Hello) error,
-	pools *fetchPools, peerIdx int,
-	deliver func(incoming) bool,
-	done <-chan struct{}, stats *PeerStats) error {
-
-	conn, err := opts.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	// Unblock blocked reads/writes when the download completes.
-	go func() {
-		<-done
-		conn.SetDeadline(time.Now())
-	}()
-	deadline := func() { conn.SetDeadline(time.Now().Add(opts.Timeout)) }
-	deadline()
-
-	fr := protocol.NewFrameReader(conn)
-	if err := protocol.WriteFrame(conn, protocol.EncodeHello(protocol.Hello{ContentID: contentID})); err != nil {
-		return err
-	}
-	f, err := fr.Next()
-	if err != nil {
-		return err
-	}
-	if f.Type == protocol.TypeError {
-		msg, _ := protocol.DecodeError(f)
-		return fmt.Errorf("peer %s: %s", addr, msg)
-	}
-	hello, err := protocol.DecodeHello(f)
-	if err != nil {
-		return err
-	}
-	if err := ensure(hello); err != nil {
-		return err
-	}
-	stats.Full = hello.FullCopy
-
-	// Partial senders get our Bloom filter once (§6.1: no updates).
-	if !hello.FullCopy && held.Len() > 0 {
-		filter := bloom.FromSet(opts.BloomSeed, held, opts.BloomBitsPerElement, opts.BloomHashes)
-		data, err := filter.MarshalBinary()
-		if err != nil {
-			return err
-		}
-		if err := protocol.WriteFrame(conn, protocol.EncodeBloom(data)); err != nil {
-			return err
-		}
-	}
-
-	useless := 0
-	for {
-		select {
-		case <-done:
-			deadline()
-			protocol.WriteFrame(conn, protocol.EncodeDone())
-			return nil
-		default:
-		}
-		deadline()
-		progressBefore := progress.Load()
-		if err := protocol.WriteFrame(conn, protocol.EncodeRequest(uint32(opts.Batch))); err != nil {
-			return err
-		}
-		got := 0
-		for {
-			deadline()
-			f, err := fr.Next()
-			if err != nil {
-				select {
-				case <-done:
-					return nil
-				default:
-				}
-				return err
-			}
-			if f.Type == protocol.TypeDone {
-				break
-			}
-			switch f.Type {
-			case protocol.TypeSymbol:
-				in, err := symbolFromFrame(f, pools, peerIdx)
-				if err != nil {
-					return err
-				}
-				if !deliver(in) {
-					pools.release(in)
-					return nil
-				}
-				got++
-			case protocol.TypeRecoded:
-				in, err := recodedFromFrame(f, pools, peerIdx)
-				if err != nil {
-					return err
-				}
-				if !deliver(in) {
-					pools.release(in)
-					return nil
-				}
-				got++
-			case protocol.TypeError:
-				msg, _ := protocol.DecodeError(f)
-				return fmt.Errorf("peer %s: %s", addr, msg)
-			default:
-				return fmt.Errorf("peer %s: unexpected %v", addr, f.Type)
-			}
-		}
-		// A batch is useless when it carried nothing, or when the global
-		// decode made no progress while it was in flight (recoded streams
-		// always fill batches, so volume alone is not a signal).
-		if got == 0 || progress.Load() == progressBefore {
-			useless++
-			if useless >= opts.MaxUselessBatches {
-				protocol.WriteFrame(conn, protocol.EncodeDone())
-				return nil // this peer has nothing more for us
-			}
-		} else {
-			useless = 0
-		}
-	}
+	return incoming{stats: stats, recoded: true, ids: ids, data: data}, nil
 }

@@ -1,0 +1,583 @@
+package peer
+
+// orchestrator.go is the control plane of a download: the Orchestrator
+// owns the shared working set (a recode.Decoder), the sharded fountain
+// decoder, and the set of live sessions, and it is the only component
+// that mutates any of them. Sessions (session.go) are added and dropped
+// while the transfer runs — the paper's §2.1 adaptivity: peers join
+// late, die mid-batch, get evicted for contributing nothing, and get
+// re-ranked by measured utility when the peer cap is hit.
+//
+// Buffer ownership across the session/orchestrator boundary: a session
+// borrows payload (and recoded id-list) buffers from the orchestrator's
+// fetchPools, fills them from its frame reader, and transfers ownership
+// by delivering the incoming on symbolCh. From then on the decode loop
+// owns the buffers: useful regular payloads are handed to the working
+// set (rdec.AddKnown keeps them, and they finally surface in
+// FetchResult.Held), everything else is returned to the pools. A session
+// that fails to deliver (engine already finished) releases its own
+// borrow. The fountain decoder copies on AddSymbols, so the working set
+// retains ownership of every payload it stores.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"icd/internal/fountain"
+	"icd/internal/keyset"
+	"icd/internal/recode"
+)
+
+// Orchestrator runs one adaptive download: it owns the shared decoders
+// and manages sessions dynamically. Build one with NewOrchestrator, add
+// peers (up front via Run's addrs or live via AddPeer), and collect the
+// result from Run. All exported methods are safe for concurrent use.
+type Orchestrator struct {
+	contentID uint64
+	opts      FetchOptions
+
+	pools    *fetchPools
+	symbolCh chan incoming
+	done     chan struct{} // closed on completion/cancel: sessions unwind
+	doneOnce sync.Once
+
+	infoReady chan struct{} // closed when the first handshake fixes ContentInfo
+
+	mu            sync.Mutex
+	rdec          *recode.Decoder
+	fdec          *fountain.ShardedDecoder
+	info          ContentInfo
+	sessions      map[string]*session // live sessions by address
+	stats         []*PeerStats        // every session ever started, result order
+	active        int                 // session goroutines still running (plus holds)
+	feedersClosed bool                // symbolCh closed: no new sessions
+	version       int64               // working-set version: grows with KnownCount
+	running       bool                // Run in progress (one Run per Orchestrator)
+
+	// progress counts distinct encoded symbols decoded so far; sessions
+	// use it to notice that their batches stopped helping (recoded
+	// streams never run dry, so emptiness cannot be the signal).
+	progress atomic.Int64
+
+	scratch struct { // decode-loop batch scratch, reused every iteration
+		ins  []incoming
+		syms []fountain.Symbol
+		ids  []uint64
+	}
+}
+
+// NewOrchestrator prepares the engine for one piece of content. Sessions
+// start when AddPeer is called; decoding happens inside Run.
+func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
+	opts = opts.withDefaults()
+	o := &Orchestrator{
+		contentID: contentID,
+		opts:      opts,
+		pools:     &fetchPools{},
+		symbolCh:  make(chan incoming, 4*opts.Batch),
+		done:      make(chan struct{}),
+		infoReady: make(chan struct{}),
+		rdec:      recode.NewDecoder(true),
+		sessions:  make(map[string]*session),
+	}
+	for id, data := range opts.Initial {
+		o.rdec.AddKnown(id, append([]byte(nil), data...))
+	}
+	o.progress.Store(int64(o.rdec.KnownCount()))
+	o.version = int64(o.rdec.KnownCount())
+	return o
+}
+
+// finish ends the transfer: sessions unblock and wind down.
+func (o *Orchestrator) finish() { o.doneOnce.Do(func() { close(o.done) }) }
+
+// hold keeps the feeder barrier open while no session is running yet
+// (Run's initial AddPeer burst would otherwise race the first session's
+// exit closing symbolCh).
+func (o *Orchestrator) hold() {
+	o.mu.Lock()
+	o.active++
+	o.mu.Unlock()
+}
+
+// unhold releases a hold, closing the feeder barrier if it was the last.
+func (o *Orchestrator) unhold() { o.sessionExited(nil) }
+
+// sessionExited retires a session goroutine (or a hold, when s is nil).
+// The last one out closes symbolCh, which lets the decode loop conclude
+// an incomplete transfer ("peers exhausted").
+func (o *Orchestrator) sessionExited(s *session) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if s != nil && o.sessions[s.addr] == s {
+		delete(o.sessions, s.addr)
+	}
+	o.active--
+	if o.active == 0 && !o.feedersClosed {
+		o.feedersClosed = true
+		close(o.symbolCh)
+	}
+}
+
+// AddPeer connects a new sender mid-transfer (or before Run). When the
+// session cap (FetchOptions.MaxPeers) is reached, the lowest-utility
+// live session is dropped to make room. AddPeer fails once the engine
+// has finished or every session has already exhausted.
+func (o *Orchestrator) AddPeer(addr string) error {
+	select {
+	case <-o.done:
+		return errors.New("peer: transfer already finished")
+	default:
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.feedersClosed {
+		return errors.New("peer: engine wound down (all sessions exhausted)")
+	}
+	if _, dup := o.sessions[addr]; dup {
+		return fmt.Errorf("peer: already connected to %s", addr)
+	}
+	if o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers {
+		o.evictLowestLocked()
+	}
+	s := newSession(o, addr)
+	o.sessions[addr] = s
+	o.stats = append(o.stats, s.stats)
+	o.active++
+	go s.run()
+	return nil
+}
+
+// DropPeer disconnects addr's session (it winds down cleanly and is
+// marked Evicted). It reports whether a live session was found.
+func (o *Orchestrator) DropPeer(addr string) bool {
+	o.mu.Lock()
+	s := o.sessions[addr]
+	o.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.dropNow()
+	return true
+}
+
+// evictLowestLocked drops the live session with the lowest utility
+// score (useful symbols per second). Callers hold o.mu.
+func (o *Orchestrator) evictLowestLocked() {
+	var victim *session
+	worst := 0.0
+	for _, s := range o.sessions {
+		u := s.utilityLocked()
+		if victim == nil || u < worst {
+			victim, worst = s, u
+		}
+	}
+	if victim != nil {
+		victim.dropLocked()
+		delete(o.sessions, victim.addr) // a replacement may reuse the address slot
+	}
+}
+
+// Sessions returns a snapshot of the live sessions' stats, ranked by
+// descending utility — the orchestrator's current peer ranking.
+func (o *Orchestrator) Sessions() []PeerStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]PeerStats, 0, len(o.sessions))
+	for _, s := range o.sessions {
+		st := *s.stats
+		st.Utility = s.utilityLocked()
+		out = append(out, st)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: the set is small
+		for j := i; j > 0 && out[j].Utility > out[j-1].Utility; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WaitInfo blocks until the first handshake fixes the content metadata
+// (a collaborative node needs it to start serving its live working set).
+func (o *Orchestrator) WaitInfo(ctx context.Context) (ContentInfo, error) {
+	ready := func() (ContentInfo, bool) {
+		select {
+		case <-o.infoReady:
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			return o.info, true
+		default:
+			return ContentInfo{}, false
+		}
+	}
+	select {
+	case <-o.infoReady:
+	case <-o.done:
+		// A fast transfer may close done and infoReady near-simultaneously
+		// and select picks among ready cases at random — prefer the info.
+		if info, ok := ready(); ok {
+			return info, nil
+		}
+		return ContentInfo{}, errors.New("peer: transfer finished before any handshake")
+	case <-ctx.Done():
+		if info, ok := ready(); ok {
+			return info, nil
+		}
+		return ContentInfo{}, ctx.Err()
+	}
+	info, _ := ready()
+	return info, nil
+}
+
+// SnapshotWorkingSet implements WorkingSetSource: a live Server can
+// serve this orchestrator's growing working set while it downloads —
+// the collaborative, both-directions transfers of Figure 1(c). The
+// payload slices are read-only shares; the version grows with the set.
+func (o *Orchestrator) SnapshotWorkingSet() (*keyset.Set, map[uint64][]byte, int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := keyset.New(o.rdec.KnownCount())
+	payloads := make(map[uint64][]byte, o.rdec.KnownCount())
+	for _, id := range o.rdec.KnownIDs() {
+		if data := o.rdec.Payload(id); data != nil {
+			ids.Add(id)
+			payloads[id] = data
+		}
+	}
+	return ids, payloads, o.version
+}
+
+// WorkingSetInfo implements WorkingSetSource's cheap count+version
+// check (no snapshot copied).
+func (o *Orchestrator) WorkingSetInfo() (int, int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rdec.KnownCount(), o.version
+}
+
+// heldSnapshot returns the ids currently held (for summary building)
+// plus the working-set version they represent.
+func (o *Orchestrator) heldSnapshot() (*keyset.Set, int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return keyset.FromKeys(o.rdec.KnownIDs()), o.version
+}
+
+// ensureDecoder validates hello metadata against (or initializes) the
+// shared content info and fountain decoder — the first handshake wins,
+// later ones must agree.
+func (o *Orchestrator) ensureDecoder(ci ContentInfo) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.fdec == nil {
+		if err := ci.validate(); err != nil {
+			return err
+		}
+		code, err := fountain.NewCode(ci.NumBlocks, nil, ci.CodeSeed)
+		if err != nil {
+			return err
+		}
+		fdec, err := fountain.NewShardedDecoder(code, ci.BlockSize, o.opts.DecodeShards)
+		if err != nil {
+			return err
+		}
+		o.fdec = fdec
+		o.info = ci
+		close(o.infoReady)
+		return nil
+	}
+	if o.info != ci {
+		return fmt.Errorf("peer: inconsistent content metadata: %+v vs %+v", o.info, ci)
+	}
+	return nil
+}
+
+func (o *Orchestrator) decoder() *fountain.ShardedDecoder {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fdec
+}
+
+// deliver hands a session's incoming to the decode loop, transferring
+// buffer ownership. It reports false when the engine already finished
+// (the session should release the buffers and wind down).
+func (o *Orchestrator) deliver(in incoming) bool {
+	select {
+	case o.symbolCh <- in:
+		return true
+	case <-o.done:
+		return false
+	}
+}
+
+// Run connects the given peers and decodes until the content completes,
+// every session exhausts, or ctx is cancelled. More peers may join
+// mid-run via AddPeer. Run may be called once per Orchestrator.
+func (o *Orchestrator) Run(ctx context.Context, addrs ...string) (*FetchResult, error) {
+	o.mu.Lock()
+	if o.running {
+		o.mu.Unlock()
+		return nil, errors.New("peer: Run called twice")
+	}
+	o.running = true
+	o.mu.Unlock()
+
+	if len(addrs) == 0 {
+		o.mu.Lock()
+		n := len(o.stats)
+		o.mu.Unlock()
+		if n == 0 {
+			return nil, errors.New("peer: no peers given")
+		}
+	}
+
+	// The hold keeps the feeder barrier open until every initial AddPeer
+	// ran (a fast-failing first session must not wind the engine down
+	// while later peers are still being added).
+	o.hold()
+	for _, a := range addrs {
+		if err := o.AddPeer(a); err != nil {
+			// A peer that never got a session (duplicate address, cap
+			// conflict) still appears in the result with its error, so
+			// callers see the reduced parallelism instead of a silently
+			// shorter peer list.
+			o.mu.Lock()
+			o.stats = append(o.stats, &PeerStats{Addr: a, Err: err})
+			o.mu.Unlock()
+		}
+	}
+	o.unhold()
+
+	// Cancellation propagation: ctx ends the transfer like completion
+	// does, and sessions unblock via the shared done channel.
+	stopWatch := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				o.finish()
+			case <-stopWatch:
+			}
+		}()
+	}
+
+	decodeErr := o.decodeLoop()
+	o.finish()
+	for in := range o.symbolCh {
+		o.pools.release(in) // drain remaining buffered symbols so sessions unblock
+	}
+	close(stopWatch)
+
+	// All sessions have exited (symbolCh closed by the last one); settle
+	// the decoder and stop its workers.
+	fdec := o.decoder()
+	if fdec != nil {
+		fdec.Drain()
+		fdec.Close() // accessors stay valid after Close
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	res, err := o.collectResult(fdec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if !res.Completed {
+		var firstErr error
+		for _, p := range res.Peers {
+			if p.Err != nil {
+				firstErr = p.Err
+				break
+			}
+		}
+		if firstErr != nil {
+			return res, fmt.Errorf("peer: download incomplete: %w", firstErr)
+		}
+		return res, errors.New("peer: download incomplete: peers exhausted")
+	}
+	return res, nil
+}
+
+// decodeLoop is the single consumer of symbolCh: it folds incoming
+// symbols into the working set and feeds newly recovered encoded
+// symbols to the sharded fountain decoder in batches (one router-lock
+// pass per batch instead of per symbol).
+func (o *Orchestrator) decodeLoop() error {
+	seeded := false
+	for {
+		if len(o.symbolCh) == 0 {
+			// The feeders are momentarily behind: settle the shard
+			// workers and make an exact completion check while we would
+			// otherwise just block on the channel.
+			if dec := o.decoder(); dec != nil {
+				dec.Drain()
+				if dec.Done() {
+					return nil
+				}
+			}
+		}
+		in, ok := <-o.symbolCh
+		if !ok {
+			return nil
+		}
+		// Opportunistically drain whatever else is already queued, so
+		// the whole batch crosses the decoder's router lock once.
+		batch := append(o.scratch.ins[:0], in)
+	drain:
+		for len(batch) < o.opts.Batch {
+			select {
+			case more, open := <-o.symbolCh:
+				if !open {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		done, err := o.processBatch(batch, &seeded)
+		o.scratch.ins = batch
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// processBatch folds a batch into the working set under one lock pass,
+// then feeds every newly recovered encoded symbol to the fountain
+// decoder with one AddSymbols call. It returns done=true when decoding
+// completed.
+func (o *Orchestrator) processBatch(batch []incoming, seeded *bool) (bool, error) {
+	o.mu.Lock()
+	dec := o.fdec
+	if dec == nil { // cannot happen: delivery follows the handshake
+		o.mu.Unlock()
+		for _, in := range batch {
+			o.pools.release(in)
+		}
+		return false, nil
+	}
+	newIDs := o.scratch.ids[:0]
+	if !*seeded {
+		// Feed the resumed working set into the fountain decoder once.
+		*seeded = true
+		newIDs = append(newIDs, o.rdec.KnownIDs()...)
+	}
+	var decodeErr error
+	for i, in := range batch {
+		before := o.rdec.KnownCount()
+		if !in.recoded {
+			if o.rdec.Knows(in.id) {
+				o.pools.putBuf(in.data) // duplicate: the buffer comes straight back
+			} else {
+				// AddKnown takes ownership of the pool buffer; it lives
+				// on as the stored payload (and, at the end, in Held).
+				newIDs = append(newIDs, o.rdec.AddKnown(in.id, in.data)...)
+				newIDs = append(newIDs, in.id)
+			}
+		} else {
+			ids, err := o.rdec.Add(recode.Symbol{IDs: in.ids, Data: in.data})
+			o.pools.release(in) // rdec.Add copies; both buffers come back
+			if err != nil {
+				decodeErr = err
+				for _, rest := range batch[i+1:] {
+					o.pools.release(rest) // unprocessed tail: keep the borrow/release invariant
+				}
+				break
+			}
+			newIDs = append(newIDs, ids...)
+		}
+		if in.stats != nil {
+			in.stats.SymbolsReceived++
+			in.stats.UsefulSymbols += o.rdec.KnownCount() - before
+		}
+	}
+	o.progress.Store(int64(o.rdec.KnownCount()))
+	o.version = int64(o.rdec.KnownCount())
+	syms := o.scratch.syms[:0]
+	for _, id := range newIDs {
+		if data := o.rdec.Payload(id); data != nil {
+			syms = append(syms, fountain.Symbol{ID: id, Data: data})
+		}
+	}
+	known := o.rdec.KnownCount()
+	o.mu.Unlock()
+	o.scratch.ids = newIDs[:0]
+
+	if decodeErr != nil {
+		o.finish()
+		return false, decodeErr
+	}
+	// AddSymbols copies payloads into the decoder's freelist buffers, so
+	// the working set keeps ownership of everything it stores. Done lags
+	// in-flight shard work, and completion is impossible before the
+	// working set holds n distinct encoded symbols — so the bulk of the
+	// transfer pipelines whole batches through the shards in one
+	// router-lock pass, and only the tail (working set at ≥ n) feeds
+	// symbol-by-symbol with the workers settled in between, so
+	// completion is detected exactly (no overhead inflation past the
+	// single-core decoder).
+	defer func() { o.scratch.syms = syms[:0] }()
+	if known < len(dec.Blocks()) {
+		if err := dec.AddSymbols(syms); err != nil {
+			o.finish()
+			return false, err
+		}
+		if dec.Done() {
+			o.finish()
+			return true, nil
+		}
+		return false, nil
+	}
+	for _, sym := range syms {
+		if err := dec.AddSymbol(sym); err != nil {
+			o.finish()
+			return false, err
+		}
+		dec.Drain()
+		if dec.Done() {
+			o.finish()
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// collectResult assembles the final FetchResult (all sessions have
+// exited; no concurrent state changes).
+func (o *Orchestrator) collectResult(fdec *fountain.ShardedDecoder) (*FetchResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	res := &FetchResult{Info: o.info, Held: make(map[uint64][]byte)}
+	for _, id := range o.rdec.KnownIDs() {
+		if data := o.rdec.Payload(id); data != nil {
+			res.Held[id] = data
+		}
+	}
+	res.DistinctSymbols = len(res.Held)
+	res.Peers = make([]PeerStats, len(o.stats))
+	for i, st := range o.stats {
+		res.Peers[i] = *st
+	}
+	if fdec != nil {
+		res.Completed = fdec.Done()
+		res.DecodeOverhead = fdec.Overhead()
+		if res.Completed {
+			data, err := fountain.JoinBlocks(fdec.Blocks(), o.info.OrigLen)
+			if err != nil {
+				return nil, err
+			}
+			res.Data = data
+		}
+	}
+	return res, nil
+}

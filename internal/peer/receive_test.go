@@ -43,9 +43,9 @@ func TestReceivePathZeroAlloc(t *testing.T) {
 			var in incoming
 			switch f.Type {
 			case protocol.TypeSymbol:
-				in, err = symbolFromFrame(f, pools, 0)
+				in, err = symbolFromFrame(f, pools, nil)
 			case protocol.TypeRecoded:
-				in, err = recodedFromFrame(f, pools, 0)
+				in, err = recodedFromFrame(f, pools, nil)
 			}
 			if err != nil {
 				t.Fatal(err)

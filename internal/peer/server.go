@@ -25,12 +25,12 @@ import (
 	"sync/atomic"
 	"time"
 
-	"icd/internal/bloom"
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/prng"
 	"icd/internal/protocol"
 	"icd/internal/recode"
+	"icd/internal/strategy"
 )
 
 // ContentInfo identifies and parameterizes one piece of shared content.
@@ -52,13 +52,14 @@ func (ci ContentInfo) validate() error {
 
 func (ci ContentInfo) hello(full bool, symbols int) protocol.Hello {
 	return protocol.Hello{
-		ContentID: ci.ID,
-		NumBlocks: uint32(ci.NumBlocks),
-		BlockSize: uint32(ci.BlockSize),
-		OrigLen:   uint64(ci.OrigLen),
-		CodeSeed:  ci.CodeSeed,
-		FullCopy:  full,
-		Symbols:   uint64(symbols),
+		ContentID:   ci.ID,
+		NumBlocks:   uint32(ci.NumBlocks),
+		BlockSize:   uint32(ci.BlockSize),
+		OrigLen:     uint64(ci.OrigLen),
+		CodeSeed:    ci.CodeSeed,
+		FullCopy:    full,
+		Symbols:     uint64(symbols),
+		SummaryMask: protocol.AllSummaryMask,
 	}
 }
 
@@ -68,13 +69,29 @@ type ServerStats struct {
 	SymbolsSent int64
 }
 
+// WorkingSetSource exposes a mutable encoded-symbol working set to a
+// live Server — typically an Orchestrator mid-download, so a
+// collaborating node serves symbols as it learns them (Figure 1(c)).
+type WorkingSetSource interface {
+	// SnapshotWorkingSet returns the ids currently held, their payloads
+	// (read-only shares: the server never mutates them), and a version
+	// number that grows whenever the set does. Sessions rebuild their
+	// recoding domains when the version moves.
+	SnapshotWorkingSet() (*keyset.Set, map[uint64][]byte, int64)
+	// WorkingSetInfo returns just the held-symbol count and version —
+	// the O(1) checks the handshake and serve loop make without paying
+	// for a snapshot.
+	WorkingSetInfo() (held int, version int64)
+}
+
 // Server serves one content item.
 type Server struct {
 	info     ContentInfo
 	code     *fountain.Code
 	blocks   [][]byte          // full mode
-	payloads map[uint64][]byte // partial mode
-	held     *keyset.Set       // partial mode: ids held
+	payloads map[uint64][]byte // static partial mode
+	held     *keyset.Set       // static partial mode: ids held
+	live     WorkingSetSource  // live partial mode (collaborative nodes)
 	timeout  time.Duration
 
 	mu     sync.Mutex
@@ -147,8 +164,43 @@ func NewPartialServer(info ContentInfo, symbols map[uint64][]byte) (*Server, err
 	}, nil
 }
 
+// NewLiveServer builds a partial sender over a *mutable* working set —
+// the serving half of a collaborative node (Figure 1(c)): while the
+// node's Orchestrator downloads, its live Server offers everything
+// learned so far, re-deriving each session's recoding domain whenever
+// the set grows or a summary refresh arrives. The source may be empty
+// at start; sessions answer with empty batches until it grows.
+func NewLiveServer(info ContentInfo, src WorkingSetSource) (*Server, error) {
+	if err := info.validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("peer: live server needs a working-set source")
+	}
+	code, err := fountain.NewCode(info.NumBlocks, nil, info.CodeSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		info:    info,
+		code:    code,
+		live:    src,
+		timeout: 30 * time.Second,
+	}, nil
+}
+
 // Full reports whether the server holds the complete content.
 func (s *Server) Full() bool { return s.blocks != nil }
+
+// workingSet snapshots the served partial working set (ids, payloads,
+// version). Static partial servers report version 0 forever; live ones
+// delegate to their source.
+func (s *Server) workingSet() (*keyset.Set, map[uint64][]byte, int64) {
+	if s.live != nil {
+		return s.live.SnapshotWorkingSet()
+	}
+	return s.held, s.payloads, 0
+}
 
 // Info returns the served content's parameters.
 func (s *Server) Info() ContentInfo { return s.info }
@@ -243,6 +295,13 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	// 1. Receiver announces itself.
 	f, err := fr.Next()
 	if err != nil {
+		if errors.Is(err, protocol.ErrVersion) {
+			// A cross-version peer: answer with a clean, human-readable
+			// failure (best effort — the peer's reader may reject our
+			// framing too) instead of silently dropping the connection.
+			protocol.WriteFrame(conn, protocol.EncodeError(
+				fmt.Sprintf("unsupported protocol version (speaking %d)", protocol.Version)))
+		}
 		return err
 	}
 	clientHello, err := protocol.DecodeHello(f)
@@ -253,18 +312,23 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		protocol.WriteFrame(conn, protocol.EncodeError("unknown content"))
 		return fmt.Errorf("peer: client wants content %#x, serving %#x", clientHello.ContentID, s.info.ID)
 	}
-	// 2. Sender announces the content parameters.
-	held := 0
-	if s.held != nil {
-		held = s.held.Len()
+	// 2. Sender announces the content parameters and its summary support.
+	// (Count and version only — a live source's full snapshot is paid
+	// for lazily, when a recoding domain is actually built.)
+	heldLen, wsVersion := 0, int64(0)
+	if s.live != nil {
+		heldLen, wsVersion = s.live.WorkingSetInfo()
+	} else if s.held != nil {
+		heldLen = s.held.Len()
 	}
-	if err := protocol.WriteFrame(conn, protocol.EncodeHello(s.info.hello(s.Full(), held))); err != nil {
+	if err := protocol.WriteFrame(conn, protocol.EncodeHello(s.info.hello(s.Full(), heldLen))); err != nil {
 		return err
 	}
 
-	// 3. Session loop: summaries arrive at most once each, then batched
-	// requests. The Bloom filter is never updated mid-session (§6.1).
-	var clientBloom *bloom.Filter
+	// 3. Session loop: a summary (setup or refresh) fixes the recoding
+	// domain until the next one — or, on a live server, until the
+	// working set grows — then batched requests stream symbols.
+	var summary *strategy.ReceivedSummary
 	var recoders *sessionRecoders
 	var encoder *fountain.Encoder
 	if s.Full() {
@@ -283,19 +347,39 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			return err
 		}
 		switch f.Type {
-		case protocol.TypeBloom:
-			clientBloom = new(bloom.Filter)
-			if err := clientBloom.UnmarshalBinary(f.Payload); err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad bloom filter"))
+		case protocol.TypeSummary, protocol.TypeSummaryRefresh:
+			method, blob, err := protocol.DecodeSummaryView(f)
+			if err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad summary"))
+				return err
+			}
+			summary, err = strategy.ParseSummary(method, blob)
+			if err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad summary"))
 				return err
 			}
 			recoders = nil // rebuild the recoding domain lazily
 
+		case protocol.TypeBloom:
+			// Bare-frame variant for same-version raw-protocol callers
+			// (cross-version peers never get this far: readFrame rejects
+			// their version byte at the first frame). Equivalent to a
+			// SUMMARY frame naming the Bloom method.
+			summary, err = strategy.ParseSummary(protocol.SummaryBloom, f.Payload)
+			if err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad bloom filter"))
+				return err
+			}
+			recoders = nil
+
 		case protocol.TypeSketch:
-			// Sketches inform degree policies; the partial recoder here
-			// derives its information from the Bloom filter instead, so a
-			// sketch is accepted and ignored (admission control happens
-			// on the receiver side, §4).
+			// Bare-frame variant: a min-wise sketch steering degrees.
+			summary, err = strategy.ParseSummary(protocol.SummarySketch, f.Payload)
+			if err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad sketch"))
+				return err
+			}
+			recoders = nil
 
 		case protocol.TypeRequest:
 			n, err := protocol.DecodeRequest(f)
@@ -310,17 +394,25 @@ func (s *Server) ServeConn(conn net.Conn) error {
 				if err := s.sendFull(conn, encoder, int(n)); err != nil {
 					return err
 				}
-			} else {
-				if recoders == nil {
-					recoders, err = s.buildRecoders(clientBloom)
-					if err != nil {
-						protocol.WriteFrame(conn, protocol.EncodeDone())
-						continue // nothing useful to offer; empty batch
-					}
+				continue
+			}
+			// A live working set that grew since the last domain build
+			// has new symbols to offer: re-derive the domain.
+			if s.live != nil {
+				if _, v := s.live.WorkingSetInfo(); v != wsVersion {
+					wsVersion = v
+					recoders = nil
 				}
-				if err := s.sendRecoded(conn, recoders, int(n)); err != nil {
-					return err
+			}
+			if recoders == nil {
+				recoders, err = s.buildRecoders(summary)
+				if err != nil {
+					protocol.WriteFrame(conn, protocol.EncodeDone())
+					continue // nothing useful to offer; empty batch
 				}
+			}
+			if err := s.sendRecoded(conn, recoders, int(n)); err != nil {
+				return err
 			}
 
 		case protocol.TypeDone:
@@ -349,54 +441,65 @@ func (s *Server) sendFull(conn net.Conn, enc *fountain.Encoder, n int) error {
 	return protocol.WriteFrame(conn, protocol.EncodeDone())
 }
 
-// sessionRecoders pair two recoding streams over the same domain: a
-// coverage-adaptive stream whose early transmissions are degree-1 and
-// immediately useful (§5.4.2's dynamic degree rule), and an oblivious
-// soliton stream which alone guarantees the receiver can eventually
-// decode the *entire* domain (complete LT recovery at a small constant
-// overhead). Interleaving gives linear early progress without a stalled
-// tail, with no feedback from the receiver.
+// sessionRecoders pair two recoding streams over the same domain: an
+// *informed* stream driven by the receiver's summary — coverage-adaptive
+// degrees when the summary names the missing symbols (Bloom/ART, so
+// early transmissions are degree-1 and immediately useful, §5.4.2's
+// dynamic degree rule), min-wise-scaled degrees when only a containment
+// estimate is available (§4) — and an oblivious soliton stream which
+// alone guarantees the receiver can eventually decode the *entire*
+// domain (complete LT recovery at a small constant overhead).
+// Interleaving gives linear early progress without a stalled tail, with
+// no per-packet feedback from the receiver.
 type sessionRecoders struct {
-	adaptive  *recode.Recoder
+	informed  *recode.Recoder
 	oblivious *recode.Recoder
+	policy    recode.DegreePolicy // of the informed stream
+	contain   float64             // MinwiseScaled containment estimate
 	turn      int
 }
 
 func (sr *sessionRecoders) next() (recode.Symbol, *recode.Recoder) {
 	sr.turn++
 	if sr.turn%2 == 0 {
-		return sr.adaptive.Next(recode.CoverageAdaptive, 0), sr.adaptive
+		return sr.informed.Next(sr.policy, sr.contain), sr.informed
 	}
 	return sr.oblivious.Next(recode.Oblivious, 0), sr.oblivious
 }
 
-// buildRecoders constructs the partial sender's recoding domain: the held
-// symbols the receiver's filter reports missing (§5.2), or the whole
-// working set when no filter was provided.
-func (s *Server) buildRecoders(filter *bloom.Filter) (*sessionRecoders, error) {
-	domain := s.held
-	if filter != nil {
-		useful := keyset.New(64)
-		s.held.Each(func(id uint64) {
-			if !filter.Contains(id) {
-				useful.Add(id)
-			}
-		})
-		if useful.Len() == 0 {
-			return nil, errors.New("peer: receiver appears to hold everything we have")
+// buildRecoders constructs the partial sender's recoding streams from
+// the receiver's negotiated summary over the current working set: the
+// summary's sender plan picks the domain (missing symbols for
+// Bloom/ART, the whole set for sketches) and the informed stream's
+// degree policy. With no summary the whole working set is the domain.
+func (s *Server) buildRecoders(summary *strategy.ReceivedSummary) (*sessionRecoders, error) {
+	held, payloads, _ := s.workingSet()
+	if held == nil || held.Len() == 0 {
+		return nil, errors.New("peer: nothing held yet")
+	}
+	plan := strategy.SenderPlan{Domain: held, Policy: recode.CoverageAdaptive}
+	if summary != nil {
+		var err error
+		plan, err = summary.Plan(held, strategy.Config{})
+		if err != nil {
+			return nil, err // includes ErrNothingUseful: empty batches
 		}
-		domain = useful
 	}
-	opts := recode.Options{Payloads: s.payloads}
-	adaptive, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), domain, opts)
+	opts := recode.Options{Payloads: payloads}
+	informed, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), plan.Domain, opts)
 	if err != nil {
 		return nil, err
 	}
-	oblivious, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), domain, opts)
+	oblivious, err := recode.NewRecoder(prng.New(s.streamSeed.Add(1)^s.info.CodeSeed), plan.Domain, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &sessionRecoders{adaptive: adaptive, oblivious: oblivious}, nil
+	return &sessionRecoders{
+		informed:  informed,
+		oblivious: oblivious,
+		policy:    plan.Policy,
+		contain:   plan.Containment,
+	}, nil
 }
 
 // sendRecoded streams n recoded symbols followed by DONE. Symbols are

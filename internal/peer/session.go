@@ -1,0 +1,359 @@
+package peer
+
+// session.go is one connection's state machine: dial → handshake →
+// summary negotiation → batched request loop, with reconnect-backoff
+// around the whole lifecycle. A session owns nothing shared: it borrows
+// receive buffers from the orchestrator's pools and transfers them with
+// each delivered symbol, reads global progress through an atomic, and
+// reports per-peer statistics that the orchestrator's utility ranking
+// consumes. Sessions end in exactly one of four ways: the transfer
+// completed (o.done), the peer stopped being useful (MaxUselessBatches),
+// the orchestrator dropped them (eviction/DropPeer), or the connection
+// failed terminally (after MaxReconnects redials).
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icd/internal/keyset"
+	"icd/internal/protocol"
+	"icd/internal/strategy"
+)
+
+type session struct {
+	o     *Orchestrator
+	addr  string
+	stats *PeerStats
+	drop  chan struct{} // closed (under o.mu) to evict this session
+
+	// Guarded by o.mu: when the session joined the swarm. Utility is
+	// measured over the whole session life — downtime between redials
+	// counts against a flapping peer's ranking, deliberately.
+	startedAt time.Time
+}
+
+func newSession(o *Orchestrator, addr string) *session {
+	return &session{
+		o:         o,
+		addr:      addr,
+		stats:     &PeerStats{Addr: addr},
+		drop:      make(chan struct{}),
+		startedAt: time.Now(),
+	}
+}
+
+// dropLocked marks the session evicted and interrupts its connection.
+// Callers hold o.mu (close-under-lock keeps it single-shot).
+func (s *session) dropLocked() {
+	select {
+	case <-s.drop:
+	default:
+		s.stats.Evicted = true
+		close(s.drop)
+	}
+}
+
+// dropNow is dropLocked for callers not holding o.mu.
+func (s *session) dropNow() {
+	s.o.mu.Lock()
+	s.dropLocked()
+	s.o.mu.Unlock()
+}
+
+func (s *session) dropped() bool {
+	select {
+	case <-s.drop:
+		return true
+	default:
+		return false
+	}
+}
+
+// utilityLocked is the ranking score: useful symbols per second of
+// session life (since the session joined, not since the last redial —
+// a flapping peer must not out-rank a steady one). Callers hold o.mu.
+func (s *session) utilityLocked() float64 {
+	elapsed := time.Since(s.startedAt).Seconds()
+	if elapsed < 1e-3 {
+		elapsed = 1e-3
+	}
+	return float64(s.stats.UsefulSymbols) / elapsed
+}
+
+// run is the session goroutine: one connection lifecycle per iteration,
+// with exponential backoff between redials.
+func (s *session) run() {
+	defer s.o.sessionExited(s)
+	backoff := s.o.opts.ReconnectBackoff
+	var terminal error
+	for attempt := 0; ; attempt++ {
+		err := s.runConn()
+		if err == nil {
+			break // clean end: completed, exhausted, or dropped
+		}
+		if s.dropped() {
+			// A deliberate drop unblocks the connection by expiring its
+			// deadline, so the i/o error that unwound runConn is
+			// self-inflicted — not a peer failure worth reporting.
+			break
+		}
+		if attempt >= s.o.opts.MaxReconnects {
+			terminal = err
+			break
+		}
+		if !s.sleepBackoff(backoff) {
+			// Interrupted mid-backoff. An eviction makes the pending
+			// error self-inflicted noise (same as a drop mid-read);
+			// the transfer ending keeps it, as the last real failure.
+			if !s.dropped() {
+				terminal = err
+			}
+			break
+		}
+		backoff *= 2
+		s.o.mu.Lock()
+		s.stats.Reconnects++
+		s.o.mu.Unlock()
+	}
+	s.o.mu.Lock()
+	s.stats.Err = terminal
+	s.stats.Utility = s.utilityLocked()
+	s.o.mu.Unlock()
+}
+
+// sleepBackoff waits out a redial delay, interruptible by the transfer
+// ending or this session being dropped.
+func (s *session) sleepBackoff(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.o.done:
+		return false
+	case <-s.drop:
+		return false
+	}
+}
+
+// ended reports whether the session should wind down (transfer done or
+// session dropped).
+func (s *session) ended() bool {
+	select {
+	case <-s.o.done:
+		return true
+	case <-s.drop:
+		return true
+	default:
+		return false
+	}
+}
+
+// runConn runs one connection: handshake, negotiated summary, batched
+// request loop with periodic summary refresh. Frames are read through a
+// FrameReader (one reusable buffer per connection) and symbol payloads
+// travel in pool buffers, so the loop allocates nothing per frame except
+// for useful regular symbols, whose buffers live on as the stored
+// working-set payloads (an allocation the content requires).
+func (s *session) runConn() error {
+	o := s.o
+	conn, err := o.opts.Dial(s.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock blocked reads/writes when the download completes or the
+	// session is dropped.
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go func() {
+		select {
+		case <-o.done:
+		case <-s.drop:
+		case <-watchStop:
+			return
+		}
+		conn.SetDeadline(time.Now())
+	}()
+	deadline := func() { conn.SetDeadline(time.Now().Add(o.opts.Timeout)) }
+	deadline()
+
+	held, heldVersion := o.heldSnapshot()
+	fr := protocol.NewFrameReader(conn)
+	if err := protocol.WriteFrame(conn, protocol.EncodeHello(protocol.Hello{
+		ContentID:   o.contentID,
+		Symbols:     uint64(held.Len()),
+		SummaryMask: o.opts.summaryMask(),
+	})); err != nil {
+		return err
+	}
+	f, err := fr.Next()
+	if err != nil {
+		if errors.Is(err, protocol.ErrVersion) {
+			return fmt.Errorf("peer %s: incompatible protocol: %w", s.addr, err)
+		}
+		return err
+	}
+	if f.Type == protocol.TypeError {
+		msg, _ := protocol.DecodeError(f)
+		return fmt.Errorf("peer %s: %s", s.addr, msg)
+	}
+	hello, err := protocol.DecodeHello(f)
+	if err != nil {
+		return err
+	}
+	if err := o.ensureDecoder(ContentInfo{
+		ID:        hello.ContentID,
+		NumBlocks: int(hello.NumBlocks),
+		BlockSize: int(hello.BlockSize),
+		OrigLen:   int(hello.OrigLen),
+		CodeSeed:  hello.CodeSeed,
+	}); err != nil {
+		return err
+	}
+
+	// Summary negotiation (§3): pick the method whose accuracy/size
+	// trade-off fits both working-set sizes, over the methods both ends
+	// support. Full senders stream fresh symbols — nothing to reconcile.
+	method := protocol.SummaryNone
+	if !hello.FullCopy {
+		method = protocol.ChooseSummaryMethod(
+			o.opts.summaryMask()&hello.SummaryMask, held.Len(), int(hello.Symbols))
+	}
+	o.mu.Lock()
+	s.stats.Full = hello.FullCopy
+	if method != protocol.SummaryNone {
+		s.stats.Summary = method.String()
+	}
+	o.mu.Unlock()
+	if method != protocol.SummaryNone {
+		blob, err := strategy.BuildSummary(method, held, s.summaryConfig())
+		if err != nil {
+			return err
+		}
+		if err := protocol.WriteFrame(conn, protocol.EncodeSummary(method, blob, false)); err != nil {
+			return err
+		}
+	}
+
+	useless := 0
+	batches := 0
+	for {
+		if s.ended() {
+			deadline()
+			protocol.WriteFrame(conn, protocol.EncodeDone())
+			return nil
+		}
+		// Periodic summary refresh: when the shared working set grew
+		// enough since the last summary, re-inform the sender so it
+		// stops spending transmissions on symbols other sessions
+		// delivered meanwhile. This also covers sessions that started
+		// empty-handed (method None at handshake, the fresh-receiver
+		// default): once the set is non-trivial the method is
+		// re-negotiated and a first summary goes out.
+		batches++
+		if !hello.FullCopy && o.opts.RefreshBatches > 0 &&
+			batches%o.opts.RefreshBatches == 0 {
+			// O(1) staleness test first; the O(n) id snapshot is paid
+			// only when a refresh will actually be built.
+			_, version := o.WorkingSetInfo()
+			grown := float64(version-heldVersion) >= o.opts.RefreshGrowth*float64(heldVersion)
+			if grown && version > 0 {
+				var cur *keyset.Set
+				cur, version = o.heldSnapshot()
+				method = protocol.ChooseSummaryMethod(
+					o.opts.summaryMask()&hello.SummaryMask, cur.Len(), int(hello.Symbols))
+				if method == protocol.SummaryNone {
+					continue
+				}
+				blob, err := strategy.BuildSummary(method, cur, s.summaryConfig())
+				if err != nil {
+					return err
+				}
+				deadline()
+				if err := protocol.WriteFrame(conn, protocol.EncodeSummary(method, blob, true)); err != nil {
+					return err
+				}
+				heldVersion = version
+				o.mu.Lock()
+				s.stats.Summary = method.String()
+				o.mu.Unlock()
+			}
+		}
+		deadline()
+		progressBefore := o.progress.Load()
+		if err := protocol.WriteFrame(conn, protocol.EncodeRequest(uint32(o.opts.Batch))); err != nil {
+			return err
+		}
+		got := 0
+		for {
+			deadline()
+			f, err := fr.Next()
+			if err != nil {
+				if s.ended() {
+					return nil
+				}
+				return err
+			}
+			if f.Type == protocol.TypeDone {
+				break
+			}
+			switch f.Type {
+			case protocol.TypeSymbol:
+				in, err := symbolFromFrame(f, o.pools, s.stats)
+				if err != nil {
+					return err
+				}
+				if !o.deliver(in) {
+					o.pools.release(in)
+					return nil
+				}
+				got++
+			case protocol.TypeRecoded:
+				in, err := recodedFromFrame(f, o.pools, s.stats)
+				if err != nil {
+					return err
+				}
+				if !o.deliver(in) {
+					o.pools.release(in)
+					return nil
+				}
+				got++
+			case protocol.TypeError:
+				msg, _ := protocol.DecodeError(f)
+				return fmt.Errorf("peer %s: %s", s.addr, msg)
+			default:
+				return fmt.Errorf("peer %s: unexpected %v", s.addr, f.Type)
+			}
+		}
+		// A batch is useless when it carried nothing, or when the global
+		// decode made no progress while it was in flight (recoded streams
+		// always fill batches, so volume alone is not a signal). Decoding
+		// is asynchronous, though: symbols still queued on the symbol
+		// channel have not had their chance to move the progress counter,
+		// so a lagging decode loop must not read as an unproductive
+		// sender — only count a no-progress batch when the queue is
+		// drained.
+		if got == 0 || (o.progress.Load() == progressBefore && len(o.symbolCh) == 0) {
+			useless++
+			if useless >= o.opts.MaxUselessBatches {
+				protocol.WriteFrame(conn, protocol.EncodeDone())
+				return nil // this peer has nothing more for us
+			}
+		} else {
+			useless = 0
+		}
+	}
+}
+
+// summaryConfig maps FetchOptions onto the strategy-layer summary
+// parameters (seeds and sizes both ends must agree on travel inside the
+// marshaled summaries themselves).
+func (s *session) summaryConfig() strategy.Config {
+	return strategy.Config{
+		BloomBitsPerElement: s.o.opts.BloomBitsPerElement,
+		BloomHashes:         s.o.opts.BloomHashes,
+		SummarySeed:         s.o.opts.BloomSeed,
+	}
+}

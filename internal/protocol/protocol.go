@@ -34,8 +34,17 @@ import (
 // changed the Bloom summary's probe positions (Lemire fast-range
 // reduction instead of `% m`), so a v1 peer's filter bits are
 // meaningless to a v2 peer; the version check turns that silent
-// reconciliation corruption into a clean handshake failure.
-const Version = 2
+// reconciliation corruption into a clean handshake failure. Version 3
+// added summary-method negotiation: the HELLO grew a supported-methods
+// mask (its payload is one byte longer), and summaries travel in
+// SUMMARY/SUMMARY_REFRESH frames that name their method explicitly.
+const Version = 3
+
+// ErrVersion marks a frame whose version byte differs from Version. A
+// session layer that sees it should fail the handshake cleanly (report
+// the mismatch, optionally answer with an ERROR frame, and drop the
+// connection) rather than treat the stream as corrupt.
+var ErrVersion = errors.New("protocol: peer speaks a different version")
 
 const magic = 0x1CD0
 
@@ -57,6 +66,14 @@ const (
 	TypeRecoded Type = 7 // one recoded symbol (§5.4.2)
 	TypeDone    Type = 8 // sender has satisfied the request / receiver is finished
 	TypeError   Type = 9 // fatal error, human-readable
+
+	// TypeSummary carries the working-set summary chosen by the v3
+	// negotiation (method byte + marshaled summary).
+	TypeSummary Type = 10
+	// TypeSummaryRefresh is a TypeSummary payload sent mid-session when
+	// the receiver's working set has grown enough that the sender
+	// should re-derive its recoding domain.
+	TypeSummaryRefresh Type = 11
 )
 
 // String names the message type for logs and errors.
@@ -80,6 +97,10 @@ func (t Type) String() string {
 		return "DONE"
 	case TypeError:
 		return "ERROR"
+	case TypeSummary:
+		return "SUMMARY"
+	case TypeSummaryRefresh:
+		return "SUMMARY_REFRESH"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -152,7 +173,7 @@ func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
 		return Frame{}, scratch, errors.New("protocol: bad magic (stream desynchronized?)")
 	}
 	if hdr[2] != Version {
-		return Frame{}, scratch, fmt.Errorf("protocol: unsupported version %d", hdr[2])
+		return Frame{}, scratch, fmt.Errorf("%w: got %d, speaking %d", ErrVersion, hdr[2], Version)
 	}
 	length := binary.LittleEndian.Uint32(hdr[4:])
 	if length > MaxPayload {
@@ -215,7 +236,8 @@ func (fr *FrameReader) Next() (Frame, error) {
 
 // Hello is the handshake: both sides announce identity and the sender
 // side carries the content metadata a fresh receiver needs to construct
-// its decoder. A receiver's Hello uses zero metadata fields.
+// its decoder. A receiver's Hello uses zero metadata fields but carries
+// its working-set size and summary mask, which the v3 negotiation reads.
 type Hello struct {
 	ContentID uint64 // identifies the file (e.g. hash of its name)
 	NumBlocks uint32 // ` source blocks
@@ -223,12 +245,19 @@ type Hello struct {
 	OrigLen   uint64 // original content length in bytes
 	CodeSeed  uint64 // neighbor-expansion seed of the shared code
 	FullCopy  bool   // sender holds the complete content
-	Symbols   uint64 // sender's working set size (partial senders)
+	Symbols   uint64 // announcer's working set size (partial senders and receivers)
+	// SummaryMask is the set of SummaryMethods the announcer can build
+	// (receiver side) or consume (sender side), as a bitmask of
+	// method.Bit() values. Zero means "no summaries" — a v3 peer that
+	// only streams blindly.
+	SummaryMask uint8
 }
+
+const helloLen = 8 + 4 + 4 + 8 + 8 + 1 + 8 + 1
 
 // EncodeHello marshals h.
 func EncodeHello(h Hello) Frame {
-	buf := make([]byte, 8+4+4+8+8+1+8)
+	buf := make([]byte, helloLen)
 	binary.LittleEndian.PutUint64(buf[0:], h.ContentID)
 	binary.LittleEndian.PutUint32(buf[8:], h.NumBlocks)
 	binary.LittleEndian.PutUint32(buf[12:], h.BlockSize)
@@ -238,6 +267,7 @@ func EncodeHello(h Hello) Frame {
 		buf[32] = 1
 	}
 	binary.LittleEndian.PutUint64(buf[33:], h.Symbols)
+	buf[41] = h.SummaryMask
 	return Frame{Type: TypeHello, Payload: buf}
 }
 
@@ -246,17 +276,18 @@ func DecodeHello(f Frame) (Hello, error) {
 	if f.Type != TypeHello {
 		return Hello{}, fmt.Errorf("protocol: %v is not HELLO", f.Type)
 	}
-	if len(f.Payload) != 41 {
-		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want 41", len(f.Payload))
+	if len(f.Payload) != helloLen {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want %d", len(f.Payload), helloLen)
 	}
 	return Hello{
-		ContentID: binary.LittleEndian.Uint64(f.Payload[0:]),
-		NumBlocks: binary.LittleEndian.Uint32(f.Payload[8:]),
-		BlockSize: binary.LittleEndian.Uint32(f.Payload[12:]),
-		OrigLen:   binary.LittleEndian.Uint64(f.Payload[16:]),
-		CodeSeed:  binary.LittleEndian.Uint64(f.Payload[24:]),
-		FullCopy:  f.Payload[32] == 1,
-		Symbols:   binary.LittleEndian.Uint64(f.Payload[33:]),
+		ContentID:   binary.LittleEndian.Uint64(f.Payload[0:]),
+		NumBlocks:   binary.LittleEndian.Uint32(f.Payload[8:]),
+		BlockSize:   binary.LittleEndian.Uint32(f.Payload[12:]),
+		OrigLen:     binary.LittleEndian.Uint64(f.Payload[16:]),
+		CodeSeed:    binary.LittleEndian.Uint64(f.Payload[24:]),
+		FullCopy:    f.Payload[32] == 1,
+		Symbols:     binary.LittleEndian.Uint64(f.Payload[33:]),
+		SummaryMask: f.Payload[41],
 	}, nil
 }
 
@@ -432,3 +463,135 @@ func EncodeSketch(data []byte) Frame { return Frame{Type: TypeSketch, Payload: d
 
 // EncodeBloom wraps a marshaled Bloom filter.
 func EncodeBloom(data []byte) Frame { return Frame{Type: TypeBloom, Payload: data} }
+
+// SummaryMethod names one of the §3 working-set summary techniques a
+// receiver can send a partial sender: a Bloom filter (§5.2), a min-wise
+// sketch (§4), or an approximate reconciliation tree summary (§5.3).
+type SummaryMethod uint8
+
+// The negotiable summary methods. Zero means "no summary": the sender
+// recodes blindly over its whole working set.
+const (
+	SummaryNone   SummaryMethod = 0
+	SummaryBloom  SummaryMethod = 1
+	SummarySketch SummaryMethod = 2
+	SummaryART    SummaryMethod = 3
+)
+
+// AllSummaryMask is the Hello.SummaryMask of a peer supporting every
+// method this library implements.
+const AllSummaryMask = uint8(1<<(SummaryBloom-1) | 1<<(SummarySketch-1) | 1<<(SummaryART-1))
+
+// Bit returns the method's position in a Hello.SummaryMask.
+func (m SummaryMethod) Bit() uint8 {
+	if m == SummaryNone {
+		return 0
+	}
+	return 1 << (m - 1)
+}
+
+// String names the method for stats and logs.
+func (m SummaryMethod) String() string {
+	switch m {
+	case SummaryNone:
+		return "none"
+	case SummaryBloom:
+		return "bloom"
+	case SummarySketch:
+		return "sketch"
+	case SummaryART:
+		return "art"
+	default:
+		return fmt.Sprintf("SummaryMethod(%d)", uint8(m))
+	}
+}
+
+// Negotiation thresholds of ChooseSummaryMethod (§3's accuracy/size
+// trade-off, quantized into a deterministic rule both ends can verify).
+const (
+	// SmallSummaryMax is the largest receiver working set for which a
+	// Bloom filter (≈1 byte/element at the paper's 8 bits) is still a
+	// trivially cheap, near-exact summary.
+	SmallSummaryMax = 4096
+	// SimilarSetsNum/Den: sets within 25% of each other count as
+	// "similar", where the symmetric difference is expected small and an
+	// ART's searchable fine-grained summary earns its constant factors.
+	SimilarSetsNum = 1
+	SimilarSetsDen = 4
+)
+
+// ChooseSummaryMethod is the v3 negotiation rule, evaluated by the
+// receiver over the intersection of both peers' Hello.SummaryMask values
+// (so both ends can reproduce the decision): pick the §3 summary whose
+// accuracy/size trade-off fits the working-set sizes.
+//
+//   - Nothing held yet, or no common method → SummaryNone (nothing to
+//     subtract; the sender serves its whole working set).
+//   - Small receiver set → Bloom filter: ~1 byte/element is negligible
+//     and membership is near-exact.
+//   - Large and similar sets → ART: the difference is expected small,
+//     and the tree summary lets the sender *search* for exactly the
+//     symbols the receiver lacks at a fixed bit budget.
+//   - Large, dissimilar sets → min-wise sketch: a constant ~1KB calling
+//     card whose containment estimate steers recoded degrees, where a
+//     Bloom filter would cost megabytes.
+func ChooseSummaryMethod(mask uint8, receiverHeld, senderHeld int) SummaryMethod {
+	if receiverHeld <= 0 || mask == 0 {
+		return SummaryNone
+	}
+	diff := receiverHeld - senderHeld
+	if diff < 0 {
+		diff = -diff
+	}
+	larger := receiverHeld
+	if senderHeld > larger {
+		larger = senderHeld
+	}
+	similar := diff*SimilarSetsDen <= larger*SimilarSetsNum
+	prefs := []SummaryMethod{SummaryBloom, SummaryART, SummarySketch}
+	switch {
+	case receiverHeld <= SmallSummaryMax:
+		// prefs already lead with Bloom.
+	case similar:
+		prefs = []SummaryMethod{SummaryART, SummarySketch, SummaryBloom}
+	default:
+		prefs = []SummaryMethod{SummarySketch, SummaryART, SummaryBloom}
+	}
+	for _, m := range prefs {
+		if mask&m.Bit() != 0 {
+			return m
+		}
+	}
+	return SummaryNone
+}
+
+// EncodeSummary wraps a negotiated summary (method byte + marshaled
+// summary) in a SUMMARY frame; refresh selects SUMMARY_REFRESH, the
+// mid-session update variant.
+func EncodeSummary(method SummaryMethod, blob []byte, refresh bool) Frame {
+	t := TypeSummary
+	if refresh {
+		t = TypeSummaryRefresh
+	}
+	payload := make([]byte, 1+len(blob))
+	payload[0] = byte(method)
+	copy(payload[1:], blob)
+	return Frame{Type: t, Payload: payload}
+}
+
+// DecodeSummaryView parses a SUMMARY or SUMMARY_REFRESH frame. The blob
+// aliases f.Payload: frames read through a FrameReader are valid only
+// until the next frame, so consumers must unmarshal before reading on.
+func DecodeSummaryView(f Frame) (SummaryMethod, []byte, error) {
+	if f.Type != TypeSummary && f.Type != TypeSummaryRefresh {
+		return SummaryNone, nil, fmt.Errorf("protocol: %v is not SUMMARY/SUMMARY_REFRESH", f.Type)
+	}
+	if len(f.Payload) < 1 {
+		return SummaryNone, nil, errors.New("protocol: SUMMARY too short")
+	}
+	m := SummaryMethod(f.Payload[0])
+	if m != SummaryBloom && m != SummarySketch && m != SummaryART {
+		return SummaryNone, nil, fmt.Errorf("protocol: unknown summary method %d", f.Payload[0])
+	}
+	return m, f.Payload[1:], nil
+}

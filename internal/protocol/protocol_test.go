@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -69,8 +70,14 @@ func TestVersionMismatch(t *testing.T) {
 	WriteFrame(&buf, Frame{Type: TypeDone})
 	raw := buf.Bytes()
 	raw[2] = 99
-	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if err == nil {
 		t.Fatal("future version accepted")
+	}
+	// The mismatch must be distinguishable from corruption so the
+	// session layer can answer with a clean handshake failure.
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version mismatch not marked ErrVersion: %v", err)
 	}
 }
 
@@ -88,13 +95,14 @@ func TestOversizePayloadRejected(t *testing.T) {
 
 func TestHelloRoundTrip(t *testing.T) {
 	want := Hello{
-		ContentID: 0xDEADBEEF,
-		NumBlocks: 23968,
-		BlockSize: 1400,
-		OrigLen:   32 << 20,
-		CodeSeed:  42,
-		FullCopy:  true,
-		Symbols:   12345,
+		ContentID:   0xDEADBEEF,
+		NumBlocks:   23968,
+		BlockSize:   1400,
+		OrigLen:     32 << 20,
+		CodeSeed:    42,
+		FullCopy:    true,
+		Symbols:     12345,
+		SummaryMask: AllSummaryMask,
 	}
 	got, err := DecodeHello(EncodeHello(want))
 	if err != nil {
@@ -404,5 +412,71 @@ func TestRecodedViewMatchesDecode(t *testing.T) {
 	}
 	if _, _, err := RecodedView(Frame{Type: TypeRecoded, Payload: []byte{2, 0, 1}}, nil); err == nil {
 		t.Error("truncated id list accepted")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	blob := []byte("marshaled-summary-bytes")
+	for _, refresh := range []bool{false, true} {
+		f := EncodeSummary(SummarySketch, blob, refresh)
+		wantType := TypeSummary
+		if refresh {
+			wantType = TypeSummaryRefresh
+		}
+		if f.Type != wantType {
+			t.Fatalf("refresh=%v framed as %v", refresh, f.Type)
+		}
+		m, got, err := DecodeSummaryView(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != SummarySketch || !bytes.Equal(got, blob) {
+			t.Fatalf("round trip: method %v blob %q", m, got)
+		}
+	}
+	if _, _, err := DecodeSummaryView(Frame{Type: TypeDone}); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, _, err := DecodeSummaryView(Frame{Type: TypeSummary}); err == nil {
+		t.Error("empty summary accepted")
+	}
+	if _, _, err := DecodeSummaryView(Frame{Type: TypeSummary, Payload: []byte{99}}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestChooseSummaryMethod(t *testing.T) {
+	all := AllSummaryMask
+	cases := []struct {
+		name string
+		mask uint8
+		recv int
+		send int
+		want SummaryMethod
+	}{
+		{"empty receiver", all, 0, 500, SummaryNone},
+		{"no common method", 0, 100, 100, SummaryNone},
+		{"small set prefers bloom", all, 100, 140, SummaryBloom},
+		{"small set boundary", all, SmallSummaryMax, SmallSummaryMax * 10, SummaryBloom},
+		{"large similar sets prefer art", all, 50000, 55000, SummaryART},
+		{"large dissimilar sets prefer sketch", all, 50000, 8000, SummarySketch},
+		{"large receiver, tiny sender, sketch", all, 50000, 100, SummarySketch},
+		{"art unavailable falls back", SummaryBloom.Bit() | SummarySketch.Bit(), 50000, 55000, SummarySketch},
+		{"only bloom supported", SummaryBloom.Bit(), 50000, 8000, SummaryBloom},
+	}
+	for _, c := range cases {
+		if got := ChooseSummaryMethod(c.mask, c.recv, c.send); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Determinism: both ends evaluating the same inputs must agree.
+	for r := 1; r < 100000; r += 7919 {
+		for s := 1; s < 100000; s += 9973 {
+			a := ChooseSummaryMethod(all, r, s)
+			b := ChooseSummaryMethod(all, r, s)
+			if a != b {
+				t.Fatalf("nondeterministic at r=%d s=%d", r, s)
+			}
+		}
 	}
 }

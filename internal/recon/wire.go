@@ -25,7 +25,7 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 56+4+len(ib)+4+len(lb))
+	buf := make([]byte, 56+len(ib)+4+len(lb))
 	binary.LittleEndian.PutUint64(buf[0:], s.Params.PosSeed)
 	binary.LittleEndian.PutUint64(buf[8:], s.Params.ValSeed)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(s.N))

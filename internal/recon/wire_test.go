@@ -1,0 +1,63 @@
+package recon
+
+import (
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+)
+
+// TestSummaryWireRoundTrip pins the transmissible summary format now
+// that it travels in real SUMMARY frames (PR 3): a summary must survive
+// Marshal/Unmarshal bit-exactly — same parameters, same filters, and an
+// identical FindMissing outcome on the receiving side. (The seed
+// version of MarshalBinary over-allocated 4 bytes, which Unmarshal
+// rejected; this test keeps that regression dead.)
+func TestSummaryWireRoundTrip(t *testing.T) {
+	rng := prng.New(7)
+	common := keyset.Random(rng, 3000)
+	local := common.Clone()
+	for i := 0; i < 80; i++ { // local extras the summary should expose
+		local.Add(rng.Uint64())
+	}
+	remoteTree := Build(DefaultParams, common)
+	sum, err := remoteTree.Summarize(SummaryOptions{TotalBitsPerElement: 8, LeafBitsPerElement: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sum.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	if back.Params != sum.Params || back.N != sum.N || back.RootValue != sum.RootValue ||
+		back.TotalBits != sum.TotalBits || back.LeafBits != sum.LeafBits {
+		t.Fatalf("fields mangled: %+v vs %+v", back, sum)
+	}
+
+	localTree := Build(DefaultParams, local)
+	want, _ := localTree.FindMissing(sum, 1)
+	got, _ := localTree.FindMissing(&back, 1)
+	if len(want) != len(got) {
+		t.Fatalf("FindMissing diverged after round trip: %d vs %d", len(want), len(got))
+	}
+	wantSet := make(map[uint64]bool, len(want))
+	for _, k := range want {
+		wantSet[k] = true
+	}
+	for _, k := range got {
+		if !wantSet[k] {
+			t.Fatalf("key %d only found after round trip", k)
+		}
+	}
+
+	// Truncations must be rejected, not misparsed.
+	for _, cut := range []int{0, 8, 59, len(blob) - 1} {
+		if err := new(Summary).UnmarshalBinary(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

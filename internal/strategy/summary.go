@@ -1,0 +1,159 @@
+package strategy
+
+// summary.go is the sender-side hookup of the protocol's v3 summary
+// negotiation: building the receiver's working-set summary for the
+// negotiated method, parsing a received one, and deriving the sender's
+// transmit plan (recoding domain, degree policy, containment estimate)
+// from it — the §3 accuracy/size trade-off made operational on the real
+// wire instead of only in the transfer simulator.
+
+import (
+	"errors"
+	"fmt"
+
+	"icd/internal/bloom"
+	"icd/internal/keyset"
+	"icd/internal/minwise"
+	"icd/internal/protocol"
+	"icd/internal/recode"
+	"icd/internal/recon"
+)
+
+// ART wire-format parameters shared by all v3 peers: the paper's 8
+// bits/element split 5 leaf + 3 internal (Figure 4a's operating point)
+// and one level of pruning correction.
+const (
+	artTotalBits  = 8
+	artLeafBits   = 5
+	artCorrection = 1
+)
+
+// BuildSummary marshals the receiver's working set under the negotiated
+// method, ready for protocol.EncodeSummary. The configuration must
+// agree across peers (seeds, sketch size) — the same contract the
+// strategy simulator already imposes.
+func BuildSummary(method protocol.SummaryMethod, held *keyset.Set, cfg Config) ([]byte, error) {
+	cfg = cfg.Default()
+	switch method {
+	case protocol.SummaryBloom:
+		filter := bloom.FromSet(cfg.SummarySeed, held, cfg.BloomBitsPerElement, cfg.BloomHashes)
+		return filter.MarshalBinary()
+	case protocol.SummarySketch:
+		sketch := minwise.Build(cfg.MinwiseFamilySeed, cfg.MinwiseSize, held)
+		return sketch.MarshalBinary()
+	case protocol.SummaryART:
+		tree := recon.Build(recon.DefaultParams, held)
+		sum, err := tree.Summarize(recon.SummaryOptions{
+			TotalBitsPerElement: artTotalBits,
+			LeafBitsPerElement:  artLeafBits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sum.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("strategy: cannot build summary for method %v", method)
+	}
+}
+
+// ReceivedSummary is a peer's decoded working-set summary, whatever
+// method the session negotiated.
+type ReceivedSummary struct {
+	Method protocol.SummaryMethod
+	bloom  *bloom.Filter
+	sketch *minwise.Sketch
+	art    *recon.Summary
+}
+
+// ParseSummary decodes the payload of a SUMMARY/SUMMARY_REFRESH frame.
+func ParseSummary(method protocol.SummaryMethod, blob []byte) (*ReceivedSummary, error) {
+	rs := &ReceivedSummary{Method: method}
+	switch method {
+	case protocol.SummaryBloom:
+		rs.bloom = new(bloom.Filter)
+		if err := rs.bloom.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("strategy: bloom summary: %w", err)
+		}
+	case protocol.SummarySketch:
+		rs.sketch = new(minwise.Sketch)
+		if err := rs.sketch.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("strategy: sketch summary: %w", err)
+		}
+	case protocol.SummaryART:
+		rs.art = new(recon.Summary)
+		if err := rs.art.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("strategy: art summary: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("strategy: cannot parse summary method %v", method)
+	}
+	return rs, nil
+}
+
+// ErrNothingUseful reports that, per the received summary, the receiver
+// already holds everything the sender could offer — the sender should
+// answer requests with empty batches rather than waste transmissions.
+var ErrNothingUseful = errors.New("strategy: receiver appears to hold everything we have")
+
+// SenderPlan is what a partial sender derives from a receiver summary:
+// the domain to recode over, the degree policy of the informed stream,
+// and the containment estimate feeding MinwiseScaled degrees.
+type SenderPlan struct {
+	// Domain is the recoding domain: the sender-held symbols the summary
+	// reports (or estimates) missing at the receiver. For sketch
+	// summaries this is the whole held set — the sketch informs degrees,
+	// not membership.
+	Domain *keyset.Set
+	// Policy is the degree policy of the informed recoding stream
+	// (CoverageAdaptive over a membership-filtered domain, MinwiseScaled
+	// when only a containment estimate is available).
+	Policy recode.DegreePolicy
+	// Containment is the §4 estimate c = |R∩S|/|S| driving MinwiseScaled
+	// (zero for membership-based methods).
+	Containment float64
+}
+
+// Plan derives the sender's transmit plan from the summary against the
+// sender's currently held working set (§5.2 for Bloom, §5.3 for ART,
+// §4+§5.4.2 for min-wise sketches). It returns ErrNothingUseful when the
+// summary proves (or estimates) the receiver needs nothing from here.
+func (rs *ReceivedSummary) Plan(held *keyset.Set, cfg Config) (SenderPlan, error) {
+	cfg = cfg.Default()
+	switch rs.Method {
+	case protocol.SummaryBloom:
+		domain := keyset.New(64)
+		held.Each(func(id uint64) {
+			if !rs.bloom.Contains(id) {
+				domain.Add(id)
+			}
+		})
+		if domain.Len() == 0 {
+			return SenderPlan{}, ErrNothingUseful
+		}
+		return SenderPlan{Domain: domain, Policy: recode.CoverageAdaptive}, nil
+
+	case protocol.SummaryART:
+		tree := recon.Build(rs.art.Params, held)
+		missing, _ := tree.FindMissing(rs.art, artCorrection)
+		if len(missing) == 0 {
+			return SenderPlan{}, ErrNothingUseful
+		}
+		return SenderPlan{Domain: keyset.FromKeys(missing), Policy: recode.CoverageAdaptive}, nil
+
+	case protocol.SummarySketch:
+		mine := minwise.Build(rs.sketch.FamilySeed, len(rs.sketch.Minima), held)
+		c, err := rs.sketch.ContainmentOf(mine)
+		if err != nil {
+			return SenderPlan{}, err
+		}
+		if c >= 1 && rs.sketch.SetSize >= held.Len() {
+			// The receiver's set contains ours entirely (as well as the
+			// coarse estimate can tell): nothing to offer.
+			return SenderPlan{}, ErrNothingUseful
+		}
+		return SenderPlan{Domain: held.Clone(), Policy: recode.MinwiseScaled, Containment: c}, nil
+
+	default:
+		return SenderPlan{}, fmt.Errorf("strategy: no plan for summary method %v", rs.Method)
+	}
+}

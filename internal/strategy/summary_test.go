@@ -1,0 +1,151 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"icd/internal/keyset"
+	"icd/internal/prng"
+	"icd/internal/protocol"
+	"icd/internal/recode"
+)
+
+// twoSets builds a sender set containing the receiver set plus extras,
+// so the true missing-set is exactly the extras.
+func twoSets(seed uint64, common, extra int) (receiver, sender *keyset.Set, extras []uint64) {
+	rng := prng.New(seed)
+	receiver = keyset.New(common)
+	sender = keyset.New(common + extra)
+	for receiver.Len() < common {
+		k := rng.Uint64()
+		receiver.Add(k)
+		sender.Add(k)
+	}
+	for len(extras) < extra {
+		k := rng.Uint64()
+		if sender.Add(k) {
+			extras = append(extras, k)
+		}
+	}
+	return receiver, sender, extras
+}
+
+func roundTrip(t *testing.T, method protocol.SummaryMethod, held *keyset.Set, cfg Config) *ReceivedSummary {
+	t.Helper()
+	blob, err := BuildSummary(method, held, cfg)
+	if err != nil {
+		t.Fatalf("%v build: %v", method, err)
+	}
+	// Through the wire framing, as a session would send it.
+	m, view, err := protocol.DecodeSummaryView(protocol.EncodeSummary(method, blob, false))
+	if err != nil || m != method {
+		t.Fatalf("%v frame round trip: method %v err %v", method, m, err)
+	}
+	rs, err := ParseSummary(m, view)
+	if err != nil {
+		t.Fatalf("%v parse: %v", method, err)
+	}
+	return rs
+}
+
+func TestBloomSummaryPlan(t *testing.T) {
+	receiver, sender, extras := twoSets(1, 600, 120)
+	rs := roundTrip(t, protocol.SummaryBloom, receiver, Config{})
+	plan, err := rs.Plan(sender, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != recode.CoverageAdaptive {
+		t.Fatalf("policy %v", plan.Policy)
+	}
+	// Soundness: Bloom false positives can only *suppress* missing
+	// symbols, never admit held ones, so every domain element must be
+	// genuinely missing at the receiver.
+	plan.Domain.Each(func(id uint64) {
+		if receiver.Contains(id) {
+			t.Fatalf("domain contains receiver-held symbol %d", id)
+		}
+	})
+	// Completeness up to the ~2% false-positive rate at 8 bits/element.
+	if plan.Domain.Len() < len(extras)*9/10 {
+		t.Fatalf("domain %d of %d missing symbols", plan.Domain.Len(), len(extras))
+	}
+}
+
+func TestARTSummaryPlan(t *testing.T) {
+	receiver, sender, extras := twoSets(2, 2000, 60)
+	rs := roundTrip(t, protocol.SummaryART, receiver, Config{})
+	plan, err := rs.Plan(sender, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != recode.CoverageAdaptive {
+		t.Fatalf("policy %v", plan.Policy)
+	}
+	plan.Domain.Each(func(id uint64) {
+		if receiver.Contains(id) {
+			t.Fatalf("domain contains receiver-held symbol %d", id)
+		}
+	})
+	// ART completeness is approximate (Figure 4): expect most of the
+	// planted difference at 8 bits/element with correction.
+	if plan.Domain.Len() < len(extras)/2 {
+		t.Fatalf("ART found %d of %d missing symbols", plan.Domain.Len(), len(extras))
+	}
+}
+
+func TestSketchSummaryPlan(t *testing.T) {
+	receiver, sender, _ := twoSets(3, 3000, 1000)
+	rs := roundTrip(t, protocol.SummarySketch, receiver, Config{})
+	plan, err := rs.Plan(sender, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Policy != recode.MinwiseScaled {
+		t.Fatalf("policy %v", plan.Policy)
+	}
+	if plan.Domain.Len() != sender.Len() {
+		t.Fatalf("sketch domain %d, want whole set %d", plan.Domain.Len(), sender.Len())
+	}
+	// True containment |R∩S|/|S| = 3000/4000 = 0.75; the 128-coordinate
+	// estimate should land within ±0.15.
+	if plan.Containment < 0.60 || plan.Containment > 0.90 {
+		t.Fatalf("containment estimate %.3f, want ≈0.75", plan.Containment)
+	}
+}
+
+func TestPlanNothingUseful(t *testing.T) {
+	// Receiver holds a superset of the sender: every method must report
+	// ErrNothingUseful rather than fabricate a domain.
+	receiver, _, _ := twoSets(4, 800, 0)
+	sender := receiver.Clone()
+	for _, method := range []protocol.SummaryMethod{protocol.SummaryBloom, protocol.SummaryART} {
+		rs := roundTrip(t, method, receiver, Config{})
+		if _, err := rs.Plan(sender, Config{}); !errors.Is(err, ErrNothingUseful) {
+			t.Fatalf("%v: err = %v, want ErrNothingUseful", method, err)
+		}
+	}
+	rs := roundTrip(t, protocol.SummarySketch, receiver, Config{})
+	if _, err := rs.Plan(sender, Config{}); !errors.Is(err, ErrNothingUseful) {
+		t.Fatalf("sketch: err = %v, want ErrNothingUseful", err)
+	}
+}
+
+func TestSummaryErrors(t *testing.T) {
+	set := keyset.FromKeys([]uint64{1, 2, 3})
+	if _, err := BuildSummary(protocol.SummaryNone, set, Config{}); err == nil {
+		t.Error("built a 'none' summary")
+	}
+	if _, err := ParseSummary(protocol.SummaryBloom, []byte{1, 2}); err == nil {
+		t.Error("parsed garbage bloom")
+	}
+	if _, err := ParseSummary(protocol.SummarySketch, []byte{1, 2}); err == nil {
+		t.Error("parsed garbage sketch")
+	}
+	if _, err := ParseSummary(protocol.SummaryART, []byte{1, 2}); err == nil {
+		t.Error("parsed garbage art")
+	}
+	if _, err := ParseSummary(protocol.SummaryNone, nil); err == nil {
+		t.Error("parsed 'none' summary")
+	}
+}

@@ -201,6 +201,26 @@ func runMicro(jsonPath string) {
 		}
 	})
 
+	// Gossip-swarm convergence (PR 4): wall clock for a 4-node swarm
+	// bootstrapped from a single seed address to self-assemble over
+	// protocol-v4 gossip and finish every transfer, with the adaptive
+	// refresh cadence on — the control-plane row CI tracks in
+	// BENCH_pr4.json.
+	row("gossip convergence (4+seed)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunGossipSwarm(experiment.GossipSwarmConfig{
+				Nodes: 4, N: 150, BlockSize: 64, Seed: 7,
+				Adaptive: true, RefreshBatches: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.DiscoveredUseful == 0 {
+				b.Fatal("swarm completed without gossip contributing")
+			}
+		}
+	})
+
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {

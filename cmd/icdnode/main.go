@@ -20,6 +20,15 @@
 //
 //	icdnode collab -out big.iso -id 0xF00D -listen 127.0.0.1:9002 \
 //	    -peers 127.0.0.1:9000,127.0.0.1:9003
+//
+// With protocol-v4 gossip, the exhaustive -peers list is no longer
+// needed: give every node the same single seed address and the swarm
+// self-assembles — each node advertises its own -listen address, the
+// seed relays what it has heard, and discovered peers are admitted up
+// to -max-peers (the rest wait in a ranked candidate pool):
+//
+//	icdnode collab -out big.iso -id 0xF00D -listen 127.0.0.1:9002 \
+//	    -seed 127.0.0.1:9000
 package main
 
 import (
@@ -134,22 +143,27 @@ func serve(args []string) {
 func fetch(args []string) {
 	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
 	var (
-		out     = fs.String("out", "", "output file")
-		idStr   = fs.String("id", "F00D", "content id (hex)")
-		peers   = fs.String("peers", "", "comma-separated peer addresses")
-		batch   = fs.Int("batch", 64, "symbols per request")
-		timeout = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+		out      = fs.String("out", "", "output file")
+		idStr    = fs.String("id", "F00D", "content id (hex)")
+		peers    = fs.String("peers", "", "comma-separated peer addresses")
+		seed     = fs.String("seed", "", "bootstrap seed address(es); gossip discovers the rest")
+		batch    = fs.Int("batch", 64, "symbols per request")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+		maxPeers = fs.Int("max-peers", 8, "cap on concurrent sessions; extra discoveries wait in the candidate pool (0 = unlimited)")
+		adaptive = fs.Bool("adaptive-refresh", true, "steer the summary-refresh cadence by observed duplicate rate")
 	)
 	fs.Parse(args)
-	if *out == "" || *peers == "" {
-		fmt.Fprintln(os.Stderr, "icdnode fetch: -out and -peers are required")
+	if *out == "" || (*peers == "" && *seed == "") {
+		fmt.Fprintln(os.Stderr, "icdnode fetch: -out and one of -peers/-seed are required")
 		os.Exit(2)
 	}
-	addrs := strings.Split(*peers, ",")
+	addrs := bootstrapAddrs(*peers, *seed)
 	start := time.Now()
 	res, err := peer.Fetch(addrs, parseID(*idStr), peer.FetchOptions{
-		Batch:   *batch,
-		Timeout: *timeout,
+		Batch:           *batch,
+		Timeout:         *timeout,
+		MaxPeers:        *maxPeers,
+		AdaptiveRefresh: *adaptive,
 	})
 	if err != nil {
 		fatal(err)
@@ -170,27 +184,36 @@ func collab(args []string) {
 		idStr    = fs.String("id", "F00D", "content id (hex)")
 		listen   = fs.String("listen", "127.0.0.1:9002", "address to serve the live working set on")
 		peers    = fs.String("peers", "", "comma-separated peer addresses")
+		seed     = fs.String("seed", "", "bootstrap seed address(es); gossip discovers the rest")
 		batch    = fs.Int("batch", 64, "symbols per request")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
 		maxPeers = fs.Int("max-peers", 0, "session cap; lowest-utility peer is dropped when exceeded (0 = unlimited)")
 		retries  = fs.Int("retries", 3, "redials per failed session (exponential backoff)")
+		adaptive = fs.Bool("adaptive-refresh", true, "steer the summary-refresh cadence by observed duplicate rate")
 		linger   = fs.Duration("linger", 10*time.Second, "keep serving after completing (helps late peers finish)")
 	)
 	fs.Parse(args)
-	if *out == "" || *peers == "" {
-		fmt.Fprintln(os.Stderr, "icdnode collab: -out and -peers are required")
+	if *out == "" || (*peers == "" && *seed == "") {
+		fmt.Fprintln(os.Stderr, "icdnode collab: -out and one of -peers/-seed are required")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// One gossip directory is shared between the fetching engine and the
+	// live server, and this node's own -listen address is advertised in
+	// every HELLO — so a single -seed address suffices to join the swarm.
+	gossip := peer.NewGossip(*listen)
 	o := peer.NewOrchestrator(parseID(*idStr), peer.FetchOptions{
-		Batch:         *batch,
-		Timeout:       *timeout,
-		MaxPeers:      *maxPeers,
-		MaxReconnects: *retries,
+		Batch:           *batch,
+		Timeout:         *timeout,
+		MaxPeers:        *maxPeers,
+		MaxReconnects:   *retries,
+		AdvertiseAddr:   *listen,
+		Gossip:          gossip,
+		AdaptiveRefresh: *adaptive,
 	})
-	addrs := strings.Split(*peers, ",")
+	addrs := bootstrapAddrs(*peers, *seed)
 	type outcome struct {
 		res *peer.FetchResult
 		err error
@@ -210,6 +233,7 @@ func collab(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+		srv.SetGossip(gossip)
 		go func() {
 			if err := srv.ListenAndServe(*listen); err != nil {
 				fmt.Fprintln(os.Stderr, "icdnode: live server:", err)
@@ -239,6 +263,19 @@ func collab(args []string) {
 	}
 }
 
+// bootstrapAddrs merges the explicit -peers list with the -seed
+// bootstrap address(es); either may be empty.
+func bootstrapAddrs(peers, seed string) []string {
+	var addrs []string
+	for _, part := range []string{peers, seed} {
+		if part == "" {
+			continue
+		}
+		addrs = append(addrs, strings.Split(part, ",")...)
+	}
+	return addrs
+}
+
 func printPeerStats(res *peer.FetchResult) {
 	for _, p := range res.Peers {
 		kind := "partial"
@@ -249,11 +286,17 @@ func printPeerStats(res *peer.FetchResult) {
 		if p.Summary != "" {
 			extra += " summary=" + p.Summary
 		}
+		if p.RefreshesSent > 0 {
+			extra += fmt.Sprintf(" refreshes=%d", p.RefreshesSent)
+		}
 		if p.Reconnects > 0 {
 			extra += fmt.Sprintf(" reconnects=%d", p.Reconnects)
 		}
 		if p.Evicted {
 			extra += " evicted"
+		}
+		if p.Discovered {
+			extra += " discovered"
 		}
 		fmt.Printf("  %-22s %-7s received=%-6d useful=%-6d utility=%.1f/s%s\n",
 			p.Addr, kind, p.SymbolsReceived, p.UsefulSymbols, p.Utility, extra)

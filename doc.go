@@ -169,6 +169,36 @@
 // (RefreshBatches/RefreshGrowth), so senders stop retransmitting what
 // other sessions already delivered.
 //
+// Adaptive refresh (protocol v4). Instead of the fixed RefreshBatches
+// cadence, FetchOptions.AdaptiveRefresh hands the cadence to a
+// RefreshController: each batch's duplicate-symbol rate (received
+// minus useful, over received) is compared against a target budget
+// (RefreshDupTarget), and the batches-between-refresh-checks interval
+// is scaled by target/observed — bounded to one halving/doubling per
+// observation and clamped to [MinRefreshCadence, MaxRefreshCadence],
+// so the policy can neither oscillate nor starve. Dirty batches mean
+// the sender's picture of the working set is stale and tighten the
+// cadence; clean batches stretch it. In adaptive mode a refresh fires
+// on any growth since the last summary — the cadence, not a growth
+// fraction, rations the traffic. `icdbench -exp gossip` compares the
+// two policies' duplicate rates and wall clock.
+//
+// Gossip discovery (protocol v4). Sessions announce their node's own
+// dialable address (FetchOptions.AdvertiseAddr) in the HELLO, and both
+// sides may volunteer capped, deduplicated PEERS frames: a session
+// piggybacks them on its handshake and refresh checks, a server relays
+// its accumulated directory ahead of each symbol batch. Every address a
+// node hears — through a session's PEERS frame or a client dialing its
+// live Server — lands in one node-wide Gossip directory (shared via
+// FetchOptions.Gossip and Server.SetGossip) and flows into the
+// orchestrator's admission path: admit immediately while MaxPeers has
+// room; otherwise park in a candidate pool ranked by how many
+// independent peers vouched for the address. When eviction or a session
+// exit frees a slot, the best-ranked candidate is promoted; addresses
+// already attempted are never re-admitted, and the node's own address
+// is never dialed. A swarm bootstrapped from a single seed address
+// (`icdnode collab -seed`) self-assembles the full mesh this way.
+//
 // Buffer ownership across the session/orchestrator boundary. Sessions
 // borrow payload and id-list buffers from the orchestrator's pools and
 // transfer ownership by delivering each parsed symbol on the symbol

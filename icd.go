@@ -343,6 +343,32 @@ func NewLiveServer(info ContentInfo, src WorkingSetSource) (*Server, error) {
 	return peer.NewLiveServer(info, src)
 }
 
+// Gossip is a node-wide directory of advertised peer addresses — the
+// protocol-v4 discovery substrate. Share one instance between a node's
+// Orchestrator (FetchOptions.Gossip) and its live Server
+// (Server.SetGossip) so every address heard on either side flows into
+// the same admission path, and a swarm bootstrapped from a single seed
+// address self-assembles the full mesh.
+type Gossip = peer.Gossip
+
+// NewGossip creates an empty peer directory; self is this node's own
+// advertised address (never gossiped back to itself).
+func NewGossip(self string) *Gossip {
+	return peer.NewGossip(self)
+}
+
+// RefreshController steers the SUMMARY_REFRESH cadence around a target
+// duplicate-symbol budget — the adaptive alternative to a fixed
+// FetchOptions.RefreshBatches cadence (enable it with
+// FetchOptions.AdaptiveRefresh).
+type RefreshController = peer.RefreshController
+
+// NewRefreshController creates a controller steering toward the given
+// duplicate-rate target, starting from the initial cadence.
+func NewRefreshController(target float64, initial int) *RefreshController {
+	return peer.NewRefreshController(target, initial)
+}
+
 // DescribeContent computes the ContentInfo for raw content at the given
 // block size, with the code seed derived from the id.
 func DescribeContent(id uint64, content []byte, blockSize int) (ContentInfo, error) {

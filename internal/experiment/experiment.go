@@ -202,6 +202,10 @@ func Registry() []Runner {
 			t, err := SwarmE2E(o)
 			return stringerTable{t}, err
 		}},
+		{"gossip", "gossip peer discovery from one seed + adaptive refresh cadence (PR 4)", func(o Options) (fmt.Stringer, error) {
+			t, err := GossipSwarm(o)
+			return stringerTable{t}, err
+		}},
 		{"fig1", "tree vs parallel vs collaborative delivery (Figure 1)", func(o Options) (fmt.Stringer, error) {
 			t, err := Fig1(o)
 			return stringerTable{t}, err

@@ -204,10 +204,29 @@ func TestFig1Table(t *testing.T) {
 	}
 }
 
+func TestGossipSwarmConverges(t *testing.T) {
+	// A small swarm given only the seed address must self-assemble:
+	// every node completes, and gossip-admitted sessions contribute.
+	res, err := RunGossipSwarm(GossipSwarmConfig{
+		Nodes: 3, N: 80, BlockSize: 48, Seed: 5,
+		Adaptive: true, RefreshBatches: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discovered == 0 {
+		t.Fatal("no session was admitted through gossip")
+	}
+	if res.MeanPeersPerNode < 2 {
+		t.Fatalf("mean contributing peers per node %.1f; the mesh did not assemble", res.MeanPeersPerNode)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"coding", "decode", "fig1", "fig4a", "fig5a", "fig5b", "fig6a",
-		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "swarm", "tab4b", "tab4c",
+		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip", "swarm",
+		"tab4b", "tab4c",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,142 @@
+package peer
+
+// adaptive_test.go pins the RefreshController policy: the duplicate-rate
+// → cadence mapping, its monotonicity (dirtier batches never stretch the
+// cadence), the per-step bound (one halving/doubling max), and the
+// clamps that keep the policy from oscillating or starving refreshes.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRefreshControllerTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		target  float64
+		initial int
+		rates   []float64
+		want    []int // cadence after each Observe
+	}{
+		{
+			name:   "on-target holds steady",
+			target: 0.25, initial: 8,
+			rates: []float64{0.25, 0.25, 0.25},
+			want:  []int{8, 8, 8},
+		},
+		{
+			name:   "dirty batches tighten multiplicatively",
+			target: 0.25, initial: 8,
+			rates: []float64{0.5, 0.5, 0.5, 0.5},
+			want:  []int{4, 2, 1, 1}, // halves per step, floors at MinRefreshCadence
+		},
+		{
+			name:   "clean batches stretch toward the ceiling",
+			target: 0.25, initial: 8,
+			rates: []float64{0, 0, 0, 0},
+			want:  []int{16, 32, 64, 64}, // doubles per step, caps at MaxRefreshCadence
+		},
+		{
+			name:   "step bound caps the swing both ways",
+			target: 0.25, initial: 8,
+			rates: []float64{1.0, 0.01}, // factor .25 → clamped ½; factor 25 → clamped 2
+			want:  []int{4, 8},
+		},
+		{
+			name:   "mildly dirty shrinks proportionally",
+			target: 0.3, initial: 10,
+			rates: []float64{0.5, 0.1}, // ×0.6 → 6; ×2 (clamped from 3) → 12
+			want:  []int{6, 12},
+		},
+		{
+			name:   "floor cannot be escaped downward",
+			target: 0.1, initial: 1,
+			rates: []float64{1.0, 1.0},
+			want:  []int{1, 1},
+		},
+		{
+			name:   "ceiling cannot be escaped upward",
+			target: 0.1, initial: 64,
+			rates: []float64{0, 0.1},
+			want:  []int{64, 64},
+		},
+		{
+			name:   "out-of-range rates are clamped into [0,1]",
+			target: 0.25, initial: 8,
+			rates: []float64{-3, 17},
+			want:  []int{16, 8}, // -3 → clean (×2); 17 → fully dirty (×½)
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewRefreshController(tc.target, tc.initial)
+			if got := c.Cadence(); got != tc.initial {
+				t.Fatalf("initial cadence %d, want %d", got, tc.initial)
+			}
+			for i, rate := range tc.rates {
+				if got := c.Observe(rate); got != tc.want[i] {
+					t.Fatalf("after rates %v: cadence %d, want %d", tc.rates[:i+1], got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRefreshControllerConstructorClamps(t *testing.T) {
+	cases := []struct {
+		name        string
+		target      float64
+		initial     int
+		wantCadence int
+	}{
+		{"zero initial floors", 0.2, 0, MinRefreshCadence},
+		{"negative initial floors", 0.2, -5, MinRefreshCadence},
+		{"huge initial caps", 0.2, 1000, MaxRefreshCadence},
+		{"zero target defaults", 0, 8, 8},
+		{"negative target defaults", -1, 8, 8},
+		{"target past one defaults", 1.5, 8, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewRefreshController(tc.target, tc.initial)
+			if got := c.Cadence(); got != tc.wantCadence {
+				t.Fatalf("cadence %d, want %d", got, tc.wantCadence)
+			}
+		})
+	}
+	// The defaulted target really is DefaultRefreshDupTarget: observing
+	// exactly that rate holds the cadence.
+	c := NewRefreshController(0, 8)
+	if got := c.Observe(DefaultRefreshDupTarget); got != 8 {
+		t.Fatalf("defaulted target drifted: cadence %d, want 8", got)
+	}
+}
+
+func TestRefreshControllerMonotoneInDupRate(t *testing.T) {
+	// From any identical state, a dirtier batch must never produce a
+	// longer cadence — the property that rules out oscillation from the
+	// policy itself (state feedback is bounded separately by the step
+	// clamp).
+	rates := []float64{0, 0.05, 0.1, 0.15, 0.25, 0.4, 0.6, 0.8, 1.0}
+	for _, target := range []float64{0.05, 0.15, 0.5} {
+		for _, initial := range []int{1, 4, 16, 64} {
+			prev := math.MaxInt
+			for _, r := range rates {
+				c := NewRefreshController(target, initial)
+				got := c.Observe(r)
+				if got > prev {
+					t.Fatalf("target %.2f initial %d: Observe(%.2f) = %d > %d for a cleaner batch",
+						target, initial, r, got, prev)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+func TestRefreshControllerIgnoresNaN(t *testing.T) {
+	c := NewRefreshController(0.25, 8)
+	if got := c.Observe(math.NaN()); got != 8 {
+		t.Fatalf("NaN moved the cadence to %d", got)
+	}
+}

@@ -41,6 +41,14 @@ func (pn *pipeNet) add(addr string, s *Server) string {
 	return addr
 }
 
+// wrapAll installs a client-conn wrapper applied on every dial to addr
+// (the harness uses it for read-throttled servers).
+func (pn *pipeNet) wrapAll(addr string, w func(net.Conn) net.Conn) {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	pn.wrap[addr] = w
+}
+
 // wrapNth installs a client-conn wrapper applied on the nth dial (1-based)
 // to addr; other dials pass through.
 func (pn *pipeNet) wrapNth(addr string, n int, w func(net.Conn) net.Conn) {
@@ -172,37 +180,20 @@ func TestPeerDiesWithoutRetriesIsTerminal(t *testing.T) {
 }
 
 func TestLateJoiningPeerContributes(t *testing.T) {
-	info, data := testContent(t, 120, 64)
+	h := newHarness(t, 120, 64)
 	// The initial peer holds too little to complete the transfer; it
 	// keeps polling (high useless tolerance) while a full sender joins
 	// mid-transfer and finishes the job.
-	stub, err := NewPartialServer(info, partialSymbols(t, info, data, 40, 9))
-	if err != nil {
-		t.Fatal(err)
-	}
-	full, err := NewFullServer(info, data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pn := newPipeNet()
-	stubAddr := pn.add("stub", stub)
-	fullAddr := pn.add("late-full", full)
+	stubAddr := h.addPartial("stub", 40, 9)
+	fullAddr := h.addFull("late-full", 0)
 
-	o := NewOrchestrator(info.ID, FetchOptions{
+	o := NewOrchestrator(h.info.ID, FetchOptions{
 		Batch:             16,
 		Timeout:           5 * time.Second,
 		MaxUselessBatches: 1 << 20, // the stub must outlive the late join
-		Dial:              pn.dial,
+		Dial:              h.pn.dial,
 	})
-	type outcome struct {
-		res *FetchResult
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := o.Run(context.Background(), stubAddr)
-		done <- outcome{res, err}
-	}()
+	run := h.runAsync(o, stubAddr)
 
 	// Join once the engine is live (the first handshake has happened).
 	if _, err := o.WaitInfo(context.Background()); err != nil {
@@ -211,17 +202,12 @@ func TestLateJoiningPeerContributes(t *testing.T) {
 	if err := o.AddPeer(fullAddr); err != nil {
 		t.Fatal(err)
 	}
-	out := <-done
-	if out.err != nil {
-		t.Fatal(out.err)
-	}
-	if !bytes.Equal(out.res.Data, data) {
-		t.Fatal("content mismatch")
-	}
+	res := run.wait(t)
+	h.verify(res)
 	var late *PeerStats
-	for i := range out.res.Peers {
-		if out.res.Peers[i].Addr == fullAddr {
-			late = &out.res.Peers[i]
+	for i := range res.Peers {
+		if res.Peers[i].Addr == fullAddr {
+			late = &res.Peers[i]
 		}
 	}
 	if late == nil {
@@ -233,82 +219,51 @@ func TestLateJoiningPeerContributes(t *testing.T) {
 }
 
 func TestMaxPeersEvictsLowestUtility(t *testing.T) {
-	info, data := testContent(t, 120, 64)
+	h := newHarness(t, 120, 64)
 	// The receiver starts holding everything the useless peer has, so
 	// its utility stays 0; the useful partial peer scores higher. When a
 	// third (full) peer joins at MaxPeers=2, the useless one is evicted.
-	uselessSet := partialSymbols(t, info, data, 50, 4)
-	useless, err := NewPartialServer(info, uselessSet)
+	uselessSet := partialSymbols(t, h.info, h.data, 50, 4)
+	useless, err := NewPartialServer(h.info, uselessSet)
 	if err != nil {
 		t.Fatal(err)
 	}
-	useful, err := NewPartialServer(info, partialSymbols(t, info, data, 80, 5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	full, err := NewFullServer(info, data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pn := newPipeNet()
-	uselessAddr := pn.add("useless", useless)
-	usefulAddr := pn.add("useful", useful)
-	fullAddr := pn.add("full", full)
+	uselessAddr := h.pn.add("useless", useless)
+	usefulAddr := h.addPartial("useful", 80, 5)
+	fullAddr := h.addFull("full", 0)
 
 	initial := make(map[uint64][]byte, len(uselessSet))
 	for id, d := range uselessSet {
 		initial[id] = d
 	}
-	o := NewOrchestrator(info.ID, FetchOptions{
+	o := NewOrchestrator(h.info.ID, FetchOptions{
 		Batch:             8,
 		Timeout:           5 * time.Second,
 		Initial:           initial,
 		MaxPeers:          2,
 		MaxUselessBatches: 1 << 20, // eviction must come from ranking, not uselessness
-		Dial:              pn.dial,
+		Dial:              h.pn.dial,
 	})
-	type outcome struct {
-		res *FetchResult
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := o.Run(context.Background(), uselessAddr, usefulAddr)
-		done <- outcome{res, err}
-	}()
+	run := h.runAsync(o, uselessAddr, usefulAddr)
 	if _, err := o.WaitInfo(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Let the useful peer accumulate utility before forcing the re-rank.
-	deadlineAt := time.Now().Add(5 * time.Second)
-	for {
-		ranked := o.Sessions()
-		var usefulScore float64
-		for _, st := range ranked {
-			if st.Addr == usefulAddr {
-				usefulScore = st.Utility
+	h.await("useful peer scoring utility", 5*time.Second, func() bool {
+		for _, st := range o.Sessions() {
+			if st.Addr == usefulAddr && st.Utility > 0 {
+				return true
 			}
 		}
-		if usefulScore > 0 {
-			break
-		}
-		if time.Now().After(deadlineAt) {
-			t.Fatal("useful peer never scored")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return false
+	})
 	if err := o.AddPeer(fullAddr); err != nil {
 		t.Fatal(err)
 	}
-	out := <-done
-	if out.err != nil {
-		t.Fatal(out.err)
-	}
-	if !bytes.Equal(out.res.Data, data) {
-		t.Fatal("content mismatch")
-	}
+	res := run.wait(t)
+	h.verify(res)
 	byAddr := make(map[string]PeerStats)
-	for _, st := range out.res.Peers {
+	for _, st := range res.Peers {
 		byAddr[st.Addr] = st
 	}
 	if !byAddr[uselessAddr].Evicted {
@@ -323,44 +278,22 @@ func TestMaxPeersEvictsLowestUtility(t *testing.T) {
 }
 
 func TestDropPeerMidTransfer(t *testing.T) {
-	info, data := testContent(t, 100, 48)
-	full1, err := NewFullServer(info, data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	full2, err := NewFullServer(info, data)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pn := newPipeNet()
-	a1 := pn.add("full-1", full1)
-	a2 := pn.add("full-2", full2)
+	h := newHarness(t, 100, 48)
+	a1 := h.addFull("full-1", 0)
+	a2 := h.addFull("full-2", 0)
 
-	o := NewOrchestrator(info.ID, FetchOptions{
-		Batch: 8, Timeout: 5 * time.Second, Dial: pn.dial,
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch: 8, Timeout: 5 * time.Second, Dial: h.pn.dial,
 	})
-	type outcome struct {
-		res *FetchResult
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := o.Run(context.Background(), a1, a2)
-		done <- outcome{res, err}
-	}()
+	run := h.runAsync(o, a1, a2)
 	if _, err := o.WaitInfo(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !o.DropPeer(a1) {
 		t.Log("peer already gone (transfer won the race) — acceptable")
 	}
-	out := <-done
-	if out.err != nil {
-		t.Fatal(out.err)
-	}
-	if !bytes.Equal(out.res.Data, data) {
-		t.Fatal("content mismatch after DropPeer")
-	}
+	res := run.wait(t)
+	h.verify(res)
 	if o.DropPeer("nope") {
 		t.Fatal("DropPeer invented a session")
 	}

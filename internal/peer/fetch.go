@@ -66,6 +66,31 @@ type FetchOptions struct {
 	// RefreshGrowth is the fractional working-set growth that triggers
 	// a refresh (default 0.1).
 	RefreshGrowth float64
+	// AdaptiveRefresh replaces the fixed RefreshBatches cadence with a
+	// RefreshController: sessions measure each batch's duplicate-symbol
+	// rate and tighten or stretch the refresh cadence around
+	// RefreshDupTarget (RefreshBatches remains the starting cadence).
+	AdaptiveRefresh bool
+	// RefreshDupTarget is the duplicate-rate budget adaptive refresh
+	// steers toward (default DefaultRefreshDupTarget).
+	RefreshDupTarget float64
+	// AdvertiseAddr is this node's own dialable listen address. When
+	// set, sessions announce it in their HELLO so servers and peers can
+	// gossip it onward (protocol v4); it is also the self-address the
+	// engine refuses to dial back.
+	AdvertiseAddr string
+	// Gossip is the node-wide peer directory shared with a live Server
+	// (a collaborative node passes the same instance to both). Nil
+	// creates a private directory; see DisableGossip to opt out.
+	Gossip *Gossip
+	// DisableGossip turns protocol-v4 peer discovery off: no PEERS
+	// frames are sent and received advertisements are ignored.
+	DisableGossip bool
+	// MaxCandidates caps the discovered-address candidate pool kept
+	// when gossip finds more peers than MaxPeers allows live (default
+	// 32). Candidates are ranked by gossip mention count and promoted
+	// as slots free up.
+	MaxCandidates int
 	// Dial overrides the dialer (tests inject net.Pipe); nil uses TCP.
 	Dial func(addr string) (net.Conn, error)
 }
@@ -97,6 +122,12 @@ func (o FetchOptions) withDefaults() FetchOptions {
 	}
 	if o.RefreshGrowth <= 0 {
 		o.RefreshGrowth = 0.1
+	}
+	if o.RefreshDupTarget <= 0 {
+		o.RefreshDupTarget = DefaultRefreshDupTarget
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 32
 	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {
@@ -133,7 +164,13 @@ type PeerStats struct {
 	// Evicted reports the session was dropped deliberately (DropPeer or
 	// utility ranking), as opposed to failing or finishing.
 	Evicted bool
-	Err     error // terminal connection error, if any
+	// Discovered reports the session was admitted through gossip
+	// (considerDiscovered) rather than given by the caller.
+	Discovered bool
+	// RefreshesSent counts SUMMARY_REFRESH frames this session sent —
+	// the cost side of the refresh-cadence policy.
+	RefreshesSent int
+	Err           error // terminal connection error, if any
 }
 
 // FetchResult is a completed (or partial) download.

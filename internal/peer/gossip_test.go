@@ -1,0 +1,236 @@
+package peer
+
+// gossip_test.go covers the gossip building blocks in isolation: the
+// Gossip directory's dedup/cap/rank rules, and the orchestrator's
+// considerDiscovered admission path — immediate admission below
+// MaxPeers, deferral to the ranked candidate pool when full, and
+// promotion of the best candidate when a freed slot appears.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+func ad(id uint64, addr string) protocol.PeerAd {
+	return protocol.PeerAd{ContentID: id, Addr: addr}
+}
+
+func TestGossipDirectoryDedupAndSelf(t *testing.T) {
+	g := NewGossip("me:1")
+	if g.Learn(ad(7, "me:1")) {
+		t.Fatal("learned own address")
+	}
+	if g.Learn(ad(7, "")) {
+		t.Fatal("learned empty address")
+	}
+	if !g.Learn(ad(7, "a:1")) {
+		t.Fatal("first mention not learned")
+	}
+	if g.Learn(ad(7, "a:1")) {
+		t.Fatal("second mention reported as new")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("directory has %d entries, want 1", g.Len())
+	}
+	if got := g.hitCount(ad(7, "a:1")); got != 2 {
+		t.Fatalf("hit count %d, want 2", got)
+	}
+	if g.Self() != "me:1" {
+		t.Fatalf("self = %q", g.Self())
+	}
+}
+
+func TestGossipSnapshotRankingAndFilter(t *testing.T) {
+	g := NewGossip("")
+	g.Learn(ad(7, "once:1"))
+	g.Learn(ad(7, "thrice:1"))
+	g.Learn(ad(9, "other-content:1"))
+	for i := 0; i < 2; i++ {
+		g.Learn(ad(7, "thrice:1"))
+	}
+	got := g.Snapshot(7, 0)
+	if len(got) != 2 {
+		t.Fatalf("snapshot(7) has %d ads: %v", len(got), got)
+	}
+	if got[0].Addr != "thrice:1" || got[1].Addr != "once:1" {
+		t.Fatalf("ranking wrong: %v", got)
+	}
+	if all := g.Snapshot(0, 0); len(all) != 3 {
+		t.Fatalf("snapshot(0) has %d ads, want 3", len(all))
+	}
+	if capped := g.Snapshot(7, 1); len(capped) != 1 || capped[0].Addr != "thrice:1" {
+		t.Fatalf("max=1 snapshot wrong: %v", capped)
+	}
+}
+
+func TestGossipDirectoryCap(t *testing.T) {
+	g := NewGossip("")
+	for i := 0; i < MaxGossipAds+10; i++ {
+		g.Learn(ad(1, fmt.Sprintf("peer-%d:1", i)))
+	}
+	if g.Len() != MaxGossipAds {
+		t.Fatalf("directory has %d entries, want the %d cap", g.Len(), MaxGossipAds)
+	}
+	// Known entries still count mentions past the cap.
+	if g.Learn(ad(1, "peer-0:1")) {
+		t.Fatal("known ad reported as new")
+	}
+	if g.hitCount(ad(1, "peer-0:1")) != 2 {
+		t.Fatal("mention not counted at cap")
+	}
+}
+
+func TestGossipSubscriberRunsWithoutLock(t *testing.T) {
+	// A subscriber may call back into the directory (the orchestrator's
+	// admission path reads hit counts); this must not deadlock.
+	g := NewGossip("")
+	calls := 0
+	g.subscribe(func(a protocol.PeerAd) {
+		calls++
+		g.hitCount(a)
+		g.Snapshot(0, 0)
+	})
+	g.LearnAll([]protocol.PeerAd{ad(1, "a:1"), ad(1, "b:1"), ad(1, "a:1")})
+	if calls != 2 {
+		t.Fatalf("subscriber ran %d times, want 2 (one per new ad)", calls)
+	}
+}
+
+// TestCandidatePoolDefersAndPromotes is the admission-path scenario:
+// with MaxPeers=1 occupied, discovered addresses park in the candidate
+// pool ranked by mention count, and dropping the live peer promotes the
+// most-vouched-for candidate — which then finishes the transfer.
+func TestCandidatePoolDefersAndPromotes(t *testing.T) {
+	h := newHarness(t, 100, 48)
+	first := h.addPartial("first", 30, 3) // too little to ever finish
+	hi := h.addFull("cand-hi", 0)
+	lo := h.addFull("cand-lo", 0)
+
+	g := NewGossip("")
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:             8,
+		Timeout:           5 * time.Second,
+		MaxPeers:          1,
+		MaxUselessBatches: 1 << 20,
+		Gossip:            g,
+		Dial:              h.pn.dial,
+	})
+	run := h.runAsync(o, first)
+	if _, err := o.WaitInfo(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two mentions for cand-hi, one for cand-lo: both defer (the slot is
+	// taken), cand-hi outranks.
+	g.Learn(ad(h.info.ID, hi))
+	g.Learn(ad(h.info.ID, hi))
+	g.Learn(ad(h.info.ID, lo))
+	h.await("candidates deferred, not admitted", 2*time.Second, func() bool {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return len(o.candidates) == 2 && len(o.sessions) == 1
+	})
+
+	if !o.DropPeer(first) {
+		t.Fatal("live peer not found")
+	}
+	h.await("best candidate promoted", 2*time.Second, func() bool {
+		for _, st := range o.Sessions() {
+			if st.Addr == hi {
+				return true
+			}
+		}
+		return false
+	})
+
+	res := run.wait(t)
+	h.verify(res)
+	byAddr := make(map[string]PeerStats)
+	for _, p := range res.Peers {
+		byAddr[p.Addr] = p
+	}
+	if st, ok := byAddr[hi]; !ok || !st.Discovered {
+		t.Fatalf("promoted candidate not marked Discovered: %+v", byAddr)
+	}
+	if st, ok := byAddr[hi]; !ok || st.UsefulSymbols == 0 {
+		t.Fatalf("promoted candidate contributed nothing: %+v", st)
+	}
+	if _, ok := byAddr[lo]; ok {
+		t.Fatalf("lower-ranked candidate admitted without a free slot: %+v", byAddr)
+	}
+}
+
+// TestDiscoveredPeerAdmittedBelowCap pins immediate admission: while
+// the engine has free MaxPeers slots, a learned advertisement becomes a
+// session without waiting in the pool.
+func TestDiscoveredPeerAdmittedBelowCap(t *testing.T) {
+	h := newHarness(t, 100, 48)
+	first := h.addPartial("first", 30, 3)
+	full := h.addFull("found", 0)
+
+	g := NewGossip("")
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:             8,
+		Timeout:           5 * time.Second,
+		MaxPeers:          4,
+		MaxUselessBatches: 1 << 20,
+		Gossip:            g,
+		Dial:              h.pn.dial,
+	})
+	run := h.runAsync(o, first)
+	if _, err := o.WaitInfo(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Learn(ad(h.info.ID, full))
+	res := run.wait(t)
+	h.verify(res)
+	foundIt := false
+	for _, p := range res.Peers {
+		if p.Addr == full && p.Discovered {
+			foundIt = true
+		}
+	}
+	if !foundIt {
+		t.Fatalf("advertised peer not admitted: %+v", res.Peers)
+	}
+
+	// Post-completion discoveries are ignored cleanly.
+	if o.considerDiscovered(ad(h.info.ID, "late:1")) {
+		t.Fatal("admission after completion")
+	}
+}
+
+// TestConsiderDiscoveredRejectsJunk pins the admission filters: wrong
+// content, self address, duplicates of live or attempted sessions.
+func TestConsiderDiscoveredRejectsJunk(t *testing.T) {
+	h := newHarness(t, 100, 48)
+	first := h.addPartial("first", 30, 3)
+	g := NewGossip("self:1")
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:             8,
+		Timeout:           5 * time.Second,
+		MaxUselessBatches: 1 << 20,
+		AdvertiseAddr:     "self:1",
+		Gossip:            g,
+		Dial:              h.pn.dial,
+	})
+	run := h.runAsync(o, first)
+	if _, err := o.WaitInfo(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if o.considerDiscovered(ad(h.info.ID+1, "wrong-content:1")) {
+		t.Fatal("admitted wrong content id")
+	}
+	if o.considerDiscovered(ad(h.info.ID, "self:1")) {
+		t.Fatal("admitted own address")
+	}
+	if o.considerDiscovered(ad(h.info.ID, first)) {
+		t.Fatal("admitted already-live address")
+	}
+	o.finish() // cancel the open-ended transfer
+	run.waitErr()
+}

@@ -28,6 +28,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/keyset"
+	"icd/internal/protocol"
 	"icd/internal/recode"
 )
 
@@ -46,6 +47,12 @@ type Orchestrator struct {
 
 	infoReady chan struct{} // closed when the first handshake fixes ContentInfo
 
+	// gossip is the node-wide peer directory (nil when FetchOptions.
+	// DisableGossip): sessions and a co-located live Server feed
+	// advertisements into it, and its subscription drives the
+	// considerDiscovered admission path below.
+	gossip *Gossip
+
 	mu            sync.Mutex
 	rdec          *recode.Decoder
 	fdec          *fountain.ShardedDecoder
@@ -56,6 +63,9 @@ type Orchestrator struct {
 	feedersClosed bool                // symbolCh closed: no new sessions
 	version       int64               // working-set version: grows with KnownCount
 	running       bool                // Run in progress (one Run per Orchestrator)
+	attempted     map[string]bool     // addresses ever given a session (no gossip re-dials)
+	candidates    []gossipCandidate   // discovered addresses awaiting a free slot
+	candidateSeq  int                 // discovery-order stamp for candidate tie-breaks
 
 	// progress counts distinct encoded symbols decoded so far; sessions
 	// use it to notice that their batches stopped helping (recoded
@@ -82,6 +92,16 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 		infoReady: make(chan struct{}),
 		rdec:      recode.NewDecoder(true),
 		sessions:  make(map[string]*session),
+		attempted: make(map[string]bool),
+	}
+	if !opts.DisableGossip {
+		o.gossip = opts.Gossip
+		if o.gossip == nil {
+			o.gossip = NewGossip(opts.AdvertiseAddr)
+		}
+		// Every advertisement the node learns — through any session or a
+		// co-located live Server — flows into the admission path.
+		o.gossip.subscribe(func(ad protocol.PeerAd) { o.considerDiscovered(ad) })
 	}
 	for id, data := range opts.Initial {
 		o.rdec.AddKnown(id, append([]byte(nil), data...))
@@ -89,6 +109,14 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 	o.progress.Store(int64(o.rdec.KnownCount()))
 	o.version = int64(o.rdec.KnownCount())
 	return o
+}
+
+// gossipCandidate is one discovered address the engine could not admit
+// immediately (MaxPeers live already); the pool is ranked by gossip
+// mention count at promotion time, with discovery order as tie-break.
+type gossipCandidate struct {
+	ad  protocol.PeerAd
+	seq int
 }
 
 // finish ends the transfer: sessions unblock and wind down.
@@ -107,8 +135,9 @@ func (o *Orchestrator) hold() {
 func (o *Orchestrator) unhold() { o.sessionExited(nil) }
 
 // sessionExited retires a session goroutine (or a hold, when s is nil).
-// The last one out closes symbolCh, which lets the decode loop conclude
-// an incomplete transfer ("peers exhausted").
+// A freed slot promotes the best-ranked discovery candidate, if any;
+// otherwise the last one out closes symbolCh, which lets the decode
+// loop conclude an incomplete transfer ("peers exhausted").
 func (o *Orchestrator) sessionExited(s *session) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -116,9 +145,22 @@ func (o *Orchestrator) sessionExited(s *session) {
 		delete(o.sessions, s.addr)
 	}
 	o.active--
+	if !o.feedersClosed && !o.finished() {
+		o.promoteCandidateLocked()
+	}
 	if o.active == 0 && !o.feedersClosed {
 		o.feedersClosed = true
 		close(o.symbolCh)
+	}
+}
+
+// finished reports whether the transfer already ended (done closed).
+func (o *Orchestrator) finished() bool {
+	select {
+	case <-o.done:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -127,10 +169,8 @@ func (o *Orchestrator) sessionExited(s *session) {
 // live session is dropped to make room. AddPeer fails once the engine
 // has finished or every session has already exhausted.
 func (o *Orchestrator) AddPeer(addr string) error {
-	select {
-	case <-o.done:
+	if o.finished() {
 		return errors.New("peer: transfer already finished")
-	default:
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -143,12 +183,122 @@ func (o *Orchestrator) AddPeer(addr string) error {
 	if o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers {
 		o.evictLowestLocked()
 	}
+	o.startSessionLocked(addr, false)
+	return nil
+}
+
+// startSessionLocked launches the session goroutine for addr and
+// records the address as attempted. Callers hold o.mu and have already
+// checked capacity and duplication.
+func (o *Orchestrator) startSessionLocked(addr string, discovered bool) {
 	s := newSession(o, addr)
+	s.stats.Discovered = discovered
+	o.attempted[addr] = true
 	o.sessions[addr] = s
 	o.stats = append(o.stats, s.stats)
 	o.active++
 	go s.run()
-	return nil
+}
+
+// considerDiscovered is the gossip admission path: a freshly learned
+// advertisement is admitted as a live session while slots are free
+// (MaxPeers unreached or unlimited), deferred to the ranked candidate
+// pool when the engine is full, and dropped when it is unusable (wrong
+// content, our own address, already connected or attempted). It reports
+// whether a session was started.
+func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
+	if o.gossip == nil || ad.ContentID != o.contentID || ad.Addr == "" ||
+		ad.Addr == o.opts.AdvertiseAddr || o.finished() {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.feedersClosed || o.attempted[ad.Addr] {
+		return false
+	}
+	if _, live := o.sessions[ad.Addr]; live {
+		return false
+	}
+	if o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers {
+		for _, c := range o.candidates {
+			if c.ad.Addr == ad.Addr {
+				return false
+			}
+		}
+		if len(o.candidates) < o.opts.MaxCandidates {
+			o.candidates = append(o.candidates, gossipCandidate{ad: ad, seq: o.candidateSeq})
+			o.candidateSeq++
+		}
+		return false
+	}
+	o.startSessionLocked(ad.Addr, true)
+	return true
+}
+
+// promoteCandidateLocked starts a session for the best-ranked candidate
+// when a slot is free: highest gossip mention count first, earliest
+// discovery as tie-break. Callers hold o.mu.
+func (o *Orchestrator) promoteCandidateLocked() {
+	if len(o.candidates) == 0 ||
+		(o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers) {
+		return
+	}
+	best := -1
+	bestHits := -1
+	for i, c := range o.candidates {
+		if _, live := o.sessions[c.ad.Addr]; live || o.attempted[c.ad.Addr] {
+			continue
+		}
+		hits := o.gossip.hitCount(c.ad)
+		if hits > bestHits || (hits == bestHits && best >= 0 && c.seq < o.candidates[best].seq) {
+			best, bestHits = i, hits
+		}
+	}
+	if best < 0 {
+		o.candidates = o.candidates[:0] // nothing usable left
+		return
+	}
+	ad := o.candidates[best].ad
+	o.candidates = append(o.candidates[:best], o.candidates[best+1:]...)
+	o.startSessionLocked(ad.Addr, true)
+}
+
+// observeGossip folds a received PEERS advertisement list into the
+// node's directory (new entries trigger considerDiscovered through the
+// subscription). Sessions call it for every PEERS frame.
+func (o *Orchestrator) observeGossip(ads []protocol.PeerAd) {
+	if o.gossip == nil {
+		return
+	}
+	o.gossip.LearnAll(ads)
+}
+
+// gossipAdverts assembles the advertisement list a session piggybacks
+// on its handshake and summary refreshes: this node's own address, the
+// addresses of its other live sessions, and the best of the directory —
+// excluding the peer being talked to, deduplicated and capped by
+// protocol.EncodePeers.
+func (o *Orchestrator) gossipAdverts(excludeAddr string) []protocol.PeerAd {
+	if o.gossip == nil {
+		return nil
+	}
+	var ads []protocol.PeerAd
+	if self := o.opts.AdvertiseAddr; self != "" {
+		ads = append(ads, protocol.PeerAd{ContentID: o.contentID, Addr: self})
+	}
+	o.mu.Lock()
+	for addr := range o.sessions {
+		if addr != excludeAddr {
+			ads = append(ads, protocol.PeerAd{ContentID: o.contentID, Addr: addr})
+		}
+	}
+	o.mu.Unlock()
+	for _, ad := range o.gossip.Snapshot(o.contentID, protocol.MaxPeerAds) {
+		if ad.Addr != excludeAddr {
+			ads = append(ads, ad)
+		}
+	}
+	return ads
 }
 
 // DropPeer disconnects addr's session (it winds down cleanly and is
@@ -325,15 +475,6 @@ func (o *Orchestrator) Run(ctx context.Context, addrs ...string) (*FetchResult, 
 	o.running = true
 	o.mu.Unlock()
 
-	if len(addrs) == 0 {
-		o.mu.Lock()
-		n := len(o.stats)
-		o.mu.Unlock()
-		if n == 0 {
-			return nil, errors.New("peer: no peers given")
-		}
-	}
-
 	// The hold keeps the feeder barrier open until every initial AddPeer
 	// ran (a fast-failing first session must not wind the engine down
 	// while later peers are still being added).
@@ -349,7 +490,24 @@ func (o *Orchestrator) Run(ctx context.Context, addrs ...string) (*FetchResult, 
 			o.mu.Unlock()
 		}
 	}
+	// Addresses already sitting in a shared gossip directory (a
+	// collaborative node whose Server heard clients before Run) go
+	// through the same admission path as live discoveries.
+	if o.gossip != nil {
+		for _, ad := range o.gossip.Snapshot(o.contentID, 0) {
+			o.considerDiscovered(ad)
+		}
+	}
+	o.mu.Lock()
+	started := len(o.stats)
+	o.mu.Unlock()
 	o.unhold()
+	if started == 0 {
+		// Every exit of Run must close done: a collaborative caller's
+		// concurrent WaitInfo would otherwise block forever.
+		o.finish()
+		return nil, errors.New("peer: no peers given")
+	}
 
 	// Cancellation propagation: ctx ends the transfer like completion
 	// does, and sessions unblock via the shared done channel.

@@ -93,6 +93,7 @@ type Server struct {
 	held     *keyset.Set       // static partial mode: ids held
 	live     WorkingSetSource  // live partial mode (collaborative nodes)
 	timeout  time.Duration
+	gossip   *Gossip // v4 peer directory: learned from clients, relayed in batches
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -130,6 +131,7 @@ func NewFullServer(info ContentInfo, content []byte) (*Server, error) {
 		code:    code,
 		blocks:  blocks,
 		timeout: 30 * time.Second,
+		gossip:  NewGossip(""),
 	}, nil
 }
 
@@ -161,6 +163,7 @@ func NewPartialServer(info ContentInfo, symbols map[uint64][]byte) (*Server, err
 		payloads: payloads,
 		held:     held,
 		timeout:  30 * time.Second,
+		gossip:   NewGossip(""),
 	}, nil
 }
 
@@ -186,7 +189,22 @@ func NewLiveServer(info ContentInfo, src WorkingSetSource) (*Server, error) {
 		code:    code,
 		live:    src,
 		timeout: 30 * time.Second,
+		gossip:  NewGossip(""),
 	}, nil
+}
+
+// SetGossip replaces the server's peer directory with a shared one — a
+// collaborative node passes the same Gossip to its Orchestrator
+// (FetchOptions.Gossip) and its live Server, so addresses heard on
+// either side flow into one directory. Call before Serve. Every server
+// starts with a private directory, which is what lets a swarm
+// bootstrapped from one seed address self-assemble: the seed learns
+// each client's advertised listen address from its HELLO and relays the
+// accumulated list in PEERS frames ahead of every symbol batch.
+func (s *Server) SetGossip(g *Gossip) {
+	if g != nil {
+		s.gossip = g
+	}
 }
 
 // Full reports whether the server holds the complete content.
@@ -312,6 +330,14 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		protocol.WriteFrame(conn, protocol.EncodeError("unknown content"))
 		return fmt.Errorf("peer: client wants content %#x, serving %#x", clientHello.ContentID, s.info.ID)
 	}
+	// Gossip (v4): a client announcing a dialable listen address becomes
+	// an advertisement this server relays to everyone else it serves —
+	// the mechanism that lets a single seed assemble a full mesh.
+	clientAd := protocol.PeerAd{ContentID: clientHello.ContentID, Addr: clientHello.ListenAddr}
+	if clientAd.Addr != "" {
+		s.gossip.Learn(clientAd)
+	}
+	sentAds := map[protocol.PeerAd]bool{clientAd: true} // never echo the client to itself
 	// 2. Sender announces the content parameters and its summary support.
 	// (Count and version only — a live source's full snapshot is paid
 	// for lazily, when a recoding domain is actually built.)
@@ -381,6 +407,16 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			}
 			recoders = nil
 
+		case protocol.TypePeers:
+			ads, err := protocol.DecodePeers(f)
+			if err != nil {
+				protocol.WriteFrame(conn, protocol.EncodeError("bad peers"))
+				return err
+			}
+			for _, ad := range ads {
+				s.gossip.Learn(ad)
+			}
+
 		case protocol.TypeRequest:
 			n, err := protocol.DecodeRequest(f)
 			if err != nil {
@@ -389,6 +425,12 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			const maxBatch = 1 << 16
 			if n > maxBatch {
 				n = maxBatch
+			}
+			// Relay any advertisements this connection has not heard yet
+			// ahead of the batch (receive loops handle PEERS between
+			// symbol frames).
+			if err := s.relayGossip(conn, sentAds); err != nil {
+				return err
 			}
 			if s.Full() {
 				if err := s.sendFull(conn, encoder, int(n)); err != nil {
@@ -423,6 +465,22 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			return fmt.Errorf("peer: unexpected frame %v", f.Type)
 		}
 	}
+}
+
+// relayGossip writes one PEERS frame carrying every directory entry not
+// yet sent on this connection (no news, no frame).
+func (s *Server) relayGossip(conn io.Writer, sent map[protocol.PeerAd]bool) error {
+	var fresh []protocol.PeerAd
+	for _, ad := range s.gossip.Snapshot(s.info.ID, protocol.MaxPeerAds) {
+		if !sent[ad] {
+			sent[ad] = true
+			fresh = append(fresh, ad)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	return protocol.WriteFrame(conn, protocol.EncodePeers(fresh))
 }
 
 // sendFull streams n fresh encoded symbols followed by DONE. Symbols are

@@ -14,6 +14,7 @@ package peer
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"icd/internal/keyset"
@@ -185,6 +186,7 @@ func (s *session) runConn() error {
 		ContentID:   o.contentID,
 		Symbols:     uint64(held.Len()),
 		SummaryMask: o.opts.summaryMask(),
+		ListenAddr:  o.opts.AdvertiseAddr,
 	})); err != nil {
 		return err
 	}
@@ -237,8 +239,31 @@ func (s *session) runConn() error {
 		}
 	}
 
+	// Gossip (v4): advertise what this node knows of the swarm right
+	// after the handshake, then again piggybacked on every refresh
+	// check; sentAds dedupes per connection so steady state sends no
+	// repeat advertisements.
+	sentAds := make(map[protocol.PeerAd]bool)
+	if err := s.sendGossip(conn, sentAds); err != nil {
+		return err
+	}
+
+	// Refresh cadence: fixed mode checks every RefreshBatches batches;
+	// adaptive mode steers the interval around the duplicate-rate
+	// budget (a dirty batch tightens the cadence, clean ones stretch
+	// it). lastReceived/lastUseful window the per-batch duplicate rate
+	// out of the cumulative session counters.
+	var ctrl *RefreshController
+	cadence := o.opts.RefreshBatches
+	if o.opts.AdaptiveRefresh && cadence > 0 {
+		ctrl = NewRefreshController(o.opts.RefreshDupTarget, cadence)
+		cadence = ctrl.Cadence()
+	}
+	sinceCheck := 0
+	lastReceived, lastUseful := 0, 0
+	canSummarize := o.opts.summaryMask()&hello.SummaryMask != 0
+
 	useless := 0
-	batches := 0
 	for {
 		if s.ended() {
 			deadline()
@@ -252,14 +277,24 @@ func (s *session) runConn() error {
 		// empty-handed (method None at handshake, the fresh-receiver
 		// default): once the set is non-trivial the method is
 		// re-negotiated and a first summary goes out.
-		batches++
-		if !hello.FullCopy && o.opts.RefreshBatches > 0 &&
-			batches%o.opts.RefreshBatches == 0 {
+		sinceCheck++
+		if !hello.FullCopy && o.opts.RefreshBatches > 0 && sinceCheck >= cadence {
+			sinceCheck = 0
+			if err := s.sendGossip(conn, sentAds); err != nil {
+				return err
+			}
 			// O(1) staleness test first; the O(n) id snapshot is paid
-			// only when a refresh will actually be built.
+			// only when a refresh will actually be built — and never
+			// when no summary method is negotiable (a blind-streaming
+			// mask would otherwise re-snapshot every check forever).
+			// Adaptive mode refreshes on any growth — its cadence, not
+			// a growth fraction, rations the summaries.
 			_, version := o.WorkingSetInfo()
 			grown := float64(version-heldVersion) >= o.opts.RefreshGrowth*float64(heldVersion)
-			if grown && version > 0 {
+			if ctrl != nil {
+				grown = version > heldVersion
+			}
+			if grown && version > 0 && canSummarize {
 				var cur *keyset.Set
 				cur, version = o.heldSnapshot()
 				method = protocol.ChooseSummaryMethod(
@@ -278,6 +313,7 @@ func (s *session) runConn() error {
 				heldVersion = version
 				o.mu.Lock()
 				s.stats.Summary = method.String()
+				s.stats.RefreshesSent++
 				o.mu.Unlock()
 			}
 		}
@@ -320,12 +356,31 @@ func (s *session) runConn() error {
 					return nil
 				}
 				got++
+			case protocol.TypePeers:
+				ads, err := protocol.DecodePeers(f)
+				if err != nil {
+					return err
+				}
+				o.observeGossip(ads)
 			case protocol.TypeError:
 				msg, _ := protocol.DecodeError(f)
 				return fmt.Errorf("peer %s: %s", s.addr, msg)
 			default:
 				return fmt.Errorf("peer %s: unexpected %v", s.addr, f.Type)
 			}
+		}
+		if ctrl != nil {
+			// Duplicate rate of the symbols processed since the last
+			// batch boundary. The decode loop is asynchronous, so the
+			// window lags in-flight symbols slightly — fine for a
+			// control signal that is clamped and step-bounded anyway.
+			o.mu.Lock()
+			received, useful := s.stats.SymbolsReceived, s.stats.UsefulSymbols
+			o.mu.Unlock()
+			if dr, du := received-lastReceived, useful-lastUseful; dr > 0 {
+				cadence = ctrl.Observe(float64(dr-du) / float64(dr))
+			}
+			lastReceived, lastUseful = received, useful
 		}
 		// A batch is useless when it carried nothing, or when the global
 		// decode made no progress while it was in flight (recoded streams
@@ -345,6 +400,28 @@ func (s *session) runConn() error {
 			useless = 0
 		}
 	}
+}
+
+// sendGossip writes a PEERS frame with every advertisement not yet sent
+// on this connection; a no-news call writes nothing. The collected list
+// stops at the frame cap, so an overflow is not falsely marked sent —
+// it goes out on a later call.
+func (s *session) sendGossip(conn io.Writer, sent map[protocol.PeerAd]bool) error {
+	ads := s.o.gossipAdverts(s.addr)
+	fresh := ads[:0]
+	for _, ad := range ads {
+		if len(fresh) == protocol.MaxPeerAds {
+			break
+		}
+		if !sent[ad] {
+			sent[ad] = true
+			fresh = append(fresh, ad)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	return protocol.WriteFrame(conn, protocol.EncodePeers(fresh))
 }
 
 // summaryConfig maps FetchOptions onto the strategy-layer summary

@@ -1,0 +1,192 @@
+package protocol
+
+// fuzz_test.go fuzzes every payload parser of the wire format — HELLO,
+// SYMBOL, RECODED, SUMMARY/SUMMARY_REFRESH, PEERS — plus the frame
+// reader itself. Each target asserts two things: no input panics the
+// parser, and anything the parser accepts survives a re-encode/re-parse
+// round trip unchanged (stability: the wire form is a fixpoint). Seed
+// corpora live in testdata/fuzz/ and double as regression inputs; CI
+// runs each target for a short -fuzztime as a smoke check.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(EncodeHello(Hello{}).Payload)
+	f.Add(EncodeHello(Hello{
+		ContentID: 0xF00D, NumBlocks: 23968, BlockSize: 1400, OrigLen: 32 << 20,
+		CodeSeed: 42, FullCopy: true, Symbols: 9, SummaryMask: AllSummaryMask,
+		ListenAddr: "203.0.113.9:9002",
+	}).Payload)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 43))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		h, err := DecodeHello(Frame{Type: TypeHello, Payload: payload})
+		if err != nil {
+			return
+		}
+		h2, err := DecodeHello(EncodeHello(h))
+		if err != nil {
+			t.Fatalf("re-encode of accepted hello rejected: %v (%+v)", err, h)
+		}
+		if h2 != h {
+			t.Fatalf("hello round trip unstable: %+v vs %+v", h2, h)
+		}
+	})
+}
+
+func FuzzSymbolView(f *testing.F) {
+	f.Add(EncodeSymbol(Symbol{ID: 7, Data: []byte("payload")}).Payload)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1}, 9))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, data, err := SymbolView(Frame{Type: TypeSymbol, Payload: payload})
+		if err != nil {
+			return
+		}
+		id2, data2, err := SymbolView(EncodeSymbol(Symbol{ID: id, Data: data}))
+		if err != nil || id2 != id || !bytes.Equal(data2, data) {
+			t.Fatalf("symbol round trip unstable: %v (%d vs %d)", err, id2, id)
+		}
+	})
+}
+
+func FuzzRecodedView(f *testing.F) {
+	seed, _ := EncodeRecoded(Recoded{IDs: []uint64{1, 2, 3}, Data: []byte{0xAB}})
+	f.Add(seed.Payload)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0}) // degree 1, truncated id list
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ids, data, err := RecodedView(Frame{Type: TypeRecoded, Payload: payload}, nil)
+		if err != nil {
+			return
+		}
+		reFrame, err := EncodeRecoded(Recoded{IDs: ids, Data: data})
+		if err != nil {
+			t.Fatalf("re-encode of accepted recoded rejected: %v", err)
+		}
+		ids2, data2, err := RecodedView(reFrame, nil)
+		if err != nil || !bytes.Equal(data2, data) {
+			t.Fatalf("recoded round trip unstable: %v", err)
+		}
+		if len(ids2) != len(ids) {
+			t.Fatalf("recoded id list changed: %v vs %v", ids2, ids)
+		}
+		for i := range ids {
+			if ids2[i] != ids[i] {
+				t.Fatalf("recoded id %d changed: %d vs %d", i, ids2[i], ids[i])
+			}
+		}
+	})
+}
+
+func FuzzDecodeSummaryView(f *testing.F) {
+	f.Add(EncodeSummary(SummaryBloom, []byte("bloom-bits"), false).Payload)
+	f.Add(EncodeSummary(SummarySketch, nil, true).Payload)
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		method, blob, err := DecodeSummaryView(Frame{Type: TypeSummary, Payload: payload})
+		if err != nil {
+			return
+		}
+		for _, refresh := range []bool{false, true} {
+			m2, b2, err := DecodeSummaryView(EncodeSummary(method, blob, refresh))
+			if err != nil || m2 != method || !bytes.Equal(b2, blob) {
+				t.Fatalf("summary round trip unstable (refresh=%v): %v", refresh, err)
+			}
+		}
+	})
+}
+
+func FuzzDecodePeers(f *testing.F) {
+	f.Add(EncodePeers([]PeerAd{
+		{ContentID: 0xF00D, Addr: "10.0.0.1:9000"},
+		{ContentID: 0xF00D, Addr: "10.0.0.2:9000"},
+	}).Payload)
+	f.Add(EncodePeers(nil).Payload)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 3, 'a'}) // truncated addr
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ads, err := DecodePeers(Frame{Type: TypePeers, Payload: payload})
+		if err != nil {
+			return
+		}
+		if len(ads) > MaxPeerAds {
+			t.Fatalf("accepted %d ads past the %d cap", len(ads), MaxPeerAds)
+		}
+		// Decoded ads are already deduplicated and valid, so the
+		// re-encode must preserve them exactly.
+		ads2, err := DecodePeers(EncodePeers(ads))
+		if err != nil {
+			t.Fatalf("re-encode of accepted peers rejected: %v", err)
+		}
+		if len(ads2) != len(ads) {
+			t.Fatalf("peers round trip changed count: %v vs %v", ads2, ads)
+		}
+		for i := range ads {
+			if ads2[i] != ads[i] {
+				t.Fatalf("peers round trip changed ad %d: %+v vs %+v", i, ads2[i], ads[i])
+			}
+		}
+	})
+}
+
+func FuzzFrameReader(f *testing.F) {
+	var good bytes.Buffer
+	WriteFrame(&good, EncodeHello(Hello{ContentID: 1}))
+	WriteFrame(&good, EncodeDone())
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xD0, 0x1C, Version, byte(TypeDone), 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xD0}, 64))
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		// Arbitrary bytes must never panic the reader, and every frame it
+		// does accept must survive re-serialization byte-for-byte.
+		fr := NewFrameReader(bytes.NewReader(stream))
+		for i := 0; i < 64; i++ {
+			frame, err := fr.Next()
+			if err != nil {
+				return // desynchronized or exhausted: the contract is "drop the conn"
+			}
+			var out bytes.Buffer
+			if err := WriteFrame(&out, frame); err != nil {
+				t.Fatalf("accepted frame cannot re-serialize: %v", err)
+			}
+			re, err := ReadFrame(&out)
+			if err != nil || re.Type != frame.Type || !bytes.Equal(re.Payload, frame.Payload) {
+				t.Fatalf("frame round trip unstable: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzWriteFrame drives the writer with arbitrary type/payload pairs:
+// what it writes, the reader must accept and return unchanged.
+func FuzzWriteFrame(f *testing.F) {
+	f.Add(uint8(TypeSymbol), []byte("data"))
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(255), bytes.Repeat([]byte{7}, 1024))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Frame{Type: Type(typ), Payload: payload}); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("own frame rejected: %v", err)
+		}
+		if got.Type != Type(typ) || !bytes.Equal(got.Payload, payload) {
+			t.Fatal("frame did not round trip")
+		}
+		if _, err := ReadFrame(&buf); err != io.EOF {
+			t.Fatalf("trailing read = %v, want io.EOF", err)
+		}
+	})
+}

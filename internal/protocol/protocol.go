@@ -38,7 +38,11 @@ import (
 // added summary-method negotiation: the HELLO grew a supported-methods
 // mask (its payload is one byte longer), and summaries travel in
 // SUMMARY/SUMMARY_REFRESH frames that name their method explicitly.
-const Version = 3
+// Version 4 added gossip peer discovery: the HELLO grew a
+// variable-length advertised listen address, and either side may send
+// PEERS frames carrying capped, deduplicated lists of (content id,
+// address) advertisements.
+const Version = 4
 
 // ErrVersion marks a frame whose version byte differs from Version. A
 // session layer that sees it should fail the handshake cleanly (report
@@ -74,6 +78,12 @@ const (
 	// the receiver's working set has grown enough that the sender
 	// should re-derive its recoding domain.
 	TypeSummaryRefresh Type = 11
+
+	// TypePeers carries gossip peer advertisements (v4): a capped,
+	// deduplicated list of (content id, dialable address) pairs either
+	// side may volunteer so a swarm bootstrapped from a single seed
+	// address can self-assemble the full mesh.
+	TypePeers Type = 12
 )
 
 // String names the message type for logs and errors.
@@ -101,6 +111,8 @@ func (t Type) String() string {
 		return "SUMMARY"
 	case TypeSummaryRefresh:
 		return "SUMMARY_REFRESH"
+	case TypePeers:
+		return "PEERS"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -251,13 +263,26 @@ type Hello struct {
 	// method.Bit() values. Zero means "no summaries" — a v3 peer that
 	// only streams blindly.
 	SummaryMask uint8
+	// ListenAddr is the announcer's dialable listen address (v4), empty
+	// when the announcer cannot be dialed back. Peers feed it into
+	// their gossip directories and relay it in PEERS frames.
+	ListenAddr string
 }
 
-const helloLen = 8 + 4 + 4 + 8 + 8 + 1 + 8 + 1
+// MaxAddrLen bounds an advertised address (HELLO and PEERS frames): a
+// host:port string comfortably fits one length byte.
+const MaxAddrLen = 255
 
-// EncodeHello marshals h.
+const helloFixedLen = 8 + 4 + 4 + 8 + 8 + 1 + 8 + 1
+
+// EncodeHello marshals h. A ListenAddr longer than MaxAddrLen is
+// truncated to empty (an undialable advert, not a malformed frame).
 func EncodeHello(h Hello) Frame {
-	buf := make([]byte, helloLen)
+	addr := h.ListenAddr
+	if len(addr) > MaxAddrLen {
+		addr = ""
+	}
+	buf := make([]byte, helloFixedLen+1+len(addr))
 	binary.LittleEndian.PutUint64(buf[0:], h.ContentID)
 	binary.LittleEndian.PutUint32(buf[8:], h.NumBlocks)
 	binary.LittleEndian.PutUint32(buf[12:], h.BlockSize)
@@ -268,6 +293,8 @@ func EncodeHello(h Hello) Frame {
 	}
 	binary.LittleEndian.PutUint64(buf[33:], h.Symbols)
 	buf[41] = h.SummaryMask
+	buf[42] = byte(len(addr))
+	copy(buf[43:], addr)
 	return Frame{Type: TypeHello, Payload: buf}
 }
 
@@ -276,8 +303,12 @@ func DecodeHello(f Frame) (Hello, error) {
 	if f.Type != TypeHello {
 		return Hello{}, fmt.Errorf("protocol: %v is not HELLO", f.Type)
 	}
-	if len(f.Payload) != helloLen {
-		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want %d", len(f.Payload), helloLen)
+	if len(f.Payload) < helloFixedLen+1 {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want ≥ %d", len(f.Payload), helloFixedLen+1)
+	}
+	addrLen := int(f.Payload[42])
+	if len(f.Payload) != helloFixedLen+1+addrLen {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want %d", len(f.Payload), helloFixedLen+1+addrLen)
 	}
 	return Hello{
 		ContentID:   binary.LittleEndian.Uint64(f.Payload[0:]),
@@ -288,6 +319,7 @@ func DecodeHello(f Frame) (Hello, error) {
 		FullCopy:    f.Payload[32] == 1,
 		Symbols:     binary.LittleEndian.Uint64(f.Payload[33:]),
 		SummaryMask: f.Payload[41],
+		ListenAddr:  string(f.Payload[43 : 43+addrLen]),
 	}, nil
 }
 
@@ -577,6 +609,92 @@ func EncodeSummary(method SummaryMethod, blob []byte, refresh bool) Frame {
 	payload[0] = byte(method)
 	copy(payload[1:], blob)
 	return Frame{Type: t, Payload: payload}
+}
+
+// PeerAd is one gossip advertisement: a peer's dialable address and the
+// content id it is known to hold or fetch.
+type PeerAd struct {
+	ContentID uint64
+	Addr      string
+}
+
+// MaxPeerAds bounds the advertisement list of one PEERS frame: enough
+// to describe a full mesh neighborhood, small enough that a malicious
+// peer cannot flood the frame.
+const MaxPeerAds = 64
+
+// EncodePeers marshals a PEERS frame (v4). Advertisements are
+// deduplicated by (content id, address); empty or oversized addresses
+// are dropped; the list is truncated at MaxPeerAds. The layout is a
+// uint16 count followed by count entries of contentID uint64, addrLen
+// uint8, addr bytes.
+func EncodePeers(ads []PeerAd) Frame {
+	seen := make(map[PeerAd]bool, len(ads))
+	kept := make([]PeerAd, 0, len(ads))
+	for _, ad := range ads {
+		if ad.Addr == "" || len(ad.Addr) > MaxAddrLen || seen[ad] {
+			continue
+		}
+		seen[ad] = true
+		kept = append(kept, ad)
+		if len(kept) == MaxPeerAds {
+			break
+		}
+	}
+	size := 2
+	for _, ad := range kept {
+		size += 8 + 1 + len(ad.Addr)
+	}
+	buf := make([]byte, 2, size)
+	binary.LittleEndian.PutUint16(buf, uint16(len(kept)))
+	for _, ad := range kept {
+		var idb [9]byte
+		binary.LittleEndian.PutUint64(idb[:], ad.ContentID)
+		idb[8] = byte(len(ad.Addr))
+		buf = append(buf, idb[:]...)
+		buf = append(buf, ad.Addr...)
+	}
+	return Frame{Type: TypePeers, Payload: buf}
+}
+
+// DecodePeers unmarshals a PEERS frame, enforcing the MaxPeerAds cap
+// and rejecting truncated entries; duplicate advertisements are
+// dropped, so the result is a set.
+func DecodePeers(f Frame) ([]PeerAd, error) {
+	if f.Type != TypePeers {
+		return nil, fmt.Errorf("protocol: %v is not PEERS", f.Type)
+	}
+	if len(f.Payload) < 2 {
+		return nil, errors.New("protocol: PEERS too short")
+	}
+	n := int(binary.LittleEndian.Uint16(f.Payload))
+	if n > MaxPeerAds {
+		return nil, fmt.Errorf("protocol: PEERS count %d exceeds %d", n, MaxPeerAds)
+	}
+	ads := make([]PeerAd, 0, n)
+	seen := make(map[PeerAd]bool, n)
+	rest := f.Payload[2:]
+	for i := 0; i < n; i++ {
+		if len(rest) < 9 {
+			return nil, errors.New("protocol: PEERS entry truncated")
+		}
+		ad := PeerAd{ContentID: binary.LittleEndian.Uint64(rest)}
+		addrLen := int(rest[8])
+		rest = rest[9:]
+		if addrLen == 0 || len(rest) < addrLen {
+			return nil, errors.New("protocol: PEERS address truncated")
+		}
+		ad.Addr = string(rest[:addrLen])
+		rest = rest[addrLen:]
+		if !seen[ad] {
+			seen[ad] = true
+			ads = append(ads, ad)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("protocol: PEERS trailing bytes")
+	}
+	return ads, nil
 }
 
 // DecodeSummaryView parses a SUMMARY or SUMMARY_REFRESH frame. The blob

@@ -3,6 +3,7 @@ package protocol
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -103,6 +104,7 @@ func TestHelloRoundTrip(t *testing.T) {
 		FullCopy:    true,
 		Symbols:     12345,
 		SummaryMask: AllSummaryMask,
+		ListenAddr:  "203.0.113.9:9002",
 	}
 	got, err := DecodeHello(EncodeHello(want))
 	if err != nil {
@@ -111,11 +113,81 @@ func TestHelloRoundTrip(t *testing.T) {
 	if got != want {
 		t.Fatalf("hello mismatch: %+v vs %+v", got, want)
 	}
+	want.ListenAddr = "" // undialable announcers stay representable
+	if got, err = DecodeHello(EncodeHello(want)); err != nil || got != want {
+		t.Fatalf("empty-addr hello mismatch: %+v vs %+v (%v)", got, want, err)
+	}
 	if _, err := DecodeHello(Frame{Type: TypeDone}); err == nil {
 		t.Fatal("wrong type accepted")
 	}
 	if _, err := DecodeHello(Frame{Type: TypeHello, Payload: []byte{1}}); err == nil {
 		t.Fatal("short hello accepted")
+	}
+	// A declared address length past the payload end must not read OOB.
+	f := EncodeHello(want)
+	f.Payload[42] = 200
+	if _, err := DecodeHello(f); err == nil {
+		t.Fatal("truncated address accepted")
+	}
+}
+
+func TestPeersRoundTrip(t *testing.T) {
+	want := []PeerAd{
+		{ContentID: 0xF00D, Addr: "10.0.0.1:9000"},
+		{ContentID: 0xF00D, Addr: "10.0.0.2:9000"},
+		{ContentID: 0xBEEF, Addr: "10.0.0.1:9000"}, // same addr, other content
+	}
+	ads, err := DecodePeers(EncodePeers(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != len(want) {
+		t.Fatalf("got %d ads, want %d", len(ads), len(want))
+	}
+	for i := range want {
+		if ads[i] != want[i] {
+			t.Fatalf("ad %d: %+v vs %+v", i, ads[i], want[i])
+		}
+	}
+}
+
+func TestPeersDedupAndCaps(t *testing.T) {
+	// Duplicates and unusable addresses are dropped at encode time, and
+	// an oversized list is truncated to MaxPeerAds.
+	var ads []PeerAd
+	for i := 0; i < 3; i++ {
+		ads = append(ads, PeerAd{ContentID: 1, Addr: "dup:1"})
+	}
+	ads = append(ads, PeerAd{ContentID: 1, Addr: ""})
+	ads = append(ads, PeerAd{ContentID: 1, Addr: strings.Repeat("x", MaxAddrLen+1)})
+	for i := 0; i < 2*MaxPeerAds; i++ {
+		ads = append(ads, PeerAd{ContentID: 2, Addr: fmt.Sprintf("peer-%d", i)})
+	}
+	got, err := DecodePeers(EncodePeers(ads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxPeerAds {
+		t.Fatalf("got %d ads, want the %d cap", len(got), MaxPeerAds)
+	}
+	if got[0] != (PeerAd{ContentID: 1, Addr: "dup:1"}) {
+		t.Fatalf("dedup changed ordering: %+v", got[0])
+	}
+
+	// Decode-side enforcement: a forged count and truncated entries are
+	// rejected rather than over-read.
+	if _, err := DecodePeers(Frame{Type: TypePeers, Payload: []byte{0xFF, 0xFF}}); err == nil {
+		t.Fatal("forged count accepted")
+	}
+	f := EncodePeers([]PeerAd{{ContentID: 9, Addr: "a:1"}})
+	if _, err := DecodePeers(Frame{Type: TypePeers, Payload: f.Payload[:len(f.Payload)-2]}); err == nil {
+		t.Fatal("truncated entry accepted")
+	}
+	if _, err := DecodePeers(Frame{Type: TypePeers, Payload: append(append([]byte(nil), f.Payload...), 0)}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodePeers(Frame{Type: TypeDone}); err == nil {
+		t.Fatal("wrong type accepted")
 	}
 }
 

@@ -221,6 +221,26 @@ func runMicro(jsonPath string) {
 		}
 	})
 
+	// Multi-content node (PR 5): a consumer node fetching 3 distinct
+	// contents concurrently from one provider listener under a global
+	// connection budget — MB/s is aggregate goodput across all three.
+	// The row CI tracks in BENCH_pr5.json for scheduler regressions.
+	const mcContents, mcN, mcBlock = 3, 200, 1400
+	mcBytes := int64(mcContents) * int64(mcN*mcBlock-mcBlock/3)
+	row("multicontent 3-fetch node", mcBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunMultiContent(experiment.MultiContentConfig{
+				Contents: mcContents, N: mcN, BlockSize: mcBlock, Seed: 11, MaxConns: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Bytes != mcBytes {
+				b.Fatalf("fetched %d bytes, want %d", res.Bytes, mcBytes)
+			}
+		}
+	})
+
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {

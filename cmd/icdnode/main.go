@@ -29,6 +29,18 @@
 //
 //	icdnode collab -out big.iso -id 0xF00D -listen 127.0.0.1:9002 \
 //	    -seed 127.0.0.1:9000
+//
+// Run a full multi-content node (PR 5): serve and fetch any number of
+// contents from one process and ONE listener — every inbound HELLO is
+// routed by content id, fetched working sets are served live as they
+// grow, the -max-conns connection budget is divided across concurrent
+// fetches by marginal utility, and -store-budget bounds the bytes kept
+// (pinned replicas never evict):
+//
+//	icdnode node -listen 127.0.0.1:9000 \
+//	    -serve 0xF00D=big.iso,0xBEEF=other.iso \
+//	    -fetch 0xCAFE=third.iso,0xD00D=fourth.iso \
+//	    -seed 127.0.0.1:9100 -max-conns 8
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"icd/internal/fountain"
+	"icd/internal/node"
 	"icd/internal/peer"
 )
 
@@ -56,13 +69,15 @@ func main() {
 		fetch(os.Args[2:])
 	case "collab":
 		collab(os.Args[2:])
+	case "node":
+		runNode(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: icdnode serve|fetch|collab [flags] (see -h of each)")
+	fmt.Fprintln(os.Stderr, "usage: icdnode serve|fetch|collab|node [flags] (see -h of each)")
 	os.Exit(2)
 }
 
@@ -200,67 +215,204 @@ func collab(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// One gossip directory is shared between the fetching engine and the
-	// live server, and this node's own -listen address is advertised in
-	// every HELLO — so a single -seed address suffices to join the swarm.
-	gossip := peer.NewGossip(*listen)
-	o := peer.NewOrchestrator(parseID(*idStr), peer.FetchOptions{
-		Batch:           *batch,
-		Timeout:         *timeout,
-		MaxPeers:        *maxPeers,
-		MaxReconnects:   *retries,
-		AdvertiseAddr:   *listen,
-		Gossip:          gossip,
-		AdaptiveRefresh: *adaptive,
+	// collab is the one-content special case of the multi-content node:
+	// one listener, one gossip directory shared between the fetching
+	// engine and the live server, this node's own -listen address
+	// advertised in every HELLO — a single -seed address suffices to
+	// join the swarm, and any further content fetched or served by this
+	// process would share the same listener.
+	n := node.New(node.Options{
+		Listen: *listen,
+		Fetch: peer.FetchOptions{
+			Batch:           *batch,
+			Timeout:         *timeout,
+			MaxPeers:        *maxPeers,
+			MaxReconnects:   *retries,
+			AdaptiveRefresh: *adaptive,
+		},
 	})
-	addrs := bootstrapAddrs(*peers, *seed)
-	type outcome struct {
-		res *peer.FetchResult
-		err error
-	}
-	done := make(chan outcome, 1)
-	start := time.Now()
 	go func() {
-		res, err := o.Run(ctx, addrs...)
-		done <- outcome{res, err}
-	}()
-
-	// Start the live server as soon as the first handshake fixes the
-	// content metadata: from then on this node serves while it fetches.
-	var srv *peer.Server
-	if info, err := o.WaitInfo(ctx); err == nil {
-		srv, err = peer.NewLiveServer(info, o)
-		if err != nil {
-			fatal(err)
+		if err := n.ListenAndServe(); err != nil {
+			fmt.Fprintln(os.Stderr, "icdnode: listener:", err)
 		}
-		srv.SetGossip(gossip)
-		go func() {
-			if err := srv.ListenAndServe(*listen); err != nil {
-				fmt.Fprintln(os.Stderr, "icdnode: live server:", err)
-			}
-		}()
-		fmt.Printf("icdnode: collaborating — serving live working set on %s while fetching from %d peer(s)\n",
-			*listen, len(addrs))
+	}()
+	addrs := bootstrapAddrs(*peers, *seed)
+	fmt.Printf("icdnode: collaborating — serving everything learned on %s while fetching from %d peer(s)\n",
+		*listen, len(addrs))
+	start := time.Now()
+	res, err := n.Fetch(ctx, parseID(*idStr), addrs...)
+	if err != nil {
+		fatal(err)
 	}
-
-	got := <-done
-	if got.err != nil {
-		fatal(got.err)
-	}
-	if err := os.WriteFile(*out, got.res.Data, 0o644); err != nil {
+	if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("icdnode: fetched %d bytes in %v (decode overhead %.1f%%)\n",
-		len(got.res.Data), time.Since(start).Round(time.Millisecond), 100*got.res.DecodeOverhead)
-	printPeerStats(got.res)
-	if srv != nil && *linger > 0 {
+		len(res.Data), time.Since(start).Round(time.Millisecond), 100*res.DecodeOverhead)
+	printPeerStats(res)
+	if *linger > 0 {
 		fmt.Printf("icdnode: complete; serving for another %v (interrupt to stop)\n", *linger)
 		select {
 		case <-time.After(*linger):
 		case <-ctx.Done():
 		}
-		srv.Close()
 	}
+	n.Close()
+}
+
+// contentSpec is one 0xID=path element of a -serve or -fetch list.
+type contentSpec struct {
+	id   uint64
+	path string
+}
+
+// parseSpecs parses "0xA=path1,0xB=path2" flag values.
+func parseSpecs(flagName, s string) []contentSpec {
+	if s == "" {
+		return nil
+	}
+	var specs []contentSpec
+	for _, part := range strings.Split(s, ",") {
+		id, path, ok := strings.Cut(part, "=")
+		if !ok || path == "" {
+			fmt.Fprintf(os.Stderr, "icdnode node: bad %s element %q, want 0xID=path\n", flagName, part)
+			os.Exit(2)
+		}
+		specs = append(specs, contentSpec{id: parseID(id), path: path})
+	}
+	return specs
+}
+
+// runNode is the multi-content node: serve and fetch any number of
+// contents from one process and one listener.
+func runNode(args []string) {
+	fs := flag.NewFlagSet("node", flag.ExitOnError)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:9000", "the node's one listen address (serves every content)")
+		serveSpec   = fs.String("serve", "", "contents to serve: 0xID=file[,0xID=file...]")
+		fetchSpec   = fs.String("fetch", "", "contents to fetch: 0xID=outfile[,0xID=outfile...]")
+		peers       = fs.String("peers", "", "comma-separated peer addresses")
+		seed        = fs.String("seed", "", "bootstrap seed address(es); gossip discovers the rest")
+		blockSize   = fs.Int("block", fountain.DefaultBlockSize, "block size for served files")
+		batch       = fs.Int("batch", 64, "symbols per request")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-operation timeout")
+		maxConns    = fs.Int("max-conns", 8, "global connection budget divided across concurrent fetches (0 = unlimited)")
+		storeBudget = fs.Int64("store-budget", 0, "replica byte budget; coldest unpinned replicas evict past it (0 = unlimited)")
+		retries     = fs.Int("retries", 3, "redials per failed session (exponential backoff)")
+		adaptive    = fs.Bool("adaptive-refresh", true, "steer the summary-refresh cadence by observed duplicate rate")
+		linger      = fs.Duration("linger", 10*time.Second, "keep serving after all fetches complete (ignored with no -fetch: a pure server runs until interrupted)")
+	)
+	fs.Parse(args)
+	serves := parseSpecs("-serve", *serveSpec)
+	fetches := parseSpecs("-fetch", *fetchSpec)
+	if len(serves) == 0 && len(fetches) == 0 {
+		fmt.Fprintln(os.Stderr, "icdnode node: at least one of -serve/-fetch is required")
+		os.Exit(2)
+	}
+	if len(fetches) > 0 && *peers == "" && *seed == "" {
+		fmt.Fprintln(os.Stderr, "icdnode node: -fetch needs one of -peers/-seed")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	n := node.New(node.Options{
+		Listen:      *listen,
+		StoreBudget: *storeBudget,
+		MaxConns:    *maxConns,
+		Fetch: peer.FetchOptions{
+			Batch:           *batch,
+			Timeout:         *timeout,
+			MaxReconnects:   *retries,
+			AdaptiveRefresh: *adaptive,
+		},
+	})
+	// Served files are pinned: the operator asked for them explicitly,
+	// so the store budget must not trade them away for fetched replicas.
+	for _, sp := range serves {
+		content, err := os.ReadFile(sp.path)
+		if err != nil {
+			fatal(err)
+		}
+		blocks, origLen, err := fountain.SplitIntoBlocks(content, *blockSize)
+		if err != nil {
+			fatal(err)
+		}
+		info := peer.ContentInfo{
+			ID:        sp.id,
+			NumBlocks: len(blocks),
+			BlockSize: *blockSize,
+			OrigLen:   origLen,
+			CodeSeed:  sp.id ^ 0x1CD,
+		}
+		if err := n.ServeFull(info, content, true); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("icdnode: serving %#x (%q, %d blocks of %dB)\n", sp.id, sp.path, len(blocks), *blockSize)
+	}
+	go func() {
+		if err := n.ListenAndServe(); err != nil {
+			fmt.Fprintln(os.Stderr, "icdnode: listener:", err)
+		}
+	}()
+	fmt.Printf("icdnode: node on %s — %d served, %d to fetch (max-conns %d)\n",
+		*listen, len(serves), len(fetches), *maxConns)
+
+	addrs := bootstrapAddrs(*peers, *seed)
+	start := time.Now()
+	transfers := make([]*node.Transfer, len(fetches))
+	for i, sp := range fetches {
+		t, err := n.StartFetch(ctx, sp.id, addrs...)
+		if err != nil {
+			fatal(err)
+		}
+		transfers[i] = t
+	}
+	failed := false
+	for i, t := range transfers {
+		res, err := t.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdnode: fetch %#x: %v\n", fetches[i].id, err)
+			failed = true
+			continue
+		}
+		if err := os.WriteFile(fetches[i].path, res.Data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("icdnode: fetched %#x → %q: %d bytes in %v (decode overhead %.1f%%)\n",
+			fetches[i].id, fetches[i].path, len(res.Data),
+			time.Since(start).Round(time.Millisecond), 100*res.DecodeOverhead)
+		printPeerStats(res)
+	}
+	for _, st := range n.Contents() {
+		state := "partial"
+		if st.Complete {
+			state = "complete"
+		}
+		if st.Active {
+			state = "fetching"
+		}
+		pin := ""
+		if st.Pinned {
+			pin = " pinned"
+		}
+		fmt.Printf("  store %#-18x %8dB %s%s hits=%d\n", st.ID, st.Bytes, state, pin, st.Hits)
+	}
+	if failed {
+		n.Close()
+		os.Exit(1)
+	}
+	if len(fetches) == 0 {
+		fmt.Println("icdnode: serving (interrupt to stop)")
+		<-ctx.Done() // pure server: run until interrupted
+	} else if *linger > 0 {
+		fmt.Printf("icdnode: serving for another %v (interrupt to stop)\n", *linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+	}
+	n.Close()
 }
 
 // bootstrapAddrs merges the explicit -peers list with the -seed

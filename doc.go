@@ -220,4 +220,51 @@
 // complementary partial peers complete each other while trickling the
 // remainder from a constrained source (`icdbench -exp swarm` measures
 // the source-bandwidth savings).
+//
+// # Node and content store (multi-content)
+//
+// internal/node turns the one-content engine into a full overlay node:
+// one process, one listener, one gossip directory, many working sets at
+// different completion stages (the paper's end state). Three pieces
+// compose over internal/peer:
+//
+//   - Content store (replica budget). Every replica the node serves and
+//     every fetch in flight registers in a Store under one byte budget.
+//     Past the budget, whole unpinned replicas evict in utility/LRU
+//     order — the eviction score is demand hits per unit of age on the
+//     store's access clock, so a replica nobody asks for goes first
+//     however young, and a hot one survives. Pinned replicas
+//     (operator-served content) and active fetches never evict; if only
+//     those remain, the store reports over-budget rather than dropping
+//     them. An evicted content's id leaves the listener, so new
+//     handshakes naming it get the unknown-content answer.
+//
+//   - Single listener (HELLO routing). A ServerMux owns the accept loop
+//     and reads each inbound HELLO itself, routing the connection to
+//     the registered Server for its content id — a static full/partial
+//     replica or the live server over an in-flight fetch's
+//     orchestrator. Unknown ids are answered with the canonical
+//     unknown-content ERROR (protocol.ReasonUnknownContent); receivers
+//     surface it as the typed ErrUnknownContent and never redial — the
+//     peer is healthy, it just lacks that content. Registration is
+//     live: a fetch's working set is served as soon as its first
+//     handshake fixes the metadata.
+//
+//   - Cross-content scheduler (connection budget). Concurrent fetches
+//     share the node-wide gossip directory and divide one global
+//     connection budget (Options.MaxConns). Each housekeeping tick
+//     samples per-fetch progress rates and re-apportions slots by
+//     marginal utility — proportional to rate, with starved fetches (no
+//     progress: more sessions to the same peers buy nothing) and
+//     near-complete fetches (the decode tail needs few fresh symbols)
+//     yielding their share — applied live via Orchestrator.SetMaxPeers,
+//     shrinking before growing so the combined live-session count never
+//     overshoots. Every fetch keeps one guaranteed slot. The tick also
+//     ages stale gossip entries out (Gossip.Expire: an address nobody
+//     re-mentions is probably dead) and re-enforces the store budget as
+//     live working sets grow.
+//
+// `icdnode node` runs one: serve and fetch any number of contents from
+// one -listen address; `icdbench -exp multicontent` measures aggregate
+// goodput and per-content completion at 1 vs 3 concurrent contents.
 package icd

@@ -8,6 +8,7 @@ import (
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/minwise"
+	"icd/internal/node"
 	"icd/internal/overlay"
 	"icd/internal/peer"
 	"icd/internal/prng"
@@ -368,6 +369,52 @@ type RefreshController = peer.RefreshController
 func NewRefreshController(target float64, initial int) *RefreshController {
 	return peer.NewRefreshController(target, initial)
 }
+
+// ---- Multi-content node (content store + one listener + scheduler) ----
+
+// ServerMux serves many contents on one listener, routing each inbound
+// HELLO to the registered Server for its content id; unknown ids get
+// the canonical unknown-content ERROR.
+type ServerMux = peer.ServerMux
+
+// MuxStats exposes a ServerMux's connection counters.
+type MuxStats = peer.MuxStats
+
+// NewServerMux creates an empty multi-content listener.
+func NewServerMux() *ServerMux { return peer.NewServerMux() }
+
+// ErrUnknownContent marks a fetch whose peer is alive but does not
+// serve the requested content id; sessions fail terminally on it
+// (redialing cannot change the answer).
+var ErrUnknownContent = peer.ErrUnknownContent
+
+// Node is a multi-content overlay peer: a content store under a byte
+// budget, one listener serving every stored content, and a scheduler
+// dividing a global connection budget across concurrent fetches by
+// marginal utility. See internal/node and doc.go's "Node and content
+// store" section.
+type Node = node.Node
+
+// NodeOptions configure a Node (listen address, store byte budget,
+// global connection budget, housekeeping cadence, fetch template).
+type NodeOptions = node.Options
+
+// NewNode creates a multi-content node.
+func NewNode(opts NodeOptions) *Node { return node.New(opts) }
+
+// ContentStore is a Node's replica registry: per-content entries under
+// a byte budget with pinning and utility/LRU-ranked eviction.
+type ContentStore = node.Store
+
+// NewContentStore creates a standalone content store with the given
+// byte budget (<= 0 = unlimited).
+func NewContentStore(budget int64) *ContentStore { return node.NewStore(budget) }
+
+// ContentStatus is one store entry's externally visible state.
+type ContentStatus = node.ContentStatus
+
+// NodeTransfer is a handle on one of a Node's in-flight fetches.
+type NodeTransfer = node.Transfer
 
 // DescribeContent computes the ContentInfo for raw content at the given
 // block size, with the code seed derived from the id.

@@ -206,6 +206,10 @@ func Registry() []Runner {
 			t, err := GossipSwarm(o)
 			return stringerTable{t}, err
 		}},
+		{"multicontent", "multi-content node: one listener, shared connection budget, 1 vs 3 contents (PR 5)", func(o Options) (fmt.Stringer, error) {
+			t, err := MultiContent(o)
+			return stringerTable{t}, err
+		}},
 		{"fig1", "tree vs parallel vs collaborative delivery (Figure 1)", func(o Options) (fmt.Stringer, error) {
 			t, err := Fig1(o)
 			return stringerTable{t}, err

@@ -225,8 +225,8 @@ func TestGossipSwarmConverges(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"coding", "decode", "fig1", "fig4a", "fig5a", "fig5b", "fig6a",
-		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip", "swarm",
-		"tab4b", "tab4c",
+		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip",
+		"multicontent", "swarm", "tab4b", "tab4c",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -248,4 +248,24 @@ func TestRegistryComplete(t *testing.T) {
 // fmtSscan parses a float cell.
 func fmtSscan(s string, out *float64) (int, error) {
 	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestMultiContentNode(t *testing.T) {
+	res, err := RunMultiContent(MultiContentConfig{
+		Contents: 2, N: 120, BlockSize: 64, Seed: 5, MaxConns: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerContent) != 2 {
+		t.Fatalf("per-content times: %v", res.PerContent)
+	}
+	for i, d := range res.PerContent {
+		if d <= 0 || d > res.Elapsed {
+			t.Fatalf("content %d completion %v outside (0, %v]", i, d, res.Elapsed)
+		}
+	}
+	if res.AggregateMBps() <= 0 {
+		t.Fatalf("aggregate rate %.2f", res.AggregateMBps())
+	}
 }

@@ -20,6 +20,13 @@ import (
 	"icd/internal/prng"
 )
 
+// ConnServer is anything that can serve one established connection: a
+// single-content *peer.Server or a multi-content *peer.ServerMux (the
+// front door of a node).
+type ConnServer interface {
+	ServeConn(net.Conn) error
+}
+
 // SwarmFixture is shared in-process swarm material: deterministic
 // content, its metadata, and a pipe "network" of named servers.
 type SwarmFixture struct {
@@ -27,7 +34,7 @@ type SwarmFixture struct {
 	Content []byte
 
 	mu      sync.Mutex
-	servers map[string]*peer.Server
+	servers map[string]ConnServer
 	delay   map[string]time.Duration // per-address read throttle
 }
 
@@ -48,14 +55,14 @@ func BuildSwarmFixture(n, blockSize int, seed uint64) (*SwarmFixture, error) {
 	return &SwarmFixture{
 		Info:    info,
 		Content: content,
-		servers: make(map[string]*peer.Server),
+		servers: make(map[string]ConnServer),
 		delay:   make(map[string]time.Duration),
 	}, nil
 }
 
 // AddServer registers a server under a synthetic address, optionally
 // throttled (every read on its connections sleeps `delay` first).
-func (f *SwarmFixture) AddServer(addr string, s *peer.Server, delay time.Duration) {
+func (f *SwarmFixture) AddServer(addr string, s ConnServer, delay time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.servers[addr] = s

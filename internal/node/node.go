@@ -1,0 +1,510 @@
+// Package node is the multi-content overlay node: one process, one
+// listener, one gossip directory, many contents at different completion
+// stages — the paper's end state, where every end-system collaborates
+// on all the working sets it holds rather than running one transfer.
+//
+// A Node composes three things over the internal/peer swarm engine:
+//
+//   - A content Store: every replica the node serves and every fetch in
+//     flight, registered under one byte budget with pinning and
+//     utility/LRU-ranked whole-replica eviction (store.go).
+//   - A single listener: a peer.ServerMux routes each inbound HELLO's
+//     content id to the right working-set source — a static full or
+//     partial server, or the live orchestrator of a fetch in progress —
+//     and answers unknown ids with the canonical unknown-content ERROR.
+//   - A fetch scheduler: concurrent per-content orchestrators share the
+//     node-wide gossip directory and divide a global connection budget
+//     (Options.MaxConns) by marginal utility — starved and
+//     near-complete contents yield slots to fast-moving ones (sched.go)
+//     — applied live through Orchestrator.SetMaxPeers on every
+//     housekeeping tick.
+//
+// The housekeeping tick also ages stale gossip entries out
+// (Gossip.Expire) and re-enforces the store budget as live working sets
+// grow. Everything a fetch learns is served immediately: as soon as its
+// first handshake fixes the content metadata, a live server over the
+// orchestrator's working set is registered on the shared listener.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icd/internal/peer"
+)
+
+// Options configure a Node.
+type Options struct {
+	// Listen is the node's dialable listen address: the mux binds it
+	// (ListenAndServe) and every session advertises it via gossip.
+	Listen string
+	// StoreBudget caps the bytes of stored replicas (0 = unlimited).
+	// Exceeding it evicts unpinned, inactive replicas in utility/LRU
+	// order.
+	StoreBudget int64
+	// MaxConns is the global outbound-session budget divided across
+	// concurrent fetches by the scheduler (0 = unlimited: each fetch
+	// uses Fetch.MaxPeers as-is). Every concurrent fetch keeps one
+	// guaranteed session (an orchestrator with zero sessions winds
+	// down, not waits), so the effective floor is the number of fetches
+	// in flight — size MaxConns (or bound concurrent StartFetch calls)
+	// accordingly when the budget maps to a hard resource limit.
+	MaxConns int
+	// Tick is the housekeeping cadence — gossip expiry, store budget
+	// enforcement over live working sets, connection rebalancing
+	// (default 100ms).
+	Tick time.Duration
+	// GossipMaxAge ages directory entries nobody re-mentioned out of
+	// the node's gossip directory (default 2m; negative disables).
+	GossipMaxAge time.Duration
+	// Fetch is the per-orchestrator option template. Gossip,
+	// AdvertiseAddr and (under a MaxConns budget) MaxPeers are
+	// overridden per fetch by the node.
+	Fetch peer.FetchOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tick <= 0 {
+		o.Tick = 100 * time.Millisecond
+	}
+	if o.GossipMaxAge == 0 {
+		o.GossipMaxAge = 2 * time.Minute
+	}
+	return o
+}
+
+// Node is a multi-content overlay peer: it serves every stored content
+// from one listener while fetching any number of others, under a store
+// byte budget and a global connection budget. Create with New; all
+// exported methods are safe for concurrent use.
+type Node struct {
+	opts   Options
+	gossip *peer.Gossip
+	store  *Store
+	mux    *peer.ServerMux
+
+	schedMu sync.Mutex // serializes rebalance passes (tick vs StartFetch)
+
+	mu      sync.Mutex
+	fetches map[uint64]*transferState
+	order   []uint64 // fetch start order: deterministic rebalance indexing
+	closed  bool
+	stop    chan struct{}
+	ticker  sync.WaitGroup
+}
+
+// transferState is one in-flight fetch's bookkeeping.
+type transferState struct {
+	id   uint64
+	o    *peer.Orchestrator
+	done chan struct{}
+	res  *peer.FetchResult
+	err  error
+
+	failed bool // set under Node.mu: late live-server registration must not land
+
+	// Scheduler sampling state, touched only under schedMu.
+	lastProgress int
+	lastSample   time.Time
+	lastSig      fetchSignal // reused when a rebalance fires off-tick (dt too small to judge)
+}
+
+// New creates a node. Call ListenAndServe (or Serve) to make it
+// dialable, ServeFull/ServePartial to add replicas, and Fetch/StartFetch
+// to download more contents.
+func New(opts Options) *Node {
+	opts = opts.withDefaults()
+	n := &Node{
+		opts:    opts,
+		gossip:  peer.NewGossip(opts.Listen),
+		store:   NewStore(opts.StoreBudget),
+		mux:     peer.NewServerMux(),
+		fetches: make(map[uint64]*transferState),
+		stop:    make(chan struct{}),
+	}
+	n.mux.SetGossip(n.gossip)
+	// Every HELLO routed to a replica is demand: the store's eviction
+	// ranking feeds on it.
+	n.mux.SetLookupHook(func(id uint64, found bool) {
+		if found {
+			n.store.Touch(id)
+		}
+	})
+	n.ticker.Add(1)
+	go n.run()
+	return n
+}
+
+// Gossip returns the node-wide peer directory (shared by the listener
+// and every orchestrator).
+func (n *Node) Gossip() *peer.Gossip { return n.gossip }
+
+// Store returns the node's content store.
+func (n *Node) Store() *Store { return n.store }
+
+// Mux returns the node's multi-content listener (useful for serving
+// over a custom transport, e.g. in-process pipes in tests).
+func (n *Node) Mux() *peer.ServerMux { return n.mux }
+
+// Addr returns the bound listener address ("" before Serve).
+func (n *Node) Addr() string { return n.mux.Addr() }
+
+// ListenAndServe binds Options.Listen and serves every registered
+// content until Close.
+func (n *Node) ListenAndServe() error { return n.mux.ListenAndServe(n.opts.Listen) }
+
+// Serve accepts connections on ln until Close (the caller picked its
+// own listener; Options.Listen is still what gets advertised).
+func (n *Node) Serve(ln net.Listener) error { return n.mux.Serve(ln) }
+
+// Close stops housekeeping and the listener. Fetches in flight are not
+// cancelled — they belong to their contexts; cancel those to unwind.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	n.mu.Unlock()
+	n.ticker.Wait()
+	return n.mux.Close()
+}
+
+// ServeFull registers a full replica of the content: it is served on
+// the shared listener and accounted in the store (pin to shield it from
+// budget eviction).
+func (n *Node) ServeFull(info peer.ContentInfo, content []byte, pin bool) error {
+	srv, err := peer.NewFullServer(info, content)
+	if err != nil {
+		return err
+	}
+	return n.addReplica(srv, int64(info.OrigLen), pin)
+}
+
+// ServePartial registers a partial replica (a working set of encoded
+// symbols) on the shared listener, accounted at len(symbols)·BlockSize.
+func (n *Node) ServePartial(info peer.ContentInfo, symbols map[uint64][]byte, pin bool) error {
+	srv, err := peer.NewPartialServer(info, symbols)
+	if err != nil {
+		return err
+	}
+	return n.addReplica(srv, int64(len(symbols))*int64(info.BlockSize), pin)
+}
+
+// addReplica registers a constructed server and its store accounting,
+// evicting colder replicas if the new one pushes usage past the budget.
+func (n *Node) addReplica(srv *peer.Server, bytes int64, pin bool) error {
+	id := srv.Info().ID
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("node: closed")
+	}
+	if _, active := n.fetches[id]; active {
+		// The mirror of StartFetch's already-stored guard: serving over
+		// an in-flight fetch would clobber its store entry (active
+		// shield, byte accounting) and let a failing fetch delete the
+		// operator's replica behind their back.
+		n.mu.Unlock()
+		return fmt.Errorf("node: content %#x is being fetched (wait or cancel it first)", id)
+	}
+	if err := n.mux.Register(srv); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	// Put under n.mu: StartFetch's already-stored check runs under the
+	// same lock, so a concurrent fetch cannot slip between the fetches
+	// check above and this registration.
+	evicted := n.store.Put(id, bytes, pin, false)
+	n.mu.Unlock()
+	n.dropReplicas(evicted)
+	return nil
+}
+
+// dropReplicas reacts to store evictions: the evicted ids stop being
+// served (new handshakes naming them get the unknown-content answer).
+func (n *Node) dropReplicas(ids []uint64) {
+	for _, id := range ids {
+		n.mux.Unregister(id)
+	}
+}
+
+// Pin sets or clears a replica's eviction shield.
+func (n *Node) Pin(contentID uint64, pinned bool) bool {
+	ok := n.store.Pin(contentID, pinned)
+	if ok && !pinned {
+		n.dropReplicas(n.store.EnforceBudget())
+	}
+	return ok
+}
+
+// Drop removes a replica outright: unregistered from the listener and
+// forgotten by the store. Active fetches cannot be dropped (cancel
+// their context instead).
+func (n *Node) Drop(contentID uint64) bool {
+	// One critical section across check + remove + unregister: the same
+	// registration-atomicity invariant addReplica, StartFetch and the
+	// live-registration goroutine hold n.mu for. Dropping it between
+	// the check and the mutations would let a concurrent StartFetch's
+	// fresh entry be deleted, or a live server register against an
+	// entry this call is deleting.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, active := n.fetches[contentID]; active {
+		return false
+	}
+	if !n.store.Remove(contentID) {
+		return false
+	}
+	n.mux.Unregister(contentID)
+	return true
+}
+
+// Contents returns the store's status snapshot, sorted by content id.
+func (n *Node) Contents() []ContentStatus { return n.store.Contents() }
+
+// Transfer is a handle on one in-flight (or finished) fetch.
+type Transfer struct {
+	// ID is the content id being fetched.
+	ID uint64
+	st *transferState
+}
+
+// Wait blocks until the fetch ends and returns its result.
+func (t *Transfer) Wait() (*peer.FetchResult, error) {
+	<-t.st.done
+	return t.st.res, t.st.err
+}
+
+// Orchestrator exposes the underlying swarm engine (AddPeer/DropPeer,
+// Sessions, Progress — live introspection and steering).
+func (t *Transfer) Orchestrator() *peer.Orchestrator { return t.st.o }
+
+// Slots returns the fetch's current share of the node's connection
+// budget (0 when the node runs without one).
+func (t *Transfer) Slots() int { return t.st.o.MaxPeers() }
+
+// StartFetch begins downloading a content from the given bootstrap
+// addresses (gossip discovers more) and returns immediately with a
+// Transfer handle. The fetch shares the node's gossip directory and its
+// connection budget; as soon as its first handshake fixes the content
+// metadata, the node serves the growing working set on its listener.
+// One fetch per content id at a time; a complete stored replica also
+// refuses a re-fetch (Drop it first).
+func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string) (*Transfer, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("node: closed")
+	}
+	if _, dup := n.fetches[contentID]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("node: content %#x already being fetched", contentID)
+	}
+	if _, ok := n.store.Get(contentID); ok {
+		// Any existing registration — complete replica, served file,
+		// leftover partial — blocks a re-fetch: starting one would
+		// clobber its store entry (pin, accounting) and could destroy
+		// it on failure. Drop it first.
+		n.mu.Unlock()
+		return nil, fmt.Errorf("node: content %#x already stored (Drop it to re-fetch)", contentID)
+	}
+	fo := n.opts.Fetch
+	fo.Gossip = n.gossip
+	fo.AdvertiseAddr = n.opts.Listen
+	if n.opts.MaxConns > 0 {
+		// Start on the guaranteed slot; the rebalance below immediately
+		// assigns the real share.
+		fo.MaxPeers = 1
+	}
+	st := &transferState{
+		id:   contentID,
+		o:    peer.NewOrchestrator(contentID, fo),
+		done: make(chan struct{}),
+	}
+	n.fetches[contentID] = st
+	n.order = append(n.order, contentID)
+	n.mu.Unlock()
+
+	n.store.Put(contentID, 0, false, true) // active: shielded from eviction
+	// Until the first handshake registers a live server, inbound HELLOs
+	// for this content get a retryable "pending" answer instead of the
+	// terminal unknown-content one — a peer that dials us during the
+	// window must back off and retry, not write us off.
+	n.mux.SetPending(contentID, true)
+	n.rebalance()
+
+	go func() {
+		res, err := st.o.Run(ctx, addrs...)
+		n.finishFetch(st, res, err)
+		close(st.done)
+	}()
+	go func() {
+		// Serve while fetching: registration waits only for the first
+		// handshake (content metadata), not for completion.
+		info, err := st.o.WaitInfo(ctx)
+		if err != nil {
+			return
+		}
+		live, err := peer.NewLiveServer(info, st.o)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if st.failed || n.closed {
+			return // the fetch already unwound: do not resurrect the replica
+		}
+		if _, ok := n.store.Get(st.id); !ok {
+			// The store entry is already gone — a fast fetch finished and
+			// its replica was budget-evicted (or Dropped) before this
+			// goroutine ran. Registering now would serve a zombie the
+			// store no longer accounts for.
+			return
+		}
+		if n.mux.Register(live) == nil {
+			n.mux.SetPending(st.id, false)
+		}
+	}()
+	return &Transfer{ID: contentID, st: st}, nil
+}
+
+// Fetch is StartFetch + Wait: download one content to completion.
+func (n *Node) Fetch(ctx context.Context, contentID uint64, addrs ...string) (*peer.FetchResult, error) {
+	t, err := n.StartFetch(ctx, contentID, addrs...)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait()
+}
+
+// finishFetch settles a fetch's bookkeeping: on success the replica
+// stays registered (now complete and evictable once demand fades); on
+// failure the partial replica is dropped so a retry starts clean.
+func (n *Node) finishFetch(st *transferState, res *peer.FetchResult, err error) {
+	st.res, st.err = res, err
+	n.mu.Lock()
+	delete(n.fetches, st.id)
+	for i, id := range n.order {
+		if id == st.id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	if err != nil {
+		st.failed = true
+	}
+	n.mu.Unlock()
+
+	n.mux.SetPending(st.id, false) // whatever happened, the window is over
+	if err != nil || res == nil || !res.Completed {
+		n.store.Remove(st.id)
+		n.mux.Unregister(st.id)
+	} else {
+		n.dropReplicas(n.store.UpdateBytes(st.id, int64(len(res.Held))*int64(res.Info.BlockSize)))
+		n.dropReplicas(n.store.Complete(st.id))
+	}
+	n.rebalance()
+}
+
+// run is the housekeeping loop: gossip liveness, store accounting and
+// budget enforcement over live working sets, and connection-slot
+// rebalancing, every Options.Tick.
+func (n *Node) run() {
+	defer n.ticker.Done()
+	t := time.NewTicker(n.opts.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.housekeep()
+		}
+	}
+}
+
+// housekeep is one tick's worth of node hygiene.
+func (n *Node) housekeep() {
+	n.gossip.Expire(n.opts.GossipMaxAge)
+	n.mu.Lock()
+	states := make([]*transferState, 0, len(n.fetches))
+	for _, id := range n.order {
+		states = append(states, n.fetches[id])
+	}
+	n.mu.Unlock()
+	for _, st := range states {
+		if info, ok := st.o.Info(); ok {
+			n.dropReplicas(n.store.UpdateBytes(st.id,
+				int64(st.o.Progress())*int64(info.BlockSize)))
+		}
+	}
+	n.dropReplicas(n.store.EnforceBudget())
+	n.rebalance()
+}
+
+// rebalance samples every active fetch's progress rate and re-divides
+// the global connection budget (allocateSlots), applying shrinks before
+// grows so the combined live-session count never overshoots MaxConns.
+func (n *Node) rebalance() {
+	if n.opts.MaxConns <= 0 {
+		return
+	}
+	n.schedMu.Lock()
+	defer n.schedMu.Unlock()
+
+	n.mu.Lock()
+	states := make([]*transferState, 0, len(n.fetches))
+	for _, id := range n.order {
+		states = append(states, n.fetches[id])
+	}
+	n.mu.Unlock()
+	if len(states) == 0 {
+		return
+	}
+
+	// An off-tick rebalance (StartFetch/finishFetch) can land moments
+	// after the last sample; judging "no progress" over a near-zero
+	// window would flag every healthy fetch starved and churn its
+	// sessions. Below half a tick, reuse the previous verdict instead.
+	minDt := n.opts.Tick / 2
+	now := time.Now()
+	sigs := make([]fetchSignal, len(states))
+	for i, st := range states {
+		progress := st.o.Progress()
+		sig := st.lastSig
+		if dt := now.Sub(st.lastSample); st.lastSample.IsZero() || dt >= minDt {
+			sig = fetchSignal{}
+			if !st.lastSample.IsZero() {
+				sig.rate = float64(progress-st.lastProgress) / dt.Seconds()
+				sig.starved = progress == st.lastProgress
+			}
+			st.lastProgress = progress
+			st.lastSample = now
+		}
+		if info, ok := st.o.Info(); ok && progress >= info.NumBlocks {
+			sig.nearComplete = true
+		}
+		st.lastSig = sig
+		sigs[i] = sig
+	}
+	slots := allocateSlots(n.opts.MaxConns, sigs)
+	// Shrink first: the freed slots must exist before anyone grows into
+	// them, or the node would transiently exceed its own budget.
+	for i, st := range states {
+		if slots[i] < st.o.MaxPeers() {
+			st.o.SetMaxPeers(slots[i])
+		}
+	}
+	for i, st := range states {
+		if slots[i] > st.o.MaxPeers() {
+			st.o.SetMaxPeers(slots[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package node
+
+// sched.go is the cross-content scheduling policy: a pure function
+// dividing the node's global connection budget across its concurrent
+// fetches by marginal utility. Every active fetch keeps one slot (an
+// orchestrator with zero sessions winds itself down, which is a
+// completion decision, not a scheduling one); the remaining slots go
+// where they buy the most throughput — proportionally to each fetch's
+// recent progress rate — while starved fetches (no measurable progress,
+// so more connections to the same peers buy nothing) and near-complete
+// fetches (the decode tail needs few fresh symbols) yield their share
+// to fast-moving transfers. Keeping the policy a pure function makes it
+// table-testable without a swarm.
+
+// fetchSignal is one active fetch's scheduling inputs, sampled by the
+// node's housekeeping tick.
+type fetchSignal struct {
+	rate         float64 // recent decode progress, symbols/sec
+	nearComplete bool    // working set ≥ the source-block count: decode tail
+	starved      bool    // no recent progress: extra slots buy nothing
+}
+
+// yielding reports whether the fetch should give up its share of the
+// extra slots.
+func (f fetchSignal) yielding() bool { return f.nearComplete || f.starved }
+
+// allocateSlots divides `total` connection slots across the given
+// fetches: one guaranteed slot each (total is effectively raised to the
+// fetch count when smaller — a fetch with zero slots would wind down,
+// not wait), the rest proportionally to progress rate with
+// largest-remainder rounding. Yielding fetches weigh zero; when every
+// fetch yields (startup, all stalled) the extra slots spread evenly.
+// The result is index-aligned with sigs and deterministic.
+func allocateSlots(total int, sigs []fetchSignal) []int {
+	nf := len(sigs)
+	if nf == 0 {
+		return nil
+	}
+	slots := make([]int, nf)
+	for i := range slots {
+		slots[i] = 1
+	}
+	extra := total - nf
+	if extra <= 0 {
+		return slots
+	}
+	weights := make([]float64, nf)
+	sum := 0.0
+	for i, sig := range sigs {
+		if !sig.yielding() && sig.rate > 0 {
+			weights[i] = sig.rate
+			sum += sig.rate
+		}
+	}
+	if sum == 0 {
+		// No signal to differentiate on: spread evenly, earlier fetches
+		// absorbing the remainder.
+		for i := 0; extra > 0; i = (i + 1) % nf {
+			slots[i]++
+			extra--
+		}
+		return slots
+	}
+	// Largest-remainder apportionment of the extra slots by rate.
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, nf)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(extra) * w / sum
+		whole := int(exact)
+		slots[i] += whole
+		assigned += whole
+		rems[i] = rem{idx: i, frac: exact - float64(whole)}
+	}
+	// Stable selection: biggest fractional remainder first, index as the
+	// deterministic tie-break.
+	for assigned < extra {
+		best := -1
+		for i, r := range rems {
+			if r.idx < 0 {
+				continue
+			}
+			if best < 0 || r.frac > rems[best].frac {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		slots[rems[best].idx]++
+		rems[best].idx = -1
+		assigned++
+	}
+	return slots
+}

@@ -1,0 +1,106 @@
+package node
+
+// sched_test.go tables the cross-content slot allocator: guaranteed
+// minimums, proportional division by progress rate, yielding by starved
+// and near-complete fetches, and deterministic remainder handling.
+
+import "testing"
+
+func TestAllocateSlotsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		total int
+		sigs  []fetchSignal
+		want  []int
+	}{
+		{
+			name:  "no fetches",
+			total: 8,
+			sigs:  nil,
+			want:  nil,
+		},
+		{
+			name:  "budget smaller than fetch count still guarantees one each",
+			total: 1,
+			sigs:  []fetchSignal{{rate: 5}, {rate: 1}, {}},
+			want:  []int{1, 1, 1},
+		},
+		{
+			name:  "no signal spreads evenly",
+			total: 6,
+			sigs:  []fetchSignal{{}, {}, {}},
+			want:  []int{2, 2, 2},
+		},
+		{
+			name:  "even spread remainder goes to earlier fetches",
+			total: 8,
+			sigs:  []fetchSignal{{}, {}, {}},
+			want:  []int{3, 3, 2},
+		},
+		{
+			name:  "proportional to rate",
+			total: 8,
+			sigs:  []fetchSignal{{rate: 30}, {rate: 10}},
+			// 1+1 base; extra 6 splits 4.5/1.5, equal remainders tie-break
+			// to the earlier fetch → 6/2.
+			want: []int{6, 2},
+		},
+		{
+			name:  "starved fetch yields its share",
+			total: 6,
+			sigs:  []fetchSignal{{rate: 10}, {starved: true}},
+			want:  []int{5, 1},
+		},
+		{
+			name:  "near-complete fetch yields its share",
+			total: 6,
+			sigs:  []fetchSignal{{rate: 4, nearComplete: true}, {rate: 1}},
+			want:  []int{1, 5},
+		},
+		{
+			name:  "all yielding spreads evenly",
+			total: 4,
+			sigs:  []fetchSignal{{starved: true}, {nearComplete: true}},
+			want:  []int{2, 2},
+		},
+		{
+			name:  "equal rates tie-break to earlier fetch",
+			total: 5,
+			sigs:  []fetchSignal{{rate: 2}, {rate: 2}},
+			want:  []int{3, 2},
+		},
+		{
+			name:  "single fetch absorbs everything",
+			total: 7,
+			sigs:  []fetchSignal{{rate: 1}},
+			want:  []int{7},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := allocateSlots(c.total, c.sigs)
+			if len(got) != len(c.want) {
+				t.Fatalf("allocateSlots = %v, want %v", got, c.want)
+			}
+			sum := 0
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("allocateSlots = %v, want %v", got, c.want)
+				}
+				sum += got[i]
+				if got[i] < 1 {
+					t.Fatalf("fetch %d allocated %d slots (<1 would wind it down)", i, got[i])
+				}
+			}
+			// Invariant: every slot is handed out, and the budget is only
+			// exceeded by the one-per-fetch guarantee.
+			max := c.total
+			if len(c.sigs) > max {
+				max = len(c.sigs)
+			}
+			if len(c.sigs) > 0 && sum != max {
+				t.Fatalf("allocated %d slots, want %d", sum, max)
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+package node
+
+// store.go is the replica-budget half of the node: a registry of every
+// content the node holds (serving replicas and in-flight fetches) under
+// one configurable byte budget. When the budget is exceeded, whole
+// unpinned replicas are evicted in utility/LRU order — which contents a
+// node keeps *is* the performance knob once a node stores many working
+// sets (Ayyasamy's QoS-aware replica management; Leconte et al.,
+// adaptive CDN replication) — while pinned and actively-fetching
+// entries are never touched. The store is pure bookkeeping: it owns no
+// payloads and no sockets; the Node reacts to eviction decisions by
+// unregistering replicas from its listener.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ContentStatus is one store entry's externally visible state.
+type ContentStatus struct {
+	// ID is the content id; Bytes its accounted storage footprint.
+	ID    uint64
+	Bytes int64
+	// Pinned replicas are never evicted; Active marks an in-flight
+	// fetch (also never evicted); Complete marks a fully recovered
+	// replica.
+	Pinned, Active, Complete bool
+	// Hits counts demand events (inbound HELLOs routed to the replica,
+	// plus local touches); the eviction ranking weighs them against
+	// recency.
+	Hits int64
+}
+
+// Store is the node's content registry under a byte budget. It is safe
+// for concurrent use. The zero value is not usable; call NewStore.
+type Store struct {
+	mu      sync.Mutex
+	budget  int64 // bytes; <= 0 = unlimited
+	clock   int64 // logical access clock driving the LRU half of the ranking
+	entries map[uint64]*storeEntry
+}
+
+// storeEntry is one tracked content.
+type storeEntry struct {
+	status   ContentStatus
+	lastUsed int64 // store clock at the last demand event
+}
+
+// NewStore creates a content store with the given byte budget
+// (<= 0 = unlimited).
+func NewStore(budget int64) *Store {
+	return &Store{budget: budget, entries: make(map[uint64]*storeEntry)}
+}
+
+// SetBudget replaces the byte budget (<= 0 = unlimited) and returns the
+// ids of replicas evicted to satisfy a shrink.
+func (s *Store) SetBudget(budget int64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = budget
+	return s.enforceLocked()
+}
+
+// Budget returns the current byte budget (<= 0 = unlimited).
+func (s *Store) Budget() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// Put registers a content (or updates an existing registration's size
+// and flags), then enforces the budget. It returns the ids of replicas
+// evicted to make room — never the id just put, which counts as fresh
+// demand. An entry that cannot fit even after evicting everything
+// evictable is kept (the store reports over-budget via Usage; it does
+// not refuse content the caller already holds).
+func (s *Store) Put(id uint64, bytes int64, pinned, active bool) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[id]
+	if e == nil {
+		e = &storeEntry{status: ContentStatus{ID: id}}
+		s.entries[id] = e
+	}
+	e.status.Bytes = bytes
+	e.status.Pinned = pinned
+	e.status.Active = active
+	s.touchLocked(e)
+	return s.enforceExceptLocked(&id)
+}
+
+// UpdateBytes revises an entry's accounted size (a live fetch's working
+// set growing) and enforces the budget, returning any evicted ids.
+// Unknown ids are ignored.
+func (s *Store) UpdateBytes(id uint64, bytes int64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[id]
+	if e == nil {
+		return nil
+	}
+	e.status.Bytes = bytes
+	return s.enforceLocked()
+}
+
+// Complete marks an entry's fetch finished: no longer active (it
+// becomes evictable unless pinned), flagged complete. Unknown ids are
+// ignored. It returns any ids evicted now that the entry lost its
+// active shield.
+func (s *Store) Complete(id uint64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[id]
+	if e == nil {
+		return nil
+	}
+	e.status.Active = false
+	e.status.Complete = true
+	return s.enforceLocked()
+}
+
+// Pin sets or clears an entry's pin and reports whether the id was
+// known. Unpinning may trigger eviction at the next budget enforcement,
+// not immediately.
+func (s *Store) Pin(id uint64, pinned bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[id]
+	if e == nil {
+		return false
+	}
+	e.status.Pinned = pinned
+	return true
+}
+
+// Touch records a demand event for id (an inbound HELLO routed to the
+// replica): it refreshes the entry's recency and bumps its hit count.
+// Unknown ids are ignored (a routed HELLO for an unregistered content
+// is the mux's unknown-content path, not demand on a replica).
+func (s *Store) Touch(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[id]; e != nil {
+		s.touchLocked(e)
+	}
+}
+
+// Remove deletes an entry outright (caller-driven, not an eviction) and
+// reports whether it existed.
+func (s *Store) Remove(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; !ok {
+		return false
+	}
+	delete(s.entries, id)
+	return true
+}
+
+// Get returns a snapshot of one entry's status.
+func (s *Store) Get(id uint64) (ContentStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.entries[id]; e != nil {
+		return e.status, true
+	}
+	return ContentStatus{}, false
+}
+
+// Usage returns the total accounted bytes across all entries.
+func (s *Store) Usage() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usageLocked()
+}
+
+// Len returns the number of tracked contents.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Contents returns status snapshots for every entry, sorted by id.
+func (s *Store) Contents() []ContentStatus {
+	s.mu.Lock()
+	out := make([]ContentStatus, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.status)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EnforceBudget re-checks the budget (a housekeeping tick calls it
+// after revising live sizes) and returns the evicted ids.
+func (s *Store) EnforceBudget() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enforceLocked()
+}
+
+// String renders a compact one-line summary for logs.
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("store{%d contents, %dB used, budget %dB}",
+		len(s.entries), s.usageLocked(), s.budget)
+}
+
+func (s *Store) usageLocked() int64 {
+	var total int64
+	for _, e := range s.entries {
+		total += e.status.Bytes
+	}
+	return total
+}
+
+func (s *Store) touchLocked(e *storeEntry) {
+	s.clock++
+	e.lastUsed = s.clock
+	e.status.Hits++
+}
+
+// evictScore ranks replicas for eviction: lower scores go first. The
+// score blends utility (demand hits) with recency (LRU): hits per unit
+// of age on the store's logical access clock. A replica nobody asks for
+// scores near zero however young; a hot replica stays high even as the
+// clock advances. Deterministic given a deterministic access sequence.
+func (s *Store) evictScore(e *storeEntry) float64 {
+	age := s.clock - e.lastUsed + 1
+	return float64(e.status.Hits) / float64(age)
+}
+
+// enforceLocked evicts lowest-scoring unpinned, inactive replicas until
+// usage fits the budget (or nothing evictable remains), returning the
+// evicted ids in eviction order. Callers hold s.mu.
+func (s *Store) enforceLocked() []uint64 {
+	return s.enforceExceptLocked(nil)
+}
+
+// enforceExceptLocked is enforceLocked shielding one id from eviction —
+// Put protects the entry it just registered (freshest possible demand;
+// evicting it would make the call a silent no-op for the caller, who
+// just arranged to serve it). A nil except shields nothing; the
+// sentinel is out-of-band so every content id, 0 included, gets the
+// protection. Callers hold s.mu.
+func (s *Store) enforceExceptLocked(except *uint64) []uint64 {
+	if s.budget <= 0 {
+		return nil
+	}
+	var evicted []uint64
+	for s.usageLocked() > s.budget {
+		var victim *storeEntry
+		var victimScore float64
+		for _, e := range s.entries {
+			if e.status.Pinned || e.status.Active || e.status.Bytes <= 0 ||
+				(except != nil && e.status.ID == *except) {
+				continue
+			}
+			score := s.evictScore(e)
+			if victim == nil || score < victimScore ||
+				(score == victimScore && e.status.ID < victim.status.ID) {
+				victim, victimScore = e, score
+			}
+		}
+		if victim == nil {
+			return evicted // only pinned/active/shielded replicas left: stay over budget
+		}
+		delete(s.entries, victim.status.ID)
+		evicted = append(evicted, victim.status.ID)
+	}
+	return evicted
+}

@@ -1,0 +1,220 @@
+package node
+
+// store_test.go is the replica-budget table: eviction order under the
+// utility/LRU ranking, pin and active-fetch shields, and budget
+// shrink/grow behavior — all without any network.
+
+import (
+	"testing"
+)
+
+func TestStoreEvictionTable(t *testing.T) {
+	type content struct {
+		id      uint64
+		bytes   int64
+		pinned  bool
+		active  bool
+		touches int // extra demand events after Put
+	}
+	cases := []struct {
+		name        string
+		budget      int64
+		contents    []content
+		wantEvicted []uint64
+		wantKept    []uint64
+	}{
+		{
+			name:   "under budget keeps everything",
+			budget: 100,
+			contents: []content{
+				{id: 1, bytes: 40}, {id: 2, bytes: 40},
+			},
+			wantKept: []uint64{1, 2},
+		},
+		{
+			name:   "coldest replica goes first",
+			budget: 100,
+			contents: []content{
+				{id: 1, bytes: 40},             // cold: no demand after Put
+				{id: 2, bytes: 40, touches: 5}, // hot
+				{id: 3, bytes: 40},             // newest: fresh recency
+			},
+			wantEvicted: []uint64{1},
+			wantKept:    []uint64{2, 3},
+		},
+		{
+			// The Put that admits id 3 shields it (freshest demand), the
+			// pin shields id 1 — so the hot-but-unshielded id 2 yields.
+			name:   "pinned replica survives even when coldest",
+			budget: 100,
+			contents: []content{
+				{id: 1, bytes: 40, pinned: true}, // cold but pinned
+				{id: 2, bytes: 40, touches: 3},
+				{id: 3, bytes: 40},
+			},
+			wantEvicted: []uint64{2},
+			wantKept:    []uint64{1, 3},
+		},
+		{
+			name:   "active fetch is shielded",
+			budget: 100,
+			contents: []content{
+				{id: 1, bytes: 40, active: true},
+				{id: 2, bytes: 40, touches: 3},
+				{id: 3, bytes: 40}, // admission shields the newcomer too
+			},
+			wantEvicted: []uint64{2},
+			wantKept:    []uint64{1, 3},
+		},
+		{
+			name:   "all pinned stays over budget",
+			budget: 50,
+			contents: []content{
+				{id: 1, bytes: 40, pinned: true},
+				{id: 2, bytes: 40, pinned: true},
+			},
+			wantKept: []uint64{1, 2},
+		},
+		{
+			name:   "multiple evictions to fit one big replica",
+			budget: 100,
+			contents: []content{
+				{id: 1, bytes: 30},
+				{id: 2, bytes: 30},
+				{id: 3, bytes: 90, touches: 1},
+			},
+			wantEvicted: []uint64{1, 2},
+			wantKept:    []uint64{3},
+		},
+		{
+			name:   "unlimited budget never evicts",
+			budget: 0,
+			contents: []content{
+				{id: 1, bytes: 1 << 40}, {id: 2, bytes: 1 << 40},
+			},
+			wantKept: []uint64{1, 2},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewStore(c.budget)
+			var evicted []uint64
+			for _, ct := range c.contents {
+				evicted = append(evicted, s.Put(ct.id, ct.bytes, ct.pinned, ct.active)...)
+				for i := 0; i < ct.touches; i++ {
+					s.Touch(ct.id)
+				}
+			}
+			if !sameIDs(evicted, c.wantEvicted) {
+				t.Fatalf("evicted %v, want %v", evicted, c.wantEvicted)
+			}
+			if s.Len() != len(c.wantKept) {
+				t.Fatalf("kept %d entries, want %d (%+v)", s.Len(), len(c.wantKept), s.Contents())
+			}
+			for _, id := range c.wantKept {
+				if _, ok := s.Get(id); !ok {
+					t.Fatalf("content %d missing (kept: %+v)", id, s.Contents())
+				}
+			}
+		})
+	}
+}
+
+func sameIDs(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStoreBudgetShrinkEvicts(t *testing.T) {
+	s := NewStore(0)
+	s.Put(1, 40, false, false)
+	s.Put(2, 40, true, false)
+	s.Put(3, 40, false, false)
+	s.Touch(3)
+	evicted := s.SetBudget(80)
+	if !sameIDs(evicted, []uint64{1}) {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	if s.Usage() != 80 {
+		t.Fatalf("usage %d, want 80", s.Usage())
+	}
+}
+
+func TestStoreCompleteLiftsActiveShield(t *testing.T) {
+	s := NewStore(60)
+	s.Put(1, 40, false, true) // active fetch: over budget soon but shielded
+	s.Put(2, 40, true, false)
+	if s.Len() != 2 {
+		t.Fatalf("active entry evicted prematurely: %+v", s.Contents())
+	}
+	// Fetch finishes: the shield drops and the unpinned replica must now
+	// yield to the budget (the pinned one cannot move).
+	evicted := s.Complete(1)
+	if !sameIDs(evicted, []uint64{1}) {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	st, ok := s.Get(2)
+	if !ok || !st.Pinned {
+		t.Fatalf("pinned survivor wrong: %+v ok=%v", st, ok)
+	}
+}
+
+func TestStoreUnpinThenEnforce(t *testing.T) {
+	s := NewStore(50)
+	s.Put(1, 40, true, false)
+	s.Put(2, 40, true, false) // over budget, both pinned: nothing evictable
+	if got := s.EnforceBudget(); len(got) != 0 {
+		t.Fatalf("evicted pinned replicas: %v", got)
+	}
+	if !s.Pin(1, false) {
+		t.Fatal("unpin failed")
+	}
+	if got := s.EnforceBudget(); !sameIDs(got, []uint64{1}) {
+		t.Fatalf("evicted %v, want [1] after unpin", got)
+	}
+}
+
+func TestStoreRemoveAndGet(t *testing.T) {
+	s := NewStore(0)
+	s.Put(1, 10, false, false)
+	if st, ok := s.Get(1); !ok || st.Bytes != 10 || st.Hits != 1 {
+		t.Fatalf("Get after Put: %+v ok=%v", st, ok)
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("entry survived Remove")
+	}
+	if s.Pin(1, true) {
+		t.Fatal("Pin invented an entry")
+	}
+	if got := s.UpdateBytes(1, 99); got != nil {
+		t.Fatalf("UpdateBytes on unknown id evicted %v", got)
+	}
+}
+
+// TestStorePutNeverEvictsItself pins Put's shield: the entry just put
+// is the freshest demand and must not be the budget's victim, even when
+// its score is the lowest — colder history yields instead.
+func TestStorePutNeverEvictsItself(t *testing.T) {
+	s := NewStore(100)
+	s.Put(1, 60, false, false)
+	for i := 0; i < 5; i++ {
+		s.Touch(1) // make the incumbent hot: the newcomer scores lower
+	}
+	evicted := s.Put(2, 50, false, false)
+	if !sameIDs(evicted, []uint64{1}) {
+		t.Fatalf("evicted %v, want [1] (never the id just put)", evicted)
+	}
+	if _, ok := s.Get(2); !ok {
+		t.Fatal("freshly put entry missing")
+	}
+}

@@ -16,25 +16,31 @@ import (
 	"time"
 )
 
+// connServer is anything that can serve one established connection —
+// a single-content *Server or a multi-content *ServerMux.
+type connServer interface {
+	ServeConn(net.Conn) error
+}
+
 // pipeNet maps synthetic addresses to in-process servers; its dial
 // serves every connection over net.Pipe (optionally through a
 // connection-wrapping hook for failure injection).
 type pipeNet struct {
 	mu      sync.Mutex
-	servers map[string]*Server
+	servers map[string]connServer
 	wrap    map[string]func(net.Conn) net.Conn
 	dials   map[string]int
 }
 
 func newPipeNet() *pipeNet {
 	return &pipeNet{
-		servers: make(map[string]*Server),
+		servers: make(map[string]connServer),
 		wrap:    make(map[string]func(net.Conn) net.Conn),
 		dials:   make(map[string]int),
 	}
 }
 
-func (pn *pipeNet) add(addr string, s *Server) string {
+func (pn *pipeNet) add(addr string, s connServer) string {
 	pn.mu.Lock()
 	defer pn.mu.Unlock()
 	pn.servers[addr] = s

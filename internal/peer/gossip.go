@@ -14,6 +14,7 @@ package peer
 
 import (
 	"sync"
+	"time"
 
 	"icd/internal/protocol"
 )
@@ -25,11 +26,13 @@ const MaxGossipAds = 256
 
 // gossipEntry is one remembered advertisement with its mention count
 // (independent mentions rank candidates: an address many peers vouch
-// for is more likely alive and useful).
+// for is more likely alive and useful) and the time it was last heard
+// (liveness hygiene: entries nobody re-mentions age out via Expire).
 type gossipEntry struct {
-	ad   protocol.PeerAd
-	hits int
-	seq  int // insertion order, the deterministic tie-break
+	ad        protocol.PeerAd
+	hits      int
+	seq       int // insertion order, the deterministic tie-break
+	lastHeard time.Time
 }
 
 // Gossip is a node-wide directory of advertised peer addresses,
@@ -42,13 +45,14 @@ type Gossip struct {
 	ads  map[protocol.PeerAd]*gossipEntry
 	next int
 	subs []func(protocol.PeerAd)
+	now  func() time.Time // injectable clock (tests age entries synthetically)
 }
 
 // NewGossip creates an empty directory. self is this node's own
 // advertised address (possibly empty); it is never stored and never
 // returned by Snapshot, so a node cannot gossip itself to itself.
 func NewGossip(self string) *Gossip {
-	return &Gossip{self: self, ads: make(map[protocol.PeerAd]*gossipEntry)}
+	return &Gossip{self: self, ads: make(map[protocol.PeerAd]*gossipEntry), now: time.Now}
 }
 
 // Self returns the node's own advertised address.
@@ -73,6 +77,7 @@ func (g *Gossip) Learn(ad protocol.PeerAd) bool {
 	}
 	if e, ok := g.ads[ad]; ok {
 		e.hits++
+		e.lastHeard = g.now() // a re-mention is evidence of life
 		g.mu.Unlock()
 		return false
 	}
@@ -80,7 +85,7 @@ func (g *Gossip) Learn(ad protocol.PeerAd) bool {
 		g.mu.Unlock()
 		return false
 	}
-	g.ads[ad] = &gossipEntry{ad: ad, hits: 1, seq: g.next}
+	g.ads[ad] = &gossipEntry{ad: ad, hits: 1, seq: g.next, lastHeard: g.now()}
 	g.next++
 	subs := append([]func(protocol.PeerAd){}, g.subs...)
 	g.mu.Unlock()
@@ -135,6 +140,31 @@ func (g *Gossip) Len() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.ads)
+}
+
+// Expire removes every advertisement last heard more than maxAge ago
+// and returns how many were dropped. A directory is a map of who is
+// *probably* alive: an address nobody has re-mentioned for a long time
+// is most likely gone, and keeping it would waste candidate-pool slots
+// and PEERS-frame bytes on dead peers. A node's housekeeping tick calls
+// this; an expired address that is still alive re-enters the directory
+// (and re-triggers discovery subscribers) at its next mention.
+// maxAge <= 0 is a no-op.
+func (g *Gossip) Expire(maxAge time.Duration) int {
+	if maxAge <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cutoff := g.now().Add(-maxAge)
+	dropped := 0
+	for ad, e := range g.ads {
+		if e.lastHeard.Before(cutoff) {
+			delete(g.ads, ad)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // hits returns the mention count of ad (0 when unknown) — candidate

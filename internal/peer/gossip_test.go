@@ -234,3 +234,116 @@ func TestConsiderDiscoveredRejectsJunk(t *testing.T) {
 	o.finish() // cancel the open-ended transfer
 	run.waitErr()
 }
+
+// TestGossipExpire is the liveness-hygiene table: entries older than
+// maxAge are swept, re-mentions refresh an entry's clock, and expired
+// addresses re-enter the directory (and re-announce to subscribers) at
+// their next mention.
+func TestGossipExpire(t *testing.T) {
+	base := time.Unix(1000, 0)
+	cases := []struct {
+		name        string
+		ages        map[string]time.Duration // address → time since last heard
+		refresh     []string                 // re-mentioned at sweep time (age 0)
+		maxAge      time.Duration
+		wantDropped int
+		wantKept    []string
+	}{
+		{
+			name:        "all fresh",
+			ages:        map[string]time.Duration{"a:1": time.Second, "b:1": 2 * time.Second},
+			maxAge:      time.Minute,
+			wantDropped: 0,
+			wantKept:    []string{"a:1", "b:1"},
+		},
+		{
+			name:        "stale swept, fresh kept",
+			ages:        map[string]time.Duration{"a:1": 2 * time.Minute, "b:1": time.Second},
+			maxAge:      time.Minute,
+			wantDropped: 1,
+			wantKept:    []string{"b:1"},
+		},
+		{
+			name:        "exact boundary survives",
+			ages:        map[string]time.Duration{"a:1": time.Minute},
+			maxAge:      time.Minute,
+			wantDropped: 0,
+			wantKept:    []string{"a:1"},
+		},
+		{
+			name:        "re-mention rescues a stale entry",
+			ages:        map[string]time.Duration{"a:1": 2 * time.Minute, "b:1": 2 * time.Minute},
+			refresh:     []string{"a:1"},
+			maxAge:      time.Minute,
+			wantDropped: 1,
+			wantKept:    []string{"a:1"},
+		},
+		{
+			name:        "zero maxAge is a no-op",
+			ages:        map[string]time.Duration{"a:1": 24 * time.Hour},
+			maxAge:      0,
+			wantDropped: 0,
+			wantKept:    []string{"a:1"},
+		},
+		{
+			name:        "everything stale",
+			ages:        map[string]time.Duration{"a:1": time.Hour, "b:1": time.Hour, "c:1": time.Hour},
+			maxAge:      time.Minute,
+			wantDropped: 3,
+			wantKept:    nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewGossip("me:1")
+			now := base
+			g.now = func() time.Time { return now }
+			for addr, age := range c.ages {
+				now = base.Add(-age)
+				if !g.Learn(ad(7, addr)) {
+					t.Fatalf("seeding %s failed", addr)
+				}
+			}
+			now = base
+			for _, addr := range c.refresh {
+				if g.Learn(ad(7, addr)) {
+					t.Fatalf("refresh of %s reported as new", addr)
+				}
+			}
+			if got := g.Expire(c.maxAge); got != c.wantDropped {
+				t.Fatalf("Expire dropped %d, want %d", got, c.wantDropped)
+			}
+			if g.Len() != len(c.wantKept) {
+				t.Fatalf("%d entries kept, want %d", g.Len(), len(c.wantKept))
+			}
+			for _, addr := range c.wantKept {
+				if g.hitCount(ad(7, addr)) == 0 {
+					t.Fatalf("kept entry %s missing after sweep", addr)
+				}
+			}
+		})
+	}
+}
+
+// TestGossipExpiredAddressRediscovers pins the round trip: after a
+// sweep the address is new again — Learn reports it and subscribers
+// (the orchestrator admission path in production) hear it a second
+// time.
+func TestGossipExpiredAddressRediscovers(t *testing.T) {
+	g := NewGossip("me:1")
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+	announced := 0
+	g.subscribe(func(protocol.PeerAd) { announced++ })
+	g.Learn(ad(7, "a:1"))
+	now = now.Add(time.Hour)
+	if g.Expire(time.Minute) != 1 {
+		t.Fatal("stale entry not swept")
+	}
+	if !g.Learn(ad(7, "a:1")) {
+		t.Fatal("expired address not re-learnable")
+	}
+	if announced != 2 {
+		t.Fatalf("subscriber heard %d announcements, want 2", announced)
+	}
+}

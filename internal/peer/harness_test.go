@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -277,5 +279,129 @@ func TestGossipDisabledIgnoresAdvertisements(t *testing.T) {
 	}
 	if len(res.Peers) != 1 {
 		t.Fatalf("expected only the seed session, got %+v", res.Peers)
+	}
+}
+
+// TestMultiContentSwarmSharedBudget is the PR 5 peer-layer acceptance
+// scenario: two contents served by the same overlapping peer nodes —
+// each node one ServerMux behind one synthetic listener — fetched by
+// two orchestrators dividing a global connection budget of 3. The
+// budget is reassigned mid-transfer (shrink the fast content, grow the
+// other: the scheduler's slot-shifting move), both transfers must
+// complete, and a sampler asserts the combined live-session count never
+// exceeds the budget.
+func TestMultiContentSwarmSharedBudget(t *testing.T) {
+	infoA, dataA := testContentID(t, 0xA, 140, 48)
+	infoB, dataB := testContentID(t, 0xB, 120, 48)
+	pn := newPipeNet()
+	// Three overlapping peer nodes: every node serves BOTH contents from
+	// one listener, throttled so the transfers outlive the mid-run
+	// budget reassignment.
+	addrs := []string{"node1", "node2", "node3"}
+	for _, addr := range addrs {
+		mux := NewServerMux()
+		for i, info := range []ContentInfo{infoA, infoB} {
+			srv, err := NewFullServer(info, [][]byte{dataA, dataB}[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mux.Register(srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pn.add(addr, mux)
+		pn.wrapAll(addr, func(c net.Conn) net.Conn {
+			return &slowConn{Conn: c, delay: 300 * time.Microsecond}
+		})
+	}
+
+	const budget = 3
+	opts := func(maxPeers int) FetchOptions {
+		return FetchOptions{
+			Batch:             8,
+			Timeout:           10 * time.Second,
+			MaxPeers:          maxPeers,
+			MaxUselessBatches: 1 << 20, // reassignment, not uselessness, drives churn
+			DisableGossip:     true,    // fixed topology: the budget is the subject
+			Dial:              pn.dial,
+		}
+	}
+	oA := NewOrchestrator(infoA.ID, opts(2))
+	oB := NewOrchestrator(infoB.ID, opts(1))
+
+	// Budget sampler: the combined live-session count must never exceed
+	// the global budget, before, during and after the reassignment. The
+	// two Sessions() reads are not one atomic snapshot, so sampling is
+	// paused for the instant the caps are being moved — a stale read of
+	// A paired with a fresh read of B is sampler skew, not a violation.
+	stop := make(chan struct{})
+	var violations atomic.Int32
+	var paused atomic.Bool
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if live := len(oA.Sessions()) + len(oB.Sessions()); live > budget && !paused.Load() {
+				// Confirm before counting: a genuine cap bug persists
+				// (SetMaxPeers evicts synchronously), while two-read skew
+				// settles immediately.
+				time.Sleep(time.Millisecond)
+				if len(oA.Sessions())+len(oB.Sessions()) > budget {
+					violations.Add(1)
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	runA := (&harness{t: t, pn: pn}).runAsync(oA, addrs[0], addrs[1])
+	runB := (&harness{t: t, pn: pn}).runAsync(oB, addrs[2])
+	if _, err := oA.WaitInfo(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oB.WaitInfo(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shift one slot from content A to content B — shrink first, then
+	// grow, so the sum stays within budget throughout.
+	paused.Store(true)
+	oA.SetMaxPeers(1)
+	oB.SetMaxPeers(2)
+	paused.Store(false)
+	if err := oB.AddPeer(addrs[0]); err != nil {
+		t.Logf("AddPeer after grow: %v (transfer may have finished)", err)
+	}
+
+	resA := runA.wait(t)
+	resB := runB.wait(t)
+	close(stop)
+	sampler.Wait()
+
+	if !bytes.Equal(resA.Data, dataA) || !bytes.Equal(resB.Data, dataB) {
+		t.Fatal("multi-content fetch corrupted a content")
+	}
+	if got := violations.Load(); got != 0 {
+		t.Fatalf("connection budget exceeded %d times", got)
+	}
+	if oA.MaxPeers() != 1 || oB.MaxPeers() != 2 {
+		t.Fatalf("caps after reassignment: A=%d B=%d", oA.MaxPeers(), oB.MaxPeers())
+	}
+	// The shrink must have evicted one of A's two sessions (unless A
+	// finished first and won the race).
+	evicted := false
+	for _, p := range resA.Peers {
+		if p.Evicted {
+			evicted = true
+		}
+	}
+	if !evicted && len(resA.Peers) > 1 {
+		t.Log("no eviction recorded — content A finished before the shrink landed")
 	}
 }

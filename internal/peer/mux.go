@@ -1,0 +1,278 @@
+package peer
+
+// mux.go is the multi-content front door: one listener serving every
+// content a node stores. The pre-node engine ran one Server (and one
+// listener, one port) per content; a ServerMux instead owns the accept
+// loop, reads each inbound HELLO itself, and routes the connection to
+// the registered Server whose content id the client named — unknown ids
+// are answered with the canonical unknown-content ERROR so receivers
+// can write the peer off for that content without retrying. Contents
+// register and unregister live (a node registers a live server as soon
+// as a fetch's first handshake fixes the metadata, and unregisters when
+// the content store evicts a replica); in-flight sessions survive an
+// unregister — they hold their own *Server — only new handshakes see
+// the change.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+// ServerMux serves many contents on one listener, routing each inbound
+// HELLO to the registered Server for its content id. The zero value is
+// not usable; call NewServerMux. All methods are safe for concurrent
+// use.
+type ServerMux struct {
+	timeout time.Duration
+
+	mu       sync.Mutex
+	servers  map[uint64]*Server
+	pending  map[uint64]bool // fetches awaiting their first handshake: retryable, not unknown
+	gossip   *Gossip
+	onLookup func(contentID uint64, found bool)
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	stats struct {
+		connections atomic.Int64
+		rejected    atomic.Int64
+	}
+}
+
+// MuxStats exposes a ServerMux's connection counters.
+type MuxStats struct {
+	// Connections counts accepted connections; Rejected counts the
+	// subset whose HELLO named an unregistered content id.
+	Connections, Rejected int64
+}
+
+// NewServerMux creates an empty multi-content listener.
+func NewServerMux() *ServerMux {
+	return &ServerMux{
+		timeout: 30 * time.Second,
+		servers: make(map[uint64]*Server),
+		pending: make(map[uint64]bool),
+	}
+}
+
+// SetPending marks a content id as expected-but-not-yet-servable (a
+// fetch whose first handshake has not fixed the metadata, so no live
+// server exists to register). A HELLO naming a pending id is answered
+// with a *generic* retryable ERROR instead of the canonical
+// unknown-content one: the dialer backs off and redials rather than
+// writing this node off permanently for a content it is about to have.
+// Clear it once the real server registers (or the fetch dies).
+func (m *ServerMux) SetPending(contentID uint64, pending bool) {
+	m.mu.Lock()
+	if pending {
+		m.pending[contentID] = true
+	} else {
+		delete(m.pending, contentID)
+	}
+	m.mu.Unlock()
+}
+
+// SetGossip installs the node-wide peer directory: every currently and
+// subsequently registered Server shares it, so client addresses heard
+// on any content flow into one directory. Call before Serve.
+func (m *ServerMux) SetGossip(g *Gossip) {
+	if g == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gossip = g
+	for _, s := range m.servers {
+		s.SetGossip(g)
+	}
+}
+
+// SetLookupHook installs fn to run on every routed HELLO with the
+// requested content id and whether it was found — the signal a content
+// store uses to track per-replica serve demand. Call before Serve.
+func (m *ServerMux) SetLookupHook(fn func(contentID uint64, found bool)) {
+	m.mu.Lock()
+	m.onLookup = fn
+	m.mu.Unlock()
+}
+
+// Register adds a content server to the mux (its content id becomes
+// routable on the shared listener). Registering a duplicate id is an
+// error; replace by Unregister first. The mux's gossip directory, if
+// set, is shared into the server.
+func (m *ServerMux) Register(s *Server) error {
+	if s == nil {
+		return errors.New("peer: nil server")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := s.Info().ID
+	if _, dup := m.servers[id]; dup {
+		return fmt.Errorf("peer: content %#x already registered", id)
+	}
+	if m.gossip != nil {
+		s.SetGossip(m.gossip)
+	}
+	m.servers[id] = s
+	return nil
+}
+
+// Unregister removes a content id from the mux. New handshakes naming
+// it get the unknown-content ERROR; sessions already running keep their
+// server and drain normally. It reports whether the id was registered.
+func (m *ServerMux) Unregister(contentID uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.servers[contentID]; !ok {
+		return false
+	}
+	delete(m.servers, contentID)
+	return true
+}
+
+// Lookup returns the registered server for a content id.
+func (m *ServerMux) Lookup(contentID uint64) (*Server, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.servers[contentID]
+	return s, ok
+}
+
+// Contents returns the registered content ids, sorted.
+func (m *ServerMux) Contents() []uint64 {
+	m.mu.Lock()
+	ids := make([]uint64, 0, len(m.servers))
+	for id := range m.servers {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns a snapshot of the connection counters.
+func (m *ServerMux) Stats() MuxStats {
+	return MuxStats{
+		Connections: m.stats.connections.Load(),
+		Rejected:    m.stats.rejected.Load(),
+	}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until Close.
+func (m *ServerMux) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return m.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close, each served on its own
+// goroutine.
+func (m *ServerMux) Serve(ln net.Listener) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		ln.Close()
+		return errors.New("peer: mux closed")
+	}
+	m.ln = ln
+	m.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				m.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		// The Add must be ordered against Close's closed=true under the
+		// lock: otherwise Close's Wait can pass on a zero counter while
+		// this connection's session is still starting.
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		m.wg.Add(1)
+		m.mu.Unlock()
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			_ = m.ServeConn(conn) // per-connection errors end that session only
+		}()
+	}
+}
+
+// Addr returns the listener address ("" before Serve).
+func (m *ServerMux) Addr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the listener and waits for in-flight sessions. Registered
+// servers are left as-is (they own no listener of their own here).
+func (m *ServerMux) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	ln := m.ln
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// ServeConn routes one established connection: it reads the client's
+// HELLO, looks up the named content, and hands the connection (and its
+// frame reader) to that server's session loop. Exported so tests and
+// in-process networks can serve over net.Pipe.
+func (m *ServerMux) ServeConn(conn net.Conn) error {
+	m.stats.connections.Add(1)
+	fr := protocol.NewFrameReader(conn)
+	hello, err := readClientHello(conn, fr, m.timeout)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	s, ok := m.servers[hello.ContentID]
+	pending := m.pending[hello.ContentID]
+	hook := m.onLookup
+	m.mu.Unlock()
+	if hook != nil {
+		hook(hello.ContentID, ok)
+	}
+	if !ok {
+		if pending {
+			// Not servable *yet* — a generic (retryable) failure, so the
+			// dialer's reconnect backoff naturally spans the window
+			// between our fetch starting and its first handshake
+			// registering the live server.
+			protocol.WriteFrame(conn, protocol.EncodeError(
+				fmt.Sprintf("content %#x pending (fetch in progress, not yet servable)", hello.ContentID)))
+			return fmt.Errorf("peer: content %#x pending", hello.ContentID)
+		}
+		m.stats.rejected.Add(1)
+		protocol.WriteFrame(conn, protocol.EncodeErrorUnknownContent(hello.ContentID))
+		return fmt.Errorf("peer: no server for content %#x", hello.ContentID)
+	}
+	return s.serveClient(conn, fr, hello)
+}

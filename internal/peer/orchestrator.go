@@ -57,6 +57,7 @@ type Orchestrator struct {
 	rdec          *recode.Decoder
 	fdec          *fountain.ShardedDecoder
 	info          ContentInfo
+	maxPeers      int                 // live session cap (0 = unlimited); opts.MaxPeers is the start value, SetMaxPeers rebudgets
 	sessions      map[string]*session // live sessions by address
 	stats         []*PeerStats        // every session ever started, result order
 	active        int                 // session goroutines still running (plus holds)
@@ -91,6 +92,7 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 		done:      make(chan struct{}),
 		infoReady: make(chan struct{}),
 		rdec:      recode.NewDecoder(true),
+		maxPeers:  opts.MaxPeers,
 		sessions:  make(map[string]*session),
 		attempted: make(map[string]bool),
 	}
@@ -180,7 +182,7 @@ func (o *Orchestrator) AddPeer(addr string) error {
 	if _, dup := o.sessions[addr]; dup {
 		return fmt.Errorf("peer: already connected to %s", addr)
 	}
-	if o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers {
+	if o.maxPeers > 0 && len(o.sessions) >= o.maxPeers {
 		o.evictLowestLocked()
 	}
 	o.startSessionLocked(addr, false)
@@ -219,7 +221,7 @@ func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
 	if _, live := o.sessions[ad.Addr]; live {
 		return false
 	}
-	if o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers {
+	if o.maxPeers > 0 && len(o.sessions) >= o.maxPeers {
 		for _, c := range o.candidates {
 			if c.ad.Addr == ad.Addr {
 				return false
@@ -240,7 +242,7 @@ func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
 // discovery as tie-break. Callers hold o.mu.
 func (o *Orchestrator) promoteCandidateLocked() {
 	if len(o.candidates) == 0 ||
-		(o.opts.MaxPeers > 0 && len(o.sessions) >= o.opts.MaxPeers) {
+		(o.maxPeers > 0 && len(o.sessions) >= o.maxPeers) {
 		return
 	}
 	best := -1
@@ -299,6 +301,62 @@ func (o *Orchestrator) gossipAdverts(excludeAddr string) []protocol.PeerAd {
 		}
 	}
 	return ads
+}
+
+// SetMaxPeers rebudgets the live session cap mid-transfer (0 =
+// unlimited) — the hook a multi-content scheduler uses to shift
+// connection slots between concurrent downloads by marginal utility.
+// Shrinking below the live session count evicts lowest-utility sessions
+// immediately; growing promotes waiting gossip candidates into the new
+// slots. Shrink before you grow when moving slots between orchestrators
+// sharing one global budget, so the sum never overshoots.
+func (o *Orchestrator) SetMaxPeers(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.maxPeers = n
+	if n > 0 {
+		for len(o.sessions) > n {
+			before := len(o.sessions)
+			o.evictLowestLocked()
+			if len(o.sessions) == before {
+				break // nothing evictable
+			}
+		}
+	}
+	if !o.feedersClosed && !o.finished() {
+		for {
+			before := len(o.sessions)
+			o.promoteCandidateLocked()
+			if len(o.sessions) == before {
+				break // no free slot or no usable candidate
+			}
+		}
+	}
+}
+
+// MaxPeers returns the current live-session cap (0 = unlimited).
+func (o *Orchestrator) MaxPeers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.maxPeers
+}
+
+// Progress returns the count of distinct encoded symbols decoded into
+// the working set so far — the cheap monotone signal a scheduler
+// differentiates into a per-content download rate.
+func (o *Orchestrator) Progress() int { return int(o.progress.Load()) }
+
+// Info returns the content metadata and whether a handshake has fixed
+// it yet — the non-blocking sibling of WaitInfo.
+func (o *Orchestrator) Info() (ContentInfo, bool) {
+	select {
+	case <-o.infoReady:
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return o.info, true
+	default:
+		return ContentInfo{}, false
+	}
 }
 
 // DropPeer disconnects addr's session (it winds down cleanly and is

@@ -297,38 +297,55 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// readClientHello applies the handshake deadline, reads the client's
+// opening HELLO through fr, and answers cross-version peers with a
+// clean, human-readable ERROR (best effort — the peer's reader may
+// reject our framing too) instead of silently dropping the connection.
+// It is shared by the single-content Server and the multi-content
+// ServerMux, which must see the HELLO's content id before it can pick
+// the Server to hand the connection to.
+func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Duration) (protocol.Hello, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	f, err := fr.Next()
+	if err != nil {
+		if errors.Is(err, protocol.ErrVersion) {
+			protocol.WriteFrame(conn, protocol.EncodeError(
+				fmt.Sprintf("unsupported protocol version (speaking %d)", protocol.Version)))
+		}
+		return protocol.Hello{}, err
+	}
+	return protocol.DecodeHello(f)
+}
+
 // ServeConn runs one session over an established connection (exported so
 // tests and examples can serve over net.Pipe). Frames are read through a
 // per-connection FrameReader, so the request loop allocates nothing per
 // frame (summaries are copied out by their Unmarshal step).
 func (s *Server) ServeConn(conn net.Conn) error {
-	deadline := func() {
-		if s.timeout > 0 {
-			conn.SetDeadline(time.Now().Add(s.timeout))
-		}
-	}
-	deadline()
-
 	fr := protocol.NewFrameReader(conn)
 	// 1. Receiver announces itself.
-	f, err := fr.Next()
-	if err != nil {
-		if errors.Is(err, protocol.ErrVersion) {
-			// A cross-version peer: answer with a clean, human-readable
-			// failure (best effort — the peer's reader may reject our
-			// framing too) instead of silently dropping the connection.
-			protocol.WriteFrame(conn, protocol.EncodeError(
-				fmt.Sprintf("unsupported protocol version (speaking %d)", protocol.Version)))
-		}
-		return err
-	}
-	clientHello, err := protocol.DecodeHello(f)
+	clientHello, err := readClientHello(conn, fr, s.timeout)
 	if err != nil {
 		return err
 	}
 	if clientHello.ContentID != s.info.ID {
-		protocol.WriteFrame(conn, protocol.EncodeError("unknown content"))
+		protocol.WriteFrame(conn, protocol.EncodeErrorUnknownContent(clientHello.ContentID))
 		return fmt.Errorf("peer: client wants content %#x, serving %#x", clientHello.ContentID, s.info.ID)
+	}
+	return s.serveClient(conn, fr, clientHello)
+}
+
+// serveClient serves a handshaken connection whose HELLO already named
+// this server's content (ServeConn checked directly; a ServerMux routed
+// by content id). It owns the rest of the session: the answering HELLO,
+// summary handling, and the batched request loop.
+func (s *Server) serveClient(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
+	deadline := func() {
+		if s.timeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.timeout))
+		}
 	}
 	// Gossip (v4): a client announcing a dialable listen address becomes
 	// an advertisement this server relays to everyone else it serves —
@@ -358,10 +375,11 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	var recoders *sessionRecoders
 	var encoder *fountain.Encoder
 	if s.Full() {
-		encoder, err = fountain.NewEncoder(s.code, s.blocks, s.streamSeed.Add(1)*0x9e3779b97f4a7c15)
+		enc, err := fountain.NewEncoder(s.code, s.blocks, s.streamSeed.Add(1)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return err
 		}
+		encoder = enc
 	}
 	for {
 		deadline()

@@ -22,6 +22,14 @@ import (
 	"icd/internal/strategy"
 )
 
+// ErrUnknownContent marks a session whose peer answered the handshake
+// with the canonical unknown-content ERROR (protocol.ReasonUnknownContent):
+// the address is alive but does not serve this content id, so redialing
+// it is pointless — the session fails terminally without retries, and a
+// scheduler can write the peer off for this content while still using
+// it for others.
+var ErrUnknownContent = errors.New("peer: peer does not serve this content")
+
 type session struct {
 	o     *Orchestrator
 	addr  string
@@ -97,6 +105,12 @@ func (s *session) run() {
 			// A deliberate drop unblocks the connection by expiring its
 			// deadline, so the i/o error that unwound runConn is
 			// self-inflicted — not a peer failure worth reporting.
+			break
+		}
+		if errors.Is(err, ErrUnknownContent) {
+			// The peer is healthy — it just does not hold this content.
+			// Redialing cannot change that answer.
+			terminal = err
 			break
 		}
 		if attempt >= s.o.opts.MaxReconnects {
@@ -199,6 +213,9 @@ func (s *session) runConn() error {
 	}
 	if f.Type == protocol.TypeError {
 		msg, _ := protocol.DecodeError(f)
+		if protocol.IsUnknownContent(msg) {
+			return fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrUnknownContent)
+		}
 		return fmt.Errorf("peer %s: %s", s.addr, msg)
 	}
 	hello, err := protocol.DecodeHello(f)

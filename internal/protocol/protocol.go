@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strings"
 	"sync"
 )
 
@@ -480,6 +481,30 @@ func EncodeDone() Frame { return Frame{Type: TypeDone} }
 // EncodeError builds an ERROR frame.
 func EncodeError(msg string) Frame {
 	return Frame{Type: TypeError, Payload: []byte(msg)}
+}
+
+// ReasonUnknownContent is the canonical ERROR-message prefix a server
+// answers when a HELLO names a content id it does not hold. Multi-content
+// listeners route every inbound HELLO by content id, so "I don't have
+// that" became a first-class, machine-readable outcome: receivers match
+// it with IsUnknownContent and treat the peer as permanently useless for
+// that content (no redial) instead of a transient failure.
+const ReasonUnknownContent = "unknown content"
+
+// EncodeErrorUnknownContent builds the canonical ERROR frame for a
+// HELLO naming an unserved content id, e.g. "unknown content 0xf00d".
+func EncodeErrorUnknownContent(id uint64) Frame {
+	return EncodeError(fmt.Sprintf("%s %#x", ReasonUnknownContent, id))
+}
+
+// IsUnknownContent reports whether an ERROR message is the canonical
+// unknown-content answer (with or without the offending id appended).
+func IsUnknownContent(msg string) bool {
+	if !strings.HasPrefix(msg, ReasonUnknownContent) {
+		return false
+	}
+	rest := msg[len(ReasonUnknownContent):]
+	return rest == "" || rest[0] == ' '
 }
 
 // DecodeError extracts the message of an ERROR frame.

@@ -552,3 +552,30 @@ func TestChooseSummaryMethod(t *testing.T) {
 		}
 	}
 }
+
+func TestUnknownContentError(t *testing.T) {
+	f := EncodeErrorUnknownContent(0xF00D)
+	msg, err := DecodeError(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "unknown content 0xf00d" {
+		t.Fatalf("message = %q", msg)
+	}
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"unknown content 0xf00d", true},
+		{"unknown content", true}, // pre-v5 servers sent the bare reason
+		{"unknown contentious claim", false},
+		{"bad summary", false},
+		{"", false},
+		{"prefix unknown content 0x1", false},
+	}
+	for _, c := range cases {
+		if got := IsUnknownContent(c.msg); got != c.want {
+			t.Errorf("IsUnknownContent(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}

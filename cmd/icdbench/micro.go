@@ -10,6 +10,7 @@ import (
 
 	"icd/internal/bloom"
 	"icd/internal/experiment"
+	"icd/internal/faultnet"
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/minwise"
@@ -237,6 +238,42 @@ func runMicro(jsonPath string) {
 			}
 			if res.Bytes != mcBytes {
 				b.Fatalf("fetched %d bytes, want %d", res.Bytes, mcBytes)
+			}
+		}
+	})
+
+	// Hostile-swarm survival (PR 6): the same 5-node collaborative swarm
+	// clean vs under 20% connection kills, 5% corrupting connections and
+	// a hostile always-corrupting bootstrap peer. The pair of rows is the
+	// degradation bound CI tracks in BENCH_pr6.json — chaos must stay
+	// within the same order of magnitude as clean, with the hostile peer
+	// banned.
+	chaosCfg := experiment.ChaosSwarmConfig{Nodes: 5, N: 150, BlockSize: 64, Seed: 13}
+	row("chaos swarm clean (5+seed)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunChaosSwarm(chaosCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Converged {
+				b.Fatal("clean chaos baseline failed to converge")
+			}
+		}
+	})
+	hostileCfg := chaosCfg
+	hostileCfg.Faults = faultnet.Faults{KillProb: 0.2, KillAfter: 8 << 10, CorruptProb: 0.05}
+	hostileCfg.Hostile = true
+	row("chaos swarm hostile (5+seed)", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiment.RunChaosSwarm(hostileCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Converged {
+				b.Fatal("hostile chaos swarm failed to converge")
+			}
+			if res.BannedPeers == 0 {
+				b.Fatal("hostile peer was never banned")
 			}
 		}
 	})

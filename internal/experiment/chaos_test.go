@@ -1,0 +1,74 @@
+package experiment
+
+// chaos_test.go pins the PR 6 acceptance claim: the collaborative swarm
+// converges both clean and under the hostile scenario (20% connection
+// kills, 5% corrupting connections, an always-corrupting bootstrap
+// peer), the hostile peer ends up banned, and the whole run tears down
+// without leaking a goroutine.
+
+import (
+	"testing"
+
+	"icd/internal/faultnet"
+	"icd/internal/testutil"
+)
+
+func TestChaosSwarmCleanBaseline(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	res, err := RunChaosSwarm(ChaosSwarmConfig{
+		Nodes: 4, N: 120, BlockSize: 64, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("clean baseline did not converge: %+v", res)
+	}
+	if res.CorruptFrames != 0 || res.Stalls != 0 {
+		t.Fatalf("clean baseline saw injected faults: %+v", res)
+	}
+}
+
+func TestChaosSwarmHostileConvergesAndBans(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	// The icdbench configuration: large enough that every node meets the
+	// hostile peer often enough to cross the ban threshold before the
+	// transfer completes (a 4-node/120-block swarm converges too fast to
+	// accumulate three corrupt connections per node).
+	res, err := RunChaosSwarm(ChaosSwarmConfig{
+		Nodes: 5, N: 150, BlockSize: 64, Seed: 13,
+		Faults:  faultnet.Faults{KillProb: 0.2, KillAfter: 8 << 10, CorruptProb: 0.05},
+		Hostile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("hostile swarm did not converge: %+v", res)
+	}
+	if res.BannedPeers == 0 {
+		t.Fatalf("hostile peer never banned: %+v", res)
+	}
+	// Containment leaves a trail: the corrupt frames that earned the ban.
+	if res.CorruptFrames == 0 {
+		t.Fatalf("hostile run banned peers without corrupt frames?! %+v", res)
+	}
+}
+
+func TestChaosTableBothScenarios(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	// Default options — the exact configuration `icdbench -exp chaos`
+	// (and the CI smoke step) runs.
+	tbl, err := Chaos(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("chaos table has %d rows, want 2 (clean + hostile)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "true" {
+			t.Fatalf("scenario %q did not converge: %v", row[0], row)
+		}
+	}
+}

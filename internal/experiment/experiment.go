@@ -214,6 +214,10 @@ func Registry() []Runner {
 			t, err := Fig1(o)
 			return stringerTable{t}, err
 		}},
+		{"chaos", "hostile-swarm hardening: connection kills, corrupting paths, penalty box (PR 6)", func(o Options) (fmt.Stringer, error) {
+			t, err := Chaos(o)
+			return stringerTable{t}, err
+		}},
 	}
 }
 

@@ -224,8 +224,8 @@ func TestGossipSwarmConverges(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"coding", "decode", "fig1", "fig4a", "fig5a", "fig5b", "fig6a",
-		"fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip",
+		"chaos", "coding", "decode", "fig1", "fig4a", "fig5a", "fig5b",
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip",
 		"multicontent", "swarm", "tab4b", "tab4c",
 	}
 	got := IDs()

@@ -1,0 +1,155 @@
+// Package faultnet abstracts the byte transport under the peer engine —
+// dialing and listening — behind one small Transport interface, with
+// three implementations: real TCP, an in-process pipe network (many
+// "hosts" in one process, the substrate a thousand-node scenario lab
+// runs on), and a fault-injecting wrapper that perturbs any inner
+// transport with configurable latency, bandwidth caps, stalls,
+// mid-frame connection resets, partial writes and byte corruption.
+//
+// The wrapper is deterministic: all fault decisions derive from
+// Faults.Seed through the repo's splitmix PRNG, so a chaos run that
+// found a bug replays bit-for-bit. Faults are injected at the byte
+// layer, below the protocol framing — corruption therefore surfaces to
+// the session layer as CRC failures (protocol.ErrCorrupt), exactly the
+// failure mode a hostile or broken peer produces on a real network.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport supplies connections: the peer engine dials through it and
+// servers accept through it. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	// Dial opens a connection to addr.
+	Dial(addr string) (net.Conn, error)
+	// Listen binds addr and returns a listener whose Accept yields the
+	// server side of every Dial to that address.
+	Listen(addr string) (net.Listener, error)
+}
+
+// TCP is the real-network transport: Dial and Listen map onto the
+// kernel's TCP stack.
+type TCP struct {
+	// DialTimeout bounds each dial (0 = 30s).
+	DialTimeout time.Duration
+}
+
+// Dial opens a TCP connection to addr.
+func (t TCP) Dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
+}
+
+// Listen binds a TCP listener on addr.
+func (t TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// PipeNet is an in-process network of named endpoints over net.Pipe:
+// Listen("A") registers an endpoint, Dial("A") hands its listener the
+// server half of a fresh synchronous pipe. Hundreds of "hosts" run in
+// one process with no kernel sockets — the scenario-lab substrate — and
+// net.Pipe supports deadlines, so the engine's watchdog and timeout
+// machinery behaves as it does over TCP. The zero value is not usable;
+// create with NewPipeNet.
+type PipeNet struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener
+	auto      int
+}
+
+// NewPipeNet creates an empty in-process network.
+func NewPipeNet() *PipeNet {
+	return &PipeNet{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen registers addr as an endpoint (empty addr auto-assigns
+// "pipe:N"). Re-binding a live address is an error; a closed listener's
+// address may be reused.
+func (p *PipeNet) Listen(addr string) (net.Listener, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if addr == "" {
+		p.auto++
+		addr = fmt.Sprintf("pipe:%d", p.auto)
+	}
+	if _, taken := p.listeners[addr]; taken {
+		return nil, fmt.Errorf("faultnet: address %q already bound", addr)
+	}
+	ln := &pipeListener{
+		net:    p,
+		addr:   pipeAddr(addr),
+		accept: make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+	p.listeners[addr] = ln
+	return ln, nil
+}
+
+// Dial connects to a listening endpoint, returning the client half of a
+// fresh pipe (the server half arrives at the listener's Accept).
+func (p *PipeNet) Dial(addr string) (net.Conn, error) {
+	p.mu.Lock()
+	ln := p.listeners[addr]
+	p.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("faultnet: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case ln.accept <- server:
+		return client, nil
+	case <-ln.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("faultnet: listener at %q closed", addr)
+	}
+}
+
+// unbind removes a closed listener so the address can be reused.
+func (p *PipeNet) unbind(addr string) {
+	p.mu.Lock()
+	delete(p.listeners, addr)
+	p.mu.Unlock()
+}
+
+type pipeListener struct {
+	net    *PipeNet
+	addr   pipeAddr
+	accept chan net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.accept:
+		return conn, nil
+	case <-l.closed:
+		return nil, errors.New("faultnet: listener closed")
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.unbind(string(l.addr))
+	})
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return l.addr }
+
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }

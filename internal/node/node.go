@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"icd/internal/faultnet"
 	"icd/internal/peer"
 )
 
@@ -61,6 +62,17 @@ type Options struct {
 	// GossipMaxAge ages directory entries nobody re-mentioned out of
 	// the node's gossip directory (default 2m; negative disables).
 	GossipMaxAge time.Duration
+	// Transport supplies the node's network: its Listen backs
+	// ListenAndServe and its Dial backs every fetch session (unless
+	// Fetch.Dial overrides it). Nil uses real TCP. Tests and the chaos
+	// experiment inject faultnet transports — in-process pipe networks,
+	// fault-injecting wrappers — here.
+	Transport faultnet.Transport
+	// MaxInbound caps concurrently served inbound connections on the
+	// node's listener (0 = unlimited); over-cap connections are answered
+	// with a retryable busy ERROR so dialers back off instead of piling
+	// onto a saturated node.
+	MaxInbound int
 	// Fetch is the per-orchestrator option template. Gossip,
 	// AdvertiseAddr and (under a MaxConns budget) MaxPeers are
 	// overridden per fetch by the node.
@@ -82,10 +94,11 @@ func (o Options) withDefaults() Options {
 // byte budget and a global connection budget. Create with New; all
 // exported methods are safe for concurrent use.
 type Node struct {
-	opts   Options
-	gossip *peer.Gossip
-	store  *Store
-	mux    *peer.ServerMux
+	opts      Options
+	gossip    *peer.Gossip
+	store     *Store
+	mux       *peer.ServerMux
+	penalties *peer.PenaltyBox // node-wide misbehavior box (mux + every fetch)
 
 	schedMu sync.Mutex // serializes rebalance passes (tick vs StartFetch)
 
@@ -126,7 +139,18 @@ func New(opts Options) *Node {
 		fetches: make(map[uint64]*transferState),
 		stop:    make(chan struct{}),
 	}
+	// One penalty box for the whole node: misbehavior seen by any fetch
+	// session or on any inbound connection feeds one verdict, and banned
+	// addresses are refused on both planes.
+	n.penalties = opts.Fetch.Penalties
+	if n.penalties == nil {
+		n.penalties = peer.NewPenaltyBox()
+	}
 	n.mux.SetGossip(n.gossip)
+	n.mux.SetPenalties(n.penalties)
+	if opts.MaxInbound > 0 {
+		n.mux.SetMaxConns(opts.MaxInbound)
+	}
 	// Every HELLO routed to a replica is demand: the store's eviction
 	// ranking feeds on it.
 	n.mux.SetLookupHook(func(id uint64, found bool) {
@@ -143,6 +167,10 @@ func New(opts Options) *Node {
 // and every orchestrator).
 func (n *Node) Gossip() *peer.Gossip { return n.gossip }
 
+// Penalties returns the node-wide misbehavior penalty box (shared by the
+// listener and every fetch).
+func (n *Node) Penalties() *peer.PenaltyBox { return n.penalties }
+
 // Store returns the node's content store.
 func (n *Node) Store() *Store { return n.store }
 
@@ -153,9 +181,18 @@ func (n *Node) Mux() *peer.ServerMux { return n.mux }
 // Addr returns the bound listener address ("" before Serve).
 func (n *Node) Addr() string { return n.mux.Addr() }
 
-// ListenAndServe binds Options.Listen and serves every registered
-// content until Close.
-func (n *Node) ListenAndServe() error { return n.mux.ListenAndServe(n.opts.Listen) }
+// ListenAndServe binds Options.Listen — through Options.Transport when
+// one is set — and serves every registered content until Close.
+func (n *Node) ListenAndServe() error {
+	if tr := n.opts.Transport; tr != nil {
+		ln, err := tr.Listen(n.opts.Listen)
+		if err != nil {
+			return err
+		}
+		return n.mux.Serve(ln)
+	}
+	return n.mux.ListenAndServe(n.opts.Listen)
+}
 
 // Serve accepts connections on ln until Close (the caller picked its
 // own listener; Options.Listen is still what gets advertised).
@@ -318,6 +355,10 @@ func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string
 	fo := n.opts.Fetch
 	fo.Gossip = n.gossip
 	fo.AdvertiseAddr = n.opts.Listen
+	fo.Penalties = n.penalties
+	if fo.Dial == nil && n.opts.Transport != nil {
+		fo.Dial = n.opts.Transport.Dial
+	}
 	if n.opts.MaxConns > 0 {
 		// Start on the guaranteed slot; the rebalance below immediately
 		// assigns the real share.

@@ -19,6 +19,7 @@ import (
 	"icd/internal/fountain"
 	"icd/internal/peer"
 	"icd/internal/prng"
+	"icd/internal/testutil"
 )
 
 // testContent builds deterministic content and metadata for a chosen id.
@@ -76,6 +77,9 @@ func encodedSymbols(t *testing.T, info peer.ContentInfo, data []byte, count int,
 }
 
 func TestNodeServesAndFetchesTwoContents(t *testing.T) {
+	// Registered before the startNode cleanups, so (LIFO) the leak check
+	// runs after every node has closed.
+	t.Cleanup(testutil.CheckGoroutines(t))
 	infoA, dataA := testContent(t, 0xA11CE, 100, 64)
 	infoB, dataB := testContent(t, 0xB0B, 80, 64)
 
@@ -209,6 +213,7 @@ func TestNodeStoreEvictionHonorsPins(t *testing.T) {
 }
 
 func TestNodeBudgetSharedAcrossFetches(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
 	infoA, dataA := testContent(t, 0xAA, 90, 48)
 	infoB, dataB := testContent(t, 0xBB, 90, 48)
 
@@ -265,6 +270,7 @@ func TestNodeBudgetSharedAcrossFetches(t *testing.T) {
 // failing fetch delete the operator's replica), so it is refused — in
 // either order.
 func TestNodeServeDuringFetchRefused(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
 	info, data := testContent(t, 0xF, 60, 48)
 	provider := New(Options{Tick: 10 * time.Millisecond})
 	if err := provider.ServeFull(info, data, true); err != nil {

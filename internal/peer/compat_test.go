@@ -13,39 +13,19 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"icd/internal/protocol"
+	"icd/internal/testutil"
 )
 
-// checkGoroutines snapshots the goroutine count and returns a function
-// that fails the test if the count has not returned to the baseline
-// within five seconds — the leak check each matrix case defers.
-func checkGoroutines(t *testing.T) func() {
-	t.Helper()
-	before := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			runtime.GC()
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Fatalf("goroutine leak: %d before, %d after\n%s",
-					before, runtime.NumGoroutine(), buf[:n])
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-	}
-}
+// checkGoroutines is the leak check each matrix case defers; the
+// detector itself lives in testutil so the peer and node suites share
+// one implementation.
+func checkGoroutines(t *testing.T) func() { return testutil.CheckGoroutines(t) }
 
 // frameWithVersion replicates the wire framing with an arbitrary
 // version byte — the only way to speak as an older peer now that the

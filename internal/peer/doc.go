@@ -1,0 +1,62 @@
+// Package peer is the prototype implementation of informed content
+// delivery (§6): real senders and receivers speaking the
+// internal/protocol wire format over TCP (or any net.Conn, including
+// net.Pipe in tests).
+//
+// A Server offers one piece of content, either as a *full* sender — a
+// digital fountain streaming fresh encoded symbols — or as a *partial*
+// sender holding an arbitrary working set of encoded symbols, which it
+// serves as recoded symbols blended over the subset the receiver's Bloom
+// filter reports missing (§5.2 + §5.4.2: reconciled, informed transfers).
+//
+// A receiver uses Fetch to download from any mix of full and partial
+// senders in parallel; symbols from all connections feed one decoder, so
+// flows are additive (§2.3), connections may drop and resume statelessly,
+// and partially downloaded state can be carried into a later Fetch —
+// the §2.3 "fully stateless connection migrations".
+//
+// # Failure model
+//
+// The engine assumes a hostile network: connections stall, die
+// mid-frame, deliver corrupted bytes, or belong to peers that never
+// send anything useful. Every defense is attributable — misbehavior is
+// charged to an address, and repeated misbehavior removes the address
+// from the swarm:
+//
+//   - Deadlines. Every server read and write carries a rolling
+//     deadline; sessions apply FetchOptions.Timeout per exchange. A
+//     connection that goes quiet is dropped, never waited on forever.
+//
+//   - Stall watchdog. FetchOptions.StallTimeout arms a per-session
+//     watchdog: a connection that stays open but delivers no useful
+//     symbols for the window is reset and charged (PenaltyStall).
+//
+//   - Redial backoff. Dropped sessions redial with bounded, jittered
+//     exponential backoff (FetchOptions.ReconnectBackoff /
+//     MaxReconnectBackoff, at most MaxReconnects attempts). Terminal
+//     protocol verdicts — ErrUnknownContent, protocol.ErrVersion — and
+//     a ban verdict short-circuit the budget: no retry can help, so
+//     none is made.
+//
+//   - Circuit breaker. FetchOptions.BreakerThreshold consecutive dial
+//     failures open a per-address circuit for BreakerCooldown
+//     (doubling per trip, capped); while open, dials are refused
+//     locally and only a half-open probe may test the address again.
+//
+//   - Penalty box. Dial failures, resets, stalls and corrupt frames
+//     charge a decaying per-address score (shared via
+//     FetchOptions.Penalties / Server.SetPenalties); past
+//     DefaultBanScore the address is banned until the score decays.
+//     Gossip admission consults the box, so penalized candidates
+//     re-enter ranked behind fresh ones and banned addresses are not
+//     admitted at all. Servers refuse inbound connections from banned
+//     addresses, cap concurrency (SetMaxConns) with a retryable busy
+//     ERROR, and charge corrupt inbound frames to both the remote
+//     address and the HELLO's advertised listen address.
+//
+// The faultnet package injects exactly these failures (latency,
+// bandwidth caps, stalls, mid-frame kills, corruption) beneath the
+// dialer, and `icdbench -exp chaos` measures the engine surviving
+// them; PeerStats reports the per-session counters (Resets, Stalls,
+// CorruptFrames, DialFailures, Banned) the defenses maintain.
+package peer

@@ -48,8 +48,35 @@ type FetchOptions struct {
 	// giving up (default 0: fail fast, the pre-churn behavior).
 	MaxReconnects int
 	// ReconnectBackoff is the delay before the first redial, doubling
-	// per attempt (default 200ms).
+	// per attempt (default 200ms). Each delay is jittered to ½–1½× so
+	// many sessions that lost the same peer at once do not redial in
+	// lockstep.
 	ReconnectBackoff time.Duration
+	// MaxReconnectBackoff caps the exponential redial delay (default
+	// 5s, and never below ReconnectBackoff).
+	MaxReconnectBackoff time.Duration
+	// StallTimeout arms the per-session stall watchdog: a connected
+	// session that delivers no useful symbols for a whole window is
+	// dropped (utility demoted, address penalized) so the slot goes to
+	// a peer that contributes. 0 disables — collaborative swarms whose
+	// peers legitimately start empty should keep it off or generous.
+	StallTimeout time.Duration
+	// Breaker is the per-address dial circuit breaker, shared node-wide
+	// so every orchestrator learns a dead address from the first dial
+	// that paid to find out. Nil with BreakerThreshold 0 disables the
+	// breaker; nil with BreakerThreshold > 0 creates a private one.
+	Breaker *Breaker
+	// BreakerThreshold is the consecutive dial-failure count that opens
+	// a private breaker's circuit (used only when Breaker is nil).
+	BreakerThreshold int
+	// BreakerCooldown is the private breaker's first open duration
+	// (default 2s; doubles per consecutive trip).
+	BreakerCooldown time.Duration
+	// Penalties is the shared misbehavior penalty box: corrupt frames,
+	// failed dials, stalls and resets charge the peer's address, and a
+	// banned address is refused by gossip admission and the candidate
+	// pool. Nil creates a private box (scoring is always on).
+	Penalties *PenaltyBox
 	// SummaryMask restricts which summary methods this receiver offers
 	// in its HELLO: 0 selects all (Bloom, min-wise sketch, ART),
 	// positive values are a protocol.SummaryMethod bit mask, and a
@@ -117,6 +144,12 @@ func (o FetchOptions) withDefaults() FetchOptions {
 	if o.ReconnectBackoff <= 0 {
 		o.ReconnectBackoff = 200 * time.Millisecond
 	}
+	if o.MaxReconnectBackoff <= 0 {
+		o.MaxReconnectBackoff = 5 * time.Second
+	}
+	if o.MaxReconnectBackoff < o.ReconnectBackoff {
+		o.MaxReconnectBackoff = o.ReconnectBackoff
+	}
 	if o.RefreshBatches == 0 {
 		o.RefreshBatches = 8
 	}
@@ -170,7 +203,23 @@ type PeerStats struct {
 	// RefreshesSent counts SUMMARY_REFRESH frames this session sent —
 	// the cost side of the refresh-cadence policy.
 	RefreshesSent int
-	Err           error // terminal connection error, if any
+	// DialFailures counts dial attempts that never produced a
+	// connection (refused, timed out, or suppressed by an open circuit
+	// breaker).
+	DialFailures int
+	// Resets counts established connections that died mid-stream (the
+	// session may have redialed afterwards).
+	Resets int
+	// Stalls counts stall-watchdog drops: whole StallTimeout windows
+	// with no useful symbols.
+	Stalls int
+	// CorruptFrames counts connections dropped over a corrupt frame
+	// (bad magic or checksum mismatch).
+	CorruptFrames int
+	// Banned reports the address sat at or past the penalty box's ban
+	// threshold when the session ended.
+	Banned bool
+	Err    error // terminal connection error, if any
 }
 
 // FetchResult is a completed (or partial) download.

@@ -1,0 +1,399 @@
+package peer
+
+// hostile_test.go exercises the PR 6 misbehavior-containment paths end
+// to end over the pipe harness: the stall watchdog dropping a silent
+// peer, a corrupting peer accumulating penalties until it is banned and
+// its redial budget short-circuited, dial-failed discoveries requeuing
+// at decayed rank, terminal protocol errors skipping the backoff
+// budget, and the server/mux inbound admission planes (connection cap,
+// banned refusal, malformed-HELLO accounting). All tests run under
+// -race in CI with the shared goroutine-leak check.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+// awaitActive blocks until the given admission counter shows at least
+// one connection holding a slot — the deterministic step barrier the
+// over-cap tests need, since two ServeConn goroutines otherwise race
+// for the only slot.
+func awaitActive(t *testing.T, active *atomic.Int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for active.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no connection ever occupied the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// peerByAddr finds addr's stats in a fetch result.
+func peerByAddr(t *testing.T, res *FetchResult, addr string) PeerStats {
+	t.Helper()
+	for _, p := range res.Peers {
+		if p.Addr == addr {
+			return p
+		}
+	}
+	t.Fatalf("no session stats for %s in %+v", addr, res.Peers)
+	return PeerStats{}
+}
+
+// muteServer handshakes correctly, then never answers another frame —
+// the silent peer only a stall watchdog can unmask (the connection stays
+// up, so no read error ever surfaces).
+type muteServer struct{ info ContentInfo }
+
+func (m muteServer) ServeConn(conn net.Conn) error {
+	fr := protocol.NewFrameReader(conn)
+	if _, err := readClientHello(conn, fr, time.Minute); err != nil {
+		return err
+	}
+	if err := protocol.WriteFrame(conn, protocol.EncodeHello(m.info.hello(true, 0))); err != nil {
+		return err
+	}
+	_, err := io.Copy(io.Discard, conn) // swallow requests forever
+	return err
+}
+
+func TestStallWatchdogDropsSilentPeer(t *testing.T) {
+	defer checkGoroutines(t)()
+	h := newHarness(t, 60, 32)
+	h.pn.add("mute", muteServer{info: h.info})
+
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:        8,
+		Timeout:      5 * time.Second,
+		StallTimeout: 50 * time.Millisecond,
+		Dial:         h.pn.dial,
+	})
+	res, err := h.runAsync(o, "mute").waitErr()
+	if err == nil {
+		t.Fatal("fetch from a mute peer succeeded?!")
+	}
+	if res == nil {
+		t.Fatal("incomplete fetch must still report peer stats")
+	}
+	st := peerByAddr(t, res, "mute")
+	if st.Stalls < 1 {
+		t.Fatalf("watchdog recorded no stall: %+v", st)
+	}
+	if !st.Evicted {
+		t.Fatal("stalled session must be marked dropped/evicted")
+	}
+	// The score decays continuously, so a few wall-clock milliseconds
+	// shave a hair off the charged weight.
+	if score := o.Penalties().Score("mute"); score < 0.9*PenaltyStall {
+		t.Fatalf("stall penalty not charged: score %v", score)
+	}
+}
+
+// junkServer drains whatever the client says and answers with bytes
+// that can never parse as a frame — the always-corrupting peer.
+type junkServer struct{}
+
+func (junkServer) ServeConn(conn net.Conn) error {
+	go io.Copy(io.Discard, conn)
+	junk := bytes.Repeat([]byte{0xFF}, 64)
+	for {
+		if _, err := conn.Write(junk); err != nil {
+			return err
+		}
+	}
+}
+
+func TestCorruptPeerBannedAndRedialShortCircuited(t *testing.T) {
+	defer checkGoroutines(t)()
+	h := newHarness(t, 120, 48)
+	h.addFull("seed", time.Millisecond)
+	h.pn.add("evil", junkServer{})
+
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:             8,
+		Timeout:           10 * time.Second,
+		MaxUselessBatches: 1 << 20,
+		MaxReconnects:     10,
+		ReconnectBackoff:  time.Millisecond,
+		Dial:              h.pn.dial,
+	})
+	res := h.runAsync(o, "seed", "evil").wait(t)
+	h.verify(res)
+
+	st := peerByAddr(t, res, "evil")
+	if st.CorruptFrames < 3 {
+		t.Fatalf("expected ≥3 corrupt-frame connections before the ban, got %+v", st)
+	}
+	if !st.Banned {
+		t.Fatalf("corrupting peer not banned: %+v", st)
+	}
+	if !o.Penalties().Banned("evil") {
+		t.Fatal("penalty box does not report the ban")
+	}
+	// Containment: the ban must end the session well before the full
+	// redial budget (10) is spent on a hostile address.
+	if st.Reconnects > 5 {
+		t.Fatalf("banned peer consumed %d redials — ban did not short-circuit", st.Reconnects)
+	}
+
+	// Admission: a second orchestrator sharing the box must refuse the
+	// banned address outright while still admitting unknown ones. The
+	// clean address has no server behind it, so its probe session dials,
+	// fails, and winds down on its own.
+	o2 := NewOrchestrator(h.info.ID, FetchOptions{Dial: h.pn.dial, Penalties: o.Penalties()})
+	if o2.considerDiscovered(protocol.PeerAd{ContentID: h.info.ID, Addr: "evil"}) {
+		t.Fatal("gossip admission accepted a banned address")
+	}
+	if !o2.considerDiscovered(protocol.PeerAd{ContentID: h.info.ID, Addr: "unknown-clean"}) {
+		t.Fatal("gossip admission refused a clean address")
+	}
+}
+
+func TestTerminalErrorsSkipRedialBudget(t *testing.T) {
+	// The classifier itself, through wrapping.
+	for _, err := range []error{
+		fmt.Errorf("peer x: %w", ErrUnknownContent),
+		fmt.Errorf("peer x: incompatible protocol: %w", protocol.ErrVersion),
+	} {
+		if !terminalSessionError(err) {
+			t.Fatalf("%v not classified terminal", err)
+		}
+	}
+	if terminalSessionError(errors.New("connection reset")) {
+		t.Fatal("ordinary reset classified terminal")
+	}
+
+	// End to end: a peer serving a *different* content answers the HELLO
+	// with the canonical unknown-content ERROR; the session must fail on
+	// the first dial with no redials despite a generous budget.
+	defer checkGoroutines(t)()
+	h := newHarness(t, 40, 32)
+	otherInfo, otherData := testContentID(t, 0xBEEF, 40, 32)
+	srv, err := NewFullServer(otherInfo, otherData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.pn.add("wrong", srv)
+
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:            8,
+		Timeout:          5 * time.Second,
+		MaxReconnects:    8,
+		ReconnectBackoff: time.Millisecond,
+		Dial:             h.pn.dial,
+	})
+	res, runErr := h.runAsync(o, "wrong").waitErr()
+	if runErr == nil {
+		t.Fatal("fetch of unknown content succeeded?!")
+	}
+	st := peerByAddr(t, res, "wrong")
+	if !errors.Is(st.Err, ErrUnknownContent) {
+		t.Fatalf("session error = %v, want ErrUnknownContent", st.Err)
+	}
+	if st.Reconnects != 0 {
+		t.Fatalf("terminal error consumed %d redials", st.Reconnects)
+	}
+	if got := h.pn.dialCount("wrong"); got != 1 {
+		t.Fatalf("peer dialed %d times, want exactly 1", got)
+	}
+}
+
+func TestDialFailedDiscoveryRequeuesAtDecayedRank(t *testing.T) {
+	defer checkGoroutines(t)()
+	failDial := func(addr string) (net.Conn, error) {
+		return nil, errors.New("connection refused")
+	}
+	o := NewOrchestrator(0xD1A1, FetchOptions{Dial: failDial})
+
+	// A discovered session that burned its dials without ever reaching
+	// the address requeues with a growing fails count — until the budget.
+	ghost := newSession(o, "ghost")
+	ghost.stats.Discovered = true
+	ghost.stats.Err = errors.New("connection refused")
+	o.mu.Lock()
+	for i := 1; i <= maxCandidateRedials; i++ {
+		o.candidates = o.candidates[:0]
+		o.maybeRequeueLocked(ghost)
+		if len(o.candidates) != 1 || o.candidates[0].fails != i {
+			t.Fatalf("requeue %d: candidates %+v", i, o.candidates)
+		}
+	}
+	o.candidates = o.candidates[:0]
+	o.maybeRequeueLocked(ghost)
+	if len(o.candidates) != 0 {
+		t.Fatalf("requeue past the %d budget: %+v", maxCandidateRedials, o.candidates)
+	}
+
+	// Sessions that connected, were dropped, or failed terminally never
+	// requeue.
+	for name, tweak := range map[string]func(*session){
+		"reached":  func(s *session) { s.connected = true },
+		"evicted":  func(s *session) { s.stats.Evicted = true },
+		"terminal": func(s *session) { s.stats.Err = fmt.Errorf("x: %w", ErrUnknownContent) },
+	} {
+		s := newSession(o, name)
+		s.stats.Discovered = true
+		s.stats.Err = errors.New("reset")
+		tweak(s)
+		o.maybeRequeueLocked(s)
+		if len(o.candidates) != 0 {
+			t.Fatalf("%s session requeued: %+v", name, o.candidates)
+		}
+	}
+
+	// Promotion ranks every fresh discovery above every requeued address,
+	// regardless of arrival order.
+	o.candidates = append(o.candidates[:0],
+		gossipCandidate{ad: protocol.PeerAd{ContentID: 0xD1A1, Addr: "ghost"}, seq: 0, fails: 1},
+		gossipCandidate{ad: protocol.PeerAd{ContentID: 0xD1A1, Addr: "fresh"}, seq: 1},
+	)
+	o.promoteCandidateLocked()
+	if n := len(o.stats); n == 0 || o.stats[n-1].Addr != "fresh" {
+		t.Fatalf("fresh discovery not promoted first: %+v", o.stats)
+	}
+	if len(o.candidates) != 1 || o.candidates[0].ad.Addr != "ghost" {
+		t.Fatalf("requeued address should still be waiting: %+v", o.candidates)
+	}
+	o.promoteCandidateLocked()
+	if n := len(o.stats); o.stats[n-1].Addr != "ghost" {
+		t.Fatalf("requeued address never promoted: %+v", o.stats)
+	}
+	o.mu.Unlock()
+	o.finish() // unwind the two fail-dial session goroutines
+}
+
+func TestServerInboundCapAndBannedRefusal(t *testing.T) {
+	defer checkGoroutines(t)()
+	info, data := testContent(t, 40, 32)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMaxConns(1)
+
+	// First connection occupies the only slot (parked reading its HELLO).
+	c1, s1 := net.Pipe()
+	hold := make(chan error, 1)
+	go func() { hold <- srv.ServeConn(s1) }()
+	awaitActive(t, &srv.active)
+
+	// Second connection must be refused with a retryable busy ERROR.
+	c2, s2 := net.Pipe()
+	busy := make(chan error, 1)
+	go func() { busy <- srv.ServeConn(s2) }()
+	f, err := protocol.NewFrameReader(c2).Next()
+	if err != nil {
+		t.Fatalf("reading busy answer: %v", err)
+	}
+	if f.Type != protocol.TypeError {
+		t.Fatalf("over-cap answer = %v, want ERROR", f.Type)
+	}
+	if msg, _ := protocol.DecodeError(f); msg == "" || !bytes.Contains([]byte(msg), []byte("busy")) {
+		t.Fatalf("busy answer says %q", msg)
+	}
+	if err := <-busy; err == nil {
+		t.Fatal("over-cap ServeConn returned nil")
+	}
+	c2.Close()
+	s2.Close()
+	if got := srv.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+
+	// Free the slot, ban the pipe address, and verify refusal at admission.
+	c1.Close()
+	<-hold
+	box := NewPenaltyBox()
+	box.Penalize(remoteKey(s1), 2*DefaultBanScore)
+	srv.SetPenalties(box)
+	c3, s3 := net.Pipe()
+	defer c3.Close()
+	if err := srv.ServeConn(s3); err == nil {
+		t.Fatal("banned client admitted")
+	}
+	if got := srv.Stats().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2", got)
+	}
+}
+
+func TestMuxMalformedHelloChargedAndBanned(t *testing.T) {
+	defer checkGoroutines(t)()
+	mux := NewServerMux()
+	box := NewPenaltyBox()
+	mux.SetPenalties(box)
+
+	// A HELLO that is pure garbage: the mux must count it, charge the
+	// penalty box, and surface protocol.ErrCorrupt.
+	client, server := net.Pipe()
+	served := make(chan error, 1)
+	go func() { served <- mux.ServeConn(server) }()
+	if _, err := client.Write(bytes.Repeat([]byte{0xEE}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; !errors.Is(err, protocol.ErrCorrupt) {
+		t.Fatalf("malformed HELLO error = %v, want ErrCorrupt", err)
+	}
+	client.Close()
+	server.Close()
+	if st := mux.Stats(); st.Malformed != 1 {
+		t.Fatalf("Malformed = %d, want 1", st.Malformed)
+	}
+	key := remoteKey(server)
+	// 0.9×: the score decays continuously between the charge and the read.
+	if score := box.Score(key); score < 0.9*PenaltyCorrupt {
+		t.Fatalf("corrupt HELLO not charged: score(%s) = %v", key, score)
+	}
+
+	// Push the address over the threshold: the next connection must be
+	// refused before its HELLO is even read.
+	box.Penalize(key, 2*DefaultBanScore)
+	c2, s2 := net.Pipe()
+	defer c2.Close()
+	if err := mux.ServeConn(s2); err == nil {
+		t.Fatal("banned client admitted by mux")
+	}
+	if st := mux.Stats(); st.Banned != 1 {
+		t.Fatalf("Banned = %d, want 1", st.Banned)
+	}
+}
+
+func TestMuxInboundCapBusyError(t *testing.T) {
+	defer checkGoroutines(t)()
+	mux := NewServerMux()
+	mux.SetMaxConns(1)
+
+	c1, s1 := net.Pipe()
+	hold := make(chan error, 1)
+	go func() { hold <- mux.ServeConn(s1) }()
+	awaitActive(t, &mux.active)
+
+	c2, s2 := net.Pipe()
+	busy := make(chan error, 1)
+	go func() { busy <- mux.ServeConn(s2) }()
+	f, err := protocol.NewFrameReader(c2).Next()
+	if err != nil {
+		t.Fatalf("reading busy answer: %v", err)
+	}
+	if msg, _ := protocol.DecodeError(f); f.Type != protocol.TypeError || !bytes.Contains([]byte(msg), []byte("busy")) {
+		t.Fatalf("over-cap answer = %v %q, want busy ERROR", f.Type, msg)
+	}
+	if err := <-busy; err == nil {
+		t.Fatal("over-cap ServeConn returned nil")
+	}
+	c2.Close()
+	s2.Close()
+	c1.Close()
+	<-hold
+	if st := mux.Stats(); st.Busy != 1 {
+		t.Fatalf("Busy = %d, want 1", st.Busy)
+	}
+}

@@ -32,18 +32,25 @@ import (
 type ServerMux struct {
 	timeout time.Duration
 
-	mu       sync.Mutex
-	servers  map[uint64]*Server
-	pending  map[uint64]bool // fetches awaiting their first handshake: retryable, not unknown
-	gossip   *Gossip
-	onLookup func(contentID uint64, found bool)
-	ln       net.Listener
-	closed   bool
-	wg       sync.WaitGroup
+	maxConns atomic.Int64 // node-wide inbound connection cap (0 = unlimited)
+	active   atomic.Int64 // inbound connections currently admitted
+
+	mu        sync.Mutex
+	servers   map[uint64]*Server
+	pending   map[uint64]bool // fetches awaiting their first handshake: retryable, not unknown
+	gossip    *Gossip
+	penalties *PenaltyBox
+	onLookup  func(contentID uint64, found bool)
+	ln        net.Listener
+	closed    bool
+	wg        sync.WaitGroup
 
 	stats struct {
 		connections atomic.Int64
 		rejected    atomic.Int64
+		busy        atomic.Int64
+		banned      atomic.Int64
+		malformed   atomic.Int64
 	}
 }
 
@@ -52,6 +59,11 @@ type MuxStats struct {
 	// Connections counts accepted connections; Rejected counts the
 	// subset whose HELLO named an unregistered content id.
 	Connections, Rejected int64
+	// Busy counts connections refused over the SetMaxConns cap; Banned
+	// counts connections refused because the remote address sat past the
+	// penalty box's ban threshold; Malformed counts connections whose
+	// opening HELLO was corrupt.
+	Busy, Banned, Malformed int64
 }
 
 // NewServerMux creates an empty multi-content listener.
@@ -95,6 +107,35 @@ func (m *ServerMux) SetGossip(g *Gossip) {
 	}
 }
 
+// SetMaxConns caps concurrently served inbound connections across all
+// contents (0 = unlimited); over-cap connections get a retryable busy
+// ERROR and are closed. Safe to adjust while serving.
+func (m *ServerMux) SetMaxConns(n int) { m.maxConns.Store(int64(n)) }
+
+// SetPenalties installs the node-wide misbehavior penalty box: inbound
+// connections from banned addresses are refused before their HELLO is
+// read, and every currently and subsequently registered Server shares
+// the box (like SetGossip) so corrupt-frame clients are charged on any
+// content they touch.
+func (m *ServerMux) SetPenalties(p *PenaltyBox) {
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.penalties = p
+	for _, s := range m.servers {
+		s.SetPenalties(p)
+	}
+}
+
+// penaltyBox returns the installed penalty box (nil-safe to use).
+func (m *ServerMux) penaltyBox() *PenaltyBox {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.penalties
+}
+
 // SetLookupHook installs fn to run on every routed HELLO with the
 // requested content id and whether it was found — the signal a content
 // store uses to track per-replica serve demand. Call before Serve.
@@ -120,6 +161,9 @@ func (m *ServerMux) Register(s *Server) error {
 	}
 	if m.gossip != nil {
 		s.SetGossip(m.gossip)
+	}
+	if m.penalties != nil {
+		s.SetPenalties(m.penalties)
 	}
 	m.servers[id] = s
 	return nil
@@ -163,6 +207,9 @@ func (m *ServerMux) Stats() MuxStats {
 	return MuxStats{
 		Connections: m.stats.connections.Load(),
 		Rejected:    m.stats.rejected.Load(),
+		Busy:        m.stats.busy.Load(),
+		Banned:      m.stats.banned.Load(),
+		Malformed:   m.stats.malformed.Load(),
 	}
 }
 
@@ -247,9 +294,25 @@ func (m *ServerMux) Close() error {
 // in-process networks can serve over net.Pipe.
 func (m *ServerMux) ServeConn(conn net.Conn) error {
 	m.stats.connections.Add(1)
+	key := remoteKey(conn)
+	if m.penaltyBox().Banned(key) {
+		m.stats.banned.Add(1)
+		return fmt.Errorf("peer: refused banned client %s", key)
+	}
+	n := m.active.Add(1)
+	defer m.active.Add(-1)
+	if max := m.maxConns.Load(); max > 0 && n > max {
+		m.stats.busy.Add(1)
+		protocol.WriteFrame(conn, protocol.EncodeError("busy (inbound connection limit reached)"))
+		return errors.New("peer: inbound connection limit reached")
+	}
 	fr := protocol.NewFrameReader(conn)
 	hello, err := readClientHello(conn, fr, m.timeout)
 	if err != nil {
+		if errors.Is(err, protocol.ErrCorrupt) {
+			m.stats.malformed.Add(1)
+			m.penaltyBox().Penalize(key, PenaltyCorrupt)
+		}
 		return err
 	}
 	m.mu.Lock()

@@ -53,6 +53,14 @@ type Orchestrator struct {
 	// considerDiscovered admission path below.
 	gossip *Gossip
 
+	// penalties is the misbehavior penalty box (never nil: a private box
+	// is created when FetchOptions.Penalties is not shared); banned
+	// addresses are refused by every admission path below.
+	penalties *PenaltyBox
+	// breaker is the per-address dial circuit breaker (nil when the
+	// breaker is disabled; all Breaker methods are nil-safe).
+	breaker *Breaker
+
 	mu            sync.Mutex
 	rdec          *recode.Decoder
 	fdec          *fountain.ShardedDecoder
@@ -67,6 +75,7 @@ type Orchestrator struct {
 	attempted     map[string]bool     // addresses ever given a session (no gossip re-dials)
 	candidates    []gossipCandidate   // discovered addresses awaiting a free slot
 	candidateSeq  int                 // discovery-order stamp for candidate tie-breaks
+	dialFails     map[string]int      // requeue budget spent per never-reached discovery
 
 	// progress counts distinct encoded symbols decoded so far; sessions
 	// use it to notice that their batches stopped helping (recoded
@@ -95,6 +104,15 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 		maxPeers:  opts.MaxPeers,
 		sessions:  make(map[string]*session),
 		attempted: make(map[string]bool),
+		dialFails: make(map[string]int),
+	}
+	o.penalties = opts.Penalties
+	if o.penalties == nil {
+		o.penalties = NewPenaltyBox()
+	}
+	o.breaker = opts.Breaker
+	if o.breaker == nil && opts.BreakerThreshold > 0 {
+		o.breaker = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
 	if !opts.DisableGossip {
 		o.gossip = opts.Gossip
@@ -114,11 +132,14 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 }
 
 // gossipCandidate is one discovered address the engine could not admit
-// immediately (MaxPeers live already); the pool is ranked by gossip
-// mention count at promotion time, with discovery order as tie-break.
+// immediately (MaxPeers live already); the pool is ranked at promotion
+// time — fresh discoveries first, then gossip mention count, then
+// discovery order. A non-zero fails marks a requeued address that
+// already burned dial attempts: it ranks below every fresh discovery.
 type gossipCandidate struct {
-	ad  protocol.PeerAd
-	seq int
+	ad    protocol.PeerAd
+	seq   int
+	fails int // dial attempts already spent on this address
 }
 
 // finish ends the transfer: sessions unblock and wind down.
@@ -147,6 +168,9 @@ func (o *Orchestrator) sessionExited(s *session) {
 		delete(o.sessions, s.addr)
 	}
 	o.active--
+	if s != nil {
+		o.maybeRequeueLocked(s)
+	}
 	if !o.feedersClosed && !o.finished() {
 		o.promoteCandidateLocked()
 	}
@@ -215,7 +239,7 @@ func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.feedersClosed || o.attempted[ad.Addr] {
+	if o.feedersClosed || o.attempted[ad.Addr] || o.penalties.Banned(ad.Addr) {
 		return false
 	}
 	if _, live := o.sessions[ad.Addr]; live {
@@ -238,8 +262,10 @@ func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
 }
 
 // promoteCandidateLocked starts a session for the best-ranked candidate
-// when a slot is free: highest gossip mention count first, earliest
-// discovery as tie-break. Callers hold o.mu.
+// when a slot is free: fresh discoveries (no dial failures) rank above
+// every requeued address, then highest gossip mention count, then
+// earliest discovery as tie-break. Banned addresses are skipped.
+// Callers hold o.mu.
 func (o *Orchestrator) promoteCandidateLocked() {
 	if len(o.candidates) == 0 ||
 		(o.maxPeers > 0 && len(o.sessions) >= o.maxPeers) {
@@ -247,13 +273,31 @@ func (o *Orchestrator) promoteCandidateLocked() {
 	}
 	best := -1
 	bestHits := -1
+	bestFresh := false
 	for i, c := range o.candidates {
-		if _, live := o.sessions[c.ad.Addr]; live || o.attempted[c.ad.Addr] {
+		// A requeued candidate (fails > 0) is by definition attempted —
+		// the attempted check only bars *fresh* duplicates of addresses
+		// that already had a session at full priority.
+		if _, live := o.sessions[c.ad.Addr]; live ||
+			(c.fails == 0 && o.attempted[c.ad.Addr]) ||
+			o.penalties.Banned(c.ad.Addr) {
 			continue
 		}
+		fresh := c.fails == 0
 		hits := o.gossip.hitCount(c.ad)
-		if hits > bestHits || (hits == bestHits && best >= 0 && c.seq < o.candidates[best].seq) {
-			best, bestHits = i, hits
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case fresh != bestFresh:
+			better = fresh
+		case hits != bestHits:
+			better = hits > bestHits
+		default:
+			better = c.seq < o.candidates[best].seq
+		}
+		if better {
+			best, bestHits, bestFresh = i, hits, fresh
 		}
 	}
 	if best < 0 {
@@ -264,6 +308,46 @@ func (o *Orchestrator) promoteCandidateLocked() {
 	o.candidates = append(o.candidates[:best], o.candidates[best+1:]...)
 	o.startSessionLocked(ad.Addr, true)
 }
+
+// maxCandidateRedials bounds how many times a never-reached discovery is
+// requeued into the candidate pool before the address is written off.
+const maxCandidateRedials = 3
+
+// maybeRequeueLocked returns a discovered session that never managed to
+// connect to the candidate pool at decayed rank: the address was
+// advertised, so it may simply not be listening *yet* (gossip races node
+// start-up under churn) — but it re-enters ranked below every fresh
+// discovery and with a bounded budget, never again at full priority.
+// Terminal errors, drops, bans and established-then-failed sessions are
+// not requeued. Callers hold o.mu.
+func (o *Orchestrator) maybeRequeueLocked(s *session) {
+	if o.feedersClosed || o.finished() {
+		return
+	}
+	if !s.stats.Discovered || s.connected || s.stats.Evicted || s.stats.Err == nil {
+		return
+	}
+	if terminalSessionError(s.stats.Err) || o.penalties.Banned(s.addr) {
+		return
+	}
+	n := o.dialFails[s.addr] + 1
+	if n > maxCandidateRedials || len(o.candidates) >= o.opts.MaxCandidates {
+		return
+	}
+	o.dialFails[s.addr] = n
+	o.candidates = append(o.candidates, gossipCandidate{
+		ad:    protocol.PeerAd{ContentID: o.contentID, Addr: s.addr},
+		seq:   o.candidateSeq,
+		fails: n,
+	})
+	o.candidateSeq++
+}
+
+// Penalties returns the orchestrator's misbehavior penalty box — the
+// shared one from FetchOptions, or the private box created when none was
+// given. A co-located Server passes it to SetPenalties so client- and
+// server-plane misbehavior feed one verdict.
+func (o *Orchestrator) Penalties() *PenaltyBox { return o.penalties }
 
 // observeGossip folds a received PEERS advertisement list into the
 // node's directory (new entries trigger considerDiscovered through the
@@ -783,6 +867,11 @@ func (o *Orchestrator) collectResult(fdec *fountain.ShardedDecoder) (*FetchResul
 	res.Peers = make([]PeerStats, len(o.stats))
 	for i, st := range o.stats {
 		res.Peers[i] = *st
+		if !res.Peers[i].Banned {
+			// A ban can also land after the session exited (server-plane
+			// penalties through a shared box); report the final verdict.
+			res.Peers[i].Banned = o.penalties.Banned(st.Addr)
+		}
 	}
 	if fdec != nil {
 		res.Completed = fdec.Done()

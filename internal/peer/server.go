@@ -1,19 +1,3 @@
-// Package peer is the prototype implementation of informed content
-// delivery (§6): real senders and receivers speaking the
-// internal/protocol wire format over TCP (or any net.Conn, including
-// net.Pipe in tests).
-//
-// A Server offers one piece of content, either as a *full* sender — a
-// digital fountain streaming fresh encoded symbols — or as a *partial*
-// sender holding an arbitrary working set of encoded symbols, which it
-// serves as recoded symbols blended over the subset the receiver's Bloom
-// filter reports missing (§5.2 + §5.4.2: reconciled, informed transfers).
-//
-// A receiver uses Fetch to download from any mix of full and partial
-// senders in parallel; symbols from all connections feed one decoder, so
-// flows are additive (§2.3), connections may drop and resume statelessly,
-// and partially downloaded state can be carried into a later Fetch —
-// the §2.3 "fully stateless connection migrations".
 package peer
 
 import (
@@ -67,6 +51,12 @@ func (ci ContentInfo) hello(full bool, symbols int) protocol.Hello {
 type ServerStats struct {
 	Connections int64
 	SymbolsSent int64
+	// Malformed counts connections dropped over a corrupt or malformed
+	// frame (the client is charged in the penalty box, if one is set).
+	Malformed int64
+	// Rejected counts connections refused at admission: banned remote
+	// address, or the SetMaxConns inbound cap.
+	Rejected int64
 }
 
 // WorkingSetSource exposes a mutable encoded-symbol working set to a
@@ -95,15 +85,21 @@ type Server struct {
 	timeout  time.Duration
 	gossip   *Gossip // v4 peer directory: learned from clients, relayed in batches
 
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	maxConns atomic.Int64 // inbound connection cap (0 = unlimited)
+	active   atomic.Int64 // inbound connections currently admitted
+
+	mu        sync.Mutex
+	ln        net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+	penalties *PenaltyBox // shared misbehavior box (nil = no penalty plane)
 
 	streamSeed atomic.Uint64
 	stats      struct {
 		connections atomic.Int64
 		symbolsSent atomic.Int64
+		malformed   atomic.Int64
+		rejected    atomic.Int64
 	}
 }
 
@@ -207,6 +203,50 @@ func (s *Server) SetGossip(g *Gossip) {
 	}
 }
 
+// SetMaxConns caps concurrently served inbound connections (0 =
+// unlimited). Connections over the cap are answered with a retryable
+// busy ERROR and closed — dialers back off and redial instead of
+// queueing on a saturated sender.
+func (s *Server) SetMaxConns(n int) { s.maxConns.Store(int64(n)) }
+
+// SetPenalties installs the shared misbehavior penalty box: inbound
+// connections from banned addresses are refused at admission, and
+// clients that send corrupt frames are charged — on both their remote
+// address and the listen address their HELLO advertised, so server-plane
+// misbehavior feeds the same verdict gossip admission consults. A
+// collaborative node shares one box between its Orchestrators
+// (FetchOptions.Penalties) and its servers.
+func (s *Server) SetPenalties(p *PenaltyBox) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.penalties = p
+	s.mu.Unlock()
+}
+
+// penaltyBox returns the installed penalty box (nil-safe to use).
+func (s *Server) penaltyBox() *PenaltyBox {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.penalties
+}
+
+// remoteKey is the penalty-box key for an inbound connection: the host
+// portion of the remote address (ports are ephemeral per connection), or
+// the whole string when it does not split as host:port.
+func remoteKey(conn net.Conn) string {
+	addr := conn.RemoteAddr()
+	if addr == nil {
+		return ""
+	}
+	str := addr.String()
+	if host, _, err := net.SplitHostPort(str); err == nil && host != "" {
+		return host
+	}
+	return str
+}
+
 // Full reports whether the server holds the complete content.
 func (s *Server) Full() bool { return s.blocks != nil }
 
@@ -228,6 +268,8 @@ func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Connections: s.stats.connections.Load(),
 		SymbolsSent: s.stats.symbolsSent.Load(),
+		Malformed:   s.stats.malformed.Load(),
+		Rejected:    s.stats.rejected.Load(),
 	}
 }
 
@@ -319,15 +361,58 @@ func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Durat
 	return protocol.DecodeHello(f)
 }
 
+// admit applies inbound admission control: connections from banned
+// addresses are dropped outright, and connections over the SetMaxConns
+// cap are answered with a retryable busy ERROR. On a nil return the
+// active counter has been incremented; the caller must decrement it when
+// the connection ends.
+func (s *Server) admit(conn net.Conn) error {
+	key := remoteKey(conn)
+	if s.penaltyBox().Banned(key) {
+		s.stats.rejected.Add(1)
+		return fmt.Errorf("peer: refused banned client %s", key)
+	}
+	n := s.active.Add(1)
+	if max := s.maxConns.Load(); max > 0 && n > max {
+		s.active.Add(-1)
+		s.stats.rejected.Add(1)
+		protocol.WriteFrame(conn, protocol.EncodeError("busy (inbound connection limit reached)"))
+		return errors.New("peer: inbound connection limit reached")
+	}
+	return nil
+}
+
+// noteMalformed charges a client whose connection died over a corrupt or
+// malformed frame: the remote address and, when its HELLO advertised a
+// dialable listen address, that address too — the hook that wires
+// server-plane misbehavior into gossip admission. Non-corruption errors
+// are ignored.
+func (s *Server) noteMalformed(conn net.Conn, listenAddr string, err error) {
+	if !errors.Is(err, protocol.ErrCorrupt) {
+		return
+	}
+	s.stats.malformed.Add(1)
+	box := s.penaltyBox()
+	box.Penalize(remoteKey(conn), PenaltyCorrupt)
+	if listenAddr != "" {
+		box.Penalize(listenAddr, PenaltyCorrupt)
+	}
+}
+
 // ServeConn runs one session over an established connection (exported so
 // tests and examples can serve over net.Pipe). Frames are read through a
 // per-connection FrameReader, so the request loop allocates nothing per
 // frame (summaries are copied out by their Unmarshal step).
 func (s *Server) ServeConn(conn net.Conn) error {
+	if err := s.admit(conn); err != nil {
+		return err
+	}
+	defer s.active.Add(-1)
 	fr := protocol.NewFrameReader(conn)
 	// 1. Receiver announces itself.
 	clientHello, err := readClientHello(conn, fr, s.timeout)
 	if err != nil {
+		s.noteMalformed(conn, "", err)
 		return err
 	}
 	if clientHello.ContentID != s.info.ID {
@@ -339,9 +424,19 @@ func (s *Server) ServeConn(conn net.Conn) error {
 
 // serveClient serves a handshaken connection whose HELLO already named
 // this server's content (ServeConn checked directly; a ServerMux routed
-// by content id). It owns the rest of the session: the answering HELLO,
-// summary handling, and the batched request loop.
+// by content id), charging the penalty box when the session dies over a
+// corrupt frame.
 func (s *Server) serveClient(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
+	err := s.serveClientFrames(conn, fr, clientHello)
+	if err != nil {
+		s.noteMalformed(conn, clientHello.ListenAddr, err)
+	}
+	return err
+}
+
+// serveClientFrames owns the post-handshake session: the answering
+// HELLO, summary handling, and the batched request loop.
+func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
 	deadline := func() {
 		if s.timeout > 0 {
 			conn.SetDeadline(time.Now().Add(s.timeout))

@@ -14,10 +14,13 @@ package peer
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"net"
 	"time"
 
 	"icd/internal/keyset"
+	"icd/internal/prng"
 	"icd/internal/protocol"
 	"icd/internal/strategy"
 )
@@ -35,21 +38,39 @@ type session struct {
 	addr  string
 	stats *PeerStats
 	drop  chan struct{} // closed (under o.mu) to evict this session
+	rng   *prng.Rand    // backoff jitter (session goroutine only)
 
 	// Guarded by o.mu: when the session joined the swarm. Utility is
 	// measured over the whole session life — downtime between redials
 	// counts against a flapping peer's ranking, deliberately.
 	startedAt time.Time
+	// Guarded by o.mu: whether any dial of this session ever produced a
+	// connection — the requeue path only reconsiders addresses that were
+	// never reached at all.
+	connected bool
 }
 
 func newSession(o *Orchestrator, addr string) *session {
+	// Seed the jitter stream from the address so swarms are reproducible
+	// under a fixed BloomSeed, yet sessions to different peers (and
+	// different nodes dialing the same peer) stay decorrelated.
+	h := fnv.New64a()
+	h.Write([]byte(addr))
 	return &session{
 		o:         o,
 		addr:      addr,
 		stats:     &PeerStats{Addr: addr},
 		drop:      make(chan struct{}),
+		rng:       prng.New(h.Sum64() ^ o.opts.BloomSeed),
 		startedAt: time.Now(),
 	}
+}
+
+// terminalSessionError reports errors no redial can fix: the peer is
+// healthy but speaks an incompatible protocol version, or does not hold
+// this content. Both short-circuit the reconnect-backoff budget.
+func terminalSessionError(err error) bool {
+	return errors.Is(err, ErrUnknownContent) || errors.Is(err, protocol.ErrVersion)
 }
 
 // dropLocked marks the session evicted and interrupts its connection.
@@ -91,10 +112,10 @@ func (s *session) utilityLocked() float64 {
 }
 
 // run is the session goroutine: one connection lifecycle per iteration,
-// with exponential backoff between redials.
+// with jittered, capped exponential backoff between redials.
 func (s *session) run() {
 	defer s.o.sessionExited(s)
-	backoff := s.o.opts.ReconnectBackoff
+	opts := &s.o.opts
 	var terminal error
 	for attempt := 0; ; attempt++ {
 		err := s.runConn()
@@ -107,17 +128,26 @@ func (s *session) run() {
 			// self-inflicted — not a peer failure worth reporting.
 			break
 		}
-		if errors.Is(err, ErrUnknownContent) {
-			// The peer is healthy — it just does not hold this content.
+		if terminalSessionError(err) {
+			// The peer is healthy — it just cannot serve us this content
+			// (wrong protocol version, or it does not hold the content).
 			// Redialing cannot change that answer.
 			terminal = err
 			break
 		}
-		if attempt >= s.o.opts.MaxReconnects {
+		if s.o.penalties.Banned(s.addr) {
+			// The address crossed the ban threshold (this session's own
+			// charges, other sessions', or the server plane's): containment
+			// means not spending the rest of the redial budget on it.
 			terminal = err
 			break
 		}
-		if !s.sleepBackoff(backoff) {
+		if attempt >= opts.MaxReconnects {
+			terminal = err
+			break
+		}
+		delay := redialDelay(attempt, opts.ReconnectBackoff, opts.MaxReconnectBackoff, s.rng.Float64())
+		if !s.sleepBackoff(delay) {
 			// Interrupted mid-backoff. An eviction makes the pending
 			// error self-inflicted noise (same as a drop mid-read);
 			// the transfer ending keeps it, as the last real failure.
@@ -126,7 +156,6 @@ func (s *session) run() {
 			}
 			break
 		}
-		backoff *= 2
 		s.o.mu.Lock()
 		s.stats.Reconnects++
 		s.o.mu.Unlock()
@@ -134,6 +163,7 @@ func (s *session) run() {
 	s.o.mu.Lock()
 	s.stats.Err = terminal
 	s.stats.Utility = s.utilityLocked()
+	s.stats.Banned = s.o.penalties.Banned(s.addr)
 	s.o.mu.Unlock()
 }
 
@@ -165,32 +195,138 @@ func (s *session) ended() bool {
 	}
 }
 
-// runConn runs one connection: handshake, negotiated summary, batched
-// request loop with periodic summary refresh. Frames are read through a
-// FrameReader (one reusable buffer per connection) and symbol payloads
-// travel in pool buffers, so the loop allocates nothing per frame except
-// for useful regular symbols, whose buffers live on as the stored
-// working-set payloads (an allocation the content requires).
+// runConn runs one connection lifecycle: dial (through the circuit
+// breaker), serve, and classify how it ended — misbehavior observed on
+// the wire (corrupt frames, mid-stream resets) charges the peer's
+// penalty-box score on the way out.
 func (s *session) runConn() error {
-	o := s.o
-	conn, err := o.opts.Dial(s.addr)
+	conn, err := s.dialConn()
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	// Unblock blocked reads/writes when the download completes or the
-	// session is dropped.
-	watchStop := make(chan struct{})
-	defer close(watchStop)
-	go func() {
+	err = s.serveConn(conn)
+	if err != nil && !s.dropped() && !terminalSessionError(err) {
+		s.noteConnError(err)
+	}
+	return err
+}
+
+// errDialSuppressed marks a dial the circuit breaker refused outright —
+// the address has failed enough in a row that probing it again before
+// its cooldown lapses would only burn the slot's time.
+var errDialSuppressed = errors.New("peer: dial suppressed by open circuit breaker")
+
+// dialConn dials the session's address with circuit-breaker admission
+// and failure accounting: a refused/timed-out dial trips the breaker
+// toward open and charges the penalty box; a success resets the
+// address's circuit.
+func (s *session) dialConn() (net.Conn, error) {
+	o := s.o
+	if !o.breaker.Allow(s.addr) {
+		o.mu.Lock()
+		s.stats.DialFailures++
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", errDialSuppressed, s.addr)
+	}
+	conn, err := o.opts.Dial(s.addr)
+	if err != nil {
+		o.breaker.Failure(s.addr)
+		o.penalties.Penalize(s.addr, PenaltyDialFail)
+		o.mu.Lock()
+		s.stats.DialFailures++
+		o.mu.Unlock()
+		return nil, err
+	}
+	o.breaker.Success(s.addr)
+	o.mu.Lock()
+	s.connected = true
+	o.mu.Unlock()
+	return conn, nil
+}
+
+// noteConnError records how an established connection failed: a corrupt
+// frame (protocol.ErrCorrupt) is the strongest misbehavior signal; any
+// other mid-stream failure counts as a reset, the churn-weight penalty.
+func (s *session) noteConnError(err error) {
+	o := s.o
+	weight := PenaltyReset
+	o.mu.Lock()
+	if errors.Is(err, protocol.ErrCorrupt) {
+		s.stats.CorruptFrames++
+		weight = PenaltyCorrupt
+	} else {
+		s.stats.Resets++
+	}
+	o.mu.Unlock()
+	o.penalties.Penalize(s.addr, weight)
+}
+
+// watch is the per-connection watchdog goroutine: it unblocks blocked
+// reads/writes (by expiring the deadline) when the download completes or
+// the session is dropped, and — when FetchOptions.StallTimeout arms it —
+// drops the session itself after a whole window in which the connection
+// delivered no useful symbols, demoting its utility and charging the
+// penalty box, so the slot goes to a peer that contributes.
+func (s *session) watch(conn net.Conn, stop chan struct{}) {
+	o := s.o
+	var tick <-chan time.Time
+	if w := o.opts.StallTimeout; w > 0 {
+		period := w / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		tick = t.C
+	}
+	o.mu.Lock()
+	lastUseful := s.stats.UsefulSymbols
+	o.mu.Unlock()
+	lastProgress := time.Now()
+	for {
 		select {
 		case <-o.done:
 		case <-s.drop:
-		case <-watchStop:
+		case <-stop:
 			return
+		case <-tick:
+			o.mu.Lock()
+			useful := s.stats.UsefulSymbols
+			o.mu.Unlock()
+			if useful != lastUseful {
+				lastUseful, lastProgress = useful, time.Now()
+				continue
+			}
+			if time.Since(lastProgress) < o.opts.StallTimeout {
+				continue
+			}
+			// Stalled: drop the session (run sees a deliberate drop, so
+			// the self-inflicted i/o error is not reported) and penalize
+			// the address before expiring the deadline below.
+			o.mu.Lock()
+			s.stats.Stalls++
+			s.dropLocked()
+			o.mu.Unlock()
+			o.penalties.Penalize(s.addr, PenaltyStall)
 		}
 		conn.SetDeadline(time.Now())
-	}()
+		return
+	}
+}
+
+// serveConn runs one established connection: handshake, negotiated
+// summary, batched request loop with periodic summary refresh. Frames
+// are read through a FrameReader (one reusable buffer per connection)
+// and symbol payloads travel in pool buffers, so the loop allocates
+// nothing per frame except for useful regular symbols, whose buffers
+// live on as the stored working-set payloads (an allocation the content
+// requires).
+func (s *session) serveConn(conn net.Conn) error {
+	o := s.o
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go s.watch(conn, watchStop)
 	deadline := func() { conn.SetDeadline(time.Now().Add(o.opts.Timeout)) }
 	deadline()
 

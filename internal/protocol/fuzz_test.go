@@ -143,6 +143,13 @@ func FuzzFrameReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xD0, 0x1C, Version, byte(TypeDone), 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xD0}, 64))
+	// Hostile-peer shapes (PR 6): an absurd declared length the reader
+	// must refuse to allocate, and a valid frame whose CRC trailer was
+	// flipped in flight — both must desynchronize cleanly, never panic.
+	f.Add([]byte{0xD0, 0x1C, Version, byte(TypeSymbol), 0xFF, 0xFF, 0xFF, 0xFF})
+	flipped := append([]byte(nil), good.Bytes()...)
+	flipped[len(flipped)-1] ^= 0x5A
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		// Arbitrary bytes must never panic the reader, and every frame it
 		// does accept must survive re-serialization byte-for-byte.

@@ -51,6 +51,13 @@ const Version = 4
 // connection) rather than treat the stream as corrupt.
 var ErrVersion = errors.New("protocol: peer speaks a different version")
 
+// ErrCorrupt marks a frame that failed framing validation — wrong magic
+// or a CRC mismatch. The stream is corrupt or desynchronized and the
+// connection must be dropped; session layers additionally use it to
+// tell a misbehaving (or fault-injected) peer apart from a clean close
+// when charging misbehavior penalties.
+var ErrCorrupt = errors.New("protocol: corrupt frame")
+
 const magic = 0x1CD0
 
 // MaxPayload bounds a frame's payload: large enough for a Bloom filter
@@ -183,7 +190,7 @@ func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
 		return Frame{}, scratch, err
 	}
 	if binary.LittleEndian.Uint16(hdr[0:]) != magic {
-		return Frame{}, scratch, errors.New("protocol: bad magic (stream desynchronized?)")
+		return Frame{}, scratch, fmt.Errorf("%w: bad magic (stream desynchronized?)", ErrCorrupt)
 	}
 	if hdr[2] != Version {
 		return Frame{}, scratch, fmt.Errorf("%w: got %d, speaking %d", ErrVersion, hdr[2], Version)
@@ -209,7 +216,7 @@ func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
 	// concatenation buffer.
 	crc := crc32.Update(crc32.ChecksumIEEE(hdr[3:]), crc32.IEEETable, payload)
 	if crc != wantCRC {
-		return Frame{}, scratch, errors.New("protocol: checksum mismatch (corrupt frame)")
+		return Frame{}, scratch, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 	return Frame{Type: Type(hdr[3]), Payload: payload}, scratch, nil
 }

@@ -1,0 +1,40 @@
+// Package testutil holds shared test-only helpers for the engine's
+// suites. It deliberately has no third-party dependencies: the
+// goroutine-leak checker is hand-rolled (no goleak) so the robustness
+// suites can assert clean teardown under -race without importing
+// anything the build does not already carry.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a function
+// that fails the test if the count has not returned to the baseline
+// within five seconds — the leak check a suite defers around any
+// scenario that spins up sessions, servers or watchdogs. Counts at or
+// below the baseline pass: helper goroutines started before the
+// snapshot may legitimately exit during the test.
+func CheckGoroutines(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

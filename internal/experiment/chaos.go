@@ -118,8 +118,23 @@ func RunChaosSwarm(cfg ChaosSwarmConfig) (ChaosSwarmResult, error) {
 		addr := fmt.Sprintf("N%d", i+1)
 		faults := cfg.Faults
 		faults.Seed = cfg.Seed ^ (uint64(i+1) * 0x9E3779B9)
-		tr := faultnet.Wrap(pn, faults)
+		// Dial as a named node: accepted conns report this node's listen
+		// address as their remote identity, so server-plane misbehavior
+		// scoring keys by the same name the dial plane and gossip use.
+		tr := faultnet.Wrap(pn.Node(addr), faults)
 		gossip := peer.NewGossip(addr)
+		// Penalty decay scaled to the run like every other time knob
+		// (2ms backoffs, 20ms breaker cooldowns): at the default 30s
+		// half-life, every environmental misattribution — an injected
+		// corrupt connection charged to the innocent peer on its far end,
+		// dial failures into a node whose live server hasn't started —
+		// outlives the experiment, and with inbound admission keyed by
+		// real peer names those bans partition the swarm in both
+		// directions. The truly hostile peer stays contained: every
+		// contact re-charges it, and a session's Banned verdict latches
+		// the moment the ban ends its redial loop.
+		penalties := peer.NewPenaltyBox()
+		penalties.SetPolicy(time.Second, peer.DefaultBanScore)
 		o := peer.NewOrchestrator(fix.Info.ID, peer.FetchOptions{
 			Batch:               8,
 			Timeout:             time.Minute,
@@ -133,6 +148,7 @@ func RunChaosSwarm(cfg ChaosSwarmConfig) (ChaosSwarmResult, error) {
 			BreakerCooldown:     20 * time.Millisecond,
 			AdvertiseAddr:       addr,
 			Gossip:              gossip,
+			Penalties:           penalties,
 			Dial:                tr.Dial,
 		})
 		wg.Add(1)

@@ -59,12 +59,17 @@ func (t TCP) Listen(addr string) (net.Listener, error) {
 // server half of a fresh synchronous pipe. Hundreds of "hosts" run in
 // one process with no kernel sockets — the scenario-lab substrate — and
 // net.Pipe supports deadlines, so the engine's watchdog and timeout
-// machinery behaves as it does over TCP. The zero value is not usable;
-// create with NewPipeNet.
+// machinery behaves as it does over TCP. Connections carry the endpoint
+// names as their addresses (net.Pipe itself reports the constant "pipe"
+// on both ends, which would collapse every client into one identity for
+// the engine's per-address misbehavior scoring); anonymous dials get a
+// unique synthetic source name, and Node attributes dials to a real
+// endpoint name. The zero value is not usable; create with NewPipeNet.
 type PipeNet struct {
 	mu        sync.Mutex
 	listeners map[string]*pipeListener
 	auto      int
+	anon      int
 }
 
 // NewPipeNet creates an empty in-process network.
@@ -73,14 +78,14 @@ func NewPipeNet() *PipeNet {
 }
 
 // Listen registers addr as an endpoint (empty addr auto-assigns
-// "pipe:N"). Re-binding a live address is an error; a closed listener's
+// "pipe-N"). Re-binding a live address is an error; a closed listener's
 // address may be reused.
 func (p *PipeNet) Listen(addr string) (net.Listener, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if addr == "" {
 		p.auto++
-		addr = fmt.Sprintf("pipe:%d", p.auto)
+		addr = fmt.Sprintf("pipe-%d", p.auto)
 	}
 	if _, taken := p.listeners[addr]; taken {
 		return nil, fmt.Errorf("faultnet: address %q already bound", addr)
@@ -96,24 +101,60 @@ func (p *PipeNet) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects to a listening endpoint, returning the client half of a
-// fresh pipe (the server half arrives at the listener's Accept).
-func (p *PipeNet) Dial(addr string) (net.Conn, error) {
+// fresh pipe (the server half arrives at the listener's Accept). The
+// accepted conn's RemoteAddr is a unique anonymous name; a node that
+// wants its dials attributed to its own listen address dials through
+// Node.
+func (p *PipeNet) Dial(addr string) (net.Conn, error) { return p.dialFrom("", addr) }
+
+// Node returns a view of the network whose dialed connections carry src
+// as their source identity: the accepted conn's RemoteAddr reports src,
+// so a server's inbound misbehavior scoring keys by the same dialable
+// name the dial plane and gossip use — and an advertised listen address
+// equal to src verifies against the connection, exactly as a matching
+// host does over TCP. Listen passes through unchanged.
+func (p *PipeNet) Node(src string) Transport { return pipeNode{net: p, src: src} }
+
+type pipeNode struct {
+	net *PipeNet
+	src string
+}
+
+func (n pipeNode) Dial(addr string) (net.Conn, error)       { return n.net.dialFrom(n.src, addr) }
+func (n pipeNode) Listen(addr string) (net.Listener, error) { return n.net.Listen(addr) }
+
+func (p *PipeNet) dialFrom(src, addr string) (net.Conn, error) {
 	p.mu.Lock()
 	ln := p.listeners[addr]
+	if src == "" {
+		p.anon++
+		src = fmt.Sprintf("anon-%d", p.anon)
+	}
 	p.mu.Unlock()
 	if ln == nil {
 		return nil, fmt.Errorf("faultnet: no listener at %q", addr)
 	}
 	client, server := net.Pipe()
+	named := &pipeConn{Conn: server, local: pipeAddr(addr), remote: pipeAddr(src)}
 	select {
-	case ln.accept <- server:
-		return client, nil
+	case ln.accept <- named:
+		return &pipeConn{Conn: client, local: pipeAddr(src), remote: pipeAddr(addr)}, nil
 	case <-ln.closed:
 		client.Close()
 		server.Close()
 		return nil, fmt.Errorf("faultnet: listener at %q closed", addr)
 	}
 }
+
+// pipeConn overrides net.Pipe's constant addresses with the endpoint
+// names the PipeNet knows.
+type pipeConn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+func (c *pipeConn) LocalAddr() net.Addr  { return c.local }
+func (c *pipeConn) RemoteAddr() net.Addr { return c.remote }
 
 // unbind removes a closed listener so the address can be reused.
 func (p *PipeNet) unbind(addr string) {

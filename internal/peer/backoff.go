@@ -73,6 +73,14 @@ const (
 	DefaultBreakerCooldown  = 2 * time.Second
 )
 
+// maxBreakerEntries bounds the breaker map the same way
+// maxPenaltyEntries bounds the penalty box: a flood of unique
+// never-succeeding addresses (hostile gossip, exactly the threat this
+// machinery targets) must not grow node-wide state without bound —
+// entries are otherwise deleted only on a dial Success, which a dead
+// address never produces.
+const maxBreakerEntries = 1024
+
 // NewBreaker creates a breaker (threshold ≤ 0 uses
 // DefaultBreakerThreshold; cooldown ≤ 0 uses DefaultBreakerCooldown).
 func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
@@ -123,6 +131,9 @@ func (b *Breaker) Failure(addr string) {
 	defer b.mu.Unlock()
 	e := b.entries[addr]
 	if e == nil {
+		if len(b.entries) >= maxBreakerEntries {
+			b.evictOneLocked()
+		}
 		e = &breakerEntry{}
 		b.entries[addr] = e
 	}
@@ -140,6 +151,29 @@ func (b *Breaker) Failure(addr string) {
 	e.openUntil = b.now().Add(cool)
 	e.trips++
 	e.fails = 0 // the open window itself absorbs the streak
+}
+
+// evictOneLocked makes room for a new address: an entry whose open
+// window lapsed more than maxCooldown ago carries only stale streak
+// state and goes first; otherwise the entry with the earliest open
+// deadline — closed circuits (zero deadline), then the soonest-to-expire
+// open one — is dropped.
+func (b *Breaker) evictOneLocked() {
+	now := b.now()
+	victim := ""
+	var earliest time.Time
+	for addr, e := range b.entries {
+		if !e.openUntil.IsZero() && now.Sub(e.openUntil) > b.maxCooldown {
+			delete(b.entries, addr)
+			return
+		}
+		if victim == "" || e.openUntil.Before(earliest) {
+			victim, earliest = addr, e.openUntil
+		}
+	}
+	if victim != "" {
+		delete(b.entries, victim)
+	}
 }
 
 // Success records a successful dial to addr, closing and forgetting its

@@ -213,6 +213,39 @@ func TestPenaltyBoxUnknownAndNil(t *testing.T) {
 	}
 }
 
+func TestBreakerEntriesBounded(t *testing.T) {
+	clk := newBrokenClock()
+	b := NewBreaker(1, 100*time.Millisecond)
+	installClock(b, clk)
+
+	// A flood of unique never-succeeding addresses — the hostile-gossip
+	// threat model — must not grow the node-wide breaker without bound.
+	for i := 0; i < maxBreakerEntries+100; i++ {
+		b.Failure(fmt.Sprintf("dead-%d", i))
+	}
+	b.mu.Lock()
+	n := len(b.entries)
+	b.mu.Unlock()
+	if n > maxBreakerEntries {
+		t.Fatalf("breaker holds %d entries, cap %d", n, maxBreakerEntries)
+	}
+
+	// Long-lapsed circuits are the preferred victims: after every open
+	// window expires (past maxCooldown), fresh failures recycle their
+	// slots, and a just-tripped circuit stays remembered.
+	clk.advance(2 * time.Minute)
+	b.Failure("fresh")
+	if !b.Open("fresh") {
+		t.Fatal("freshly tripped circuit not open")
+	}
+	for i := 0; i < 50; i++ {
+		b.Failure(fmt.Sprintf("late-%d", i))
+	}
+	if !b.Open("fresh") {
+		t.Fatal("freshly tripped circuit evicted while stale entries remained")
+	}
+}
+
 func TestPenaltyBoxBoundedEviction(t *testing.T) {
 	clk := newBrokenClock()
 	p := NewPenaltyBox()

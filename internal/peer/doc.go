@@ -51,8 +51,20 @@
 //     re-enter ranked behind fresh ones and banned addresses are not
 //     admitted at all. Servers refuse inbound connections from banned
 //     addresses, cap concurrency (SetMaxConns) with a retryable busy
-//     ERROR, and charge corrupt inbound frames to both the remote
-//     address and the HELLO's advertised listen address.
+//     ERROR, and charge corrupt inbound frames to the remote host —
+//     plus the HELLO's advertised listen address, but only when its
+//     host matches the connection's (an unverified advertisement is
+//     attacker-controlled: charging it would let any client frame an
+//     innocent peer into a ban). The same verified address is
+//     ban-checked after the HELLO, so a peer banned under its dialable
+//     address is refused inbound too.
+//
+//   - Explicit refusals. A refused connection is answered with the
+//     canonical "refused" ERROR (protocol.ReasonRefused), which the
+//     refused client classifies as terminal (ErrRefused) without
+//     charging the refuser: a silent refusal reads as a dead peer, and
+//     two nodes that each misattributed one environmental fault would
+//     charge each other into a permanent mutual ban.
 //
 // The faultnet package injects exactly these failures (latency,
 // bandwidth caps, stalls, mid-frame kills, corruption) beneath the

@@ -66,16 +66,25 @@ func (m muteServer) ServeConn(conn net.Conn) error {
 	return err
 }
 
-func TestStallWatchdogDropsSilentPeer(t *testing.T) {
+func TestStallWatchdogResetsAndEscalatesToBan(t *testing.T) {
 	defer checkGoroutines(t)()
 	h := newHarness(t, 60, 32)
 	h.pn.add("mute", muteServer{info: h.info})
 
+	// A stall resets the connection rather than evicting the session: one
+	// silent window can be a transient wire artifact (e.g. a corrupted
+	// length field parking the reader), so the redial budget gets to try
+	// again. A genuinely mute peer re-stalls every window and the
+	// accumulated PenaltyStall charges ban it, which is what ends the
+	// session — terminally, with budget to spare.
 	o := NewOrchestrator(h.info.ID, FetchOptions{
-		Batch:        8,
-		Timeout:      5 * time.Second,
-		StallTimeout: 50 * time.Millisecond,
-		Dial:         h.pn.dial,
+		Batch:               8,
+		Timeout:             5 * time.Second,
+		StallTimeout:        50 * time.Millisecond,
+		MaxReconnects:       20,
+		ReconnectBackoff:    time.Millisecond,
+		MaxReconnectBackoff: 4 * time.Millisecond,
+		Dial:                h.pn.dial,
 	})
 	res, err := h.runAsync(o, "mute").waitErr()
 	if err == nil {
@@ -85,16 +94,24 @@ func TestStallWatchdogDropsSilentPeer(t *testing.T) {
 		t.Fatal("incomplete fetch must still report peer stats")
 	}
 	st := peerByAddr(t, res, "mute")
-	if st.Stalls < 1 {
-		t.Fatalf("watchdog recorded no stall: %+v", st)
+	wantStalls := int(DefaultBanScore / PenaltyStall)
+	if st.Stalls < wantStalls {
+		t.Fatalf("mute peer should stall to the ban threshold (>= %d), got %+v", wantStalls, st)
 	}
-	if !st.Evicted {
-		t.Fatal("stalled session must be marked dropped/evicted")
+	if !st.Banned {
+		t.Fatalf("repeated stalls must escalate to a ban: %+v", st)
 	}
-	// The score decays continuously, so a few wall-clock milliseconds
-	// shave a hair off the charged weight.
-	if score := o.Penalties().Score("mute"); score < 0.9*PenaltyStall {
-		t.Fatalf("stall penalty not charged: score %v", score)
+	if st.Evicted {
+		t.Fatalf("a stall is a reset, not an eviction: %+v", st)
+	}
+	if st.Resets != 0 {
+		t.Fatalf("stall resets must not double-charge as connection resets: %+v", st)
+	}
+	if st.Reconnects >= 20 {
+		t.Fatalf("ban should end the session before the redial budget runs out: %+v", st)
+	}
+	if score := o.Penalties().Score("mute"); score < 0.9*DefaultBanScore {
+		t.Fatalf("stall penalties not accumulated: score %v", score)
 	}
 }
 
@@ -207,6 +224,51 @@ func TestTerminalErrorsSkipRedialBudget(t *testing.T) {
 	}
 }
 
+// TestRefusedPeerTerminalAndUncharged pins the no-retaliation rule: a
+// server that refuses us (our address in its penalty box) answers with
+// the canonical refused ERROR, and the session must end terminally on
+// the first dial — no redial burn, and no penalty charged back at the
+// refuser. Without the explicit signal the refusal reads as a dead peer,
+// and two nodes that each misattributed one environmental fault charge
+// each other into a permanent mutual ban.
+func TestRefusedPeerTerminalAndUncharged(t *testing.T) {
+	defer checkGoroutines(t)()
+	h := newHarness(t, 40, 32)
+	h.addFull("seed", 0)
+	grudge, err := NewFullServer(h.info, h.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grudgeBox := NewPenaltyBox()
+	grudgeBox.Penalize("pipe", 2*DefaultBanScore) // net.Pipe remotes all key as "pipe"
+	grudge.SetPenalties(grudgeBox)
+	h.pn.add("grudge", grudge)
+
+	o := NewOrchestrator(h.info.ID, FetchOptions{
+		Batch:            8,
+		Timeout:          5 * time.Second,
+		MaxReconnects:    8,
+		ReconnectBackoff: time.Millisecond,
+		Dial:             h.pn.dial,
+	})
+	res := h.runAsync(o, "seed", "grudge").wait(t)
+	h.verify(res)
+
+	st := peerByAddr(t, res, "grudge")
+	if !errors.Is(st.Err, ErrRefused) {
+		t.Fatalf("session error = %v, want ErrRefused", st.Err)
+	}
+	if st.Reconnects != 0 {
+		t.Fatalf("refused peer consumed %d redials", st.Reconnects)
+	}
+	if got := h.pn.dialCount("grudge"); got != 1 {
+		t.Fatalf("refusing peer dialed %d times, want exactly 1", got)
+	}
+	if score := o.Penalties().Score("grudge"); score != 0 {
+		t.Fatalf("refusing peer charged back (score %v) — retaliation loop", score)
+	}
+}
+
 func TestDialFailedDiscoveryRequeuesAtDecayedRank(t *testing.T) {
 	defer checkGoroutines(t)()
 	failDial := func(addr string) (net.Conn, error) {
@@ -309,7 +371,9 @@ func TestServerInboundCapAndBannedRefusal(t *testing.T) {
 		t.Fatalf("Rejected = %d, want 1", got)
 	}
 
-	// Free the slot, ban the pipe address, and verify refusal at admission.
+	// Free the slot, ban the pipe address, and verify refusal at
+	// admission: the HELLO is drained and answered with the canonical
+	// refused ERROR (terminal for the client, no charge back at us).
 	c1.Close()
 	<-hold
 	box := NewPenaltyBox()
@@ -317,7 +381,19 @@ func TestServerInboundCapAndBannedRefusal(t *testing.T) {
 	srv.SetPenalties(box)
 	c3, s3 := net.Pipe()
 	defer c3.Close()
-	if err := srv.ServeConn(s3); err == nil {
+	refused := make(chan error, 1)
+	go func() { refused <- srv.ServeConn(s3) }()
+	if err := protocol.WriteFrame(c3, protocol.EncodeHello(protocol.Hello{ContentID: info.ID})); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := protocol.NewFrameReader(c3).Next()
+	if err != nil {
+		t.Fatalf("reading refusal: %v", err)
+	}
+	if msg, _ := protocol.DecodeError(f3); !protocol.IsRefused(msg) {
+		t.Fatalf("banned answer says %q, want canonical refusal", msg)
+	}
+	if err := <-refused; err == nil {
 		t.Fatal("banned client admitted")
 	}
 	if got := srv.Stats().Rejected; got != 2 {
@@ -354,15 +430,198 @@ func TestMuxMalformedHelloChargedAndBanned(t *testing.T) {
 	}
 
 	// Push the address over the threshold: the next connection must be
-	// refused before its HELLO is even read.
+	// refused at admission with the canonical refused ERROR (its frame is
+	// drained, never routed).
 	box.Penalize(key, 2*DefaultBanScore)
 	c2, s2 := net.Pipe()
 	defer c2.Close()
-	if err := mux.ServeConn(s2); err == nil {
+	refused := make(chan error, 1)
+	go func() { refused <- mux.ServeConn(s2) }()
+	if _, err := c2.Write(bytes.Repeat([]byte{0xEE}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := protocol.NewFrameReader(c2).Next()
+	if err != nil {
+		t.Fatalf("reading refusal: %v", err)
+	}
+	if msg, _ := protocol.DecodeError(f2); !protocol.IsRefused(msg) {
+		t.Fatalf("banned answer says %q, want canonical refusal", msg)
+	}
+	if err := <-refused; err == nil {
 		t.Fatal("banned client admitted by mux")
 	}
 	if st := mux.Stats(); st.Banned != 1 {
 		t.Fatalf("Banned = %d, want 1", st.Banned)
+	}
+}
+
+// namedConn overrides an inbound pipe's remote address — the
+// listen-addr verification tests need connections with a definite
+// remote host.
+type namedConn struct {
+	net.Conn
+	remote net.Addr
+}
+
+func (c namedConn) RemoteAddr() net.Addr { return c.remote }
+
+func tcpRemote(host string, port int) net.Addr {
+	return &net.TCPAddr{IP: net.ParseIP(host), Port: port}
+}
+
+// TestMalformedHelloListenAddrSpoofNotCharged pins the attribution rule
+// for the attacker-controlled HELLO listen address: corruption charges
+// the advertised address only when its host matches the connection's
+// remote host. Without the check, any client could ban an innocent
+// third party node-wide by advertising the victim's address and then
+// corrupting its own stream.
+func TestMalformedHelloListenAddrSpoofNotCharged(t *testing.T) {
+	defer checkGoroutines(t)()
+	info, data := testContent(t, 40, 32)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := NewPenaltyBox()
+	srv.SetPenalties(box)
+
+	corruptAs := func(remote net.Addr, listenAddr string) error {
+		t.Helper()
+		client, server := net.Pipe()
+		defer client.Close()
+		served := make(chan error, 1)
+		go func() { served <- srv.ServeConn(namedConn{Conn: server, remote: remote}) }()
+		go io.Copy(io.Discard, client) // drain the server's answering HELLO
+		if err := protocol.WriteFrame(client, protocol.EncodeHello(protocol.Hello{
+			ContentID: info.ID, ListenAddr: listenAddr,
+		})); err != nil {
+			t.Fatal(err)
+		}
+		// Exactly one frame header of garbage: the reader rejects it after
+		// those 8 bytes, so a longer write would block on the dead pipe.
+		if _, err := client.Write(bytes.Repeat([]byte{0xEE}, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return <-served
+	}
+
+	// A client at 10.9.8.7 advertising an innocent third party's address:
+	// the corruption must charge the client's host, never the victim.
+	if err := corruptAs(tcpRemote("10.9.8.7", 40001), "203.0.113.5:9000"); !errors.Is(err, protocol.ErrCorrupt) {
+		t.Fatalf("corrupt session error = %v, want ErrCorrupt", err)
+	}
+	if score := box.Score("203.0.113.5:9000"); score != 0 {
+		t.Fatalf("spoofed listen address charged: score %v", score)
+	}
+	if score := box.Score("10.9.8.7"); score < 0.9*PenaltyCorrupt {
+		t.Fatalf("remote host not charged: score %v", score)
+	}
+
+	// The same client advertising its own (host-matching) listen address:
+	// that dialable address is charged too — the verified bridge from the
+	// server plane into gossip admission.
+	if err := corruptAs(tcpRemote("10.9.8.7", 40002), "10.9.8.7:9000"); !errors.Is(err, protocol.ErrCorrupt) {
+		t.Fatalf("corrupt session error = %v, want ErrCorrupt", err)
+	}
+	if score := box.Score("10.9.8.7:9000"); score < 0.9*PenaltyCorrupt {
+		t.Fatalf("verified listen address not charged: score %v", score)
+	}
+}
+
+// TestBannedDialableAddressRefusedInbound pins the second admission
+// stage: a peer banned under its dialable address (dial-plane charges
+// use host:port keys, which a bare remote-host check can never match)
+// is refused once its HELLO advertises that address and the host
+// verifies — while an unverified advertisement of the same banned
+// address changes nothing.
+func TestBannedDialableAddressRefusedInbound(t *testing.T) {
+	defer checkGoroutines(t)()
+	info, data := testContent(t, 40, 32)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := NewPenaltyBox()
+	srv.SetPenalties(box)
+	box.Penalize("10.9.8.7:9000", 2*DefaultBanScore)
+
+	// Verified: same host as the connection → refused after the HELLO.
+	client, server := net.Pipe()
+	defer client.Close()
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeConn(namedConn{Conn: server, remote: tcpRemote("10.9.8.7", 40003)}) }()
+	go io.Copy(io.Discard, client)
+	if err := protocol.WriteFrame(client, protocol.EncodeHello(protocol.Hello{
+		ContentID: info.ID, ListenAddr: "10.9.8.7:9000",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err == nil {
+		t.Fatal("banned dialable address admitted inbound")
+	}
+	if got := srv.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+
+	// Unverified: a different host advertising the banned address must
+	// still be served — anyone can name anyone in a HELLO.
+	client2, server2 := net.Pipe()
+	defer client2.Close()
+	served2 := make(chan error, 1)
+	go func() { served2 <- srv.ServeConn(namedConn{Conn: server2, remote: tcpRemote("192.0.2.1", 40004)}) }()
+	go io.Copy(io.Discard, client2)
+	if err := protocol.WriteFrame(client2, protocol.EncodeHello(protocol.Hello{
+		ContentID: info.ID, ListenAddr: "10.9.8.7:9000",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(client2, protocol.EncodeDone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served2; err != nil {
+		t.Fatalf("unverified advertisement refused the session: %v", err)
+	}
+}
+
+// TestMuxBusyAnswerDoesNotPoisonAdmission pins the over-cap refusal
+// path against a mute client that never reads: the admission slot must
+// be released before the busy write (not after ServeConn returns), and
+// the write itself must unpark via its own deadline instead of leaking
+// the goroutine.
+func TestMuxBusyAnswerDoesNotPoisonAdmission(t *testing.T) {
+	defer checkGoroutines(t)()
+	mux := NewServerMux()
+	mux.timeout = 100 * time.Millisecond // bounds the busy write below
+	mux.SetMaxConns(1)
+
+	c1, s1 := net.Pipe()
+	hold := make(chan error, 1)
+	go func() { hold <- mux.ServeConn(s1) }()
+	awaitActive(t, &mux.active)
+
+	c2, s2 := net.Pipe()
+	defer c2.Close()
+	defer s2.Close()
+	busy := make(chan error, 1)
+	go func() { busy <- mux.ServeConn(s2) }()
+	select {
+	case err := <-busy:
+		if err == nil {
+			t.Fatal("over-cap ServeConn returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("busy answer to a mute client blocked past its write deadline")
+	}
+	c1.Close()
+	<-hold
+	// Both connections have fully unwound: a leaked slot from the busy
+	// path would show here as a permanently elevated counter, refusing
+	// every future inbound connection as busy.
+	if got := mux.active.Load(); got != 0 {
+		t.Fatalf("active = %d after both connections ended, want 0", got)
+	}
+	if st := mux.Stats(); st.Busy != 1 {
+		t.Fatalf("Busy = %d, want 1", st.Busy)
 	}
 }
 

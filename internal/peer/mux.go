@@ -297,15 +297,22 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 	key := remoteKey(conn)
 	if m.penaltyBox().Banned(key) {
 		m.stats.banned.Add(1)
+		refuse(conn, m.timeout)
 		return fmt.Errorf("peer: refused banned client %s", key)
 	}
+	// Over the cap: release the slot *before* answering, and answer under
+	// a write deadline — a mute client that never reads the busy ERROR
+	// must neither hold the admission counter elevated nor park this
+	// goroutine forever (net.Pipe writes are fully synchronous; TCP
+	// blocks once the socket buffer fills).
 	n := m.active.Add(1)
-	defer m.active.Add(-1)
 	if max := m.maxConns.Load(); max > 0 && n > max {
+		m.active.Add(-1)
 		m.stats.busy.Add(1)
-		protocol.WriteFrame(conn, protocol.EncodeError("busy (inbound connection limit reached)"))
+		writeRefusal(conn, protocol.EncodeError("busy (inbound connection limit reached)"), m.timeout)
 		return errors.New("peer: inbound connection limit reached")
 	}
+	defer m.active.Add(-1)
 	fr := protocol.NewFrameReader(conn)
 	hello, err := readClientHello(conn, fr, m.timeout)
 	if err != nil {
@@ -329,12 +336,12 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 			// dialer's reconnect backoff naturally spans the window
 			// between our fetch starting and its first handshake
 			// registering the live server.
-			protocol.WriteFrame(conn, protocol.EncodeError(
-				fmt.Sprintf("content %#x pending (fetch in progress, not yet servable)", hello.ContentID)))
+			writeRefusal(conn, protocol.EncodeError(
+				fmt.Sprintf("content %#x pending (fetch in progress, not yet servable)", hello.ContentID)), m.timeout)
 			return fmt.Errorf("peer: content %#x pending", hello.ContentID)
 		}
 		m.stats.rejected.Add(1)
-		protocol.WriteFrame(conn, protocol.EncodeErrorUnknownContent(hello.ContentID))
+		writeRefusal(conn, protocol.EncodeErrorUnknownContent(hello.ContentID), m.timeout)
 		return fmt.Errorf("peer: no server for content %#x", hello.ContentID)
 	}
 	return s.serveClient(conn, fr, hello)

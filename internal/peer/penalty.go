@@ -12,6 +12,17 @@ package peer
 // connections at accept. One box is shared node-wide (like the Gossip
 // directory), so misbehavior seen on any plane — client or server —
 // feeds one verdict.
+//
+// Keys are peer addresses as the observing plane knows them. The dial
+// plane and gossip admission use the dialable address (host:port over
+// TCP, a bare endpoint name on pipe transports). The inbound plane
+// keys by the connection's remote host — the only identity an
+// unauthenticated inbound connection proves — plus, once a client's
+// HELLO advertises a listen address whose host matches the connection
+// (verifiedListenAddr), that dialable address too, which is what
+// bridges server-plane observations into dial-plane and gossip
+// verdicts. An advertised address that fails verification is never
+// charged or ban-checked: it is attacker-controlled.
 
 import (
 	"math"
@@ -24,8 +35,10 @@ import (
 // dials, within one decay half-life.
 const (
 	// PenaltyDialFail is charged when a dial attempt never produces a
-	// connection (refused, timed out, or suppressed by a circuit breaker
-	// that is itself open from dial failures).
+	// connection (refused or timed out). Dials suppressed by an open
+	// circuit breaker are NOT charged: the failures that opened the
+	// circuit already were, and re-charging every suppressed probe would
+	// double-count one outage.
 	PenaltyDialFail = 1.0
 	// PenaltyReset is charged when an established connection dies
 	// mid-stream — common under churn, so it weighs the least.

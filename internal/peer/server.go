@@ -232,19 +232,61 @@ func (s *Server) penaltyBox() *PenaltyBox {
 	return s.penalties
 }
 
+// addrHost returns the host portion of a peer address: "host" for a
+// "host:port" string, the whole string for bare endpoint names (pipe
+// transports address peers by name, with no port).
+func addrHost(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil && host != "" {
+		return host
+	}
+	return addr
+}
+
 // remoteKey is the penalty-box key for an inbound connection: the host
 // portion of the remote address (ports are ephemeral per connection), or
-// the whole string when it does not split as host:port.
+// the whole string when it does not split as host:port. The remote host
+// is the only identity an unauthenticated inbound connection actually
+// proves, so inbound misbehavior is scored against it.
 func remoteKey(conn net.Conn) string {
 	addr := conn.RemoteAddr()
 	if addr == nil {
 		return ""
 	}
-	str := addr.String()
-	if host, _, err := net.SplitHostPort(str); err == nil && host != "" {
-		return host
+	return addrHost(addr.String())
+}
+
+// verifiedListenAddr reports whether a HELLO-advertised listen address
+// provably maps to conn: its host must equal the connection's remote
+// host. The advertised address is attacker-controlled — charging (or
+// ban-checking) it without this check would let any client frame an
+// innocent third party for its own misbehavior: connect, advertise the
+// victim's address, send corrupt frames, repeat until the victim is
+// banned node-wide.
+func verifiedListenAddr(listenAddr string, conn net.Conn) bool {
+	return listenAddr != "" && addrHost(listenAddr) == remoteKey(conn)
+}
+
+// writeRefusal writes an admission-refusal or handshake-failure ERROR
+// under its own write deadline. These writes happen outside the session
+// loop's rolling-deadline discipline, so without one a mute client that
+// never reads (TCP once the socket buffer fills; net.Pipe immediately)
+// would park the serving goroutine forever.
+func writeRefusal(conn net.Conn, f protocol.Frame, timeout time.Duration) {
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	return str
+	protocol.WriteFrame(conn, f)
+}
+
+// refuse answers a connection the penalty box rejects with the canonical
+// refused ERROR — the signal that lets the client end its session
+// terminally instead of charging us for what reads like a dead peer and
+// burning its redial budget. The client's pending HELLO is drained first
+// (under the deadline): both ends of an unbuffered in-process pipe would
+// otherwise sit blocked on their opening writes until a timeout.
+func refuse(conn net.Conn, timeout time.Duration) {
+	readClientHello(conn, protocol.NewFrameReader(conn), timeout)
+	writeRefusal(conn, protocol.EncodeErrorRefused(), timeout)
 }
 
 // Full reports whether the server holds the complete content.
@@ -362,39 +404,45 @@ func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Durat
 }
 
 // admit applies inbound admission control: connections from banned
-// addresses are dropped outright, and connections over the SetMaxConns
-// cap are answered with a retryable busy ERROR. On a nil return the
-// active counter has been incremented; the caller must decrement it when
-// the connection ends.
+// addresses are answered with the canonical refused ERROR, and
+// connections over the SetMaxConns cap with a retryable busy ERROR. On a
+// nil return the active counter has been incremented; the caller must
+// decrement it when the connection ends.
 func (s *Server) admit(conn net.Conn) error {
 	key := remoteKey(conn)
 	if s.penaltyBox().Banned(key) {
 		s.stats.rejected.Add(1)
+		refuse(conn, s.timeout)
 		return fmt.Errorf("peer: refused banned client %s", key)
 	}
 	n := s.active.Add(1)
 	if max := s.maxConns.Load(); max > 0 && n > max {
 		s.active.Add(-1)
 		s.stats.rejected.Add(1)
-		protocol.WriteFrame(conn, protocol.EncodeError("busy (inbound connection limit reached)"))
+		writeRefusal(conn, protocol.EncodeError("busy (inbound connection limit reached)"), s.timeout)
 		return errors.New("peer: inbound connection limit reached")
 	}
 	return nil
 }
 
 // noteMalformed charges a client whose connection died over a corrupt or
-// malformed frame: the remote address and, when its HELLO advertised a
-// dialable listen address, that address too — the hook that wires
-// server-plane misbehavior into gossip admission. Non-corruption errors
-// are ignored.
+// malformed frame: always its remote host, and additionally the dialable
+// listen address its HELLO advertised — but only when that address
+// verifiably maps to this connection (same host), which is the hook that
+// wires server-plane misbehavior into gossip admission. An unverified
+// listen address is never charged: it is attacker-controlled, and
+// charging it would hand any client an unauthenticated remote ban
+// primitive against whichever peer it names. Non-corruption errors are
+// ignored.
 func (s *Server) noteMalformed(conn net.Conn, listenAddr string, err error) {
 	if !errors.Is(err, protocol.ErrCorrupt) {
 		return
 	}
 	s.stats.malformed.Add(1)
 	box := s.penaltyBox()
-	box.Penalize(remoteKey(conn), PenaltyCorrupt)
-	if listenAddr != "" {
+	key := remoteKey(conn)
+	box.Penalize(key, PenaltyCorrupt)
+	if verifiedListenAddr(listenAddr, conn) && listenAddr != key {
 		box.Penalize(listenAddr, PenaltyCorrupt)
 	}
 }
@@ -427,6 +475,17 @@ func (s *Server) ServeConn(conn net.Conn) error {
 // by content id), charging the penalty box when the session dies over a
 // corrupt frame.
 func (s *Server) serveClient(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
+	// Admission, second stage: the pre-HELLO check could only see the
+	// remote host, but the HELLO names the client's dialable listen
+	// address — the key the dial plane and gossip admission ban under.
+	// When that address is verified (same host as this connection) and
+	// banned, refuse the session: a peer banned under its dialable
+	// address must not keep being served just by connecting inbound.
+	if la := clientHello.ListenAddr; verifiedListenAddr(la, conn) && s.penaltyBox().Banned(la) {
+		s.stats.rejected.Add(1)
+		writeRefusal(conn, protocol.EncodeErrorRefused(), s.timeout)
+		return fmt.Errorf("peer: refused banned client %s", la)
+	}
 	err := s.serveClientFrames(conn, fr, clientHello)
 	if err != nil {
 		s.noteMalformed(conn, clientHello.ListenAddr, err)

@@ -33,6 +33,14 @@ import (
 // it for others.
 var ErrUnknownContent = errors.New("peer: peer does not serve this content")
 
+// ErrRefused marks a session whose peer explicitly declined to serve us
+// (protocol.ReasonRefused — our address sits in its penalty box).
+// Terminal and never charged back: redialing cannot change the verdict
+// before it decays on the refuser's side, and penalizing an explicit
+// refusal would let two nodes that each misattributed one environmental
+// fault escalate into banning each other permanently.
+var ErrRefused = errors.New("peer: peer refused to serve us")
+
 type session struct {
 	o     *Orchestrator
 	addr  string
@@ -48,6 +56,10 @@ type session struct {
 	// connection — the requeue path only reconsiders addresses that were
 	// never reached at all.
 	connected bool
+	// Guarded by o.mu: set by the watchdog when it reset the current
+	// connection over a stalled window; runConn consumes it to skip the
+	// generic reset charge (the watchdog already charged PenaltyStall).
+	stalled bool
 }
 
 func newSession(o *Orchestrator, addr string) *session {
@@ -67,10 +79,12 @@ func newSession(o *Orchestrator, addr string) *session {
 }
 
 // terminalSessionError reports errors no redial can fix: the peer is
-// healthy but speaks an incompatible protocol version, or does not hold
-// this content. Both short-circuit the reconnect-backoff budget.
+// healthy but speaks an incompatible protocol version, does not hold
+// this content, or refuses to serve us. All short-circuit the
+// reconnect-backoff budget (and, via runConn, are never charged).
 func terminalSessionError(err error) bool {
-	return errors.Is(err, ErrUnknownContent) || errors.Is(err, protocol.ErrVersion)
+	return errors.Is(err, ErrUnknownContent) || errors.Is(err, ErrRefused) ||
+		errors.Is(err, protocol.ErrVersion)
 }
 
 // dropLocked marks the session evicted and interrupts its connection.
@@ -206,10 +220,21 @@ func (s *session) runConn() error {
 	}
 	defer conn.Close()
 	err = s.serveConn(conn)
-	if err != nil && !s.dropped() && !terminalSessionError(err) {
+	if stalled := s.takeStalled(); err != nil && !stalled && !s.dropped() && !terminalSessionError(err) {
 		s.noteConnError(err)
 	}
 	return err
+}
+
+// takeStalled consumes the watchdog's stall marker for the connection
+// that just ended: the watchdog already charged PenaltyStall, so runConn
+// must not also charge the self-inflicted i/o error as a reset.
+func (s *session) takeStalled() bool {
+	s.o.mu.Lock()
+	defer s.o.mu.Unlock()
+	stalled := s.stalled
+	s.stalled = false
+	return stalled
 }
 
 // errDialSuppressed marks a dial the circuit breaker refused outright —
@@ -265,9 +290,10 @@ func (s *session) noteConnError(err error) {
 // watch is the per-connection watchdog goroutine: it unblocks blocked
 // reads/writes (by expiring the deadline) when the download completes or
 // the session is dropped, and — when FetchOptions.StallTimeout arms it —
-// drops the session itself after a whole window in which the connection
-// delivered no useful symbols, demoting its utility and charging the
-// penalty box, so the slot goes to a peer that contributes.
+// resets the connection after a whole window in which it delivered no
+// useful symbols, charging the penalty box. The session itself survives
+// to redial: repeated stalls escalate the score to a ban, which is what
+// actually removes a mute peer.
 func (s *session) watch(conn net.Conn, stop chan struct{}) {
 	o := s.o
 	var tick <-chan time.Time
@@ -301,12 +327,18 @@ func (s *session) watch(conn net.Conn, stop chan struct{}) {
 			if time.Since(lastProgress) < o.opts.StallTimeout {
 				continue
 			}
-			// Stalled: drop the session (run sees a deliberate drop, so
-			// the self-inflicted i/o error is not reported) and penalize
-			// the address before expiring the deadline below.
+			// Stalled: reset the connection (deadline expiry below) and
+			// charge the address, but do NOT evict the session. One silent
+			// window can be a transient wire artifact — a frame whose
+			// corrupted length field parks the reader waiting for a phantom
+			// body is indistinguishable from a mute peer until the deadline
+			// fires — so the redial budget gets to try again. A genuinely
+			// mute peer re-stalls every window and PenaltyStall escalates
+			// its score to a ban, which ends the redial loop terminally.
+			// The stalled flag tells runConn the charge is already made.
 			o.mu.Lock()
 			s.stats.Stalls++
-			s.dropLocked()
+			s.stalled = true
 			o.mu.Unlock()
 			o.penalties.Penalize(s.addr, PenaltyStall)
 		}
@@ -351,6 +383,9 @@ func (s *session) serveConn(conn net.Conn) error {
 		msg, _ := protocol.DecodeError(f)
 		if protocol.IsUnknownContent(msg) {
 			return fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrUnknownContent)
+		}
+		if protocol.IsRefused(msg) {
+			return fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrRefused)
 		}
 		return fmt.Errorf("peer %s: %s", s.addr, msg)
 	}

@@ -514,6 +514,32 @@ func IsUnknownContent(msg string) bool {
 	return rest == "" || rest[0] == ' '
 }
 
+// ReasonRefused is the canonical ERROR-message prefix a server answers
+// when it declines to serve an admitted connection — today because the
+// client's address sits above its penalty box's ban threshold. Receivers
+// match it with IsRefused and stop redialing without charging the
+// refuser: an explicit refusal is the server protecting itself, not a
+// peer fault, and answering it with penalties would let two nodes that
+// misattributed one environmental fault escalate into banning each
+// other permanently.
+const ReasonRefused = "refused"
+
+// EncodeErrorRefused builds the canonical ERROR frame for a connection
+// the server declines to serve.
+func EncodeErrorRefused() Frame {
+	return EncodeError(ReasonRefused + " (address penalized)")
+}
+
+// IsRefused reports whether an ERROR message is the canonical refusal
+// answer (with or without detail appended).
+func IsRefused(msg string) bool {
+	if !strings.HasPrefix(msg, ReasonRefused) {
+		return false
+	}
+	rest := msg[len(ReasonRefused):]
+	return rest == "" || rest[0] == ' '
+}
+
 // DecodeError extracts the message of an ERROR frame.
 func DecodeError(f Frame) (string, error) {
 	if f.Type != TypeError {

@@ -579,3 +579,29 @@ func TestUnknownContentError(t *testing.T) {
 		}
 	}
 }
+
+func TestRefusedError(t *testing.T) {
+	msg, err := DecodeError(EncodeErrorRefused())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRefused(msg) {
+		t.Fatalf("canonical refusal %q not recognized", msg)
+	}
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"refused (address penalized)", true},
+		{"refused", true},
+		{"refusedly rude", false},
+		{"busy (inbound connection limit reached)", false},
+		{"", false},
+		{"politely refused", false},
+	}
+	for _, c := range cases {
+		if got := IsRefused(c.msg); got != c.want {
+			t.Errorf("IsRefused(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}

@@ -29,7 +29,8 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		all     = flag.Bool("all", false, "run every experiment")
 		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline, sharded decode)")
-		jsonOut = flag.String("json", "", "with -micro: also write results as a JSON array to this path")
+		jsonOut = flag.String("json", "", "with -micro or -exp lab: also write results as a JSON array to this path")
+		labMax  = flag.Int("labmax", 0, "with -exp lab: cap the scenario node counts (0 = canonical 100 and 1000)")
 		exp     = flag.String("exp", "", "experiment id to run")
 		n       = flag.Int("n", 0, "source blocks for transfer experiments (default 2000)")
 		trials  = flag.Int("trials", 0, "trials per data point (default 5)")
@@ -64,6 +65,23 @@ func main() {
 	switch {
 	case *micro:
 		runMicro(*jsonOut)
+	case *exp == "lab":
+		// The lab gets its own path so -labmax can bound the swarm sizes
+		// and -json can write the BENCH artifact rows.
+		start := time.Now()
+		rows, err := experiment.LabResults(opts, *labMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdbench: lab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.LabTable(rows).Render())
+		fmt.Printf("(lab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "" {
+			if err := experiment.WriteLabJSON(*jsonOut, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
 	case *all:
 		for _, r := range experiment.Registry() {
 			run(r)

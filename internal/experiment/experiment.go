@@ -218,6 +218,10 @@ func Registry() []Runner {
 			t, err := Chaos(o)
 			return stringerTable{t}, err
 		}},
+		{"lab", "thousand-node scenario lab: convergence, fairness, origin offload at 100/1000 nodes (PR 7)", func(o Options) (fmt.Stringer, error) {
+			t, err := Lab(o)
+			return stringerTable{t}, err
+		}},
 	}
 }
 

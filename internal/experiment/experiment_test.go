@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"icd/internal/testutil"
 )
 
 // quick returns options small enough for unit tests.
@@ -205,6 +207,7 @@ func TestFig1Table(t *testing.T) {
 }
 
 func TestGossipSwarmConverges(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// A small swarm given only the seed address must self-assemble:
 	// every node completes, and gossip-admitted sessions contribute.
 	res, err := RunGossipSwarm(GossipSwarmConfig{
@@ -226,7 +229,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"chaos", "coding", "decode", "fig1", "fig4a", "fig5a", "fig5b",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "gossip",
-		"multicontent", "swarm", "tab4b", "tab4c",
+		"lab", "multicontent", "swarm", "tab4b", "tab4c",
 	}
 	got := IDs()
 	if len(got) != len(want) {
@@ -251,6 +254,7 @@ func fmtSscan(s string, out *float64) (int, error) {
 }
 
 func TestMultiContentNode(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	res, err := RunMultiContent(MultiContentConfig{
 		Contents: 2, N: 120, BlockSize: 64, Seed: 5, MaxConns: 4,
 	})

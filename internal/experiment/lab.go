@@ -1,0 +1,139 @@
+package experiment
+
+// lab.go is the thousand-node scenario lab (PR 7): the clean, lossy and
+// churn presets of internal/scenario run at swarm scale over the
+// shaped-link transport, reporting the three swarm metrics the roadmap
+// asks for — convergence time, completion fairness (p95/p50 spread) and
+// origin offload — at 100 and 1000 nodes. cmd/icdbench renders the
+// table (`-exp lab`) and writes the rows as the BENCH_pr7.json
+// artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"icd/internal/scenario"
+)
+
+// LabRow is one scenario × size measurement — the BENCH_pr7.json
+// artifact schema.
+type LabRow struct {
+	Scenario       string  `json:"scenario"`
+	Nodes          int     `json:"nodes"`
+	Converged      bool    `json:"converged"`
+	ConvergenceMs  float64 `json:"convergence_ms"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	FairnessSpread float64 `json:"fairness_spread"`
+	OriginOffload  float64 `json:"origin_offload"`
+	Completed      int     `json:"completed"`
+	Churned        int     `json:"churned"`
+	Failed         int     `json:"failed"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
+}
+
+// LabSizes returns the node counts a lab run measures. maxNodes caps
+// them (0 = no cap): a cap below the smallest canonical size runs one
+// row at exactly the cap, so CI smokes stay cheap without losing the
+// row entirely.
+func LabSizes(maxNodes int) []int {
+	canonical := []int{100, 1000}
+	if maxNodes <= 0 {
+		return canonical
+	}
+	var sizes []int
+	for _, s := range canonical {
+		if s <= maxNodes {
+			sizes = append(sizes, s)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{maxNodes}
+	}
+	return sizes
+}
+
+// LabResults runs every preset at every size and returns the rows. A
+// scenario that fails to converge (for its churn survivors) is an
+// error: the lab's acceptance bar is convergence at scale, and a
+// silently non-converged row would poison the tracked artifact.
+func LabResults(o Options, maxNodes int) ([]LabRow, error) {
+	o = o.withDefaults()
+	var rows []LabRow
+	for _, nodes := range LabSizes(maxNodes) {
+		for i, name := range scenario.PresetNames() {
+			spec, err := scenario.Preset(name, nodes, o.Seed+uint64(1000*i)+uint64(nodes))
+			if err != nil {
+				return rows, err
+			}
+			res, err := scenario.Run(spec)
+			if err != nil {
+				return rows, err
+			}
+			if !res.Converged {
+				return rows, fmt.Errorf("experiment: lab scenario %q at %d nodes did not converge (%d completed, %d failed, %d churned)",
+					name, nodes, res.Completed, res.Failed, res.Churned)
+			}
+			rows = append(rows, LabRow{
+				Scenario:       name,
+				Nodes:          res.Nodes,
+				Converged:      res.Converged,
+				ConvergenceMs:  ms(res.Convergence),
+				P50Ms:          ms(res.P50),
+				P95Ms:          ms(res.P95),
+				FairnessSpread: res.Spread,
+				OriginOffload:  res.Offload,
+				Completed:      res.Completed,
+				Churned:        res.Churned,
+				Failed:         res.Failed,
+				ElapsedMs:      ms(res.Elapsed),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// LabTable renders lab rows as an icdbench table.
+func LabTable(rows []LabRow) Table {
+	t := Table{
+		ID:     "lab",
+		Title:  "thousand-node scenario lab: convergence, fairness, origin offload (shaped links)",
+		Header: []string{"scenario", "nodes", "converged", "convergence", "p50", "p95", "spread", "offload", "churned"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%v", r.Converged),
+			fmt.Sprintf("%.0fms", r.ConvergenceMs),
+			fmt.Sprintf("%.0fms", r.P50Ms),
+			fmt.Sprintf("%.0fms", r.P95Ms),
+			fmt.Sprintf("%.2f", r.FairnessSpread),
+			fmt.Sprintf("%.2f", r.OriginOffload),
+			fmt.Sprintf("%d", r.Churned),
+		})
+	}
+	return t
+}
+
+// WriteLabJSON writes the rows as a JSON array artifact.
+func WriteLabJSON(path string, rows []LabRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Lab is the registry runner: all presets at the canonical sizes.
+func Lab(o Options) (Table, error) {
+	rows, err := LabResults(o, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	return LabTable(rows), nil
+}

@@ -1,0 +1,89 @@
+package experiment
+
+// lab_test.go pins the scenario-lab experiment: size capping, a small
+// end-to-end run of all three presets with a leak-checked teardown, and
+// the BENCH artifact round trip.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"icd/internal/testutil"
+)
+
+func TestLabSizes(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{0, []int{100, 1000}},
+		{1000, []int{100, 1000}},
+		{999, []int{100}},
+		{100, []int{100}},
+		{20, []int{20}},
+	}
+	for _, tc := range cases {
+		got := LabSizes(tc.max)
+		if len(got) != len(tc.want) {
+			t.Fatalf("LabSizes(%d) = %v, want %v", tc.max, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("LabSizes(%d) = %v, want %v", tc.max, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestLabSmallRunAllPresets(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	rows, err := LabResults(Options{Seed: 5}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected one row per preset, got %d", len(rows))
+	}
+	churned := 0
+	for _, r := range rows {
+		if !r.Converged {
+			t.Fatalf("scenario %q did not converge: %+v", r.Scenario, r)
+		}
+		if r.Nodes != 20 {
+			t.Fatalf("scenario %q ran %d nodes, want 20", r.Scenario, r.Nodes)
+		}
+		if r.OriginOffload < 0 || r.OriginOffload > 1 {
+			t.Fatalf("scenario %q offload out of range: %+v", r.Scenario, r)
+		}
+		if r.FairnessSpread < 1 {
+			t.Fatalf("scenario %q spread below 1: %+v", r.Scenario, r)
+		}
+		churned += r.Churned
+	}
+	if churned == 0 {
+		t.Fatal("churn preset scheduled no churn")
+	}
+
+	tbl := LabTable(rows)
+	if len(tbl.Rows) != 3 || tbl.ID != "lab" {
+		t.Fatalf("table shape wrong: %+v", tbl)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_lab.json")
+	if err := WriteLabJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []LabRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != rows[0] {
+		t.Fatalf("artifact round trip changed rows: %+v vs %+v", back, rows)
+	}
+}

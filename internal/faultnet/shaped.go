@@ -1,0 +1,351 @@
+package faultnet
+
+// shaped.go is the shaped-link simulator under the thousand-node
+// scenario lab: a Transport whose connections behave like real access
+// links — propagation latency with jitter, asymmetric up/down bandwidth
+// caps, and loss (modeled as retransmission delay on a reliable byte
+// stream). Every endpoint is assigned a LinkClass; a connection between
+// two endpoints combines both ends' classes exactly as two access links
+// in series would: propagation delays add, each direction's rate is the
+// minimum of the sender's uplink and the receiver's downlink, and path
+// loss compounds.
+//
+// Determinism: every jitter and loss draw comes from a per-connection,
+// per-direction PRNG seeded from (net seed, src, dst, dial count), so
+// the shaping schedule of a run does not depend on goroutine
+// interleaving across connections — the same seed and the same
+// per-connection chunk sequence reproduce the same delays and loss
+// events bit for bit. Time itself is injectable (SetClock): unit tests
+// drive a virtual clock and assert on the recorded shaping schedule
+// with no wall-clock flake, while scenario runs use the real clock.
+//
+// Hot-path cost: shaping computes one owed-delay figure per chunk and
+// coalesces sleeps — delay debt accumulates and is paid in a single
+// Sleep once it crosses a granularity threshold, so a thousand-node run
+// is not a thousand goroutines thrashing the timer wheel with
+// microsecond naps.
+
+import (
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+
+	"icd/internal/prng"
+)
+
+// Clock abstracts time for the shaped transport: scenario runs use the
+// real clock, unit tests inject a virtual one so shaping schedules can
+// be asserted deterministically without sleeping.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// LinkClass describes one endpoint's access link. The zero value is an
+// unshaped link (no latency, unlimited rate, no loss).
+type LinkClass struct {
+	// Name labels the class in scenario specs and metrics breakdowns.
+	Name string
+	// Latency is the one-way propagation delay of this access link,
+	// paid once per connection direction (time to first byte); both
+	// endpoints' latencies add along the path.
+	Latency time.Duration
+	// Jitter widens the propagation delay by a uniform draw in
+	// [0, Jitter), fixed per connection direction.
+	Jitter time.Duration
+	// UpBps caps upstream throughput in bytes/second (0 = unlimited).
+	UpBps int
+	// DownBps caps downstream throughput in bytes/second (0 = unlimited).
+	DownBps int
+	// LossProb is the per-chunk probability of a loss event. The
+	// transport is a reliable byte stream, so loss surfaces as a
+	// retransmission delay (LossPenalty), not missing bytes — the same
+	// way TCP turns packet loss into added latency.
+	LossProb float64
+	// LossPenalty is the added delay per loss event (0 picks four times
+	// the path's combined propagation delay, floored at 1ms).
+	LossPenalty time.Duration
+}
+
+// ShapedNet is an in-process network of named endpoints whose
+// connections are shaped per LinkClass — the scenario-lab substrate for
+// running 1000+ simulated nodes in one process. It wraps a PipeNet, so
+// endpoint naming, listener semantics and per-endpoint addresses are
+// exactly PipeNet's; only the byte timing differs. The zero value is
+// not usable; create with NewShapedNet.
+type ShapedNet struct {
+	pipes *PipeNet
+	seed  uint64
+
+	mu      sync.Mutex
+	clock   Clock
+	def     LinkClass
+	classes map[string]LinkClass
+	dials   map[connKey]uint64 // per-(src,dst) dial counts: order-independent conn seeds
+}
+
+type connKey struct{ src, dst string }
+
+// NewShapedNet creates an empty shaped network; seed fixes every jitter
+// and loss draw of the run.
+func NewShapedNet(seed uint64) *ShapedNet {
+	return &ShapedNet{
+		pipes:   NewPipeNet(),
+		seed:    seed,
+		clock:   realClock{},
+		classes: make(map[string]LinkClass),
+		dials:   make(map[connKey]uint64),
+	}
+}
+
+// SetClock replaces the transport's clock (tests inject a virtual one).
+// Call before any Dial.
+func (s *ShapedNet) SetClock(c Clock) {
+	s.mu.Lock()
+	s.clock = c
+	s.mu.Unlock()
+}
+
+// SetDefaultClass sets the link class of every endpoint without an
+// explicit assignment.
+func (s *ShapedNet) SetDefaultClass(c LinkClass) {
+	s.mu.Lock()
+	s.def = c
+	s.mu.Unlock()
+}
+
+// SetClass assigns addr's access-link class.
+func (s *ShapedNet) SetClass(addr string, c LinkClass) {
+	s.mu.Lock()
+	s.classes[addr] = c
+	s.mu.Unlock()
+}
+
+// Class returns addr's link class (the default when unassigned).
+func (s *ShapedNet) Class(addr string) LinkClass {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.classes[addr]; ok {
+		return c
+	}
+	return s.def
+}
+
+// Listen binds addr as an endpoint (PipeNet semantics).
+func (s *ShapedNet) Listen(addr string) (net.Listener, error) { return s.pipes.Listen(addr) }
+
+// Dial connects anonymously to a listening endpoint; the connection is
+// shaped by the default class on the dialer's side and the listener's
+// class on the far side.
+func (s *ShapedNet) Dial(addr string) (net.Conn, error) { return s.dialFrom("", addr) }
+
+// Node returns a view of the network whose dials carry src as their
+// source identity (PipeNet.Node semantics: penalty and gossip planes
+// key by the same dialable name) and are shaped by src's link class.
+func (s *ShapedNet) Node(src string) Transport { return shapedNode{net: s, src: src} }
+
+type shapedNode struct {
+	net *ShapedNet
+	src string
+}
+
+func (n shapedNode) Dial(addr string) (net.Conn, error)       { return n.net.dialFrom(n.src, addr) }
+func (n shapedNode) Listen(addr string) (net.Listener, error) { return n.net.Listen(addr) }
+
+// connSeed derives a per-connection seed from the endpoints and their
+// dial count, independent of the interleaving of other connections.
+func (s *ShapedNet) connSeed(src, dst string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	h.Write([]byte(dst))
+	base := h.Sum64()
+	s.mu.Lock()
+	k := connKey{src, dst}
+	n := s.dials[k]
+	s.dials[k] = n + 1
+	s.mu.Unlock()
+	return s.seed ^ base ^ (n * 0x9E3779B97F4A7C15)
+}
+
+func (s *ShapedNet) dialFrom(src, dst string) (net.Conn, error) {
+	var inner net.Conn
+	var err error
+	if src == "" {
+		inner, err = s.pipes.Dial(dst)
+	} else {
+		inner, err = s.pipes.Node(src).Dial(dst)
+	}
+	if err != nil {
+		return nil, err
+	}
+	seed := s.connSeed(src, dst)
+	s.mu.Lock()
+	clock := s.clock
+	s.mu.Unlock()
+	sc, dc := s.Class(src), s.Class(dst)
+	return &ShapedConn{
+		Conn: inner,
+		up:   newShapedDir(sc, dc, clock, prng.New(seed^0x75706C6B)), // src sends: src up, dst down
+		down: newShapedDir(dc, sc, clock, prng.New(seed^0x646F776E)), // src receives: dst up, src down
+	}, nil
+}
+
+// LinkStats is the shaping record of one connection direction — what
+// the simulator actually did, exposed so tests can assert the schedule
+// without measuring wall clock.
+type LinkStats struct {
+	// Bytes is the total payload shaped in this direction.
+	Bytes int64
+	// Chunks counts the shaped read/write calls.
+	Chunks int64
+	// Losses counts loss events (each added LossPenalty of delay).
+	Losses int64
+	// ShapedDelay is the total delay the shaper owed this direction:
+	// propagation + jitter + serialization + loss penalties.
+	ShapedDelay time.Duration
+}
+
+// ShapedConn is a shaped connection as returned by ShapedNet dials: the
+// dialer's writes are serialized onto its uplink, its reads onto the
+// path's downlink. The accepted (listener-side) half is unwrapped — each
+// direction is shaped exactly once, at the dialing end.
+type ShapedConn struct {
+	net.Conn
+	up, down *shapedDir
+}
+
+// Read delivers bytes after the downlink's shaping delay.
+func (c *ShapedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.down.shape(n)
+	}
+	return n, err
+}
+
+// Write serializes bytes onto the uplink before delivery.
+func (c *ShapedConn) Write(p []byte) (int, error) {
+	c.up.shape(len(p))
+	return c.Conn.Write(p)
+}
+
+// UpStats returns the dialer-to-listener direction's shaping record.
+func (c *ShapedConn) UpStats() LinkStats { return c.up.snapshot() }
+
+// DownStats returns the listener-to-dialer direction's shaping record.
+func (c *ShapedConn) DownStats() LinkStats { return c.down.snapshot() }
+
+// shapeGranularity is the sleep-coalescing threshold: owed delay
+// accumulates as debt and is paid in one Sleep once it crosses this, so
+// per-chunk shaping does not become per-chunk timer churn.
+const shapeGranularity = 200 * time.Microsecond
+
+// shapedDir shapes one direction of a connection: the sender's uplink
+// class in series with the receiver's downlink class.
+type shapedDir struct {
+	clock       Clock
+	latency     time.Duration
+	jitter      time.Duration
+	rate        float64 // bytes/second, 0 = unlimited
+	loss        float64
+	lossPenalty time.Duration
+
+	mu      sync.Mutex
+	rng     *prng.Rand
+	started bool
+	debt    time.Duration
+	stats   LinkStats
+}
+
+// newShapedDir builds the shaper for data flowing from the endpoint of
+// class `from` to the endpoint of class `to`.
+func newShapedDir(from, to LinkClass, clock Clock, rng *prng.Rand) *shapedDir {
+	d := &shapedDir{
+		clock:   clock,
+		latency: from.Latency + to.Latency,
+		jitter:  from.Jitter + to.Jitter,
+		rng:     rng,
+	}
+	rate := minPositive(from.UpBps, to.DownBps)
+	if rate > 0 {
+		d.rate = float64(rate)
+	}
+	// Independent loss on each hop compounds along the path.
+	d.loss = 1 - (1-from.LossProb)*(1-to.LossProb)
+	d.lossPenalty = from.LossPenalty
+	if to.LossPenalty > d.lossPenalty {
+		d.lossPenalty = to.LossPenalty
+	}
+	if d.lossPenalty <= 0 {
+		d.lossPenalty = 4 * d.latency
+		if d.lossPenalty < time.Millisecond {
+			d.lossPenalty = time.Millisecond
+		}
+	}
+	return d
+}
+
+// minPositive returns the smaller positive value (0 = unlimited).
+func minPositive(a, b int) int {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// shape owes this direction the delay of n more bytes and sleeps off
+// accumulated debt past the coalescing granularity.
+func (d *shapedDir) shape(n int) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	var owed time.Duration
+	if !d.started {
+		d.started = true
+		owed += d.latency
+		if d.jitter > 0 {
+			owed += time.Duration(d.rng.Float64() * float64(d.jitter))
+		}
+	}
+	if d.rate > 0 {
+		owed += time.Duration(float64(n) / d.rate * float64(time.Second))
+	}
+	if d.loss > 0 && d.rng.Float64() < d.loss {
+		owed += d.lossPenalty
+		d.stats.Losses++
+	}
+	d.stats.Bytes += int64(n)
+	d.stats.Chunks++
+	d.stats.ShapedDelay += owed
+	d.debt += owed
+	var pay time.Duration
+	if d.debt >= shapeGranularity {
+		pay, d.debt = d.debt, 0
+	}
+	d.mu.Unlock()
+	if pay > 0 {
+		d.clock.Sleep(pay)
+	}
+}
+
+func (d *shapedDir) snapshot() LinkStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -1,0 +1,293 @@
+package faultnet
+
+// shaped_test.go asserts the shaped-link simulator against its
+// configured link classes with an injected virtual clock: the shaping
+// schedule (latency, serialization, loss events) is recorded per
+// connection direction, so every assertion is exact-deterministic — no
+// wall-clock measurement, no flake.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// virtualClock advances only when a shaper sleeps; tests read the
+// recorded LinkStats rather than elapsed time, so the clock exists to
+// keep shaped tests instant.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// shapedPair builds a shaped net with two endpoints of the given
+// classes, a listener at "b" whose accepted conns are echoed by echo,
+// and returns the dialed shaped conn from "a".
+func shapedPair(t *testing.T, seed uint64, a, b LinkClass, serve func(net.Conn)) *ShapedConn {
+	t.Helper()
+	sn := NewShapedNet(seed)
+	sn.SetClock(&virtualClock{})
+	sn.SetClass("a", a)
+	sn.SetClass("b", b)
+	ln, err := sn.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn)
+		conn.Close()
+	}()
+	conn, err := sn.Node("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conn.Close()
+		ln.Close()
+		<-done
+	})
+	sc, ok := conn.(*ShapedConn)
+	if !ok {
+		t.Fatalf("dialed conn is %T, want *ShapedConn", conn)
+	}
+	return sc
+}
+
+// transfer writes total bytes from the listener side in chunk-sized
+// pieces and reads them on the shaped side in the same chunking, so the
+// shaped chunk sequence is deterministic.
+func transfer(t *testing.T, seed uint64, a, b LinkClass, total, chunk int) *ShapedConn {
+	t.Helper()
+	payload := make([]byte, chunk)
+	sc := shapedPair(t, seed, a, b, func(conn net.Conn) {
+		for sent := 0; sent < total; sent += chunk {
+			if _, err := conn.Write(payload); err != nil {
+				return
+			}
+		}
+	})
+	buf := make([]byte, chunk)
+	for got := 0; got < total; got += chunk {
+		if _, err := io.ReadFull(sc, buf); err != nil {
+			t.Fatalf("read at %d/%d: %v", got, total, err)
+		}
+	}
+	return sc
+}
+
+// approx asserts got is within tol of want (duration rounding in the
+// per-chunk serialization math makes exact equality too strict).
+func approx(t *testing.T, what string, got, want, tol time.Duration) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestShapedLinkClasses(t *testing.T) {
+	const total, chunk = 64 << 10, 1 << 10
+	cases := []struct {
+		name     string
+		a, b     LinkClass
+		wantDown time.Duration // expected down-direction ShapedDelay
+		tol      time.Duration
+	}{
+		{
+			name:     "unshaped is free",
+			wantDown: 0,
+			tol:      0,
+		},
+		{
+			name:     "latency paid once per direction",
+			a:        LinkClass{Latency: 3 * time.Millisecond},
+			b:        LinkClass{Latency: 2 * time.Millisecond},
+			wantDown: 5 * time.Millisecond, // one-way propagation, both hops
+			tol:      0,
+		},
+		{
+			name:     "bandwidth serializes bytes",
+			b:        LinkClass{UpBps: 1 << 20}, // sender's uplink caps the path
+			wantDown: time.Duration(float64(total) / float64(1<<20) * float64(time.Second)),
+			tol:      time.Duration(total/chunk) * time.Microsecond,
+		},
+		{
+			name: "receiver downlink caps below sender uplink",
+			a:    LinkClass{DownBps: 512 << 10},
+			b:    LinkClass{UpBps: 4 << 20},
+			wantDown: time.Duration(float64(total) / float64(512<<10) *
+				float64(time.Second)),
+			tol: time.Duration(total/chunk) * time.Microsecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := transfer(t, 42, tc.a, tc.b, total, chunk)
+			down := sc.DownStats()
+			if down.Bytes != total {
+				t.Fatalf("down bytes = %d, want %d", down.Bytes, total)
+			}
+			approx(t, "down delay", down.ShapedDelay, tc.wantDown, tc.tol)
+			if up := sc.UpStats(); up.Bytes != 0 {
+				t.Fatalf("nothing was written up, yet up shaped %d bytes", up.Bytes)
+			}
+		})
+	}
+}
+
+func TestShapedJitterBounded(t *testing.T) {
+	// Jitter widens propagation by a uniform [0, Jitter) draw: delay
+	// must land in [latency, latency+jitter) and differ across
+	// connections (different per-conn seeds).
+	const lat, jit = 2 * time.Millisecond, 8 * time.Millisecond
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 8; i++ {
+		sc := transfer(t, uint64(100+i), LinkClass{}, LinkClass{Latency: lat, Jitter: jit}, 1024, 1024)
+		d := sc.DownStats().ShapedDelay
+		if d < lat || d >= lat+jit {
+			t.Fatalf("jittered delay %v outside [%v, %v)", d, lat, lat+jit)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 seeds produced only %d distinct jitter draws", len(seen))
+	}
+}
+
+func TestShapedLossAddsRetransmitDelay(t *testing.T) {
+	const total, chunk = 256 << 10, 1 << 10 // 256 chunks
+	const loss = 0.25
+	cls := LinkClass{LossProb: loss, LossPenalty: 3 * time.Millisecond}
+	sc := transfer(t, 7, LinkClass{}, cls, total, chunk)
+	down := sc.DownStats()
+	if down.Losses == 0 {
+		t.Fatal("25% loss over 256 chunks produced zero loss events")
+	}
+	// Binomial(256, 0.25): mean 64, σ ≈ 6.9 — a 5σ band is deterministic
+	// in practice for any seed, and the draw itself is seed-fixed anyway.
+	if down.Losses < 30 || down.Losses > 100 {
+		t.Fatalf("loss events = %d, want ≈64 (5σ band [30,100])", down.Losses)
+	}
+	want := time.Duration(down.Losses) * cls.LossPenalty
+	approx(t, "loss delay", down.ShapedDelay, want, time.Microsecond)
+}
+
+func TestShapedAsymmetricUpDown(t *testing.T) {
+	// An ADSL-shaped endpoint: fast down, slow up. An echo transfer in
+	// both directions must record ~8x more delay upstream.
+	const total, chunk = 32 << 10, 1 << 10
+	adsl := LinkClass{UpBps: 256 << 10, DownBps: 2 << 20}
+	payload := make([]byte, chunk)
+	sc := shapedPair(t, 21, adsl, LinkClass{}, func(conn net.Conn) {
+		buf := make([]byte, chunk)
+		for n := 0; n < total; n += chunk {
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return
+			}
+		}
+		for n := 0; n < total; n += chunk {
+			if _, err := conn.Write(payload); err != nil {
+				return
+			}
+		}
+	})
+	for n := 0; n < total; n += chunk {
+		if _, err := sc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, chunk)
+	for n := 0; n < total; n += chunk {
+		if _, err := io.ReadFull(sc, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up, down := sc.UpStats(), sc.DownStats()
+	if up.Bytes != total || down.Bytes != total {
+		t.Fatalf("bytes up/down = %d/%d, want %d each", up.Bytes, down.Bytes, total)
+	}
+	wantUp := time.Duration(float64(total) / float64(256<<10) * float64(time.Second))
+	wantDown := time.Duration(float64(total) / float64(2<<20) * float64(time.Second))
+	tol := time.Duration(total/chunk) * time.Microsecond
+	approx(t, "up delay", up.ShapedDelay, wantUp, tol)
+	approx(t, "down delay", down.ShapedDelay, wantDown, tol)
+}
+
+func TestShapedDeterministicAcrossRuns(t *testing.T) {
+	// Same seed, same chunk sequence ⇒ identical shaping schedule, bit
+	// for bit — the reproducibility contract scenario runs rely on.
+	cls := LinkClass{
+		Latency:  time.Millisecond,
+		Jitter:   4 * time.Millisecond,
+		UpBps:    1 << 20,
+		LossProb: 0.1,
+	}
+	run := func() (LinkStats, LinkStats) {
+		sc := transfer(t, 99, LinkClass{DownBps: 2 << 20}, cls, 128<<10, 2<<10)
+		return sc.UpStats(), sc.DownStats()
+	}
+	up1, down1 := run()
+	up2, down2 := run()
+	if up1 != up2 || down1 != down2 {
+		t.Fatalf("same seed diverged:\nup   %+v vs %+v\ndown %+v vs %+v", up1, up2, down1, down2)
+	}
+	// And a different seed must actually change the draws.
+	sc := transfer(t, 100, LinkClass{DownBps: 2 << 20}, cls, 128<<10, 2<<10)
+	if d := sc.DownStats(); d == down1 {
+		t.Fatal("different seed reproduced the identical shaping schedule")
+	}
+}
+
+func TestShapedNetKeepsPipeNetAddressing(t *testing.T) {
+	// The shaped transport must preserve PipeNet's per-endpoint address
+	// identity — penalty boxes and gossip key by these names.
+	sn := NewShapedNet(1)
+	ln, err := sn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, err := sn.Node("cli").Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	srvSide := <-accepted
+	defer srvSide.Close()
+	if got := srvSide.RemoteAddr().String(); got != "cli" {
+		t.Fatalf("server saw remote %q, want %q", got, "cli")
+	}
+	if got := conn.RemoteAddr().String(); got != "srv" {
+		t.Fatalf("client saw remote %q, want %q", got, "srv")
+	}
+}

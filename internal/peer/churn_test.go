@@ -9,11 +9,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"icd/internal/faultnet"
 )
 
 // connServer is anything that can serve one established connection —
@@ -22,29 +23,64 @@ type connServer interface {
 	ServeConn(net.Conn) error
 }
 
-// pipeNet maps synthetic addresses to in-process servers; its dial
-// serves every connection over net.Pipe (optionally through a
-// connection-wrapping hook for failure injection).
+// pipeNet is the peer suite's view of the one in-process pipe transport,
+// faultnet.PipeNet: add registers a server behind a real listener and
+// accept loop, dial goes through the shared transport (optionally via a
+// connection-wrapping hook for failure injection). Every dial carries
+// the constant source identity "pipe", so all test clients share one
+// inbound penalty identity — the semantics these suites were written
+// against. close tears the listeners down (tests that defer a
+// goroutine-leak check close the net first).
 type pipeNet struct {
-	mu      sync.Mutex
-	servers map[string]connServer
-	wrap    map[string]func(net.Conn) net.Conn
-	dials   map[string]int
+	fn *faultnet.PipeNet
+
+	mu    sync.Mutex
+	wrap  map[string]func(net.Conn) net.Conn
+	dials map[string]int
+	lns   []net.Listener
 }
 
 func newPipeNet() *pipeNet {
 	return &pipeNet{
-		servers: make(map[string]connServer),
-		wrap:    make(map[string]func(net.Conn) net.Conn),
-		dials:   make(map[string]int),
+		fn:    faultnet.NewPipeNet(),
+		wrap:  make(map[string]func(net.Conn) net.Conn),
+		dials: make(map[string]int),
 	}
 }
 
 func (pn *pipeNet) add(addr string, s connServer) string {
+	ln, err := pn.fn.Listen(addr)
+	if err != nil {
+		panic(err) // re-binding a live test address is a harness bug
+	}
 	pn.mu.Lock()
-	defer pn.mu.Unlock()
-	pn.servers[addr] = s
+	pn.lns = append(pn.lns, ln)
+	pn.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				s.ServeConn(c)
+			}(conn)
+		}
+	}()
 	return addr
+}
+
+// close shuts every registered listener down, unwinding the accept
+// loops (their served connections unwind with the sessions using them).
+func (pn *pipeNet) close() {
+	pn.mu.Lock()
+	lns := pn.lns
+	pn.lns = nil
+	pn.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
 }
 
 // wrapAll installs a client-conn wrapper applied on every dial to addr
@@ -71,18 +107,13 @@ func (pn *pipeNet) wrapNth(addr string, n int, w func(net.Conn) net.Conn) {
 
 func (pn *pipeNet) dial(addr string) (net.Conn, error) {
 	pn.mu.Lock()
-	s := pn.servers[addr]
 	pn.dials[addr]++
 	w := pn.wrap[addr]
 	pn.mu.Unlock()
-	if s == nil {
-		return nil, fmt.Errorf("pipeNet: no server at %s", addr)
+	client, err := pn.fn.Node("pipe").Dial(addr)
+	if err != nil {
+		return nil, err
 	}
-	client, server := net.Pipe()
-	go func() {
-		defer server.Close()
-		s.ServeConn(server)
-	}()
 	if w != nil {
 		pn.mu.Lock()
 		client = w(client)

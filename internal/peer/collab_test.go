@@ -131,9 +131,7 @@ func TestCollaborativeExchangeBeatsDownloadOnly(t *testing.T) {
 		return srv
 	}
 	throttle := func(pn *pipeNet, addr string) {
-		pn.mu.Lock()
-		pn.wrap[addr] = func(c net.Conn) net.Conn { return &slowConn{Conn: c, delay: time.Millisecond} }
-		pn.mu.Unlock()
+		pn.wrapAll(addr, func(c net.Conn) net.Conn { return &slowConn{Conn: c, delay: time.Millisecond} })
 	}
 
 	// --- download-only baseline: partners serve static initial sets ---

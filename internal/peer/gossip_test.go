@@ -138,8 +138,13 @@ func TestCandidatePoolDefersAndPromotes(t *testing.T) {
 	if !o.DropPeer(first) {
 		t.Fatal("live peer not found")
 	}
+	// Latch on the cumulative session table, not the live one: the
+	// promoted transfer can complete inside a single poll interval, and
+	// a finished session has already left Sessions().
 	h.await("best candidate promoted", 2*time.Second, func() bool {
-		for _, st := range o.Sessions() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		for _, st := range o.stats {
 			if st.Addr == hi {
 				return true
 			}

@@ -230,6 +230,7 @@ func TestGossipBootstrapFromSingleSeed(t *testing.T) {
 func TestRunWithNoPeersUnblocksWaitInfo(t *testing.T) {
 	defer checkGoroutines(t)()
 	h := newHarness(t, 60, 32)
+	defer h.pn.close() // stop any accept loops before the leak check
 	o := NewOrchestrator(h.info.ID, FetchOptions{Timeout: time.Second, Dial: h.pn.dial})
 	waited := make(chan error, 1)
 	go func() {

@@ -69,6 +69,7 @@ func (m muteServer) ServeConn(conn net.Conn) error {
 func TestStallWatchdogResetsAndEscalatesToBan(t *testing.T) {
 	defer checkGoroutines(t)()
 	h := newHarness(t, 60, 32)
+	defer h.pn.close() // stop the accept loops before the leak check
 	h.pn.add("mute", muteServer{info: h.info})
 
 	// A stall resets the connection rather than evicting the session: one
@@ -132,6 +133,7 @@ func (junkServer) ServeConn(conn net.Conn) error {
 func TestCorruptPeerBannedAndRedialShortCircuited(t *testing.T) {
 	defer checkGoroutines(t)()
 	h := newHarness(t, 120, 48)
+	defer h.pn.close() // stop the accept loops before the leak check
 	h.addFull("seed", time.Millisecond)
 	h.pn.add("evil", junkServer{})
 
@@ -194,6 +196,7 @@ func TestTerminalErrorsSkipRedialBudget(t *testing.T) {
 	// the first dial with no redials despite a generous budget.
 	defer checkGoroutines(t)()
 	h := newHarness(t, 40, 32)
+	defer h.pn.close() // stop the accept loops before the leak check
 	otherInfo, otherData := testContentID(t, 0xBEEF, 40, 32)
 	srv, err := NewFullServer(otherInfo, otherData)
 	if err != nil {
@@ -234,13 +237,14 @@ func TestTerminalErrorsSkipRedialBudget(t *testing.T) {
 func TestRefusedPeerTerminalAndUncharged(t *testing.T) {
 	defer checkGoroutines(t)()
 	h := newHarness(t, 40, 32)
+	defer h.pn.close() // stop the accept loops before the leak check
 	h.addFull("seed", 0)
 	grudge, err := NewFullServer(h.info, h.data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	grudgeBox := NewPenaltyBox()
-	grudgeBox.Penalize("pipe", 2*DefaultBanScore) // net.Pipe remotes all key as "pipe"
+	grudgeBox.Penalize("pipe", 2*DefaultBanScore) // pipeNet dials all carry source identity "pipe"
 	grudge.SetPenalties(grudgeBox)
 	h.pn.add("grudge", grudge)
 

@@ -1,0 +1,27 @@
+// Package scenario is the thousand-node scenario lab: a deterministic,
+// single-process harness that runs large simulated swarms of full
+// node.Node instances over the shaped-link transport
+// (faultnet.ShapedNet) and measures swarm-scale convergence.
+//
+// A Spec is the scenario DSL — a plain Go struct, JSON-loadable — that
+// declares node roles (seeds holding the full content, providers
+// starting with partial working sets, clients starting empty,
+// bystanders that only occupy the network), the bootstrap density,
+// weighted link classes (latency, jitter, asymmetric up/down bandwidth,
+// loss), and a churn schedule of join/leave/kill events at offsets from
+// the run start.
+//
+// Spec.Plan expands the declaration into a concrete, reproducible
+// per-node plan: addresses, link-class assignment, bootstrap peer sets
+// and churn victims are all drawn from the spec's seed, so the same
+// seed reproduces the identical topology and churn schedule bit for
+// bit. Run executes a plan — every node a real node.Node with its own
+// listener, gossip directory and penalty box, wired through the shaped
+// transport — and reports swarm metrics: convergence time (slowest
+// completion), fairness (p95/p50 completion spread), and origin offload
+// (the fraction of useful symbols served by non-seed nodes).
+//
+// Presets (Clean, Lossy, Churn) size canonical scenarios at any node
+// count; cmd/icdbench runs them at 100 and 1000 nodes as the `lab`
+// experiment.
+package scenario

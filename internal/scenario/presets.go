@@ -1,0 +1,90 @@
+package scenario
+
+// presets.go sizes the three canonical lab scenarios at any node
+// count: clean (shaped but benign links), lossy (jittery, lossy,
+// asymmetric access links) and churn (clean links plus a kill wave, a
+// leave wave and a late join wave). Role mix scales with the
+// population: ~1% seeds, 20% providers, 5% bystanders, clients the
+// rest.
+
+import (
+	"fmt"
+	"time"
+)
+
+// PresetNames lists the built-in scenarios in display order.
+func PresetNames() []string { return []string{"clean", "lossy", "churn"} }
+
+// Preset builds a named scenario sized to `nodes` initial members.
+func Preset(name string, nodes int, seed uint64) (Spec, error) {
+	if nodes < 3 {
+		return Spec{}, fmt.Errorf("scenario: preset %q needs at least 3 nodes, got %d", name, nodes)
+	}
+	seeds := nodes / 100
+	if seeds < 1 {
+		seeds = 1
+	}
+	providers := nodes / 5
+	bystanders := nodes / 20
+	clients := nodes - seeds - providers - bystanders
+	if clients < 1 {
+		clients = 1
+	}
+	base := Spec{
+		Name:       name,
+		Seed:       seed,
+		Seeds:      seeds,
+		Providers:  providers,
+		Clients:    clients,
+		Bystanders: bystanders,
+		Bootstrap:  3,
+	}
+
+	switch name {
+	case "clean":
+		// Benign but shaped: campus-class links, enough latency that the
+		// shaper is exercised without dominating a CI run.
+		base.Links = []LinkSpec{
+			{Name: "campus", Weight: 1, Latency: Duration(500 * time.Microsecond), UpBps: 64 << 20, DownBps: 64 << 20},
+		}
+		return base, nil
+	case "lossy":
+		// A mixed access population: symmetric campus links, asymmetric
+		// dsl with jitter, and a lossy wireless tail.
+		base.Links = []LinkSpec{
+			{Name: "campus", Weight: 2, Latency: Duration(500 * time.Microsecond), UpBps: 64 << 20, DownBps: 64 << 20},
+			{Name: "dsl", Weight: 2, Latency: Duration(2 * time.Millisecond), Jitter: Duration(time.Millisecond),
+				UpBps: 4 << 20, DownBps: 16 << 20},
+			{Name: "wireless", Weight: 1, Latency: Duration(3 * time.Millisecond), Jitter: Duration(2 * time.Millisecond),
+				UpBps: 8 << 20, DownBps: 8 << 20, LossProb: 0.02},
+		}
+		return base, nil
+	case "churn":
+		// Clean links, hostile membership: a kill wave mid-ramp, a
+		// graceful leave wave, and a late join wave that must still
+		// converge against an already-busy swarm.
+		base.Links = []LinkSpec{
+			{Name: "campus", Weight: 1, Latency: Duration(500 * time.Microsecond), UpBps: 64 << 20, DownBps: 64 << 20},
+		}
+		kills := clients / 10
+		if kills < 1 {
+			kills = 1
+		}
+		leaves := providers / 10
+		if leaves < 1 {
+			leaves = 1
+		}
+		joins := clients / 10
+		if joins < 1 {
+			joins = 1
+		}
+		base.Churn = []ChurnEvent{
+			{At: Duration(300 * time.Millisecond), Action: ActionKill, Role: RoleClient, Count: kills},
+			{At: Duration(500 * time.Millisecond), Action: ActionLeave, Role: RoleProvider, Count: leaves},
+			{At: Duration(700 * time.Millisecond), Action: ActionJoin, Role: RoleClient, Count: joins},
+		}
+		return base, nil
+	default:
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+	}
+}

@@ -29,7 +29,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		all     = flag.Bool("all", false, "run every experiment")
 		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline, sharded decode)")
-		jsonOut = flag.String("json", "", "with -micro or -exp lab: also write results as a JSON array to this path")
+		jsonOut = flag.String("json", "", "with -micro, -exp lab or -exp fabric: also write results as a JSON array to this path")
 		labMax  = flag.Int("labmax", 0, "with -exp lab: cap the scenario node counts (0 = canonical 100 and 1000)")
 		exp     = flag.String("exp", "", "experiment id to run")
 		n       = flag.Int("n", 0, "source blocks for transfer experiments (default 2000)")
@@ -78,6 +78,23 @@ func main() {
 		fmt.Printf("(lab in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if *jsonOut != "" {
 			if err := experiment.WriteLabJSON(*jsonOut, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+	case *exp == "fabric":
+		// The fabric sweep also gets its own path so -json can write the
+		// BENCH artifact rows (stop-and-wait vs pipelined per RTT).
+		start := time.Now()
+		rows, err := experiment.FabricResults(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdbench: fabric: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.FabricTable(rows).Render())
+		fmt.Printf("(fabric in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "" {
+			if err := experiment.WriteFabricJSON(*jsonOut, rows); err != nil {
 				fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", *jsonOut, err)
 				os.Exit(1)
 			}

@@ -267,4 +267,45 @@
 // `icdnode node` runs one: serve and fetch any number of contents from
 // one -listen address; `icdbench -exp multicontent` measures aggregate
 // goodput and per-content completion at 1 vs 3 concurrent contents.
+//
+// # Connection fabric (one wire per peer)
+//
+// internal/peermux multiplexes every content session a node runs
+// against one peer onto a single protocol-v5 connection, collapsing
+// connection count from O(peers × contents) to O(peers).
+//
+// Wire layout: a fabric connection opens with one MUX_HELLO exchange
+// (channel capacity + dialable listen address) instead of a per-content
+// HELLO. Each content transfer then negotiates a subchannel
+// (OPEN_CHANNEL carries the opener's content HELLO; ACCEPT_CHANNEL
+// answers with the content metadata, REJECT_CHANNEL reuses the
+// canonical ERROR vocabulary), and every legacy session frame travels
+// inside a 3-byte MUX envelope — channel id + inner type — under the
+// outer frame's CRC, so the per-channel state machines are exactly the
+// legacy session state machines. PEERS gossip is deduplicated per
+// wire, not per channel.
+//
+// Credit model: only symbol-bearing frames spend credits. The receiver
+// grants an initial per-channel window, the sender blocks when the
+// window is spent, and credits replenish as the consumer actually
+// drains symbols off the channel queue — so a slow decode throttles
+// only its own channel while siblings keep their throughput, and a
+// sender that overruns the window is charged to the penalty box.
+//
+// AIMD request ramp: fabric sessions replace stop-and-wait (one
+// request batch in flight, one RTT per batch) with a pipelined ramp —
+// K batches outstanding, K growing additively while batches deliver
+// useful symbols and halving when the duplicate-symbol rate crosses
+// PipelineDupHigh (FetchOptions.PipelineDepth: 0 adaptive up to
+// MaxPipelineDepth, 1 forces stop-and-wait). On a 100ms-RTT shaped
+// link the ramp moves >6x stop-and-wait goodput (icdbench -exp
+// fabric).
+//
+// Channel lifecycle and version fallback: a Fabric refcounts wires per
+// address — the first Open dials and shakes hands, later Opens share
+// the wire, the last Close tears it down. v5 nodes interoperate with
+// v4 peers in both directions: servers detect v4-framed clients and
+// answer in v4 framing, and a dialer whose fabric handshake is
+// version-rejected demotes that peer to dedicated legacy connections
+// (node.Options.DisableFabric forces that mode globally).
 package icd

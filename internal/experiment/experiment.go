@@ -222,6 +222,10 @@ func Registry() []Runner {
 			t, err := Lab(o)
 			return stringerTable{t}, err
 		}},
+		{"fabric", "connection fabric: pipelined AIMD ramp vs stop-and-wait over shaped RTTs (PR 8)", func(o Options) (fmt.Stringer, error) {
+			t, err := Fabric(o)
+			return stringerTable{t}, err
+		}},
 	}
 }
 

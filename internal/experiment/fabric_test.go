@@ -1,0 +1,85 @@
+package experiment
+
+// fabric_test.go pins the fabric sweep's plumbing: the content-size
+// clamp, one real shaped-link fetch per discipline at a small RTT
+// (leak-checked), and the BENCH artifact round trip.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"icd/internal/testutil"
+)
+
+func TestFabricNClamp(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1500}, {600, 1500}, {1500, 1500}, {2000, 2000}, {4096, 4096}, {9999, 4096},
+	}
+	for _, tc := range cases {
+		if got := fabricN(tc.in); got != tc.want {
+			t.Fatalf("fabricN(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFabricFetchBothDisciplines(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	fix, err := BuildSwarmFixture(400, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := runFabricFetch(fix, 11, 4*time.Millisecond, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := runFabricFetch(fix, 11, 4*time.Millisecond, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []FabricRow{sw, pl} {
+		if !r.Completed || r.GoodputKBps <= 0 || r.ElapsedMs <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+	}
+	if sw.Mode != "stopwait" || pl.Mode != "pipelined" {
+		t.Fatalf("mode labels wrong: %q / %q", sw.Mode, pl.Mode)
+	}
+	// Even at 4ms RTT the pipelined ramp should not be slower than
+	// stop-and-wait by more than noise; the real >=3x bar is enforced at
+	// 100ms by FabricResults (too slow for a unit test).
+	if pl.GoodputKBps < sw.GoodputKBps/2 {
+		t.Fatalf("pipelined (%.0f KB/s) far below stop-and-wait (%.0f KB/s)",
+			pl.GoodputKBps, sw.GoodputKBps)
+	}
+}
+
+func TestFabricArtifactRoundTrip(t *testing.T) {
+	rows := []FabricRow{
+		{RTTMs: 1, Mode: "stopwait", Depth: 1, Batch: 32, Blocks: 2000, Bytes: 512000,
+			Completed: true, ElapsedMs: 215, GoodputKBps: 2328, Speedup: 1},
+		{RTTMs: 1, Mode: "pipelined", Depth: 0, Batch: 32, Blocks: 2000, Bytes: 512000,
+			Completed: true, ElapsedMs: 58, GoodputKBps: 8667, Speedup: 3.72},
+	}
+	tbl := FabricTable(rows)
+	if tbl.ID != "fabric" || len(tbl.Rows) != 2 {
+		t.Fatalf("table shape wrong: %+v", tbl)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fabric.json")
+	if err := WriteFabricJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []FabricRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != rows[0] || back[1] != rows[1] {
+		t.Fatalf("artifact round trip changed rows: %+v vs %+v", back, rows)
+	}
+}

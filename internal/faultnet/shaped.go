@@ -85,11 +85,12 @@ type ShapedNet struct {
 	pipes *PipeNet
 	seed  uint64
 
-	mu      sync.Mutex
-	clock   Clock
-	def     LinkClass
-	classes map[string]LinkClass
-	dials   map[connKey]uint64 // per-(src,dst) dial counts: order-independent conn seeds
+	mu       sync.Mutex
+	clock    Clock
+	def      LinkClass
+	classes  map[string]LinkClass
+	dials    map[connKey]uint64 // per-(src,dst) dial counts: order-independent conn seeds
+	delivery bool               // delivery-time propagation mode (see delay.go)
 }
 
 type connKey struct{ src, dst string }
@@ -190,13 +191,15 @@ func (s *ShapedNet) dialFrom(src, dst string) (net.Conn, error) {
 	seed := s.connSeed(src, dst)
 	s.mu.Lock()
 	clock := s.clock
+	delivery := s.delivery
 	s.mu.Unlock()
 	sc, dc := s.Class(src), s.Class(dst)
-	return &ShapedConn{
-		Conn: inner,
-		up:   newShapedDir(sc, dc, clock, prng.New(seed^0x75706C6B)), // src sends: src up, dst down
-		down: newShapedDir(dc, sc, clock, prng.New(seed^0x646F776E)), // src receives: dst up, src down
-	}, nil
+	up := newShapedDir(sc, dc, clock, prng.New(seed^0x75706C6B))   // src sends: src up, dst down
+	down := newShapedDir(dc, sc, clock, prng.New(seed^0x646F776E)) // src receives: dst up, src down
+	if delivery {
+		return newDelayConn(inner, up, down), nil
+	}
+	return &ShapedConn{Conn: inner, up: up, down: down}, nil
 }
 
 // LinkStats is the shaping record of one connection direction — what
@@ -263,6 +266,7 @@ type shapedDir struct {
 	rng     *prng.Rand
 	started bool
 	debt    time.Duration
+	horizon time.Time // delivery mode: when the last chunk surfaces
 	stats   LinkStats
 }
 

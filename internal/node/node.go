@@ -36,6 +36,8 @@ import (
 
 	"icd/internal/faultnet"
 	"icd/internal/peer"
+	"icd/internal/peermux"
+	"icd/internal/protocol"
 )
 
 // Options configure a Node.
@@ -73,6 +75,13 @@ type Options struct {
 	// with a retryable busy ERROR so dialers back off instead of piling
 	// onto a saturated node.
 	MaxInbound int
+	// DisableFabric turns off the node's shared connection fabric:
+	// every fetch session dials its own dedicated connection (the
+	// pre-fabric behavior, O(peers × contents) connections) instead of
+	// riding a subchannel on the node's one wire per peer. Useful
+	// against peers whose listeners predate the fabric handshake,
+	// though the fabric also falls back per-dial on a version reject.
+	DisableFabric bool
 	// Fetch is the per-orchestrator option template. Gossip,
 	// AdvertiseAddr and (under a MaxConns budget) MaxPeers are
 	// overridden per fetch by the node.
@@ -99,6 +108,7 @@ type Node struct {
 	store     *Store
 	mux       *peer.ServerMux
 	penalties *peer.PenaltyBox // node-wide misbehavior box (mux + every fetch)
+	fabric    *peermux.Fabric  // shared outbound wires: one per peer, all contents
 
 	schedMu sync.Mutex // serializes rebalance passes (tick vs StartFetch)
 
@@ -148,6 +158,37 @@ func New(opts Options) *Node {
 	}
 	n.mux.SetGossip(n.gossip)
 	n.mux.SetPenalties(n.penalties)
+	if !opts.DisableFabric {
+		// One wire per peer, shared by every fetch: the fabric dials
+		// through the same transport sessions would have used, advertises
+		// the node's listen address in its handshake, and feeds wire-level
+		// misbehavior and gossip into the node-wide planes.
+		dial := opts.Fetch.Dial
+		if dial == nil && opts.Transport != nil {
+			dial = opts.Transport.Dial
+		}
+		if dial == nil {
+			timeout := opts.Fetch.Timeout
+			if timeout <= 0 {
+				timeout = 30 * time.Second
+			}
+			dial = func(addr string) (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, timeout)
+			}
+		}
+		n.fabric = peermux.NewFabric(dial, peermux.Config{
+			Timeout:    opts.Fetch.Timeout,
+			ListenAddr: opts.Listen,
+			OnPeers: func(ads []protocol.PeerAd) {
+				for _, ad := range ads {
+					n.gossip.Learn(ad)
+				}
+			},
+		})
+		n.fabric.SetPenalize(func(addr string, weight float64) {
+			n.penalties.Penalize(addr, weight)
+		})
+	}
 	if opts.MaxInbound > 0 {
 		n.mux.SetMaxConns(opts.MaxInbound)
 	}
@@ -210,6 +251,9 @@ func (n *Node) Close() error {
 	close(n.stop)
 	n.mu.Unlock()
 	n.ticker.Wait()
+	if n.fabric != nil {
+		n.fabric.Close()
+	}
 	return n.mux.Close()
 }
 
@@ -356,6 +400,7 @@ func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string
 	fo.Gossip = n.gossip
 	fo.AdvertiseAddr = n.opts.Listen
 	fo.Penalties = n.penalties
+	fo.Fabric = n.fabric // nil when DisableFabric: dedicated connections
 	if fo.Dial == nil && n.opts.Transport != nil {
 		fo.Dial = n.opts.Transport.Dial
 	}

@@ -1,11 +1,16 @@
 package peer
 
-// compat_test.go is the cross-version handshake matrix: a v3 client
-// against this (v4) server and a v4 client against a simulated v3
-// server must both fail cleanly — ErrVersion surfaced, the server
+// compat_test.go is the cross-version handshake matrix. The library is
+// v5 and still speaks v4 (VersionLegacy): a v4 client's frames parse
+// here and every reply to one is stamped v4 through a LegacyWriter, so
+// a whole legacy session runs against a current server; a current
+// client demoted by a version reject retries in legacy framing. Peers
+// older than v4 must fail cleanly — ErrVersion surfaced, the server
 // answering a human-readable ERROR, and no goroutine left behind
-// (checked with a hand-rolled leak detector; the engine has no
-// goleak dependency).
+// (checked with a hand-rolled leak detector; the engine has no goleak
+// dependency). The fabric handshake (MUX_HELLO) has no legacy form, so
+// a fabric dial against a legacy listener must demote the session to a
+// dedicated legacy connection rather than fail the peer.
 
 import (
 	"encoding/binary"
@@ -18,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"icd/internal/peermux"
 	"icd/internal/protocol"
 	"icd/internal/testutil"
 )
@@ -29,7 +35,7 @@ func checkGoroutines(t *testing.T) func() { return testutil.CheckGoroutines(t) }
 
 // frameWithVersion replicates the wire framing with an arbitrary
 // version byte — the only way to speak as an older peer now that the
-// library itself is v4.
+// library itself is v5.
 func frameWithVersion(version uint8, t protocol.Type, payload []byte) []byte {
 	buf := make([]byte, 0, 8+len(payload)+4)
 	buf = append(buf, 0xD0, 0x1C, version, byte(t))
@@ -72,7 +78,7 @@ func v3Hello(contentID uint64) []byte {
 	return buf
 }
 
-func TestCrossVersionMatrixV3ClientV4Server(t *testing.T) {
+func TestCrossVersionMatrixV3ClientV5Server(t *testing.T) {
 	defer checkGoroutines(t)()
 	info, data := testContent(t, 60, 32)
 	srv, err := NewFullServer(info, data)
@@ -99,7 +105,7 @@ func TestCrossVersionMatrixV3ClientV4Server(t *testing.T) {
 	go client.Write(frameWithVersion(3, protocol.TypeHello, v3Hello(info.ID)))
 
 	// The server answers a clean ERROR naming the version problem. It is
-	// framed as v4 — a real v3 client's reader rejects that with its own
+	// framed as v5 — a real v3 client's reader rejects that with its own
 	// ErrVersion, which is still a clean handshake failure, not a
 	// misparse — so the test reads it version-agnostically.
 	version, typ, payload := readFrameAnyVersion(t, client)
@@ -118,13 +124,15 @@ func TestCrossVersionMatrixV3ClientV4Server(t *testing.T) {
 	}
 }
 
-func TestCrossVersionMatrixV4ClientV3Server(t *testing.T) {
+func TestCrossVersionMatrixV5ClientV3Server(t *testing.T) {
 	defer checkGoroutines(t)()
 	info, _ := testContent(t, 60, 32)
 
 	// A simulated v3 server: reads whatever handshake arrives, then
 	// answers a v3-framed ERROR — what a real v3 peer does when it sees
-	// our v4 HELLO's version byte.
+	// our HELLO's version byte. The client retries once in v4 framing
+	// (the legacy fallback), gets the same answer, and must then surface
+	// ErrVersion terminally.
 	dial := func(addr string) (net.Conn, error) {
 		client, server := net.Pipe()
 		go func() {
@@ -159,18 +167,217 @@ func TestCrossVersionMatrixV4ClientV3Server(t *testing.T) {
 	}
 }
 
+// TestLegacyV4ClientFullSession runs a whole v4-framed session against
+// a current server: handshake, a symbol batch, clean shutdown — and
+// every server reply must carry the v4 version byte (the LegacyWriter
+// overlay), because a real v4 reader rejects v5 frames outright.
+func TestLegacyV4ClientFullSession(t *testing.T) {
+	defer checkGoroutines(t)()
+	info, data := testContent(t, 60, 32)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serveErr error
+	go func() {
+		defer wg.Done()
+		serveErr = srv.ServeConn(server)
+		server.Close()
+	}()
+	client.SetDeadline(time.Now().Add(10 * time.Second))
+
+	writeV4 := func(f protocol.Frame) {
+		if _, err := client.Write(frameWithVersion(protocol.VersionLegacy, f.Type, f.Payload)); err != nil {
+			t.Errorf("v4 client write: %v", err)
+		}
+	}
+	go writeV4(protocol.EncodeHello(protocol.Hello{
+		ContentID:   info.ID,
+		SummaryMask: protocol.AllSummaryMask,
+	}))
+
+	version, typ, _ := readFrameAnyVersion(t, client)
+	if typ != protocol.TypeError && version != protocol.VersionLegacy {
+		t.Fatalf("server answered %v framed v%d, want v%d", typ, version, protocol.VersionLegacy)
+	}
+	if typ != protocol.TypeHello {
+		t.Fatalf("server answered %v, want HELLO", typ)
+	}
+
+	const batch = 8
+	go writeV4(protocol.EncodeRequest(batch))
+	symbols := 0
+	for {
+		version, typ, _ := readFrameAnyVersion(t, client)
+		if version != protocol.VersionLegacy {
+			t.Fatalf("server sent %v framed v%d, want v%d", typ, version, protocol.VersionLegacy)
+		}
+		if typ == protocol.TypeDone {
+			break
+		}
+		if typ != protocol.TypeSymbol {
+			t.Fatalf("server sent %v, want SYMBOL or DONE", typ)
+		}
+		symbols++
+	}
+	if symbols != batch {
+		t.Fatalf("batch delivered %d symbols, want %d", symbols, batch)
+	}
+
+	go writeV4(protocol.EncodeDone())
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("server session error: %v", serveErr)
+	}
+}
+
+// replayConn re-serves already-consumed bytes ahead of the live stream
+// — how the fallback test hands a peeked HELLO back to the real server.
+type replayConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (c *replayConn) Read(p []byte) (int, error) {
+	if len(c.pre) > 0 {
+		n := copy(p, c.pre)
+		c.pre = c.pre[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+// versionSniffConn records the version byte of every frame written
+// through it (the one-frame-per-Write invariant makes this exact).
+type versionSniffConn struct {
+	net.Conn
+	mu       sync.Mutex
+	versions []uint8
+}
+
+func (c *versionSniffConn) Write(p []byte) (int, error) {
+	if len(p) >= 8 && binary.LittleEndian.Uint16(p) == 0x1CD0 {
+		c.mu.Lock()
+		c.versions = append(c.versions, p[2])
+		c.mu.Unlock()
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *versionSniffConn) sent() []uint8 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint8(nil), c.versions...)
+}
+
+// TestFabricDialLegacyServerFallsBack: a fetch riding the connection
+// fabric against a listener that predates it (a v4 peer rejects the
+// MUX_HELLO's version byte) must demote the session to a dedicated
+// legacy-framed connection and still complete the transfer — every
+// frame of the retry stamped v4.
+func TestFabricDialLegacyServerFallsBack(t *testing.T) {
+	defer checkGoroutines(t)()
+	info, data := testContent(t, 60, 32)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var dials int
+	var sniffs []*versionSniffConn
+	var wg sync.WaitGroup
+	dial := func(addr string) (net.Conn, error) {
+		client, server := net.Pipe()
+		sn := &versionSniffConn{Conn: client}
+		mu.Lock()
+		dials++
+		sniffs = append(sniffs, sn)
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer server.Close()
+			server.SetDeadline(time.Now().Add(10 * time.Second))
+			ver, typ, payload := readFrameAnyVersion(t, server)
+			if ver != protocol.VersionLegacy {
+				// The fabric handshake (or anything else framed v5): answer
+				// the canonical version reject the way a real v4 peer does.
+				server.Write(frameWithVersion(protocol.VersionLegacy,
+					protocol.TypeError, []byte("unsupported protocol version (speaking 4)")))
+				return
+			}
+			// A v4-framed HELLO: replay it to the real server, which
+			// detects the legacy client and answers in v4 framing itself.
+			server.SetDeadline(time.Time{})
+			srv.ServeConn(&replayConn{Conn: server, pre: frameWithVersion(ver, typ, payload)})
+		}()
+		return sn, nil
+	}
+
+	fabric := peermux.NewFabric(dial, peermux.Config{Timeout: 5 * time.Second})
+	defer fabric.Close()
+	res, err := Fetch([]string{"legacy-server"}, info.ID, FetchOptions{
+		Timeout: 10 * time.Second,
+		Dial:    dial,
+		Fabric:  fabric,
+	})
+	if err != nil {
+		t.Fatalf("fallback fetch failed: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("fallback fetch did not complete")
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2 (fabric attempt + legacy retry)", dials)
+	}
+	// Dial 1 is the fabric handshake (v5 MUX_HELLO); dial 2 is the
+	// demoted session and every frame of it must be stamped v4.
+	for _, v := range sniffs[0].sent() {
+		if v != protocol.Version {
+			t.Fatalf("fabric attempt wrote a v%d frame", v)
+		}
+	}
+	retry := sniffs[1].sent()
+	if len(retry) == 0 {
+		t.Fatal("legacy retry wrote no frames")
+	}
+	for _, v := range retry {
+		if v != protocol.VersionLegacy {
+			t.Fatalf("legacy retry wrote a v%d frame, want all v%d", v, protocol.VersionLegacy)
+		}
+	}
+}
+
 func TestCrossVersionFrameReaderRejects(t *testing.T) {
-	// The frame layer itself marks foreign versions with ErrVersion for
-	// every version byte but ours — the invariant the matrix rests on.
-	for _, v := range []uint8{1, 2, 3, 5, 255} {
+	// The frame layer marks foreign versions with ErrVersion for every
+	// version byte but the two it speaks — the invariant the matrix
+	// rests on — and records which of the accepted versions each frame
+	// arrived with, which is what steers the server's reply framing.
+	for _, v := range []uint8{1, 2, 3, 6, 255} {
 		raw := frameWithVersion(v, protocol.TypeDone, nil)
 		_, err := protocol.ReadFrame(strings.NewReader(string(raw)))
 		if !errors.Is(err, protocol.ErrVersion) {
 			t.Fatalf("version %d: err = %v, want ErrVersion", v, err)
 		}
 	}
-	raw := frameWithVersion(protocol.Version, protocol.TypeDone, nil)
-	if _, err := protocol.ReadFrame(strings.NewReader(string(raw))); err != nil {
-		t.Fatalf("own version rejected: %v", err)
+	for _, v := range []uint8{protocol.VersionLegacy, protocol.Version} {
+		raw := frameWithVersion(v, protocol.TypeDone, nil)
+		f, err := protocol.ReadFrame(strings.NewReader(string(raw)))
+		if err != nil {
+			t.Fatalf("accepted version %d rejected: %v", v, err)
+		}
+		if f.Version != v {
+			t.Fatalf("frame.Version = %d, want %d", f.Version, v)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"icd/internal/peermux"
 	"icd/internal/protocol"
 )
 
@@ -120,6 +121,24 @@ type FetchOptions struct {
 	MaxCandidates int
 	// Dial overrides the dialer (tests inject net.Pipe); nil uses TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Fabric, when set, carries every session as a subchannel of a
+	// shared per-peer wire (protocol v5) instead of dialing a dedicated
+	// connection: sessions call Fabric.Open(addr, hello) and the fabric
+	// collapses the node's connection count to one wire per peer. Dial
+	// is then only used by the fabric itself (bind it when constructing
+	// the fabric). Nil keeps the one-connection-per-session engine.
+	Fabric *peermux.Fabric
+	// PipelineDepth sets how many request batches a fabric session keeps
+	// in flight: 0 (default) adapts AIMD-style between 1 and
+	// MaxPipelineDepth, 1 forces stop-and-wait, larger values fix the
+	// depth. Non-fabric sessions always run stop-and-wait (their wire
+	// has no demux reader to absorb pipelined writes).
+	PipelineDepth int
+	// MaxPipelineDepth caps the adaptive request ramp (default 16).
+	MaxPipelineDepth int
+	// PipelineDupHigh is the per-batch duplicate-symbol rate past which
+	// the adaptive ramp halves (default 0.5).
+	PipelineDupHigh float64
 }
 
 func (o FetchOptions) withDefaults() FetchOptions {
@@ -161,6 +180,12 @@ func (o FetchOptions) withDefaults() FetchOptions {
 	}
 	if o.MaxCandidates <= 0 {
 		o.MaxCandidates = 32
+	}
+	if o.MaxPipelineDepth <= 0 {
+		o.MaxPipelineDepth = DefaultMaxPipelineDepth
+	}
+	if o.PipelineDupHigh <= 0 {
+		o.PipelineDupHigh = DefaultPipelineDupHigh
 	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {

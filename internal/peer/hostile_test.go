@@ -56,7 +56,7 @@ type muteServer struct{ info ContentInfo }
 
 func (m muteServer) ServeConn(conn net.Conn) error {
 	fr := protocol.NewFrameReader(conn)
-	if _, err := readClientHello(conn, fr, time.Minute); err != nil {
+	if _, _, err := readClientHello(conn, fr, time.Minute); err != nil {
 		return err
 	}
 	if err := protocol.WriteFrame(conn, protocol.EncodeHello(m.info.hello(true, 0))); err != nil {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"icd/internal/peermux"
 	"icd/internal/protocol"
 )
 
@@ -314,7 +315,82 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 	}
 	defer m.active.Add(-1)
 	fr := protocol.NewFrameReader(conn)
-	hello, err := readClientHello(conn, fr, m.timeout)
+	if m.timeout > 0 {
+		conn.SetDeadline(time.Now().Add(m.timeout))
+	}
+	f, err := fr.Next()
+	if err != nil {
+		if errors.Is(err, protocol.ErrVersion) {
+			protocol.WriteFrame(conn, protocol.EncodeErrorBadVersion())
+		}
+		if errors.Is(err, protocol.ErrCorrupt) {
+			m.stats.malformed.Add(1)
+			m.penaltyBox().Penalize(key, PenaltyCorrupt)
+		}
+		return err
+	}
+	// A MUX_HELLO opens a multiplexed wire (the connection fabric): one
+	// connection carrying a subchannel per content, each routed through
+	// the same lookup a dedicated connection's HELLO goes through. A
+	// plain HELLO is a legacy dedicated connection serving exactly one
+	// content.
+	if f.Type == protocol.TypeMuxHello {
+		return m.serveFabric(conn, fr, f, key)
+	}
+	wconn := versionMatched(conn, f)
+	hello, err := protocol.DecodeHello(f)
+	if err != nil {
+		if errors.Is(err, protocol.ErrCorrupt) {
+			m.stats.malformed.Add(1)
+			m.penaltyBox().Penalize(key, PenaltyCorrupt)
+		}
+		return err
+	}
+	s, pending, found := m.route(hello.ContentID)
+	if !found {
+		if pending {
+			// Not servable *yet* — a generic (retryable) failure, so the
+			// dialer's reconnect backoff naturally spans the window
+			// between our fetch starting and its first handshake
+			// registering the live server.
+			writeRefusal(wconn, protocol.EncodeError(pendingMessage(hello.ContentID)), m.timeout)
+			return fmt.Errorf("peer: content %#x pending", hello.ContentID)
+		}
+		m.stats.rejected.Add(1)
+		writeRefusal(wconn, protocol.EncodeErrorUnknownContent(hello.ContentID), m.timeout)
+		return fmt.Errorf("peer: no server for content %#x", hello.ContentID)
+	}
+	return s.serveClient(wconn, fr, hello)
+}
+
+// route looks up the server for a content id, firing the lookup hook.
+func (m *ServerMux) route(contentID uint64) (s *Server, pending, found bool) {
+	m.mu.Lock()
+	s, found = m.servers[contentID]
+	pending = m.pending[contentID]
+	hook := m.onLookup
+	m.mu.Unlock()
+	if hook != nil {
+		hook(contentID, found)
+	}
+	return s, pending, found
+}
+
+// pendingMessage is the generic retryable refusal for a content this
+// node is fetching but cannot serve yet.
+func pendingMessage(contentID uint64) string {
+	return fmt.Sprintf("content %#x pending (fetch in progress, not yet servable)", contentID)
+}
+
+// serveFabric runs a multiplexed wire accepted on the shared listener:
+// it answers the fabric handshake, then serves every subchannel the
+// peer opens through the same content routing a dedicated connection
+// gets, until the connection dies. Wire-level misbehavior (corrupt
+// frames, protocol violations) is charged to the remote host through
+// the node's penalty box, and wire-level gossip feeds the shared
+// directory.
+func (m *ServerMux) serveFabric(conn net.Conn, fr *protocol.FrameReader, f protocol.Frame, key string) error {
+	mh, err := protocol.DecodeMuxHello(f)
 	if err != nil {
 		if errors.Is(err, protocol.ErrCorrupt) {
 			m.stats.malformed.Add(1)
@@ -323,26 +399,48 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 		return err
 	}
 	m.mu.Lock()
-	s, ok := m.servers[hello.ContentID]
-	pending := m.pending[hello.ContentID]
-	hook := m.onLookup
+	g := m.gossip
 	m.mu.Unlock()
-	if hook != nil {
-		hook(hello.ContentID, ok)
+	cfg := peermux.Config{
+		Timeout:    m.timeout,
+		ListenAddr: m.Addr(),
+		Penalize: func(weight float64) {
+			m.stats.malformed.Add(1)
+			m.penaltyBox().Penalize(key, weight)
+		},
 	}
-	if !ok {
+	if g != nil {
+		cfg.OnPeers = func(ads []protocol.PeerAd) {
+			for _, ad := range ads {
+				g.Learn(ad)
+			}
+		}
+	}
+	w, err := peermux.Accept(conn, fr, mh, cfg, func(ch *peermux.Channel) {
+		defer ch.Close()
+		m.serveChannel(ch)
+	})
+	if err != nil {
+		return err
+	}
+	return w.Serve()
+}
+
+// serveChannel routes one fabric subchannel by its OPEN's content id —
+// the fabric analog of a dedicated connection's HELLO lookup, answering
+// with the same canonical reject vocabulary.
+func (m *ServerMux) serveChannel(ch *peermux.Channel) {
+	m.stats.connections.Add(1)
+	id := ch.RemoteHello().ContentID
+	s, pending, found := m.route(id)
+	if !found {
 		if pending {
-			// Not servable *yet* — a generic (retryable) failure, so the
-			// dialer's reconnect backoff naturally spans the window
-			// between our fetch starting and its first handshake
-			// registering the live server.
-			writeRefusal(conn, protocol.EncodeError(
-				fmt.Sprintf("content %#x pending (fetch in progress, not yet servable)", hello.ContentID)), m.timeout)
-			return fmt.Errorf("peer: content %#x pending", hello.ContentID)
+			ch.Reject(pendingMessage(id))
+			return
 		}
 		m.stats.rejected.Add(1)
-		writeRefusal(conn, protocol.EncodeErrorUnknownContent(hello.ContentID), m.timeout)
-		return fmt.Errorf("peer: no server for content %#x", hello.ContentID)
+		ch.Reject(fmt.Sprintf("%s %#x", protocol.ReasonUnknownContent, id))
+		return
 	}
-	return s.serveClient(conn, fr, hello)
+	_ = s.ServeChannel(ch) // per-channel errors end that channel only
 }

@@ -1,0 +1,77 @@
+package peer
+
+// pipeline.go is the request ramp of the connection fabric: how many
+// symbol batches a session keeps outstanding on its subchannel. The
+// pre-fabric engine was strictly stop-and-wait — write REQUEST, drain
+// to DONE, repeat — which idles the link for a full RTT per batch. With
+// the fabric's demultiplexed wire a session can pipeline: keep K
+// requests in flight so the server's symbol stream never drains between
+// batches, and adapt K the way AIMD congestion control adapts a window
+// — grow by one while batches deliver useful symbols, halve when the
+// stream turns useless or the duplicate rate says the receiver's
+// summary has gone stale faster than refreshes can catch up. Depth 1
+// degrades to exactly the old stop-and-wait behavior, which is also the
+// fixed setting legacy (non-fabric) connections use: their conn has no
+// demux reader on the far side, so deep pipelines over a synchronous
+// in-process pipe would deadlock writer-against-writer.
+
+// DefaultMaxPipelineDepth caps the adaptive request ramp.
+const DefaultMaxPipelineDepth = 16
+
+// DefaultPipelineDupHigh is the duplicate-rate threshold past which the
+// ramp backs off multiplicatively.
+const DefaultPipelineDupHigh = 0.5
+
+// PipelineController adapts a session's in-flight request depth
+// AIMD-style. It is driven from a single session goroutine; no locking.
+type PipelineController struct {
+	depth   int
+	max     int
+	fixed   bool
+	dupHigh float64
+}
+
+// NewPipelineController builds a controller. depth >= 1 fixes the ramp
+// at that depth (1 = stop-and-wait); depth <= 0 selects the adaptive
+// ramp, starting at 1 and bounded by max.
+func NewPipelineController(depth, max int, dupHigh float64) *PipelineController {
+	if max <= 0 {
+		max = DefaultMaxPipelineDepth
+	}
+	if dupHigh <= 0 {
+		dupHigh = DefaultPipelineDupHigh
+	}
+	c := &PipelineController{max: max, dupHigh: dupHigh}
+	if depth >= 1 {
+		c.fixed = true
+		c.depth = depth
+		if c.depth > max {
+			c.depth = max
+		}
+	} else {
+		c.depth = 1
+	}
+	return c
+}
+
+// Depth returns the current target for in-flight request batches.
+func (c *PipelineController) Depth() int { return c.depth }
+
+// Observe feeds one completed batch's outcome into the ramp: additive
+// increase on a useful batch, multiplicative back-off when the batch
+// was useless or its duplicate rate crossed the threshold.
+func (c *PipelineController) Observe(dupRate float64, useful bool) {
+	if c.fixed {
+		return
+	}
+	if !useful || dupRate > c.dupHigh {
+		c.depth /= 2
+		if c.depth < 1 {
+			c.depth = 1
+		}
+		return
+	}
+	if c.depth < c.max {
+		c.depth++
+	}
+}

@@ -1,0 +1,68 @@
+package peer
+
+// pipeline_test.go pins the AIMD request ramp: additive increase on
+// useful batches, multiplicative back-off on useless or duplicate-heavy
+// ones, the [1, max] clamp, and fixed-depth (stop-and-wait) mode.
+
+import "testing"
+
+func TestPipelineControllerAdaptiveRamp(t *testing.T) {
+	c := NewPipelineController(0, 8, 0.5)
+	if c.Depth() != 1 {
+		t.Fatalf("adaptive ramp starts at %d, want 1", c.Depth())
+	}
+	// Additive increase: one per useful batch, capped at max.
+	for i := 0; i < 20; i++ {
+		c.Observe(0, true)
+	}
+	if c.Depth() != 8 {
+		t.Fatalf("after 20 useful batches depth %d, want cap 8", c.Depth())
+	}
+	// Multiplicative back-off on a duplicate spike past the threshold.
+	c.Observe(0.9, true)
+	if c.Depth() != 4 {
+		t.Fatalf("after dup spike depth %d, want 4", c.Depth())
+	}
+	// A dup rate at (not past) the threshold does not back off.
+	c.Observe(0.5, true)
+	if c.Depth() != 5 {
+		t.Fatalf("at-threshold batch should grow: depth %d, want 5", c.Depth())
+	}
+	// Useless batches halve down to the floor of 1, never below.
+	for i := 0; i < 5; i++ {
+		c.Observe(0, false)
+	}
+	if c.Depth() != 1 {
+		t.Fatalf("after useless run depth %d, want floor 1", c.Depth())
+	}
+}
+
+func TestPipelineControllerFixedDepth(t *testing.T) {
+	c := NewPipelineController(1, 16, 0.5)
+	for i := 0; i < 10; i++ {
+		c.Observe(0, true)
+		c.Observe(1, false)
+	}
+	if c.Depth() != 1 {
+		t.Fatalf("fixed depth drifted to %d, want 1 (stop-and-wait)", c.Depth())
+	}
+	// A fixed depth above max clamps to max.
+	if d := NewPipelineController(99, 16, 0.5).Depth(); d != 16 {
+		t.Fatalf("fixed depth 99 clamped to %d, want 16", d)
+	}
+}
+
+func TestPipelineControllerDefaults(t *testing.T) {
+	c := NewPipelineController(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		c.Observe(0, true)
+	}
+	if c.Depth() != DefaultMaxPipelineDepth {
+		t.Fatalf("default cap %d, want %d", c.Depth(), DefaultMaxPipelineDepth)
+	}
+	// The default threshold backs off a 60% duplicate batch.
+	c.Observe(0.6, true)
+	if c.Depth() != DefaultMaxPipelineDepth/2 {
+		t.Fatalf("after 0.6 dup rate depth %d, want %d", c.Depth(), DefaultMaxPipelineDepth/2)
+	}
+}

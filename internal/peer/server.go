@@ -11,6 +11,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/keyset"
+	"icd/internal/peermux"
 	"icd/internal/prng"
 	"icd/internal/protocol"
 	"icd/internal/recode"
@@ -256,14 +257,14 @@ func remoteKey(conn net.Conn) string {
 }
 
 // verifiedListenAddr reports whether a HELLO-advertised listen address
-// provably maps to conn: its host must equal the connection's remote
-// host. The advertised address is attacker-controlled — charging (or
-// ban-checking) it without this check would let any client frame an
-// innocent third party for its own misbehavior: connect, advertise the
-// victim's address, send corrupt frames, repeat until the victim is
-// banned node-wide.
-func verifiedListenAddr(listenAddr string, conn net.Conn) bool {
-	return listenAddr != "" && addrHost(listenAddr) == remoteKey(conn)
+// provably maps to the connection it arrived on: its host must equal
+// the connection's remote host. The advertised address is
+// attacker-controlled — charging (or ban-checking) it without this
+// check would let any client frame an innocent third party for its own
+// misbehavior: connect, advertise the victim's address, send corrupt
+// frames, repeat until the victim is banned node-wide.
+func verifiedListenAddr(listenAddr, remoteHost string) bool {
+	return listenAddr != "" && remoteHost != "" && addrHost(listenAddr) == remoteHost
 }
 
 // writeRefusal writes an admission-refusal or handshake-failure ERROR
@@ -283,10 +284,12 @@ func writeRefusal(conn net.Conn, f protocol.Frame, timeout time.Duration) {
 // terminally instead of charging us for what reads like a dead peer and
 // burning its redial budget. The client's pending HELLO is drained first
 // (under the deadline): both ends of an unbuffered in-process pipe would
-// otherwise sit blocked on their opening writes until a timeout.
+// otherwise sit blocked on their opening writes until a timeout. The
+// refusal goes out through the version-matched writer so a legacy
+// client's reader can parse it.
 func refuse(conn net.Conn, timeout time.Duration) {
-	readClientHello(conn, protocol.NewFrameReader(conn), timeout)
-	writeRefusal(conn, protocol.EncodeErrorRefused(), timeout)
+	_, wconn, _ := readClientHello(conn, protocol.NewFrameReader(conn), timeout)
+	writeRefusal(wconn, protocol.EncodeErrorRefused(), timeout)
 }
 
 // Full reports whether the server holds the complete content.
@@ -381,26 +384,51 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// legacyConn overlays a version-rewriting writer on a connection whose
+// client spoke VersionLegacy: every reply frame goes out stamped with
+// the version byte that client's reader accepts, while reads, deadlines
+// and addresses pass through to the underlying conn.
+type legacyConn struct {
+	net.Conn
+	w io.Writer
+}
+
+func (c *legacyConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// versionMatched returns the conn all replies to a client's frame must
+// be written through: the conn itself for a current-version client, a
+// LegacyWriter overlay when the frame arrived as VersionLegacy.
+func versionMatched(conn net.Conn, f protocol.Frame) net.Conn {
+	if f.Version == protocol.VersionLegacy {
+		return &legacyConn{Conn: conn, w: protocol.LegacyWriter(conn)}
+	}
+	return conn
+}
+
 // readClientHello applies the handshake deadline, reads the client's
-// opening HELLO through fr, and answers cross-version peers with a
-// clean, human-readable ERROR (best effort — the peer's reader may
+// opening HELLO through fr, and answers cross-version peers with the
+// canonical version-reject ERROR (best effort — the peer's reader may
 // reject our framing too) instead of silently dropping the connection.
 // It is shared by the single-content Server and the multi-content
 // ServerMux, which must see the HELLO's content id before it can pick
-// the Server to hand the connection to.
-func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Duration) (protocol.Hello, error) {
+// the Server to hand the connection to. The returned conn is the one
+// all replies must be written through: when the HELLO arrived from a
+// legacy-version client it wraps conn so reply frames carry the version
+// byte that client's reader accepts.
+func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Duration) (protocol.Hello, net.Conn, error) {
 	if timeout > 0 {
 		conn.SetDeadline(time.Now().Add(timeout))
 	}
 	f, err := fr.Next()
 	if err != nil {
 		if errors.Is(err, protocol.ErrVersion) {
-			protocol.WriteFrame(conn, protocol.EncodeError(
-				fmt.Sprintf("unsupported protocol version (speaking %d)", protocol.Version)))
+			protocol.WriteFrame(conn, protocol.EncodeErrorBadVersion())
 		}
-		return protocol.Hello{}, err
+		return protocol.Hello{}, conn, err
 	}
-	return protocol.DecodeHello(f)
+	wconn := versionMatched(conn, f)
+	h, err := protocol.DecodeHello(f)
+	return h, wconn, err
 }
 
 // admit applies inbound admission control: connections from banned
@@ -434,15 +462,14 @@ func (s *Server) admit(conn net.Conn) error {
 // charging it would hand any client an unauthenticated remote ban
 // primitive against whichever peer it names. Non-corruption errors are
 // ignored.
-func (s *Server) noteMalformed(conn net.Conn, listenAddr string, err error) {
+func (s *Server) noteMalformed(remoteHost, listenAddr string, err error) {
 	if !errors.Is(err, protocol.ErrCorrupt) {
 		return
 	}
 	s.stats.malformed.Add(1)
 	box := s.penaltyBox()
-	key := remoteKey(conn)
-	box.Penalize(key, PenaltyCorrupt)
-	if verifiedListenAddr(listenAddr, conn) && listenAddr != key {
+	box.Penalize(remoteHost, PenaltyCorrupt)
+	if verifiedListenAddr(listenAddr, remoteHost) && listenAddr != remoteHost {
 		box.Penalize(listenAddr, PenaltyCorrupt)
 	}
 }
@@ -458,16 +485,16 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	defer s.active.Add(-1)
 	fr := protocol.NewFrameReader(conn)
 	// 1. Receiver announces itself.
-	clientHello, err := readClientHello(conn, fr, s.timeout)
+	clientHello, wconn, err := readClientHello(conn, fr, s.timeout)
 	if err != nil {
-		s.noteMalformed(conn, "", err)
+		s.noteMalformed(remoteKey(conn), "", err)
 		return err
 	}
 	if clientHello.ContentID != s.info.ID {
-		protocol.WriteFrame(conn, protocol.EncodeErrorUnknownContent(clientHello.ContentID))
+		protocol.WriteFrame(wconn, protocol.EncodeErrorUnknownContent(clientHello.ContentID))
 		return fmt.Errorf("peer: client wants content %#x, serving %#x", clientHello.ContentID, s.info.ID)
 	}
-	return s.serveClient(conn, fr, clientHello)
+	return s.serveClient(wconn, fr, clientHello)
 }
 
 // serveClient serves a handshaken connection whose HELLO already named
@@ -475,32 +502,71 @@ func (s *Server) ServeConn(conn net.Conn) error {
 // by content id), charging the penalty box when the session dies over a
 // corrupt frame.
 func (s *Server) serveClient(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
+	key := remoteKey(conn)
 	// Admission, second stage: the pre-HELLO check could only see the
 	// remote host, but the HELLO names the client's dialable listen
 	// address — the key the dial plane and gossip admission ban under.
 	// When that address is verified (same host as this connection) and
 	// banned, refuse the session: a peer banned under its dialable
 	// address must not keep being served just by connecting inbound.
-	if la := clientHello.ListenAddr; verifiedListenAddr(la, conn) && s.penaltyBox().Banned(la) {
+	if la := clientHello.ListenAddr; verifiedListenAddr(la, key) && s.penaltyBox().Banned(la) {
 		s.stats.rejected.Add(1)
 		writeRefusal(conn, protocol.EncodeErrorRefused(), s.timeout)
 		return fmt.Errorf("peer: refused banned client %s", la)
 	}
-	err := s.serveClientFrames(conn, fr, clientHello)
-	if err != nil {
-		s.noteMalformed(conn, clientHello.ListenAddr, err)
-	}
-	return err
-}
-
-// serveClientFrames owns the post-handshake session: the answering
-// HELLO, summary handling, and the batched request loop.
-func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clientHello protocol.Hello) error {
 	deadline := func() {
 		if s.timeout > 0 {
 			conn.SetDeadline(time.Now().Add(s.timeout))
 		}
 	}
+	accept := func(h protocol.Hello) error {
+		return protocol.WriteFrame(conn, protocol.EncodeHello(h))
+	}
+	err := s.serveFrames(conn, fr.Next, deadline, clientHello, accept)
+	if err != nil {
+		s.noteMalformed(key, clientHello.ListenAddr, err)
+	}
+	return err
+}
+
+// ServeChannel serves one fabric subchannel routed to this server: the
+// same admission and session loop a legacy connection runs, with the
+// channel's credit-gated writer in place of the conn and the OPEN's
+// HELLO (already decoded by the wire) in place of the opening frame.
+// Accepting the channel answers the negotiation; rejections reuse the
+// canonical ERROR vocabulary so dialers classify them identically.
+func (s *Server) ServeChannel(ch *peermux.Channel) error {
+	key := ""
+	if a := ch.RemoteAddr(); a != nil {
+		key = addrHost(a.String())
+	}
+	clientHello := ch.RemoteHello()
+	if la := clientHello.ListenAddr; verifiedListenAddr(la, key) && s.penaltyBox().Banned(la) {
+		s.stats.rejected.Add(1)
+		ch.Reject(protocol.ReasonRefused + " (address penalized)")
+		return fmt.Errorf("peer: refused banned client %s", la)
+	}
+	s.stats.connections.Add(1)
+	deadline := func() {
+		if s.timeout > 0 {
+			ch.SetDeadline(time.Now().Add(s.timeout))
+		}
+	}
+	err := s.serveFrames(ch, ch.Next, deadline, clientHello, ch.Accept)
+	if err != nil {
+		s.noteMalformed(key, clientHello.ListenAddr, err)
+	}
+	return err
+}
+
+// serveFrames owns the post-handshake session: the answering HELLO
+// (via accept), summary handling, and the batched request loop. It is
+// transport-agnostic — w/next/deadline come either from a dedicated
+// conn and its FrameReader or from a fabric subchannel — the serving
+// half of the split that lets one state machine speak both wire
+// formats.
+func (s *Server) serveFrames(w io.Writer, next func() (protocol.Frame, error), deadline func(),
+	clientHello protocol.Hello, accept func(protocol.Hello) error) error {
 	// Gossip (v4): a client announcing a dialable listen address becomes
 	// an advertisement this server relays to everyone else it serves —
 	// the mechanism that lets a single seed assemble a full mesh.
@@ -518,7 +584,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 	} else if s.held != nil {
 		heldLen = s.held.Len()
 	}
-	if err := protocol.WriteFrame(conn, protocol.EncodeHello(s.info.hello(s.Full(), heldLen))); err != nil {
+	if err := accept(s.info.hello(s.Full(), heldLen)); err != nil {
 		return err
 	}
 
@@ -537,7 +603,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 	}
 	for {
 		deadline()
-		f, err := fr.Next()
+		f, err := next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // receiver hung up: stateless, nothing to clean
@@ -548,12 +614,12 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 		case protocol.TypeSummary, protocol.TypeSummaryRefresh:
 			method, blob, err := protocol.DecodeSummaryView(f)
 			if err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad summary"))
+				protocol.WriteFrame(w, protocol.EncodeError("bad summary"))
 				return err
 			}
 			summary, err = strategy.ParseSummary(method, blob)
 			if err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad summary"))
+				protocol.WriteFrame(w, protocol.EncodeError("bad summary"))
 				return err
 			}
 			recoders = nil // rebuild the recoding domain lazily
@@ -565,7 +631,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 			// SUMMARY frame naming the Bloom method.
 			summary, err = strategy.ParseSummary(protocol.SummaryBloom, f.Payload)
 			if err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad bloom filter"))
+				protocol.WriteFrame(w, protocol.EncodeError("bad bloom filter"))
 				return err
 			}
 			recoders = nil
@@ -574,7 +640,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 			// Bare-frame variant: a min-wise sketch steering degrees.
 			summary, err = strategy.ParseSummary(protocol.SummarySketch, f.Payload)
 			if err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad sketch"))
+				protocol.WriteFrame(w, protocol.EncodeError("bad sketch"))
 				return err
 			}
 			recoders = nil
@@ -582,7 +648,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 		case protocol.TypePeers:
 			ads, err := protocol.DecodePeers(f)
 			if err != nil {
-				protocol.WriteFrame(conn, protocol.EncodeError("bad peers"))
+				protocol.WriteFrame(w, protocol.EncodeError("bad peers"))
 				return err
 			}
 			for _, ad := range ads {
@@ -601,11 +667,11 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 			// Relay any advertisements this connection has not heard yet
 			// ahead of the batch (receive loops handle PEERS between
 			// symbol frames).
-			if err := s.relayGossip(conn, sentAds); err != nil {
+			if err := s.relayGossip(w, sentAds); err != nil {
 				return err
 			}
 			if s.Full() {
-				if err := s.sendFull(conn, encoder, int(n)); err != nil {
+				if err := s.sendFull(w, encoder, int(n)); err != nil {
 					return err
 				}
 				continue
@@ -621,11 +687,11 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 			if recoders == nil {
 				recoders, err = s.buildRecoders(summary)
 				if err != nil {
-					protocol.WriteFrame(conn, protocol.EncodeDone())
+					protocol.WriteFrame(w, protocol.EncodeDone())
 					continue // nothing useful to offer; empty batch
 				}
 			}
-			if err := s.sendRecoded(conn, recoders, int(n)); err != nil {
+			if err := s.sendRecoded(w, recoders, int(n)); err != nil {
 				return err
 			}
 
@@ -633,7 +699,7 @@ func (s *Server) serveClientFrames(conn net.Conn, fr *protocol.FrameReader, clie
 			return nil
 
 		default:
-			protocol.WriteFrame(conn, protocol.EncodeError("unexpected "+f.Type.String()))
+			protocol.WriteFrame(w, protocol.EncodeError("unexpected "+f.Type.String()))
 			return fmt.Errorf("peer: unexpected frame %v", f.Type)
 		}
 	}
@@ -658,17 +724,17 @@ func (s *Server) relayGossip(conn io.Writer, sent map[protocol.PeerAd]bool) erro
 // sendFull streams n fresh encoded symbols followed by DONE. Symbols are
 // framed straight from the encoder's pooled payload buffers and released
 // after the write, so the steady-state loop is allocation-free.
-func (s *Server) sendFull(conn net.Conn, enc *fountain.Encoder, n int) error {
+func (s *Server) sendFull(w io.Writer, enc *fountain.Encoder, n int) error {
 	for i := 0; i < n; i++ {
 		sym := enc.Next()
-		err := protocol.WriteSymbol(conn, sym.ID, sym.Data)
+		err := protocol.WriteSymbol(w, sym.ID, sym.Data)
 		enc.Release(sym)
 		if err != nil {
 			return err
 		}
 		s.stats.symbolsSent.Add(1)
 	}
-	return protocol.WriteFrame(conn, protocol.EncodeDone())
+	return protocol.WriteFrame(w, protocol.EncodeDone())
 }
 
 // sessionRecoders pair two recoding streams over the same domain: an
@@ -735,15 +801,15 @@ func (s *Server) buildRecoders(summary *strategy.ReceivedSummary) (*sessionRecod
 // sendRecoded streams n recoded symbols followed by DONE. Symbols are
 // framed straight from the recoder's pooled buffers and released after
 // the write, so the steady-state loop is allocation-free.
-func (s *Server) sendRecoded(conn net.Conn, sr *sessionRecoders, n int) error {
+func (s *Server) sendRecoded(w io.Writer, sr *sessionRecoders, n int) error {
 	for i := 0; i < n; i++ {
 		sym, owner := sr.next()
-		err := protocol.WriteRecoded(conn, sym.IDs, sym.Data)
+		err := protocol.WriteRecoded(w, sym.IDs, sym.Data)
 		owner.Release(sym)
 		if err != nil {
 			return err
 		}
 		s.stats.symbolsSent.Add(1)
 	}
-	return protocol.WriteFrame(conn, protocol.EncodeDone())
+	return protocol.WriteFrame(w, protocol.EncodeDone())
 }

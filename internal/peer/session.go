@@ -20,10 +20,22 @@ import (
 	"time"
 
 	"icd/internal/keyset"
+	"icd/internal/peermux"
 	"icd/internal/prng"
 	"icd/internal/protocol"
 	"icd/internal/strategy"
 )
+
+// link is the transport surface the post-handshake state machines drive
+// on the write side: one serialized frame per Write call, plus the
+// deadline hook the watchdog fires to unblock a stalled machine. Both a
+// net.Conn and a peermux.Channel satisfy it, which is what lets the
+// same session (and server) loops run over a dedicated legacy
+// connection or a fabric subchannel.
+type link interface {
+	io.Writer
+	SetDeadline(t time.Time) error
+}
 
 // ErrUnknownContent marks a session whose peer answered the handshake
 // with the canonical unknown-content ERROR (protocol.ReasonUnknownContent):
@@ -60,6 +72,10 @@ type session struct {
 	// connection over a stalled window; runConn consumes it to skip the
 	// generic reset charge (the watchdog already charged PenaltyStall).
 	stalled bool
+	// Session goroutine only: the peer rejected the fabric handshake's
+	// version byte, so this session speaks legacy-framed dedicated
+	// connections instead (set once; redials skip the fabric).
+	legacy bool
 }
 
 func newSession(o *Orchestrator, addr string) *session {
@@ -212,18 +228,139 @@ func (s *session) ended() bool {
 // runConn runs one connection lifecycle: dial (through the circuit
 // breaker), serve, and classify how it ended — misbehavior observed on
 // the wire (corrupt frames, mid-stream resets) charges the peer's
-// penalty-box score on the way out.
+// penalty-box score on the way out. With a fabric configured the
+// session rides a subchannel on the shared wire; a peer that rejects
+// the fabric handshake's version byte demotes the session permanently
+// to dedicated legacy-framed connections (incremental deployment: a v5
+// node still exchanges symbols with a v4 swarm, minus multiplexing).
 func (s *session) runConn() error {
+	if s.o.opts.Fabric != nil && !s.legacy {
+		err := s.runFabricConn()
+		if err == nil || !errors.Is(err, protocol.ErrVersion) {
+			return err
+		}
+		s.legacy = true
+	}
+	err := s.runDedicatedConn()
+	if err != nil && !s.legacy && errors.Is(err, protocol.ErrVersion) {
+		// The peer's reader rejected our current-version frames: retry
+		// once speaking the legacy framing it does accept. A peer older
+		// than that rejects the retry too, which ends the session
+		// terminally (ErrVersion, no penalty — age is not misbehavior).
+		s.legacy = true
+		err = s.runDedicatedConn()
+	}
+	return err
+}
+
+// runDedicatedConn dials and serves one dedicated (non-multiplexed)
+// connection, speaking the legacy framing when the session has been
+// demoted to it.
+func (s *session) runDedicatedConn() error {
 	conn, err := s.dialConn()
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	if s.legacy {
+		// Stamp every frame we send with the legacy version byte the
+		// peer's reader accepts; its legacy frames already parse here.
+		conn = &legacyConn{Conn: conn, w: protocol.LegacyWriter(conn)}
+	}
 	err = s.serveConn(conn)
 	if stalled := s.takeStalled(); err != nil && !stalled && !s.dropped() && !terminalSessionError(err) {
 		s.noteConnError(err)
 	}
 	return err
+}
+
+// runFabricConn is runConn over the connection fabric: instead of
+// dialing a dedicated connection, the session opens a subchannel on the
+// shared per-peer wire (the fabric dials the wire only if none is
+// live). The channel negotiation doubles as the content handshake — the
+// OPEN carries our HELLO, the ACCEPT carries the peer's.
+func (s *session) runFabricConn() error {
+	ch, held, heldVersion, err := s.openChannel()
+	if err != nil {
+		return err
+	}
+	defer ch.Close()
+	err = s.serveChannel(ch, held, heldVersion)
+	if stalled := s.takeStalled(); err != nil && !stalled && !s.dropped() && !terminalSessionError(err) {
+		s.noteConnError(err)
+	}
+	return err
+}
+
+// openChannel opens this session's subchannel with circuit-breaker
+// admission and dial accounting (the fabric analog of dialConn), and
+// classifies channel rejections into the same terminal errors the
+// legacy handshake produces from ERROR frames.
+func (s *session) openChannel() (*peermux.Channel, *keyset.Set, int64, error) {
+	o := s.o
+	if !o.breaker.Allow(s.addr) {
+		o.mu.Lock()
+		s.stats.DialFailures++
+		o.mu.Unlock()
+		return nil, nil, 0, fmt.Errorf("%w: %s", errDialSuppressed, s.addr)
+	}
+	held, heldVersion := o.heldSnapshot()
+	ch, err := o.opts.Fabric.Open(s.addr, protocol.Hello{
+		ContentID:   o.contentID,
+		Symbols:     uint64(held.Len()),
+		SummaryMask: o.opts.summaryMask(),
+		ListenAddr:  o.opts.AdvertiseAddr,
+	}, o.opts.Timeout)
+	if err == nil {
+		o.breaker.Success(s.addr)
+		o.mu.Lock()
+		s.connected = true
+		o.mu.Unlock()
+		return ch, held, heldVersion, nil
+	}
+	var rej *peermux.RejectError
+	if errors.As(err, &rej) {
+		// The wire is up and the peer answered the negotiation: not a
+		// dial failure, and possibly a terminal verdict.
+		o.breaker.Success(s.addr)
+		o.mu.Lock()
+		s.connected = true
+		o.mu.Unlock()
+		msg := rej.Msg
+		if protocol.IsUnknownContent(msg) {
+			return nil, nil, 0, fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrUnknownContent)
+		}
+		if protocol.IsRefused(msg) {
+			return nil, nil, 0, fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrRefused)
+		}
+		return nil, nil, 0, fmt.Errorf("peer %s: %s", s.addr, msg)
+	}
+	if errors.Is(err, protocol.ErrVersion) {
+		// The dial reached a live peer speaking an incompatible protocol
+		// version — terminal, and not the address's fault.
+		return nil, nil, 0, fmt.Errorf("peer %s: incompatible protocol: %w", s.addr, err)
+	}
+	o.breaker.Failure(s.addr)
+	o.penalties.Penalize(s.addr, PenaltyDialFail)
+	o.mu.Lock()
+	s.stats.DialFailures++
+	o.mu.Unlock()
+	return nil, nil, 0, err
+}
+
+// serveChannel runs the session over an established fabric subchannel:
+// the ACCEPT's hello already carries the content parameters, so the
+// session goes straight to summary negotiation — with the pipelined
+// request ramp enabled (the wire's demux reader absorbs concurrent
+// writes, so depth > 1 cannot deadlock the way it would on a bare
+// synchronous pipe).
+func (s *session) serveChannel(ch *peermux.Channel, held *keyset.Set, heldVersion int64) error {
+	o := s.o
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go s.watch(ch, watchStop)
+	pc := NewPipelineController(o.opts.PipelineDepth, o.opts.MaxPipelineDepth, o.opts.PipelineDupHigh)
+	return s.serveNegotiated(ch, ch.Next, ch.RemoteHello(), held, heldVersion, pc)
 }
 
 // takeStalled consumes the watchdog's stall marker for the connection
@@ -294,7 +431,7 @@ func (s *session) noteConnError(err error) {
 // useful symbols, charging the penalty box. The session itself survives
 // to redial: repeated stalls escalate the score to a ban, which is what
 // actually removes a mute peer.
-func (s *session) watch(conn net.Conn, stop chan struct{}) {
+func (s *session) watch(lk link, stop chan struct{}) {
 	o := s.o
 	var tick <-chan time.Time
 	if w := o.opts.StallTimeout; w > 0 {
@@ -342,7 +479,7 @@ func (s *session) watch(conn net.Conn, stop chan struct{}) {
 			o.mu.Unlock()
 			o.penalties.Penalize(s.addr, PenaltyStall)
 		}
-		conn.SetDeadline(time.Now())
+		lk.SetDeadline(time.Now())
 		return
 	}
 }
@@ -387,12 +524,35 @@ func (s *session) serveConn(conn net.Conn) error {
 		if protocol.IsRefused(msg) {
 			return fmt.Errorf("peer %s: %s: %w", s.addr, msg, ErrRefused)
 		}
+		if protocol.IsVersionReject(msg) {
+			// An older peer whose frame reader rejected our version byte
+			// and answered in its own framing: terminal, like ErrVersion
+			// from our own reader.
+			return fmt.Errorf("peer %s: %s: %w", s.addr, msg, protocol.ErrVersion)
+		}
 		return fmt.Errorf("peer %s: %s", s.addr, msg)
 	}
 	hello, err := protocol.DecodeHello(f)
 	if err != nil {
 		return err
 	}
+	// Legacy connections always run stop-and-wait (depth 1): without a
+	// demux reader on the far side, pipelined request writes against an
+	// in-flight symbol stream would deadlock a synchronous pipe.
+	return s.serveNegotiated(conn, fr.Next, hello, held, heldVersion,
+		NewPipelineController(1, 1, o.opts.PipelineDupHigh))
+}
+
+// serveNegotiated owns the handshaken session: decoder setup, summary
+// negotiation and refresh, gossip, and the pipelined batched request
+// loop. It is transport-agnostic — lk/next are either a legacy conn and
+// its FrameReader or a fabric subchannel — which is the split that lets
+// one state machine serve both wire formats.
+func (s *session) serveNegotiated(lk link, next func() (protocol.Frame, error),
+	hello protocol.Hello, held *keyset.Set, heldVersion int64, pc *PipelineController) error {
+	o := s.o
+	deadline := func() { lk.SetDeadline(time.Now().Add(o.opts.Timeout)) }
+	deadline()
 	if err := o.ensureDecoder(ContentInfo{
 		ID:        hello.ContentID,
 		NumBlocks: int(hello.NumBlocks),
@@ -422,7 +582,7 @@ func (s *session) serveConn(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
-		if err := protocol.WriteFrame(conn, protocol.EncodeSummary(method, blob, false)); err != nil {
+		if err := protocol.WriteFrame(lk, protocol.EncodeSummary(method, blob, false)); err != nil {
 			return err
 		}
 	}
@@ -432,7 +592,7 @@ func (s *session) serveConn(conn net.Conn) error {
 	// check; sentAds dedupes per connection so steady state sends no
 	// repeat advertisements.
 	sentAds := make(map[protocol.PeerAd]bool)
-	if err := s.sendGossip(conn, sentAds); err != nil {
+	if err := s.sendGossip(lk, sentAds); err != nil {
 		return err
 	}
 
@@ -452,10 +612,11 @@ func (s *session) serveConn(conn net.Conn) error {
 	canSummarize := o.opts.summaryMask()&hello.SummaryMask != 0
 
 	useless := 0
+	inflight := 0
 	for {
 		if s.ended() {
 			deadline()
-			protocol.WriteFrame(conn, protocol.EncodeDone())
+			protocol.WriteFrame(lk, protocol.EncodeDone())
 			return nil
 		}
 		// Periodic summary refresh: when the shared working set grew
@@ -468,7 +629,7 @@ func (s *session) serveConn(conn net.Conn) error {
 		sinceCheck++
 		if !hello.FullCopy && o.opts.RefreshBatches > 0 && sinceCheck >= cadence {
 			sinceCheck = 0
-			if err := s.sendGossip(conn, sentAds); err != nil {
+			if err := s.sendGossip(lk, sentAds); err != nil {
 				return err
 			}
 			// O(1) staleness test first; the O(n) id snapshot is paid
@@ -495,7 +656,7 @@ func (s *session) serveConn(conn net.Conn) error {
 					return err
 				}
 				deadline()
-				if err := protocol.WriteFrame(conn, protocol.EncodeSummary(method, blob, true)); err != nil {
+				if err := protocol.WriteFrame(lk, protocol.EncodeSummary(method, blob, true)); err != nil {
 					return err
 				}
 				heldVersion = version
@@ -505,15 +666,24 @@ func (s *session) serveConn(conn net.Conn) error {
 				o.mu.Unlock()
 			}
 		}
+		// Pipelined request ramp: keep pc.Depth() batches outstanding so
+		// the server's symbol stream never drains while a REQUEST is in
+		// flight. Depth 1 is exactly the old stop-and-wait exchange. Each
+		// iteration of the outer loop retires one batch (one DONE), so
+		// batch-boundary accounting below is unchanged — it just lags the
+		// wire by the pipeline depth.
 		deadline()
 		progressBefore := o.progress.Load()
-		if err := protocol.WriteFrame(conn, protocol.EncodeRequest(uint32(o.opts.Batch))); err != nil {
-			return err
+		for inflight < pc.Depth() {
+			if err := protocol.WriteFrame(lk, protocol.EncodeRequest(uint32(o.opts.Batch))); err != nil {
+				return err
+			}
+			inflight++
 		}
 		got := 0
 		for {
 			deadline()
-			f, err := fr.Next()
+			f, err := next()
 			if err != nil {
 				if s.ended() {
 					return nil
@@ -521,6 +691,7 @@ func (s *session) serveConn(conn net.Conn) error {
 				return err
 			}
 			if f.Type == protocol.TypeDone {
+				inflight--
 				break
 			}
 			switch f.Type {
@@ -557,19 +728,22 @@ func (s *session) serveConn(conn net.Conn) error {
 				return fmt.Errorf("peer %s: unexpected %v", s.addr, f.Type)
 			}
 		}
-		if ctrl != nil {
-			// Duplicate rate of the symbols processed since the last
-			// batch boundary. The decode loop is asynchronous, so the
-			// window lags in-flight symbols slightly — fine for a
-			// control signal that is clamped and step-bounded anyway.
-			o.mu.Lock()
-			received, useful := s.stats.SymbolsReceived, s.stats.UsefulSymbols
-			o.mu.Unlock()
-			if dr, du := received-lastReceived, useful-lastUseful; dr > 0 {
-				cadence = ctrl.Observe(float64(dr-du) / float64(dr))
+		// Duplicate rate of the symbols processed since the last batch
+		// boundary. The decode loop is asynchronous, so the window lags
+		// in-flight symbols slightly — fine for control signals that are
+		// clamped and step-bounded anyway. It feeds both the refresh
+		// cadence (when adaptive) and the pipeline ramp.
+		dupRate := 0.0
+		o.mu.Lock()
+		received, useful := s.stats.SymbolsReceived, s.stats.UsefulSymbols
+		o.mu.Unlock()
+		if dr, du := received-lastReceived, useful-lastUseful; dr > 0 {
+			dupRate = float64(dr-du) / float64(dr)
+			if ctrl != nil {
+				cadence = ctrl.Observe(dupRate)
 			}
-			lastReceived, lastUseful = received, useful
 		}
+		lastReceived, lastUseful = received, useful
 		// A batch is useless when it carried nothing, or when the global
 		// decode made no progress while it was in flight (recoded streams
 		// always fill batches, so volume alone is not a signal). Decoding
@@ -578,10 +752,12 @@ func (s *session) serveConn(conn net.Conn) error {
 		// so a lagging decode loop must not read as an unproductive
 		// sender — only count a no-progress batch when the queue is
 		// drained.
-		if got == 0 || (o.progress.Load() == progressBefore && len(o.symbolCh) == 0) {
+		uselessBatch := got == 0 || (o.progress.Load() == progressBefore && len(o.symbolCh) == 0)
+		pc.Observe(dupRate, !uselessBatch)
+		if uselessBatch {
 			useless++
 			if useless >= o.opts.MaxUselessBatches {
-				protocol.WriteFrame(conn, protocol.EncodeDone())
+				protocol.WriteFrame(lk, protocol.EncodeDone())
 				return nil // this peer has nothing more for us
 			}
 		} else {

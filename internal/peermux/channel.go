@@ -1,0 +1,404 @@
+package peermux
+
+// channel.go is one content subchannel: a bounded queue of inbound
+// frames (fed by the wire's reader, drained by Next), an io.Writer that
+// re-frames serialized legacy frames into MUX envelopes, and the two
+// halves of the credit ledger — the sender side that spends and blocks,
+// the receiver side that meters arrivals and replenishes as its
+// consumer drains.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+// chanBufs recycles inbound frame payload buffers: the reader copies an
+// envelope's inner payload out of the FrameReader's scratch (which the
+// next frame overwrites) into a pooled buffer that Next hands out and
+// reclaims on the following call — the same valid-until-next-call
+// contract as protocol.FrameReader.
+var chanBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf(n int) *[]byte {
+	bp := chanBufs.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) <= 1<<16 { // don't let one huge frame pin a large buffer
+		chanBufs.Put(bp)
+	}
+}
+
+type inFrame struct {
+	t   protocol.Type
+	buf *[]byte
+}
+
+// Channel is one content subchannel on a Wire. The fetching side reads
+// frames with Next and writes control frames through Write; the serving
+// side does the reverse. It deliberately mirrors the surface a legacy
+// session uses from a net.Conn + FrameReader pair — Next for frames,
+// Write for one serialized frame per call, SetDeadline to bound both —
+// so the peer package's state machines run unchanged on either.
+type Channel struct {
+	w           *Wire
+	id          uint16
+	remoteHello protocol.Hello
+
+	in   chan inFrame
+	prev *[]byte // buffer handed out by the last Next
+
+	mu       sync.Mutex
+	credits  uint32 // sender side: symbol frames we may still send
+	avail    uint32 // receiver side: grant the remote may still spend
+	consumed uint32 // drained since the last replenishing CREDIT
+	deadline time.Time
+	dnotify  chan struct{} // closed+replaced on deadline change
+	err      error         // terminal error, set before rclosed closes
+
+	creditc chan struct{} // signals credit arrival to a blocked sender
+	rclosed chan struct{} // no more inbound frames (remote close / wire death)
+	closed  chan struct{} // locally closed
+	rcOnce  sync.Once
+	clOnce  sync.Once
+
+	onClose func() // fabric refcount hook
+}
+
+func newChannel(w *Wire, id uint16) *Channel {
+	return &Channel{
+		w:       w,
+		id:      id,
+		in:      make(chan inFrame, w.cfg.Window+queueSlack),
+		dnotify: make(chan struct{}),
+		creditc: make(chan struct{}, 1),
+		rclosed: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+}
+
+// ID returns the channel id.
+func (c *Channel) ID() uint16 { return c.id }
+
+// RemoteHello returns the peer's content HELLO for this channel: the
+// OPEN_CHANNEL hello on the accepting side, the ACCEPT_CHANNEL hello on
+// the opening side.
+func (c *Channel) RemoteHello() protocol.Hello { return c.remoteHello }
+
+// RemoteAddr exposes the wire's remote address (penalty attribution,
+// logging).
+func (c *Channel) RemoteAddr() net.Addr { return c.w.conn.RemoteAddr() }
+
+// Wire returns the shared wire, for wire-scoped operations (SendPeers).
+func (c *Channel) Wire() *Wire { return c.w }
+
+// Accept answers a peer-opened channel with our content HELLO and
+// grants the initial credit window (accepting side only).
+func (c *Channel) Accept(h protocol.Hello) error {
+	if err := c.w.writeFrame(protocol.EncodeAcceptChannel(c.id, h)); err != nil {
+		return err
+	}
+	return c.grantInitial()
+}
+
+// Reject declines a peer-opened channel with a canonical reason and
+// retires it.
+func (c *Channel) Reject(msg string) {
+	c.w.writeFrame(protocol.EncodeRejectChannel(c.id, msg))
+	c.Close()
+}
+
+// grantInitial opens the receive window: the peer may send Window
+// symbol frames before our consumer has drained anything.
+func (c *Channel) grantInitial() error {
+	n := uint32(c.w.cfg.Window)
+	c.mu.Lock()
+	c.avail += n
+	c.mu.Unlock()
+	return c.w.writeFrame(protocol.EncodeCredit(c.id, n))
+}
+
+// deliver queues one inbound frame (called by the wire's reader; must
+// never block). A data frame beyond the granted window, or any frame
+// past the queue bound, is the sender ignoring flow control: charge it,
+// drop the frame, keep the wire.
+func (c *Channel) deliver(inner protocol.Frame) {
+	if inner.Type == protocol.TypeSymbol || inner.Type == protocol.TypeRecoded {
+		c.mu.Lock()
+		if c.avail == 0 {
+			c.mu.Unlock()
+			c.w.penalize(WeightViolation)
+			return
+		}
+		c.avail--
+		c.mu.Unlock()
+	}
+	bp := getBuf(len(inner.Payload))
+	copy(*bp, inner.Payload)
+	select {
+	case c.in <- inFrame{t: inner.Type, buf: bp}:
+	default:
+		putBuf(bp)
+		c.w.penalize(WeightViolation)
+	}
+}
+
+// addCredits applies a CREDIT grant from the peer (sender side). A
+// cumulative balance past MaxCreditGrant is a hostile attempt to
+// disable flow control: charge it and clamp.
+func (c *Channel) addCredits(n uint32) {
+	c.mu.Lock()
+	c.credits += n
+	over := c.credits > protocol.MaxCreditGrant
+	if over {
+		c.credits = protocol.MaxCreditGrant
+	}
+	c.mu.Unlock()
+	if over {
+		c.w.penalize(WeightViolation)
+	}
+	select {
+	case c.creditc <- struct{}{}:
+	default:
+	}
+}
+
+// noteConsumed replenishes the sender once a quantum of data frames has
+// actually been drained by the consumer — the backpressure edge: a slow
+// consumer stops granting, its sender blocks, siblings keep flowing.
+func (c *Channel) noteConsumed() {
+	c.mu.Lock()
+	c.consumed++
+	quantum := uint32(c.w.cfg.Window / 4)
+	if quantum == 0 {
+		quantum = 1
+	}
+	if c.consumed < quantum {
+		c.mu.Unlock()
+		return
+	}
+	n := c.consumed
+	c.consumed = 0
+	c.avail += n
+	c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	c.w.writeFrame(protocol.EncodeCredit(c.id, n))
+}
+
+// Next returns the next inbound frame. The frame's payload is valid
+// only until the following Next call (same contract as
+// protocol.FrameReader.Next). After a remote close the queue drains,
+// then Next returns io.EOF (or the wire's terminal error).
+func (c *Channel) Next() (protocol.Frame, error) {
+	if c.prev != nil {
+		putBuf(c.prev)
+		c.prev = nil
+	}
+	for {
+		select {
+		case <-c.closed:
+			return protocol.Frame{}, ErrClosed
+		default:
+		}
+		// Drain queued frames even when the remote side is gone.
+		select {
+		case f := <-c.in:
+			return c.take(f)
+		default:
+		}
+		select {
+		case <-c.rclosed:
+			select {
+			case f := <-c.in:
+				return c.take(f)
+			default:
+				return protocol.Frame{}, c.finalErr()
+			}
+		default:
+		}
+
+		c.mu.Lock()
+		dl := c.deadline
+		dn := c.dnotify
+		c.mu.Unlock()
+		var timech <-chan time.Time
+		var timer *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return protocol.Frame{}, ErrDeadline
+			}
+			timer = time.NewTimer(d)
+			timech = timer.C
+		}
+		select {
+		case f := <-c.in:
+			stopTimer(timer)
+			return c.take(f)
+		case <-c.rclosed:
+		case <-c.closed:
+		case <-dn:
+		case <-timech:
+		}
+		stopTimer(timer)
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (c *Channel) take(f inFrame) (protocol.Frame, error) {
+	c.prev = f.buf
+	if f.t == protocol.TypeSymbol || f.t == protocol.TypeRecoded {
+		c.noteConsumed()
+	}
+	return protocol.Frame{Type: f.t, Payload: *f.buf, Version: protocol.Version}, nil
+}
+
+func (c *Channel) finalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return io.EOF
+}
+
+// Write sends one fully serialized legacy frame (as produced by
+// protocol.WriteFrame, WriteSymbol, WriteRecoded — always one frame per
+// Write call) through the channel as a MUX envelope. Symbol-bearing
+// frames first acquire a credit, blocking while the window is empty.
+func (c *Channel) Write(p []byte) (int, error) {
+	t, payload, err := protocol.FrameParts(p)
+	if err != nil {
+		return 0, err
+	}
+	if t == protocol.TypeSymbol || t == protocol.TypeRecoded {
+		if err := c.acquireCredit(); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.w.writeMux(c.id, t, payload); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// acquireCredit blocks until the peer's receive window has room, the
+// deadline passes, or the channel dies.
+func (c *Channel) acquireCredit() error {
+	for {
+		c.mu.Lock()
+		if c.credits > 0 {
+			c.credits--
+			c.mu.Unlock()
+			return nil
+		}
+		dl := c.deadline
+		dn := c.dnotify
+		c.mu.Unlock()
+
+		select {
+		case <-c.closed:
+			return ErrClosed
+		case <-c.rclosed:
+			return c.finalErr()
+		default:
+		}
+		var timech <-chan time.Time
+		var timer *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return ErrDeadline
+			}
+			timer = time.NewTimer(d)
+			timech = timer.C
+		}
+		select {
+		case <-c.creditc:
+		case <-c.closed:
+		case <-c.rclosed:
+		case <-dn:
+		case <-timech:
+		}
+		stopTimer(timer)
+	}
+}
+
+// SetDeadline bounds every blocked Next and Write (credit wait) on the
+// channel — the hook the session stall watchdog fires to unwedge a
+// stalled channel without touching its siblings. A zero time clears it.
+func (c *Channel) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	close(c.dnotify)
+	c.dnotify = make(chan struct{})
+	c.mu.Unlock()
+	return nil
+}
+
+// SendPeers forwards gossip advertisements on the shared wire (per-wire
+// dedup).
+func (c *Channel) SendPeers(ads []protocol.PeerAd) error { return c.w.SendPeers(ads) }
+
+// Close retires the channel: the peer is told (CLOSE_CHANNEL), late
+// frames for the id drain silently, blocked readers and writers wake
+// with ErrClosed, and the fabric refcount drops. Idempotent.
+func (c *Channel) Close() error {
+	c.clOnce.Do(func() {
+		close(c.closed)
+		c.w.release(c.id, true)
+		c.drainQueued()
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
+	return nil
+}
+
+// remoteClosedNow marks the inbound direction finished: Next drains the
+// queue then reports io.EOF.
+func (c *Channel) remoteClosedNow() {
+	c.rcOnce.Do(func() { close(c.rclosed) })
+}
+
+// fail terminates the channel with err (wire death).
+func (c *Channel) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.rcOnce.Do(func() { close(c.rclosed) })
+}
+
+// drainQueued returns queued buffers to the pool on close. The wire's
+// reader no longer routes to this channel (release retired the id), so
+// the queue only shrinks.
+func (c *Channel) drainQueued() {
+	for {
+		select {
+		case f := <-c.in:
+			putBuf(f.buf)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package peermux is the connection fabric: it multiplexes every
+// content session a node runs against one peer onto a single framed
+// connection (protocol v5), collapsing connection count from
+// O(peers × contents) to O(peers).
+//
+// # Wire layout
+//
+// A fabric connection opens with a MUX_HELLO exchange (each side
+// announces its channel capacity and dialable listen address) instead
+// of a per-content HELLO. After that the stream carries:
+//
+//   - OPEN_CHANNEL / ACCEPT_CHANNEL / REJECT_CHANNEL — subchannel
+//     negotiation. The opener picks an odd channel id and attaches its
+//     content HELLO; the acceptor answers with its own HELLO (content
+//     metadata) or a rejection reusing the canonical ERROR vocabulary
+//     ("unknown content", "refused", "busy").
+//   - MUX — the envelope: channel id (uint16) + inner frame type
+//     (uint8) + inner payload, under the outer frame's single CRC.
+//     Every legacy frame type (SYMBOL, RECODED, SUMMARY, REQUEST,
+//     DONE, ERROR, ...) travels inside envelopes unchanged, so the
+//     per-channel state machines are exactly the legacy session state
+//     machines. Multiplexing costs 3 bytes per frame.
+//   - CREDIT — per-channel flow control (below).
+//   - CLOSE_CHANNEL — either side retires a channel; frames that were
+//     already in flight for a recently closed id are drained silently
+//     (a bounded set of retired ids), not punished.
+//   - PEERS — wire-level gossip, deduplicated per wire; it belongs to
+//     the connection, not to any one channel.
+//
+// # Credit model
+//
+// Only symbol-bearing frames (SYMBOL, RECODED) consume credits;
+// control traffic always flows. The receiving side of a channel grants
+// an initial window of credits at channel establishment, the sender
+// spends one credit per symbol frame and blocks when the window is
+// exhausted, and the receiver replenishes (CREDIT frames carrying the
+// drained count) as its consumer actually drains symbols off the
+// channel queue. A slow consumer therefore self-throttles exactly its
+// own channel — the wire keeps moving and sibling channels keep their
+// throughput — while a sender that overruns its window, or targets an
+// unknown channel id, is charged to the penalty box via Config.Penalize
+// and the offending frame is dropped without wedging the stream.
+//
+// # Channel lifecycle
+//
+// Open (dialer picks id, sends OPEN_CHANNEL) → Accept/Reject (acceptor
+// answers; both sides grant initial credits on accept) → established
+// (Channel is a frame source via Next and an io.Writer that re-frames
+// one serialized legacy frame per Write into an envelope) → closed
+// (either side's CLOSE_CHANNEL, a wire failure, or Channel.Close; the
+// id then drains). A Fabric refcounts channels per wire: the first
+// Open to an address dials and shakes hands, later Opens share the
+// wire, and the last Close tears it down.
+//
+// The pipelined AIMD request ramp that rides on these channels lives in
+// the peer package (see peer.FetchOptions.PipelineDepth): fabric
+// sessions keep K request batches outstanding, growing K additively
+// while batches deliver useful symbols and halving it when the
+// duplicate rate spikes.
+package peermux

@@ -1,0 +1,201 @@
+package peermux
+
+// fabric.go shares wires across contents: the first Open toward an
+// address dials and performs the MUX_HELLO handshake, every later Open
+// toward the same address rides the existing wire as another
+// subchannel, and the last channel Close tears the wire down. This is
+// what collapses a node's connection count from O(peers × contents) to
+// O(peers).
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+// Fabric is a refcounted pool of dialed wires, keyed by address.
+type Fabric struct {
+	dial func(addr string) (net.Conn, error)
+	cfg  Config
+
+	mu       sync.Mutex
+	wires    map[string]*wireRef
+	penalize func(addr string, weight float64)
+	closed   bool
+}
+
+type wireRef struct {
+	addr  string
+	ready chan struct{} // closed once wire/err is set
+	wire  *Wire
+	err   error
+	refs  int
+}
+
+// NewFabric builds a fabric dialing through dial with cfg applied to
+// every wire.
+func NewFabric(dial func(addr string) (net.Conn, error), cfg Config) *Fabric {
+	return &Fabric{
+		dial:  dial,
+		cfg:   cfg.withDefaults(),
+		wires: make(map[string]*wireRef),
+	}
+}
+
+// SetPenalize installs a misbehavior sink for every wire dialed after
+// the call: the fabric binds each wire's penalty reports to the address
+// it dialed, the attribution a bare Config.Penalize cannot supply
+// because one Config covers every wire. Call before the first Open.
+func (f *Fabric) SetPenalize(fn func(addr string, weight float64)) {
+	f.mu.Lock()
+	f.penalize = fn
+	f.mu.Unlock()
+}
+
+// Open returns a subchannel to addr carrying h, dialing a wire only if
+// none is live. Concurrent Opens toward a fresh address share one dial:
+// the first does the handshake, the rest wait on it. A wire that died
+// between lookup and Open is replaced once.
+func (f *Fabric) Open(addr string, h protocol.Hello, timeout time.Duration) (*Channel, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		wr, err := f.wireFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := wr.wire.Open(h, timeout)
+		if err != nil {
+			if wr.wire.Err() != nil {
+				// The shared wire is dead (stale entry or it died mid
+				// open): drop it and retry once with a fresh dial.
+				f.drop(wr)
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		f.mu.Lock()
+		wr.refs++
+		f.mu.Unlock()
+		ch.onClose = func() { f.release(wr) }
+		return ch, nil
+	}
+	return nil, lastErr
+}
+
+// wireFor returns a live wireRef for addr, dialing if needed.
+func (f *Fabric) wireFor(addr string) (*wireRef, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if wr := f.wires[addr]; wr != nil {
+		f.mu.Unlock()
+		<-wr.ready
+		if wr.err != nil {
+			return nil, wr.err
+		}
+		return wr, nil
+	}
+	wr := &wireRef{addr: addr, ready: make(chan struct{})}
+	f.wires[addr] = wr
+	f.mu.Unlock()
+
+	conn, err := f.dial(addr)
+	var w *Wire
+	if err == nil {
+		cfg := f.cfg
+		cfg.onDead = func() { f.drop(wr) }
+		f.mu.Lock()
+		pen := f.penalize
+		f.mu.Unlock()
+		if pen != nil {
+			cfg.Penalize = func(weight float64) { pen(addr, weight) }
+		}
+		w, err = Dial(conn, cfg)
+	}
+	f.mu.Lock()
+	if err != nil {
+		wr.err = err
+		if f.wires[addr] == wr {
+			delete(f.wires, addr)
+		}
+	} else {
+		wr.wire = w
+		if f.closed {
+			// Close raced the dial: don't leak the wire.
+			err = ErrClosed
+			wr.err = err
+			wr.wire = nil
+			f.mu.Unlock()
+			close(wr.ready)
+			w.Close()
+			return nil, err
+		}
+	}
+	f.mu.Unlock()
+	close(wr.ready)
+	if err != nil {
+		return nil, err
+	}
+	return wr, nil
+}
+
+// release drops one channel's reference; the last reference closes the
+// wire.
+func (f *Fabric) release(wr *wireRef) {
+	f.mu.Lock()
+	wr.refs--
+	last := wr.refs <= 0
+	if last && f.wires[wr.addr] == wr {
+		delete(f.wires, wr.addr)
+	}
+	f.mu.Unlock()
+	if last && wr.wire != nil {
+		wr.wire.Close()
+	}
+}
+
+// drop removes a dead wire from the pool (its channels already failed).
+func (f *Fabric) drop(wr *wireRef) {
+	f.mu.Lock()
+	if f.wires[wr.addr] == wr {
+		delete(f.wires, wr.addr)
+	}
+	f.mu.Unlock()
+}
+
+// Wires returns the number of live wires — the fabric's connection
+// count toward the whole swarm.
+func (f *Fabric) Wires() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.wires)
+}
+
+// Close tears down every wire; subsequent Opens fail with ErrClosed.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	wrs := make([]*wireRef, 0, len(f.wires))
+	for _, wr := range f.wires {
+		wrs = append(wrs, wr)
+	}
+	f.wires = make(map[string]*wireRef)
+	f.mu.Unlock()
+	for _, wr := range wrs {
+		select {
+		case <-wr.ready:
+			if wr.wire != nil {
+				wr.wire.Close()
+			}
+		default:
+			// Still dialing; the dial path notices f.closed and cleans
+			// up itself.
+		}
+	}
+	return nil
+}

@@ -1,0 +1,655 @@
+package peermux
+
+// wire.go owns the shared connection: the MUX_HELLO handshake, the
+// single reader goroutine that demultiplexes envelopes onto channel
+// queues, serialized frame writes, channel open/accept bookkeeping, and
+// the containment rules for misbehaving peers (unknown ids, credit
+// overruns, corrupt frames) — charge and drop, never wedge.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"icd/internal/protocol"
+)
+
+// Misbehavior weights passed to Config.Penalize — aligned with the peer
+// package's penalty constants (a protocol violation weighs like a
+// connection reset, a corrupt stream like PenaltyCorrupt) so fabric
+// misbehavior accumulates in the same ban ledger as legacy-session
+// misbehavior.
+const (
+	// WeightViolation charges a per-frame protocol violation: an
+	// envelope for a channel that never existed, a data frame past the
+	// granted credit window, a malformed negotiation frame.
+	WeightViolation = 0.5
+	// WeightCorrupt charges a corrupt frame stream (CRC/magic failure),
+	// which kills the wire.
+	WeightCorrupt = 3.0
+)
+
+// Default Config values.
+const (
+	DefaultTimeout     = 30 * time.Second
+	DefaultMaxChannels = 64
+	DefaultWindow      = 512
+	// drainedIDs bounds the set of recently retired channel ids whose
+	// in-flight frames are drained silently instead of punished.
+	drainedIDs = 64
+	// queueSlack is headroom on a channel's inbound queue beyond the
+	// credit window, for control frames that don't consume credits.
+	queueSlack = 64
+)
+
+// ErrClosed marks an operation on a closed wire, channel or fabric.
+var ErrClosed = errors.New("peermux: closed")
+
+// ErrDeadline marks a channel read or credit wait that ran past the
+// deadline set with SetDeadline. It satisfies net.Error's Timeout
+// contract via errors.Is on os.ErrDeadlineExceeded at call sites that
+// care; the session layer only needs "this blocked too long".
+var ErrDeadline = errors.New("peermux: deadline exceeded")
+
+// RemoteError is a wire-level ERROR frame from the peer — the answer a
+// server gives before or instead of a fabric handshake (banned, busy,
+// version mismatch). The session layer classifies Msg with the
+// protocol.Is* helpers.
+type RemoteError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "peermux: remote error: " + e.Msg }
+
+// RejectError is a REJECT_CHANNEL answer: the wire is healthy but the
+// peer declined this channel. Msg reuses the canonical ERROR vocabulary.
+type RejectError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RejectError) Error() string { return "peermux: channel rejected: " + e.Msg }
+
+// Config parameterizes a Wire (and, via Fabric, every wire it dials).
+type Config struct {
+	// Timeout bounds every blocking wire operation: the handshake, one
+	// frame write, and the reader's per-frame idle limit (default 30s).
+	Timeout time.Duration
+	// MaxChannels caps concurrently open channels accepted from the
+	// peer (default 64). Announced in MUX_HELLO; openers respect the
+	// peer's announcement.
+	MaxChannels int
+	// Window is the per-channel credit window in symbol frames
+	// (default 512): how many SYMBOL/RECODED frames the remote sender
+	// may have in flight before the local consumer drains them.
+	Window int
+	// ListenAddr is advertised in the MUX_HELLO for gossip attribution
+	// (empty: not dialable).
+	ListenAddr string
+	// Penalize, when non-nil, charges peer misbehavior (weights above).
+	// The caller binds the address/attribution — the wire only reports
+	// the weight.
+	Penalize func(weight float64)
+	// OnPeers, when non-nil, receives wire-level gossip advertisements.
+	OnPeers func(ads []protocol.PeerAd)
+
+	// onDead is the fabric's teardown hook (set internally).
+	onDead func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxChannels <= 0 {
+		c.MaxChannels = DefaultMaxChannels
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	return c
+}
+
+// Wire is one multiplexed peer connection: a MUX_HELLO-established
+// frame stream carrying numbered subchannels. A single reader goroutine
+// (Dial side) or the Serve call (accept side) demultiplexes inbound
+// frames; writes from any channel are serialized on the shared conn.
+type Wire struct {
+	conn    net.Conn
+	fr      *protocol.FrameReader
+	cfg     Config
+	dialer  bool
+	remote  protocol.MuxHello
+	handler func(*Channel)
+
+	// wmu serializes writes on conn. Never acquired while holding mu.
+	wmu     sync.Mutex
+	sentAds map[protocol.PeerAd]bool
+
+	mu      sync.Mutex
+	chans   map[uint16]*Channel
+	pend    map[uint16]chan openReply
+	drain   map[uint16]struct{}
+	drainq  []uint16
+	nextID  uint16
+	err     error
+	dead    bool
+	deadOnce sync.Once
+
+	done chan struct{} // closed when the wire fails or closes
+	hwg  sync.WaitGroup
+}
+
+type openReply struct {
+	hello  protocol.Hello
+	reject string
+	ok     bool
+}
+
+// Dial performs the dialer side of the fabric handshake on conn and
+// starts the demultiplexing reader. On a version rejection from the
+// peer the returned error wraps protocol.ErrVersion.
+func Dial(conn net.Conn, cfg Config) (*Wire, error) {
+	cfg = cfg.withDefaults()
+	conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	hello := protocol.MuxHello{
+		MaxChannels: uint16(cfg.MaxChannels),
+		ListenAddr:  cfg.ListenAddr,
+	}
+	if err := protocol.WriteFrame(conn, protocol.EncodeMuxHello(hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	fr := protocol.NewFrameReader(conn)
+	f, err := fr.Next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch f.Type {
+	case protocol.TypeMuxHello:
+		// fall through
+	case protocol.TypeError:
+		msg, _ := protocol.DecodeError(f)
+		conn.Close()
+		if protocol.IsVersionReject(msg) {
+			return nil, fmt.Errorf("peermux: %s: %w", msg, protocol.ErrVersion)
+		}
+		return nil, &RemoteError{Msg: msg}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("peermux: handshake answered with %v, want MUX_HELLO", f.Type)
+	}
+	remote, err := protocol.DecodeMuxHello(f)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	w := newWire(conn, fr, cfg, true, remote)
+	go w.readLoop()
+	return w, nil
+}
+
+// Accept performs the acceptor side of the handshake: the caller (the
+// server mux) already read the client's MUX_HELLO off fr; Accept
+// answers with our own and returns the wire. handler is invoked in its
+// own goroutine for every channel the peer opens; it owns the channel
+// and must Accept or Reject it, then serve until error. The caller
+// drives the wire by calling Serve, which returns when the connection
+// dies and every handler has exited.
+func Accept(conn net.Conn, fr *protocol.FrameReader, client protocol.MuxHello, cfg Config, handler func(*Channel)) (*Wire, error) {
+	cfg = cfg.withDefaults()
+	conn.SetWriteDeadline(time.Now().Add(cfg.Timeout))
+	hello := protocol.MuxHello{
+		MaxChannels: uint16(cfg.MaxChannels),
+		ListenAddr:  cfg.ListenAddr,
+	}
+	if err := protocol.WriteFrame(conn, protocol.EncodeMuxHello(hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w := newWire(conn, fr, cfg, false, client)
+	w.handler = handler
+	return w, nil
+}
+
+func newWire(conn net.Conn, fr *protocol.FrameReader, cfg Config, dialer bool, remote protocol.MuxHello) *Wire {
+	w := &Wire{
+		conn:    conn,
+		fr:      fr,
+		cfg:     cfg,
+		dialer:  dialer,
+		remote:  remote,
+		sentAds: make(map[protocol.PeerAd]bool),
+		chans:   make(map[uint16]*Channel),
+		pend:    make(map[uint16]chan openReply),
+		drain:   make(map[uint16]struct{}),
+		done:    make(chan struct{}),
+	}
+	if dialer {
+		w.nextID = 1
+	}
+	return w
+}
+
+// Serve runs the demultiplexing read loop in the calling goroutine
+// (acceptor side) and returns once the wire is down and every channel
+// handler has exited — the no-goroutine-leak point for a server conn.
+func (w *Wire) Serve() error {
+	w.readLoop()
+	w.hwg.Wait()
+	return w.Err()
+}
+
+// Err returns the wire's terminal error, nil while it is healthy.
+func (w *Wire) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Done is closed when the wire dies.
+func (w *Wire) Done() <-chan struct{} { return w.done }
+
+// RemoteHello returns the peer's MUX_HELLO.
+func (w *Wire) RemoteHello() protocol.MuxHello { return w.remote }
+
+// RemoteAddr exposes the underlying connection's remote address for
+// penalty attribution.
+func (w *Wire) RemoteAddr() net.Addr { return w.conn.RemoteAddr() }
+
+// Channels returns the number of currently open channels.
+func (w *Wire) Channels() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.chans)
+}
+
+// Close tears the wire down: the conn is closed, every channel fails
+// with ErrClosed, pending opens abort.
+func (w *Wire) Close() error {
+	w.fail(ErrClosed)
+	return nil
+}
+
+// Open negotiates a new subchannel carrying h (the opener's content
+// HELLO) and blocks until the peer accepts or rejects it, the wire
+// dies, or timeout passes. On accept, the channel's RemoteHello carries
+// the peer's content metadata and an initial credit window has been
+// granted both ways.
+func (w *Wire) Open(h protocol.Hello, timeout time.Duration) (*Channel, error) {
+	if !w.dialer {
+		return nil, errors.New("peermux: only the dialing side opens channels")
+	}
+	reply := make(chan openReply, 1)
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return nil, err
+	}
+	if max := int(w.remote.MaxChannels); len(w.chans) >= max {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("peermux: peer channel limit (%d) reached", max)
+	}
+	id := w.nextID
+	w.nextID += 2
+	c := newChannel(w, id)
+	w.chans[id] = c
+	w.pend[id] = reply
+	w.mu.Unlock()
+
+	if err := w.writeFrame(protocol.EncodeOpenChannel(id, h)); err != nil {
+		w.abortOpen(id)
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = w.cfg.Timeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-reply:
+		if !r.ok {
+			w.abortOpen(id)
+			return nil, &RejectError{Msg: r.reject}
+		}
+		c.remoteHello = r.hello
+		if err := c.grantInitial(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	case <-w.done:
+		w.abortOpen(id)
+		return nil, w.Err()
+	case <-timer.C:
+		w.abortOpen(id)
+		return nil, fmt.Errorf("peermux: channel open timed out after %v", timeout)
+	}
+}
+
+// abortOpen retires a half-open channel id.
+func (w *Wire) abortOpen(id uint16) {
+	w.mu.Lock()
+	c := w.chans[id]
+	delete(w.chans, id)
+	delete(w.pend, id)
+	w.retireLocked(id)
+	w.mu.Unlock()
+	if c != nil {
+		c.fail(ErrClosed)
+	}
+}
+
+// SendPeers writes a wire-level PEERS frame carrying the
+// advertisements not yet sent on this wire (per-wire dedup mirrors the
+// legacy per-session dedup). A nil or fully duplicate batch is a no-op.
+func (w *Wire) SendPeers(ads []protocol.PeerAd) error {
+	w.wmu.Lock()
+	fresh := ads[:0:0]
+	for _, ad := range ads {
+		if ad.Addr == "" || w.sentAds[ad] {
+			continue
+		}
+		w.sentAds[ad] = true
+		fresh = append(fresh, ad)
+		if len(fresh) == protocol.MaxPeerAds {
+			break
+		}
+	}
+	if len(fresh) == 0 {
+		w.wmu.Unlock()
+		return nil
+	}
+	err := w.writeLocked(protocol.EncodePeers(fresh))
+	w.wmu.Unlock()
+	if err != nil {
+		w.fail(err)
+	}
+	return err
+}
+
+// writeFrame serializes one wire-level frame onto conn.
+func (w *Wire) writeFrame(f protocol.Frame) error {
+	w.wmu.Lock()
+	err := w.writeLocked(f)
+	w.wmu.Unlock()
+	if err != nil {
+		w.fail(err)
+	}
+	return err
+}
+
+func (w *Wire) writeLocked(f protocol.Frame) error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
+	return protocol.WriteFrame(w.conn, f)
+}
+
+// writeMux serializes one enveloped frame onto conn.
+func (w *Wire) writeMux(ch uint16, t protocol.Type, payload []byte) error {
+	w.wmu.Lock()
+	w.conn.SetWriteDeadline(time.Now().Add(w.cfg.Timeout))
+	err := protocol.WriteMux(w.conn, ch, t, payload)
+	w.wmu.Unlock()
+	if err != nil {
+		w.fail(err)
+	}
+	return err
+}
+
+func (w *Wire) penalize(weight float64) {
+	if w.cfg.Penalize != nil {
+		w.cfg.Penalize(weight)
+	}
+}
+
+// fail kills the wire exactly once: conn closed, channels failed,
+// pending opens aborted, fabric notified.
+func (w *Wire) fail(err error) {
+	w.deadOnce.Do(func() {
+		w.mu.Lock()
+		w.err = err
+		w.dead = true
+		chans := make([]*Channel, 0, len(w.chans))
+		for _, c := range w.chans {
+			chans = append(chans, c)
+		}
+		w.chans = make(map[uint16]*Channel)
+		pends := make([]chan openReply, 0, len(w.pend))
+		for _, p := range w.pend {
+			pends = append(pends, p)
+		}
+		w.pend = make(map[uint16]chan openReply)
+		w.mu.Unlock()
+
+		close(w.done)
+		w.conn.Close()
+		for _, c := range chans {
+			c.fail(err)
+		}
+		for _, p := range pends {
+			select {
+			case p <- openReply{reject: err.Error()}:
+			default:
+			}
+		}
+		if w.cfg.onDead != nil {
+			w.cfg.onDead()
+		}
+	})
+}
+
+// retireLocked records a recently closed id so late frames drain
+// silently. Caller holds w.mu.
+func (w *Wire) retireLocked(id uint16) {
+	if _, ok := w.drain[id]; ok {
+		return
+	}
+	w.drain[id] = struct{}{}
+	w.drainq = append(w.drainq, id)
+	if len(w.drainq) > drainedIDs {
+		delete(w.drain, w.drainq[0])
+		w.drainq = w.drainq[1:]
+	}
+}
+
+// release retires a channel id on local close and tells the peer.
+func (w *Wire) release(id uint16, notify bool) {
+	w.mu.Lock()
+	_, open := w.chans[id]
+	delete(w.chans, id)
+	delete(w.pend, id)
+	w.retireLocked(id)
+	dead := w.dead
+	w.mu.Unlock()
+	if notify && open && !dead {
+		w.writeFrame(protocol.EncodeCloseChannel(id))
+	}
+}
+
+// readLoop is the single demultiplexer: every inbound frame is routed,
+// answered, or charged here. It never blocks on a channel consumer —
+// queue overflow is a protocol violation (the sender ignored credits),
+// charged and dropped.
+func (w *Wire) readLoop() {
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(w.cfg.Timeout))
+		f, err := w.fr.Next()
+		if err != nil {
+			if errors.Is(err, protocol.ErrCorrupt) {
+				w.penalize(WeightCorrupt)
+			}
+			w.fail(err)
+			return
+		}
+		switch f.Type {
+		case protocol.TypeMux:
+			id, inner, err := protocol.MuxView(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			w.route(id, inner)
+		case protocol.TypeCredit:
+			id, n, err := protocol.DecodeCredit(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			if c := w.channel(id); c != nil {
+				c.addCredits(n)
+			} else if !w.draining(id) {
+				w.penalize(WeightViolation)
+			}
+		case protocol.TypeOpenChannel:
+			w.handleOpen(f)
+		case protocol.TypeAcceptChannel:
+			id, hello, err := protocol.DecodeAcceptChannel(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			w.resolveOpen(id, openReply{hello: hello, ok: true})
+		case protocol.TypeRejectChannel:
+			id, msg, err := protocol.DecodeRejectChannel(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			w.resolveOpen(id, openReply{reject: msg})
+		case protocol.TypeCloseChannel:
+			id, err := protocol.DecodeCloseChannel(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			w.remoteClose(id)
+		case protocol.TypePeers:
+			ads, err := protocol.DecodePeers(f)
+			if err != nil {
+				w.penalize(WeightViolation)
+				continue
+			}
+			if w.cfg.OnPeers != nil && len(ads) > 0 {
+				w.cfg.OnPeers(ads)
+			}
+		case protocol.TypeError:
+			msg, _ := protocol.DecodeError(f)
+			w.fail(&RemoteError{Msg: msg})
+			return
+		default:
+			// A bare legacy frame on a multiplexed wire: the peer lost
+			// the plot. Charge it and drop the frame; the wire itself
+			// is still framed correctly, so it survives.
+			w.penalize(WeightViolation)
+		}
+	}
+}
+
+func (w *Wire) channel(id uint16) *Channel {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.chans[id]
+}
+
+func (w *Wire) draining(id uint16) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.drain[id]
+	return ok
+}
+
+// route delivers an enveloped frame to its channel's queue.
+func (w *Wire) route(id uint16, inner protocol.Frame) {
+	c := w.channel(id)
+	if c == nil {
+		if !w.draining(id) {
+			// An envelope for a channel that never existed.
+			w.penalize(WeightViolation)
+		}
+		return
+	}
+	c.deliver(inner)
+}
+
+// handleOpen validates and spawns the handler for a peer-opened channel.
+func (w *Wire) handleOpen(f protocol.Frame) {
+	id, hello, err := protocol.DecodeOpenChannel(f)
+	if err != nil {
+		w.penalize(WeightViolation)
+		return
+	}
+	if w.dialer || w.handler == nil {
+		// We dialed this wire for fetching; the peer must not open
+		// channels toward us.
+		w.penalize(WeightViolation)
+		w.writeFrame(protocol.EncodeRejectChannel(id, protocol.ReasonRefused+" (not serving)"))
+		return
+	}
+	if id%2 != 1 {
+		w.penalize(WeightViolation)
+		w.writeFrame(protocol.EncodeRejectChannel(id, "invalid channel id (dialer ids are odd)"))
+		return
+	}
+	w.mu.Lock()
+	if _, dup := w.chans[id]; dup {
+		w.mu.Unlock()
+		w.penalize(WeightViolation)
+		w.writeFrame(protocol.EncodeRejectChannel(id, "duplicate channel id"))
+		return
+	}
+	if len(w.chans) >= w.cfg.MaxChannels {
+		w.mu.Unlock()
+		w.writeFrame(protocol.EncodeRejectChannel(id, "busy (channel limit)"))
+		return
+	}
+	c := newChannel(w, id)
+	c.remoteHello = hello
+	w.chans[id] = c
+	w.mu.Unlock()
+	w.hwg.Add(1)
+	go func() {
+		defer w.hwg.Done()
+		defer c.Close()
+		w.handler(c)
+	}()
+}
+
+func (w *Wire) resolveOpen(id uint16, r openReply) {
+	w.mu.Lock()
+	reply := w.pend[id]
+	delete(w.pend, id)
+	if reply == nil {
+		known := false
+		if _, ok := w.chans[id]; ok {
+			known = true
+		} else if _, ok := w.drain[id]; ok {
+			known = true
+		}
+		w.mu.Unlock()
+		if !known {
+			w.penalize(WeightViolation)
+		}
+		return
+	}
+	w.mu.Unlock()
+	select {
+	case reply <- r:
+	default:
+	}
+}
+
+func (w *Wire) remoteClose(id uint16) {
+	w.mu.Lock()
+	c := w.chans[id]
+	_, wasDraining := w.drain[id]
+	delete(w.chans, id)
+	w.retireLocked(id)
+	w.mu.Unlock()
+	if c != nil {
+		c.remoteClosedNow()
+	} else if !wasDraining {
+		w.penalize(WeightViolation)
+	}
+}

@@ -1,0 +1,532 @@
+package peermux
+
+// wire_test.go exercises the fabric end to end over synchronous
+// in-memory pipes: channel negotiation, symbol flow under credits, the
+// credit-starvation fairness guarantee (one slow consumer must not
+// stall its siblings), deadline semantics (the stall watchdog's hook),
+// wire-level gossip dedup, misbehavior charging, and wire sharing
+// through the Fabric. Every swarm-running test defers the shared
+// goroutine-leak gate.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icd/internal/protocol"
+	"icd/internal/testutil"
+)
+
+// startPair wires a dialer and an acceptor over net.Pipe. The acceptor
+// runs the server-mux front half (read MUX_HELLO, Accept, Serve);
+// handler owns each peer-opened channel. shutdown closes the client
+// wire and waits for the serve goroutine.
+func startPair(t *testing.T, ccfg, scfg Config, handler func(*Channel)) (*Wire, func()) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fr := protocol.NewFrameReader(sc)
+		sc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := fr.Next()
+		if err != nil {
+			sc.Close()
+			return
+		}
+		mh, err := protocol.DecodeMuxHello(f)
+		if err != nil {
+			sc.Close()
+			return
+		}
+		w, err := Accept(sc, fr, mh, scfg, handler)
+		if err != nil {
+			return
+		}
+		w.Serve()
+	}()
+	w, err := Dial(cc, ccfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return w, func() {
+		w.Close()
+		<-done
+	}
+}
+
+// serveSymbols is a handler that accepts every channel and answers each
+// REQUEST with `count` symbols and a DONE.
+func serveSymbols(count int, payload []byte) func(*Channel) {
+	return func(ch *Channel) {
+		if err := ch.Accept(protocol.Hello{
+			ContentID: ch.RemoteHello().ContentID, FullCopy: true,
+			NumBlocks: uint32(count), BlockSize: uint32(len(payload)),
+		}); err != nil {
+			return
+		}
+		var next uint64
+		for {
+			f, err := ch.Next()
+			if err != nil {
+				return
+			}
+			switch f.Type {
+			case protocol.TypeRequest:
+				n, err := protocol.DecodeRequest(f)
+				if err != nil {
+					return
+				}
+				for i := uint32(0); i < n; i++ {
+					if err := protocol.WriteSymbol(ch, next, payload); err != nil {
+						return
+					}
+					next++
+				}
+				if err := protocol.WriteFrame(ch, protocol.EncodeDone()); err != nil {
+					return
+				}
+			case protocol.TypeDone:
+				return
+			}
+		}
+	}
+}
+
+func TestOpenAcceptSymbolFlow(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	w, shutdown := startPair(t, Config{}, Config{}, serveSymbols(1000, []byte("0123456789abcdef")))
+	defer shutdown()
+
+	ch, err := w.Open(protocol.Hello{ContentID: 0xF00D, SummaryMask: protocol.AllSummaryMask}, time.Second)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := ch.RemoteHello(); !got.FullCopy || got.ContentID != 0xF00D {
+		t.Fatalf("accept hello = %+v", got)
+	}
+	const batch = 64
+	got := 0
+	for round := 0; round < 4; round++ {
+		if err := protocol.WriteFrame(ch, protocol.EncodeRequest(batch)); err != nil {
+			t.Fatalf("REQUEST: %v", err)
+		}
+		ch.SetDeadline(time.Now().Add(5 * time.Second))
+		for {
+			f, err := ch.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if f.Type == protocol.TypeDone {
+				break
+			}
+			id, data, err := protocol.SymbolView(f)
+			if err != nil {
+				t.Fatalf("symbol: %v", err)
+			}
+			if id != uint64(got) || string(data) != "0123456789abcdef" {
+				t.Fatalf("symbol %d = (%d, %q)", got, id, data)
+			}
+			got++
+		}
+	}
+	if got != 4*batch {
+		t.Fatalf("received %d symbols, want %d", got, 4*batch)
+	}
+	ch.Close()
+	if n := w.Channels(); n != 0 {
+		t.Fatalf("channels after close = %d", n)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("wire died: %v", err)
+	}
+}
+
+func TestChannelReject(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	w, shutdown := startPair(t, Config{}, Config{}, func(ch *Channel) {
+		ch.Reject(fmt.Sprintf("%s %#x", protocol.ReasonUnknownContent, ch.RemoteHello().ContentID))
+	})
+	defer shutdown()
+
+	_, err := w.Open(protocol.Hello{ContentID: 0xBAD}, time.Second)
+	var rej *RejectError
+	if !errors.As(err, &rej) || !protocol.IsUnknownContent(rej.Msg) {
+		t.Fatalf("Open err = %v, want unknown-content RejectError", err)
+	}
+	// The wire survives a rejection: a second open toward a served
+	// content must still work.
+	w2, shutdown2 := startPair(t, Config{}, Config{}, serveSymbols(10, []byte("x")))
+	defer shutdown2()
+	ch, err := w2.Open(protocol.Hello{ContentID: 1}, time.Second)
+	if err != nil {
+		t.Fatalf("Open after reject: %v", err)
+	}
+	ch.Close()
+}
+
+// TestCreditStarvationFairness is the satellite guarantee: two channels
+// on one wire, one consumer stops draining — the fast channel keeps its
+// throughput (its full stream completes while the slow one is wedged)
+// and the slow channel's sender blocks on credits without deadlocking
+// the wire; when the slow consumer resumes, its stream completes too.
+func TestCreditStarvationFairness(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const total = 2000
+	payload := []byte("payload-payload-")
+	// A small window so the slow channel wedges its sender quickly.
+	w, shutdown := startPair(t, Config{Window: 32}, Config{Window: 32}, serveSymbols(total, payload))
+	defer shutdown()
+
+	open := func(id uint64) *Channel {
+		ch, err := w.Open(protocol.Hello{ContentID: id}, time.Second)
+		if err != nil {
+			t.Fatalf("Open %d: %v", id, err)
+		}
+		ch.SetDeadline(time.Now().Add(10 * time.Second))
+		return ch
+	}
+	fast, slow := open(1), open(2)
+	// Both channels request the full stream; the slow consumer reads a
+	// handful of symbols and then stops draining entirely.
+	if err := protocol.WriteFrame(slow, protocol.EncodeRequest(total)); err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteFrame(fast, protocol.EncodeRequest(total)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := slow.Next(); err != nil {
+			t.Fatalf("slow warmup: %v", err)
+		}
+	}
+
+	// The fast channel must receive its entire stream — far more than
+	// any window or queue bound — while the slow channel's sender sits
+	// blocked on credits.
+	drain := func(ch *Channel, want int, name string) {
+		got := 0
+		for {
+			f, err := ch.Next()
+			if err != nil {
+				t.Fatalf("%s after %d symbols: %v", name, got, err)
+			}
+			if f.Type == protocol.TypeDone {
+				break
+			}
+			got++
+		}
+		if got != want {
+			t.Fatalf("%s received %d symbols, want %d", name, got, want)
+		}
+	}
+	start := time.Now()
+	drain(fast, total, "fast channel")
+	if time.Since(start) > 8*time.Second {
+		t.Fatalf("fast channel took %v with a stalled sibling", time.Since(start))
+	}
+	// The slow consumer resumes: no deadlock, the remaining symbols
+	// arrive.
+	drain(slow, total-8, "slow channel")
+	if err := w.Err(); err != nil {
+		t.Fatalf("wire died: %v", err)
+	}
+	fast.Close()
+	slow.Close()
+}
+
+func TestChannelDeadlineUnblocks(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	w, shutdown := startPair(t, Config{}, Config{}, func(ch *Channel) {
+		ch.Accept(protocol.Hello{FullCopy: true})
+		for {
+			if _, err := ch.Next(); err != nil {
+				return
+			}
+		}
+	})
+	defer shutdown()
+	ch, err := w.Open(protocol.Hello{ContentID: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A future deadline expires on its own.
+	ch.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := ch.Next(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Next past deadline = %v, want ErrDeadline", err)
+	}
+	// The watchdog pattern: a blocked Next is unwedged by SetDeadline
+	// from another goroutine.
+	ch.SetDeadline(time.Time{})
+	unblocked := make(chan error, 1)
+	go func() {
+		_, err := ch.Next()
+		unblocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	ch.SetDeadline(time.Now())
+	select {
+	case err := <-unblocked:
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("unblocked Next = %v, want ErrDeadline", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SetDeadline(now) did not unblock a pending Next")
+	}
+	ch.Close()
+}
+
+func TestWirePeersDedup(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	var mu sync.Mutex
+	var got []protocol.PeerAd
+	seen := make(chan struct{}, 8)
+	scfg := Config{OnPeers: func(ads []protocol.PeerAd) {
+		mu.Lock()
+		got = append(got, ads...)
+		mu.Unlock()
+		seen <- struct{}{}
+	}}
+	w, shutdown := startPair(t, Config{}, scfg, func(ch *Channel) {
+		ch.Accept(protocol.Hello{})
+		for {
+			if _, err := ch.Next(); err != nil {
+				return
+			}
+		}
+	})
+	defer shutdown()
+
+	ads := []protocol.PeerAd{{ContentID: 1, Addr: "10.0.0.1:9000"}, {ContentID: 2, Addr: "10.0.0.2:9000"}}
+	if err := w.SendPeers(ads); err != nil {
+		t.Fatal(err)
+	}
+	<-seen
+	// A repeat send is fully deduplicated at the wire: nothing arrives.
+	if err := w.SendPeers(ads); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SendPeers([]protocol.PeerAd{ads[0], {ContentID: 3, Addr: "10.0.0.3:9000"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-seen
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("received %d ads, want 3 (dedup failed): %+v", len(got), got)
+	}
+}
+
+func TestUnknownChannelCharged(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	var charges atomic.Int64
+	scfg := Config{Penalize: func(w float64) { charges.Add(1) }}
+	w, shutdown := startPair(t, Config{}, scfg, serveSymbols(10, []byte("x")))
+	defer shutdown()
+
+	// An envelope for a channel that never existed: charged, dropped,
+	// wire survives.
+	if err := w.writeMux(4242, protocol.TypeSymbol, []byte("bogus-symbol-pay")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for charges.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if charges.Load() == 0 {
+		t.Fatal("unknown-channel envelope was not charged")
+	}
+	ch, err := w.Open(protocol.Hello{ContentID: 1}, time.Second)
+	if err != nil {
+		t.Fatalf("wire did not survive the violation: %v", err)
+	}
+	ch.Close()
+}
+
+func TestClosedChannelDrainsSilently(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	var charges atomic.Int64
+	release := make(chan struct{})
+	w, shutdown := startPair(t, Config{Penalize: func(float64) { charges.Add(1) }}, Config{}, func(ch *Channel) {
+		ch.Accept(protocol.Hello{FullCopy: true})
+		// Wait for the peer to retire the id, then fire late frames at
+		// it — in-flight traffic for a closed channel. Raw wire writes
+		// bypass the local credit ledger, which already knows the
+		// channel is gone.
+		<-release
+		for i := 0; i < 4; i++ {
+			ch.Wire().writeMux(ch.ID(), protocol.TypeSymbol, []byte("late-symbol-data"))
+		}
+		ch.Wire().writeMux(ch.ID(), protocol.TypeDone, nil)
+		for {
+			if _, err := ch.Next(); err != nil {
+				return
+			}
+		}
+	})
+	defer func() { close(release); shutdown() }()
+
+	ch, err := w.Open(protocol.Hello{ContentID: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	release <- struct{}{}
+	// Give the late frames time to arrive: they must drain without a
+	// single charge and without killing the wire.
+	time.Sleep(100 * time.Millisecond)
+	if n := charges.Load(); n != 0 {
+		t.Fatalf("late frames for a retired id charged %d violations", n)
+	}
+	ch2, err := w.Open(protocol.Hello{ContentID: 2}, time.Second)
+	if err != nil {
+		t.Fatalf("wire did not survive late frames: %v", err)
+	}
+	ch2.Close()
+}
+
+func TestFabricSharesOneWire(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	var dials atomic.Int64
+	var serveWG sync.WaitGroup
+	dial := func(addr string) (net.Conn, error) {
+		dials.Add(1)
+		cc, sc := net.Pipe()
+		serveWG.Add(1)
+		go func() {
+			defer serveWG.Done()
+			fr := protocol.NewFrameReader(sc)
+			sc.SetReadDeadline(time.Now().Add(5 * time.Second))
+			f, err := fr.Next()
+			if err != nil {
+				sc.Close()
+				return
+			}
+			mh, err := protocol.DecodeMuxHello(f)
+			if err != nil {
+				sc.Close()
+				return
+			}
+			w, err := Accept(sc, fr, mh, Config{}, serveSymbols(100, []byte("y")))
+			if err != nil {
+				return
+			}
+			w.Serve()
+		}()
+		return cc, nil
+	}
+	fab := NewFabric(dial, Config{})
+	defer fab.Close()
+
+	var chans []*Channel
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			ch, err := fab.Open("peer-a", protocol.Hello{ContentID: id}, 2*time.Second)
+			if err != nil {
+				t.Errorf("Open %d: %v", id, err)
+				return
+			}
+			mu.Lock()
+			chans = append(chans, ch)
+			mu.Unlock()
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("3 concurrent opens dialed %d times, want 1", n)
+	}
+	if n := fab.Wires(); n != 1 {
+		t.Fatalf("fabric holds %d wires, want 1", n)
+	}
+	// Last close tears the wire down; the next open redials.
+	for _, ch := range chans {
+		ch.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for fab.Wires() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := fab.Wires(); n != 0 {
+		t.Fatalf("fabric holds %d wires after last close", n)
+	}
+	ch, err := fab.Open("peer-a", protocol.Hello{ContentID: 9}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if n := dials.Load(); n != 2 {
+		t.Fatalf("reopen dialed %d times total, want 2", n)
+	}
+	ch.Close()
+	fab.Close()
+	serveWG.Wait()
+}
+
+func TestDialVersionReject(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	cc, sc := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer sc.Close()
+		sc.SetDeadline(time.Now().Add(5 * time.Second))
+		// A server that cannot speak v5 answers the canonical version
+		// rejection instead of a MUX_HELLO.
+		fr := protocol.NewFrameReader(sc)
+		if _, err := fr.Next(); err != nil {
+			return
+		}
+		protocol.WriteFrame(sc, protocol.EncodeErrorBadVersion())
+	}()
+	_, err := Dial(cc, Config{Timeout: 2 * time.Second})
+	if !errors.Is(err, protocol.ErrVersion) {
+		t.Fatalf("Dial = %v, want ErrVersion in the chain", err)
+	}
+	wg.Wait()
+}
+
+func TestRemoteCloseDrainsThenEOF(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	w, shutdown := startPair(t, Config{}, Config{}, func(ch *Channel) {
+		ch.Accept(protocol.Hello{FullCopy: true})
+		for i := 0; i < 5; i++ {
+			protocol.WriteSymbol(ch, uint64(i), []byte("tail"))
+		}
+		ch.Close()
+	})
+	defer shutdown()
+	ch, err := w.Open(protocol.Hello{ContentID: 1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.SetDeadline(time.Now().Add(5 * time.Second))
+	got := 0
+	for {
+		f, err := ch.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("after %d symbols: %v, want io.EOF", got, err)
+			}
+			break
+		}
+		if f.Type == protocol.TypeSymbol {
+			got++
+		}
+	}
+	if got != 5 {
+		t.Fatalf("drained %d in-flight symbols before EOF, want 5", got)
+	}
+	ch.Close()
+}

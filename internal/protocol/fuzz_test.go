@@ -171,6 +171,60 @@ func FuzzFrameReader(f *testing.F) {
 	})
 }
 
+// FuzzMuxDecoders fuzzes every v5 connection-fabric parser — MUX_HELLO,
+// OPEN/ACCEPT/REJECT/CLOSE_CHANNEL, CREDIT and the MUX envelope — with
+// one shared corpus: each parser either rejects the payload or what it
+// accepts survives a re-encode round trip.
+func FuzzMuxDecoders(f *testing.F) {
+	f.Add(EncodeMuxHello(MuxHello{MaxChannels: 64, ListenAddr: "10.0.0.1:9000"}).Payload)
+	f.Add(EncodeOpenChannel(1, Hello{ContentID: 0xF00D, SummaryMask: AllSummaryMask}).Payload)
+	f.Add(EncodeAcceptChannel(1, Hello{ContentID: 0xF00D, FullCopy: true}).Payload)
+	f.Add(EncodeRejectChannel(3, ReasonRefused).Payload)
+	f.Add(EncodeCloseChannel(7).Payload)
+	f.Add(EncodeCredit(5, 256).Payload)
+	f.Add(EncodeMux(9, EncodeSymbol(Symbol{ID: 4, Data: []byte("x")})).Payload)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if h, err := DecodeMuxHello(Frame{Type: TypeMuxHello, Payload: payload}); err == nil {
+			if h2, err := DecodeMuxHello(EncodeMuxHello(h)); err != nil || h2 != h {
+				t.Fatalf("MUX_HELLO round trip unstable: %v (%+v vs %+v)", err, h2, h)
+			}
+		}
+		if ch, h, err := DecodeOpenChannel(Frame{Type: TypeOpenChannel, Payload: payload}); err == nil {
+			if ch2, h2, err := DecodeOpenChannel(EncodeOpenChannel(ch, h)); err != nil || ch2 != ch || h2 != h {
+				t.Fatalf("OPEN_CHANNEL round trip unstable: %v", err)
+			}
+		}
+		if ch, h, err := DecodeAcceptChannel(Frame{Type: TypeAcceptChannel, Payload: payload}); err == nil {
+			if ch2, h2, err := DecodeAcceptChannel(EncodeAcceptChannel(ch, h)); err != nil || ch2 != ch || h2 != h {
+				t.Fatalf("ACCEPT_CHANNEL round trip unstable: %v", err)
+			}
+		}
+		if ch, msg, err := DecodeRejectChannel(Frame{Type: TypeRejectChannel, Payload: payload}); err == nil {
+			if ch2, msg2, err := DecodeRejectChannel(EncodeRejectChannel(ch, msg)); err != nil || ch2 != ch || msg2 != msg {
+				t.Fatalf("REJECT_CHANNEL round trip unstable: %v", err)
+			}
+		}
+		if ch, err := DecodeCloseChannel(Frame{Type: TypeCloseChannel, Payload: payload}); err == nil {
+			if ch2, err := DecodeCloseChannel(EncodeCloseChannel(ch)); err != nil || ch2 != ch {
+				t.Fatalf("CLOSE_CHANNEL round trip unstable: %v", err)
+			}
+		}
+		if ch, n, err := DecodeCredit(Frame{Type: TypeCredit, Payload: payload}); err == nil {
+			if ch2, n2, err := DecodeCredit(EncodeCredit(ch, n)); err != nil || ch2 != ch || n2 != n {
+				t.Fatalf("CREDIT round trip unstable: %v", err)
+			}
+		}
+		if ch, inner, err := MuxView(Frame{Type: TypeMux, Payload: payload}); err == nil {
+			ch2, inner2, err := MuxView(EncodeMux(ch, inner))
+			if err != nil || ch2 != ch || inner2.Type != inner.Type || !bytes.Equal(inner2.Payload, inner.Payload) {
+				t.Fatalf("MUX round trip unstable: %v", err)
+			}
+		}
+	})
+}
+
 // FuzzWriteFrame drives the writer with arbitrary type/payload pairs:
 // what it writes, the reader must accept and return unchanged.
 func FuzzWriteFrame(f *testing.F) {

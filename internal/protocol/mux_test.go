@@ -1,0 +1,162 @@
+package protocol
+
+// mux_test.go covers the v5 connection-fabric codecs: round trips for
+// every negotiation frame, the MUX envelope's single-CRC nesting, the
+// legacy-version writer's byte-level rewrite, and the version-reject
+// classifier.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMuxHelloRoundTrip(t *testing.T) {
+	for _, h := range []MuxHello{
+		{},
+		{MaxChannels: 64, ListenAddr: "203.0.113.9:9002"},
+		{MaxChannels: 1},
+	} {
+		got, err := DecodeMuxHello(EncodeMuxHello(h))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+	if _, err := DecodeMuxHello(Frame{Type: TypeMuxHello, Payload: []byte{1}}); err == nil {
+		t.Fatal("truncated MUX_HELLO accepted")
+	}
+	if _, err := DecodeMuxHello(Frame{Type: TypeMuxHello, Payload: []byte{1, 0, 9, 'x'}}); err == nil {
+		t.Fatal("MUX_HELLO with lying addr length accepted")
+	}
+}
+
+func TestChannelNegotiationRoundTrip(t *testing.T) {
+	h := Hello{
+		ContentID: 0xF00D, NumBlocks: 2000, BlockSize: 1400, OrigLen: 2_800_000,
+		CodeSeed: 42, FullCopy: true, Symbols: 17, SummaryMask: AllSummaryMask,
+		ListenAddr: "10.0.0.7:9000",
+	}
+	ch, got, err := DecodeOpenChannel(EncodeOpenChannel(7, h))
+	if err != nil || ch != 7 || got != h {
+		t.Fatalf("OPEN_CHANNEL round trip: ch=%d h=%+v err=%v", ch, got, err)
+	}
+	ch, got, err = DecodeAcceptChannel(EncodeAcceptChannel(9, h))
+	if err != nil || ch != 9 || got != h {
+		t.Fatalf("ACCEPT_CHANNEL round trip: ch=%d h=%+v err=%v", ch, got, err)
+	}
+	ch, msg, err := DecodeRejectChannel(EncodeRejectChannel(3, ReasonRefused+" (address penalized)"))
+	if err != nil || ch != 3 || !IsRefused(msg) {
+		t.Fatalf("REJECT_CHANNEL round trip: ch=%d msg=%q err=%v", ch, msg, err)
+	}
+	ch, err = DecodeCloseChannel(EncodeCloseChannel(11))
+	if err != nil || ch != 11 {
+		t.Fatalf("CLOSE_CHANNEL round trip: ch=%d err=%v", ch, err)
+	}
+	if _, _, err := DecodeOpenChannel(Frame{Type: TypeOpenChannel, Payload: []byte{1}}); err == nil {
+		t.Fatal("truncated OPEN_CHANNEL accepted")
+	}
+	if _, err := DecodeCloseChannel(Frame{Type: TypeCloseChannel, Payload: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("oversized CLOSE_CHANNEL accepted")
+	}
+}
+
+func TestCreditRoundTripAndBounds(t *testing.T) {
+	ch, n, err := DecodeCredit(EncodeCredit(5, 256))
+	if err != nil || ch != 5 || n != 256 {
+		t.Fatalf("CREDIT round trip: ch=%d n=%d err=%v", ch, n, err)
+	}
+	if _, _, err := DecodeCredit(EncodeCredit(1, 0)); err == nil {
+		t.Fatal("zero CREDIT grant accepted")
+	}
+	if _, _, err := DecodeCredit(EncodeCredit(1, MaxCreditGrant+1)); err == nil {
+		t.Fatal("oversized CREDIT grant accepted")
+	}
+	if _, _, err := DecodeCredit(Frame{Type: TypeCredit, Payload: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("short CREDIT accepted")
+	}
+}
+
+func TestMuxEnvelope(t *testing.T) {
+	inner := EncodeSymbol(Symbol{ID: 99, Data: []byte("payload-bytes")})
+	ch, got, err := MuxView(EncodeMux(12, inner))
+	if err != nil || ch != 12 || got.Type != TypeSymbol || !bytes.Equal(got.Payload, inner.Payload) {
+		t.Fatalf("MUX round trip: ch=%d inner=%+v err=%v", ch, got, err)
+	}
+	id, data, err := SymbolView(got)
+	if err != nil || id != 99 || string(data) != "payload-bytes" {
+		t.Fatalf("inner SYMBOL view through envelope: id=%d data=%q err=%v", id, data, err)
+	}
+
+	// WriteMux's fast path must produce the exact bytes of
+	// WriteFrame(EncodeMux(...)).
+	var fast, slow bytes.Buffer
+	if err := WriteMux(&fast, 12, TypeSymbol, inner.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&slow, EncodeMux(12, inner)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+		t.Fatalf("WriteMux bytes differ from WriteFrame(EncodeMux):\n%x\n%x", fast.Bytes(), slow.Bytes())
+	}
+	if _, _, err := MuxView(Frame{Type: TypeMux, Payload: []byte{0, 1}}); err == nil {
+		t.Fatal("truncated MUX accepted")
+	}
+}
+
+func TestLegacyWriterRewritesVersionByte(t *testing.T) {
+	var buf bytes.Buffer
+	lw := LegacyWriter(&buf)
+	if err := WriteSymbol(lw, 7, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if raw[2] != VersionLegacy {
+		t.Fatalf("version byte %d, want %d", raw[2], VersionLegacy)
+	}
+	// The rewritten frame still validates (the CRC excludes the version
+	// byte) and reports the legacy version.
+	f, err := ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("rewritten frame rejected: %v", err)
+	}
+	if f.Version != VersionLegacy || f.Type != TypeSymbol {
+		t.Fatalf("frame = %+v, want legacy SYMBOL", f)
+	}
+	id, data, err := SymbolView(f)
+	if err != nil || id != 7 || string(data) != "abc" {
+		t.Fatalf("legacy symbol view: id=%d data=%q err=%v", id, data, err)
+	}
+}
+
+func TestReadFrameAcceptsLegacyRejectsOthers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, EncodeDone()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil || f.Version != Version {
+		t.Fatalf("own frame: %+v err=%v", f, err)
+	}
+}
+
+func TestIsVersionReject(t *testing.T) {
+	msg, err := DecodeError(EncodeErrorBadVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsVersionReject(msg) {
+		t.Fatalf("canonical reject %q not recognized", msg)
+	}
+	if !IsVersionReject(ReasonBadVersion) {
+		t.Fatal("bare prefix not recognized")
+	}
+	if IsVersionReject("unsupported protocol versions everywhere") {
+		t.Fatal("prefix-extension false positive")
+	}
+	if IsVersionReject("refused (address penalized)") {
+		t.Fatal("unrelated reason matched")
+	}
+}

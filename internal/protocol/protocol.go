@@ -42,8 +42,20 @@ import (
 // Version 4 added gossip peer discovery: the HELLO grew a
 // variable-length advertised listen address, and either side may send
 // PEERS frames carrying capped, deduplicated lists of (content id,
-// address) advertisements.
-const Version = 4
+// address) advertisements. Version 5 added the multiplexed connection
+// fabric: a MUX_HELLO handshake, OPEN/ACCEPT/REJECT/CLOSE_CHANNEL
+// negotiation, per-channel CREDIT flow control, and a MUX envelope that
+// carries any v4 frame tagged with a channel id — so one wire serves N
+// content subchannels. Every v4 frame is unchanged in v5, so a v5
+// reader also accepts v4 frames (VersionLegacy) and a v5 server can
+// serve a v4 client a single-channel legacy session.
+const Version = 5
+
+// VersionLegacy is the newest prior version whose frames are
+// byte-compatible with ours (v4: every frame type 1–12 is identical in
+// v5). readFrame accepts it so a v5 node can interoperate with v4
+// peers; frames of any other version fail with ErrVersion.
+const VersionLegacy = 4
 
 // ErrVersion marks a frame whose version byte differs from Version. A
 // session layer that sees it should fail the handshake cleanly (report
@@ -92,6 +104,21 @@ const (
 	// side may volunteer so a swarm bootstrapped from a single seed
 	// address can self-assemble the full mesh.
 	TypePeers Type = 12
+
+	// The v5 connection-fabric frames. A multiplexed wire starts with a
+	// MUX_HELLO exchange instead of a content HELLO; after that, content
+	// sessions live on numbered subchannels negotiated with
+	// OPEN/ACCEPT/REJECT_CHANNEL and torn down with CLOSE_CHANNEL, data
+	// frames travel inside MUX envelopes, and receivers meter senders
+	// with CREDIT grants. PEERS and ERROR frames remain untagged: they
+	// belong to the wire, not to any one channel.
+	TypeMuxHello      Type = 13 // wire handshake (replaces HELLO on fabric conns)
+	TypeOpenChannel   Type = 14 // open a subchannel: channel id + content HELLO
+	TypeAcceptChannel Type = 15 // accept: channel id + serving-side HELLO
+	TypeRejectChannel Type = 16 // reject: channel id + human-readable reason
+	TypeCloseChannel  Type = 17 // either side retires a channel id
+	TypeCredit        Type = 18 // receiver grants the sender symbol credits
+	TypeMux           Type = 19 // envelope: channel id + inner type + inner payload
 )
 
 // String names the message type for logs and errors.
@@ -121,15 +148,34 @@ func (t Type) String() string {
 		return "SUMMARY_REFRESH"
 	case TypePeers:
 		return "PEERS"
+	case TypeMuxHello:
+		return "MUX_HELLO"
+	case TypeOpenChannel:
+		return "OPEN_CHANNEL"
+	case TypeAcceptChannel:
+		return "ACCEPT_CHANNEL"
+	case TypeRejectChannel:
+		return "REJECT_CHANNEL"
+	case TypeCloseChannel:
+		return "CLOSE_CHANNEL"
+	case TypeCredit:
+		return "CREDIT"
+	case TypeMux:
+		return "MUX"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
 }
 
-// Frame is one wire message.
+// Frame is one wire message. Version records the version byte the frame
+// arrived with — Version (5) or VersionLegacy (4) — so a server can tell
+// a legacy client apart from a current one; frames built by the Encode
+// helpers leave it zero, and the writers always stamp the current
+// Version on the wire (use a LegacyWriter to answer a v4 peer).
 type Frame struct {
 	Type    Type
 	Payload []byte
+	Version uint8
 }
 
 const headerLen = 2 + 1 + 1 + 4
@@ -180,6 +226,35 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return writeFrame2(w, f.Type, f.Payload, nil)
 }
 
+// LegacyWriter wraps w so every frame written through it carries the
+// VersionLegacy version byte — how a v5 server answers a v4 client in
+// frames the client's reader will accept. It relies on two framing
+// invariants: every writer in this package emits exactly one complete
+// frame per Write call, and the version byte sits outside the CRC (the
+// checksum covers type|length|payload only), so rewriting it cannot
+// invalidate the trailer. Writes that are not a whole frame pass
+// through unchanged.
+func LegacyWriter(w io.Writer) io.Writer { return &legacyWriter{w: w} }
+
+type legacyWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (lw *legacyWriter) Write(p []byte) (int, error) {
+	if len(p) < headerLen || binary.LittleEndian.Uint16(p) != magic {
+		return lw.w.Write(p)
+	}
+	// Copy before rewriting: an io.Writer must not mutate its input.
+	lw.buf = append(lw.buf[:0], p...)
+	lw.buf[2] = VersionLegacy
+	n, err := lw.w.Write(lw.buf)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
 // readFrame reads and validates one frame from r into scratch storage
 // (grown only if needed), returning the frame and the storage for reuse.
 // The frame's payload aliases the returned scratch slice. hdr is a
@@ -192,7 +267,7 @@ func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
 	if binary.LittleEndian.Uint16(hdr[0:]) != magic {
 		return Frame{}, scratch, fmt.Errorf("%w: bad magic (stream desynchronized?)", ErrCorrupt)
 	}
-	if hdr[2] != Version {
+	if hdr[2] != Version && hdr[2] != VersionLegacy {
 		return Frame{}, scratch, fmt.Errorf("%w: got %d, speaking %d", ErrVersion, hdr[2], Version)
 	}
 	length := binary.LittleEndian.Uint32(hdr[4:])
@@ -218,7 +293,7 @@ func readFrame(r io.Reader, hdr, scratch []byte) (Frame, []byte, error) {
 	if crc != wantCRC {
 		return Frame{}, scratch, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	return Frame{Type: Type(hdr[3]), Payload: payload}, scratch, nil
+	return Frame{Type: Type(hdr[3]), Payload: payload, Version: hdr[2]}, scratch, nil
 }
 
 // ReadFrame reads and validates one frame from r. The payload is freshly
@@ -283,27 +358,59 @@ const MaxAddrLen = 255
 
 const helloFixedLen = 8 + 4 + 4 + 8 + 8 + 1 + 8 + 1
 
-// EncodeHello marshals h. A ListenAddr longer than MaxAddrLen is
-// truncated to empty (an undialable advert, not a malformed frame).
-func EncodeHello(h Hello) Frame {
+// appendHelloPayload marshals h onto buf — shared by the HELLO frame and
+// the v5 OPEN/ACCEPT_CHANNEL frames, which embed the same layout after a
+// channel id.
+func appendHelloPayload(buf []byte, h Hello) []byte {
 	addr := h.ListenAddr
 	if len(addr) > MaxAddrLen {
 		addr = ""
 	}
-	buf := make([]byte, helloFixedLen+1+len(addr))
-	binary.LittleEndian.PutUint64(buf[0:], h.ContentID)
-	binary.LittleEndian.PutUint32(buf[8:], h.NumBlocks)
-	binary.LittleEndian.PutUint32(buf[12:], h.BlockSize)
-	binary.LittleEndian.PutUint64(buf[16:], h.OrigLen)
-	binary.LittleEndian.PutUint64(buf[24:], h.CodeSeed)
+	off := len(buf)
+	buf = append(buf, make([]byte, helloFixedLen+1+len(addr))...)
+	p := buf[off:]
+	binary.LittleEndian.PutUint64(p[0:], h.ContentID)
+	binary.LittleEndian.PutUint32(p[8:], h.NumBlocks)
+	binary.LittleEndian.PutUint32(p[12:], h.BlockSize)
+	binary.LittleEndian.PutUint64(p[16:], h.OrigLen)
+	binary.LittleEndian.PutUint64(p[24:], h.CodeSeed)
 	if h.FullCopy {
-		buf[32] = 1
+		p[32] = 1
 	}
-	binary.LittleEndian.PutUint64(buf[33:], h.Symbols)
-	buf[41] = h.SummaryMask
-	buf[42] = byte(len(addr))
-	copy(buf[43:], addr)
-	return Frame{Type: TypeHello, Payload: buf}
+	binary.LittleEndian.PutUint64(p[33:], h.Symbols)
+	p[41] = h.SummaryMask
+	p[42] = byte(len(addr))
+	copy(p[43:], addr)
+	return buf
+}
+
+// decodeHelloPayload unmarshals the HELLO layout from p (a whole frame
+// payload or the tail of an OPEN/ACCEPT_CHANNEL payload).
+func decodeHelloPayload(p []byte) (Hello, error) {
+	if len(p) < helloFixedLen+1 {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want ≥ %d", len(p), helloFixedLen+1)
+	}
+	addrLen := int(p[42])
+	if len(p) != helloFixedLen+1+addrLen {
+		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want %d", len(p), helloFixedLen+1+addrLen)
+	}
+	return Hello{
+		ContentID:   binary.LittleEndian.Uint64(p[0:]),
+		NumBlocks:   binary.LittleEndian.Uint32(p[8:]),
+		BlockSize:   binary.LittleEndian.Uint32(p[12:]),
+		OrigLen:     binary.LittleEndian.Uint64(p[16:]),
+		CodeSeed:    binary.LittleEndian.Uint64(p[24:]),
+		FullCopy:    p[32] == 1,
+		Symbols:     binary.LittleEndian.Uint64(p[33:]),
+		SummaryMask: p[41],
+		ListenAddr:  string(p[43 : 43+addrLen]),
+	}, nil
+}
+
+// EncodeHello marshals h. A ListenAddr longer than MaxAddrLen is
+// truncated to empty (an undialable advert, not a malformed frame).
+func EncodeHello(h Hello) Frame {
+	return Frame{Type: TypeHello, Payload: appendHelloPayload(nil, h)}
 }
 
 // DecodeHello unmarshals a HELLO frame.
@@ -311,24 +418,7 @@ func DecodeHello(f Frame) (Hello, error) {
 	if f.Type != TypeHello {
 		return Hello{}, fmt.Errorf("protocol: %v is not HELLO", f.Type)
 	}
-	if len(f.Payload) < helloFixedLen+1 {
-		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want ≥ %d", len(f.Payload), helloFixedLen+1)
-	}
-	addrLen := int(f.Payload[42])
-	if len(f.Payload) != helloFixedLen+1+addrLen {
-		return Hello{}, fmt.Errorf("protocol: HELLO payload %d bytes, want %d", len(f.Payload), helloFixedLen+1+addrLen)
-	}
-	return Hello{
-		ContentID:   binary.LittleEndian.Uint64(f.Payload[0:]),
-		NumBlocks:   binary.LittleEndian.Uint32(f.Payload[8:]),
-		BlockSize:   binary.LittleEndian.Uint32(f.Payload[12:]),
-		OrigLen:     binary.LittleEndian.Uint64(f.Payload[16:]),
-		CodeSeed:    binary.LittleEndian.Uint64(f.Payload[24:]),
-		FullCopy:    f.Payload[32] == 1,
-		Symbols:     binary.LittleEndian.Uint64(f.Payload[33:]),
-		SummaryMask: f.Payload[41],
-		ListenAddr:  string(f.Payload[43 : 43+addrLen]),
-	}, nil
+	return decodeHelloPayload(f.Payload)
 }
 
 // Symbol is a regular encoded symbol on the wire.
@@ -537,6 +627,32 @@ func IsRefused(msg string) bool {
 		return false
 	}
 	rest := msg[len(ReasonRefused):]
+	return rest == "" || rest[0] == ' '
+}
+
+// ReasonBadVersion is the canonical ERROR-message prefix a server
+// answers when a client's frames carry a version byte it cannot speak.
+// Clients match it with IsVersionReject and surface ErrVersion — the
+// same terminal, no-redial outcome as reading an incompatible version
+// byte directly.
+const ReasonBadVersion = "unsupported protocol version"
+
+// EncodeErrorBadVersion builds the canonical ERROR frame for a peer
+// whose version this library cannot speak.
+func EncodeErrorBadVersion() Frame {
+	return EncodeError(fmt.Sprintf("%s (speaking %d)", ReasonBadVersion, Version))
+}
+
+// IsVersionReject reports whether an ERROR message is the canonical
+// version rejection (with or without detail appended). A v5 client
+// needs it because a v4 server's frames parse fine here (VersionLegacy)
+// — the incompatibility arrives as this ERROR text, not as ErrVersion
+// from the frame layer.
+func IsVersionReject(msg string) bool {
+	if !strings.HasPrefix(msg, ReasonBadVersion) {
+		return false
+	}
+	rest := msg[len(ReasonBadVersion):]
 	return rest == "" || rest[0] == ' '
 }
 

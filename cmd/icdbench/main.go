@@ -7,12 +7,15 @@
 //
 //	icdbench -list
 //	icdbench -exp fig5a [-n 2000] [-trials 5] [-seed 1]
+//	icdbench -exp credits [-json BENCH_pr9.json]
 //	icdbench -all [-n 2000] [-trials 5]
 //	icdbench -micro
 //
 // Experiment ids follow the paper: fig4a, tab4b, tab4c, fig5a, fig5b,
-// fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, coding, fig1. See DESIGN.md
-// for the experiment index and EXPERIMENTS.md for recorded results.
+// fig6a, fig6b, fig7a, fig7b, fig8a, fig8b, coding, fig1 — plus the
+// systems extensions (multicontent, chaos, lab, fabric, credits). See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
 package main
 
 import (
@@ -29,7 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		all     = flag.Bool("all", false, "run every experiment")
 		micro   = flag.Bool("micro", false, "run data-plane microbenchmarks (XOR kernel, summaries, symbol pipeline, sharded decode)")
-		jsonOut = flag.String("json", "", "with -micro, -exp lab or -exp fabric: also write results as a JSON array to this path")
+		jsonOut = flag.String("json", "", "with -micro, -exp lab, -exp fabric or -exp credits: also write results as a JSON array to this path")
 		labMax  = flag.Int("labmax", 0, "with -exp lab: cap the scenario node counts (0 = canonical 100 and 1000)")
 		exp     = flag.String("exp", "", "experiment id to run")
 		n       = flag.Int("n", 0, "source blocks for transfer experiments (default 2000)")
@@ -95,6 +98,24 @@ func main() {
 		fmt.Printf("(fabric in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		if *jsonOut != "" {
 			if err := experiment.WriteFabricJSON(*jsonOut, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+	case *exp == "credits":
+		// The credit-scheduling comparison also gets its own path so
+		// -json can write the BENCH artifact rows (uniform vs
+		// utility-weighted channel windows).
+		start := time.Now()
+		rows, err := experiment.CreditsResults(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icdbench: credits: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiment.CreditsTable(rows).Render())
+		fmt.Printf("(credits in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "" {
+			if err := experiment.WriteCreditsJSON(*jsonOut, rows); err != nil {
 				fmt.Fprintf(os.Stderr, "icdbench: writing %s: %v\n", *jsonOut, err)
 				os.Exit(1)
 			}

@@ -308,4 +308,23 @@
 // answer in v4 framing, and a dialer whose fabric handshake is
 // version-rejected demotes that peer to dedicated legacy connections
 // (node.Options.DisableFabric forces that mode globally).
+//
+// Credits as the scheduler's currency: on a latency-bound wire a
+// channel's credit window IS its throughput (≈ window per round trip),
+// so the multi-content node treats window frames as a schedulable
+// budget alongside connection slots. node.Options.WindowBudget names a
+// node-wide frame budget; each housekeeping tick apportions it across
+// the active fetches by the same marginal-utility policy as slots — a
+// 16-frame floor each, the rest proportional to progress rate, starved
+// and near-complete fetches yielding — and pushes the shares down to
+// the live fabric channels (Channel.SetWindow resizes with frames in
+// flight: grows grant immediately, shrinks drain by withholding
+// replenishment, credits are never revoked). Each wire enforces the
+// budget as an aggregate ceiling (peermux.Config.WireWindow), and every
+// fetch's pipeline depth is capped to the requests its window can
+// admit, so the AIMD ramp never solicits symbols the window would turn
+// into duplicates-in-waiting. icdbench -exp credits measures the
+// policy: contents of unequal utility through one wire, where
+// utility-weighted windows must meet or beat a uniform split's goodput
+// on the useful transfer.
 package icd

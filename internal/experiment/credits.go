@@ -1,0 +1,280 @@
+package experiment
+
+// credits.go is the PR 9 credit-scheduling measurement: one consumer
+// node fetching three contents from one provider over a single fabric
+// wire on a delivery-latency link, where the credit window is the
+// binding throughput constraint (≈ window per round trip). One content
+// is fully replicated; the other two are served from small partial
+// replicas their fetchers exhaust almost immediately — transfers of
+// zero marginal utility that nevertheless hold whatever window they are
+// granted. Both arms spend the same node-wide window budget: the
+// uniform arm splits it evenly across the contents (the pre-PR 9
+// behavior, every channel at the same size, 32 frames each), the
+// weighted arm lets the node's scheduler size windows by measured
+// utility — the stalled fetches drop to the 16-frame floor and the
+// freed frames go to the transfer that is actually moving (64 frames).
+// The claim under test: utility-weighted windows deliver at least the
+// uniform arm's goodput on the useful transfer.
+// cmd/icdbench renders the table (`-exp credits`) and writes the rows
+// as the BENCH_pr9.json artifact.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"icd/internal/faultnet"
+	"icd/internal/fountain"
+	"icd/internal/node"
+	"icd/internal/peer"
+)
+
+// creditsAdvantageFloor is the acceptance bar: weighted-arm goodput
+// over uniform-arm goodput on the useful transfers. The scheduler must
+// never do worse than a uniform split — the stalled fetch's window is
+// pure headroom.
+const creditsAdvantageFloor = 1.0
+
+// creditsBudget is the node-wide window budget both arms spend, in
+// symbol frames (3 contents: uniform 32 each; weighted floors the two
+// stalled fetches at 16 and the useful transfer absorbs the rest, 64).
+const creditsBudget = 96
+
+// CreditRow is one arm's measurement — the BENCH_pr9.json artifact
+// schema.
+type CreditRow struct {
+	Mode         string  `json:"mode"`          // "uniform" or "weighted"
+	BudgetFrames int     `json:"budget_frames"` // node-wide window budget
+	Blocks       int     `json:"blocks"`        // per content
+	Bytes        int     `json:"bytes"`         // useful content bytes
+	Completed    bool    `json:"completed"`
+	ElapsedMs    float64 `json:"elapsed_ms"` // until the useful transfer completed
+	GoodputKBps  float64 `json:"goodput_kbps"`
+	// StalledSymbols is the stalled fetches' combined working set when
+	// the useful transfer finished — evidence they really did plateau.
+	StalledSymbols int `json:"stalled_symbols"`
+	// Advantage is this row's goodput over the uniform row (1.0 on the
+	// uniform row itself).
+	Advantage float64 `json:"advantage"`
+}
+
+// creditsN clamps the per-content size: long enough that the windows —
+// not the handshakes — dominate, short enough for CI.
+func creditsN(n int) int {
+	if n < 400 {
+		return 400
+	}
+	if n > 1200 {
+		return 1200
+	}
+	return n
+}
+
+// encodedSubset encodes `count` distinct symbols of the content — the
+// partial replica whose span the stalled fetch exhausts.
+func encodedSubset(info peer.ContentInfo, content []byte, count int, seed uint64) (map[uint64][]byte, error) {
+	blocks, _, err := fountain.SplitIntoBlocks(content, info.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	code, err := fountain.NewCode(info.NumBlocks, nil, info.CodeSeed)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := fountain.NewEncoder(code, blocks, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64][]byte, count)
+	for len(out) < count {
+		sym := enc.Next()
+		if _, dup := out[sym.ID]; !dup {
+			out[sym.ID] = append([]byte(nil), sym.Data...)
+		}
+		enc.Release(sym)
+	}
+	return out, nil
+}
+
+// runCreditsArm runs one arm: weighted hands the budget to the node's
+// scheduler (Options.WindowBudget), uniform pins every channel to an
+// equal share of the same budget.
+func runCreditsArm(o Options, weighted bool) (CreditRow, error) {
+	n := creditsN(o.N)
+	row := CreditRow{
+		Mode:         "uniform",
+		BudgetFrames: creditsBudget,
+		Blocks:       n,
+	}
+	if weighted {
+		row.Mode = "weighted"
+	}
+
+	// A symmetric delivery-latency link: each endpoint contributes
+	// 2.5ms, so a credit round trip costs ~10ms and throughput tracks
+	// the window almost linearly.
+	sn := faultnet.NewShapedNet(o.Seed + 31)
+	sn.SetDeliveryLatency(true)
+	sn.SetDefaultClass(faultnet.LinkClass{Name: "lan", Latency: 2500 * time.Microsecond})
+
+	provider := node.New(node.Options{Listen: "provider", Transport: sn, Tick: 20 * time.Millisecond})
+	defer provider.Close()
+	infoA, dataA := buildContent(0xA11C, n, 256, o.Seed+41)
+	infoB, dataB := buildContent(0xB22C, n, 256, o.Seed+43)
+	infoC, dataC := buildContent(0xC33C, n, 256, o.Seed+47)
+	if err := provider.ServeFull(infoA, dataA, true); err != nil {
+		return row, err
+	}
+	// The stalled contents: partial replicas of ~15% of the blocks each.
+	// Their fetchers drain the span quickly, then receive only
+	// duplicates — zero marginal utility at full window occupancy.
+	for _, stalled := range []struct {
+		info peer.ContentInfo
+		data []byte
+		seed uint64
+	}{{infoB, dataB, o.Seed + 53}, {infoC, dataC, o.Seed + 59}} {
+		subset, err := encodedSubset(stalled.info, stalled.data, n*15/100, stalled.seed)
+		if err != nil {
+			return row, err
+		}
+		if err := provider.ServePartial(stalled.info, subset, true); err != nil {
+			return row, err
+		}
+	}
+	row.Bytes = len(dataA)
+	ln, err := sn.Listen("provider")
+	if err != nil {
+		return row, err
+	}
+	go provider.Serve(ln)
+
+	fetch := peer.FetchOptions{
+		Batch:   16,
+		Timeout: 2 * time.Minute,
+		// Blind streaming, and a useless-batch budget past the run
+		// length: the stalled fetches must keep occupying their windows
+		// (the contended resource) instead of reconciling or hanging up.
+		SummaryMask:       -1,
+		MaxUselessBatches: 1 << 20,
+	}
+	opts := node.Options{
+		Listen:    "consumer",
+		Transport: sn.Node("consumer"),
+		Tick:      10 * time.Millisecond,
+		Fetch:     fetch,
+	}
+	if weighted {
+		opts.WindowBudget = creditsBudget
+	} else {
+		opts.Fetch.ChannelWindow = creditsBudget / 3
+	}
+	consumer := node.New(opts)
+	defer consumer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	// The stalled fetches never complete; their own context ends them
+	// once the useful transfer is done.
+	ctxStall, cancelStall := context.WithCancel(ctx)
+	defer cancelStall()
+
+	start := time.Now()
+	txA, err := consumer.StartFetch(ctx, infoA.ID, "provider")
+	if err != nil {
+		return row, err
+	}
+	txB, err := consumer.StartFetch(ctxStall, infoB.ID, "provider")
+	if err != nil {
+		return row, err
+	}
+	txC, err := consumer.StartFetch(ctxStall, infoC.ID, "provider")
+	if err != nil {
+		return row, err
+	}
+
+	resA, errA := txA.Wait()
+	elapsed := time.Since(start)
+	row.StalledSymbols = txB.Orchestrator().Progress() + txC.Orchestrator().Progress()
+	cancelStall()
+	txB.Wait() // unwound by their context; the error is the cancellation
+	txC.Wait()
+	if errA != nil {
+		return row, fmt.Errorf("experiment: credits %s arm, useful content: %w", row.Mode, errA)
+	}
+	if !resA.Completed || !bytes.Equal(resA.Data, dataA) {
+		return row, fmt.Errorf("experiment: credits %s arm did not recover the useful content", row.Mode)
+	}
+	row.Completed = true
+	row.ElapsedMs = ms(elapsed)
+	row.GoodputKBps = float64(row.Bytes) / elapsed.Seconds() / 1024
+	return row, nil
+}
+
+// CreditsResults runs both arms, uniform first, and enforces the
+// acceptance floor: a utility-weighted window split that moves the
+// useful transfers slower than a uniform split is a scheduler
+// regression the tracked artifact must not absorb silently.
+func CreditsResults(o Options) ([]CreditRow, error) {
+	o = o.withDefaults()
+	uniform, err := runCreditsArm(o, false)
+	if err != nil {
+		return nil, err
+	}
+	uniform.Advantage = 1
+	weighted, err := runCreditsArm(o, true)
+	if err != nil {
+		return []CreditRow{uniform}, err
+	}
+	if uniform.GoodputKBps > 0 {
+		weighted.Advantage = weighted.GoodputKBps / uniform.GoodputKBps
+	}
+	rows := []CreditRow{uniform, weighted}
+	if weighted.Advantage < creditsAdvantageFloor {
+		return rows, fmt.Errorf("experiment: weighted windows moved %.2fx the uniform goodput, want >= %.2fx",
+			weighted.Advantage, creditsAdvantageFloor)
+	}
+	return rows, nil
+}
+
+// CreditsTable renders credit rows as an icdbench table.
+func CreditsTable(rows []CreditRow) Table {
+	t := Table{
+		ID:     "credits",
+		Title:  "credit scheduling: utility-weighted vs uniform channel windows, one wire, two stalled contents",
+		Header: []string{"mode", "budget", "useful bytes", "stalled syms", "elapsed", "goodput", "advantage"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%d frames", r.BudgetFrames),
+			fmt.Sprintf("%d", r.Bytes),
+			fmt.Sprintf("%d", r.StalledSymbols),
+			fmt.Sprintf("%.0fms", r.ElapsedMs),
+			fmt.Sprintf("%.0f KB/s", r.GoodputKBps),
+			fmt.Sprintf("%.2fx", r.Advantage),
+		})
+	}
+	return t
+}
+
+// WriteCreditsJSON writes the rows as a JSON array artifact
+// (BENCH_pr9.json in CI).
+func WriteCreditsJSON(path string, rows []CreditRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Credits is the registry runner: both arms plus the floor check.
+func Credits(o Options) (Table, error) {
+	rows, err := CreditsResults(o)
+	if err != nil {
+		return Table{}, err
+	}
+	return CreditsTable(rows), nil
+}

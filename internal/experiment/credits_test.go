@@ -1,0 +1,82 @@
+package experiment
+
+// credits_test.go pins the credit experiment's plumbing: the
+// content-size clamp, one real two-arm run at test scale (leak-checked,
+// floor enforced), and the BENCH_pr9 artifact round trip.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"icd/internal/testutil"
+)
+
+func TestCreditsNClamp(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 400}, {100, 400}, {400, 400}, {800, 800}, {1200, 1200}, {5000, 1200},
+	}
+	for _, tc := range cases {
+		if got := creditsN(tc.in); got != tc.want {
+			t.Fatalf("creditsN(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCreditsBothArms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two shaped-link node runs")
+	}
+	defer testutil.CheckGoroutines(t)()
+	rows, err := CreditsResults(Options{N: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "uniform" || rows[1].Mode != "weighted" {
+		t.Fatalf("want uniform+weighted rows, got %+v", rows)
+	}
+	for _, r := range rows {
+		if !r.Completed || r.GoodputKBps <= 0 || r.ElapsedMs <= 0 || r.Bytes <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+		if r.StalledSymbols <= 0 {
+			t.Fatalf("%s arm: stalled fetch made no progress at all: %+v", r.Mode, r)
+		}
+	}
+	// CreditsResults returning nil error IS the floor check, but pin the
+	// advantage wiring too: the uniform row is the 1.0 baseline.
+	if rows[0].Advantage != 1 {
+		t.Fatalf("uniform advantage = %v, want 1", rows[0].Advantage)
+	}
+	if rows[1].Advantage < creditsAdvantageFloor {
+		t.Fatalf("weighted advantage %.2f below floor %.2f", rows[1].Advantage, creditsAdvantageFloor)
+	}
+}
+
+func TestCreditsArtifactRoundTrip(t *testing.T) {
+	rows := []CreditRow{
+		{Mode: "uniform", BudgetFrames: 96, Blocks: 400, Bytes: 200000, Completed: true,
+			ElapsedMs: 1200, GoodputKBps: 160, StalledSymbols: 70, Advantage: 1},
+		{Mode: "weighted", BudgetFrames: 96, Blocks: 400, Bytes: 200000, Completed: true,
+			ElapsedMs: 900, GoodputKBps: 215, StalledSymbols: 70, Advantage: 1.34},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_pr9.json")
+	if err := WriteCreditsJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []CreditRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != rows[0] || back[1] != rows[1] {
+		t.Fatalf("artifact round trip mismatch: %+v", back)
+	}
+	if CreditsTable(rows).Render() == "" {
+		t.Fatal("empty table render")
+	}
+}

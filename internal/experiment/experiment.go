@@ -226,6 +226,10 @@ func Registry() []Runner {
 			t, err := Fabric(o)
 			return stringerTable{t}, err
 		}},
+		{"credits", "credit scheduling: utility-weighted vs uniform channel windows on one wire (PR 9)", func(o Options) (fmt.Stringer, error) {
+			t, err := Credits(o)
+			return stringerTable{t}, err
+		}},
 	}
 }
 

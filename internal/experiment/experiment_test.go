@@ -227,9 +227,9 @@ func TestGossipSwarmConverges(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"chaos", "coding", "decode", "fabric", "fig1", "fig4a", "fig5a",
-		"fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
-		"gossip", "lab", "multicontent", "swarm", "tab4b", "tab4c",
+		"chaos", "coding", "credits", "decode", "fabric", "fig1", "fig4a",
+		"fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8a",
+		"fig8b", "gossip", "lab", "multicontent", "swarm", "tab4b", "tab4c",
 	}
 	got := IDs()
 	if len(got) != len(want) {

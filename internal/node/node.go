@@ -57,9 +57,21 @@ type Options struct {
 	// in flight — size MaxConns (or bound concurrent StartFetch calls)
 	// accordingly when the budget maps to a hard resource limit.
 	MaxConns int
+	// WindowBudget is the node-wide credit-window budget in symbol
+	// frames, divided across concurrent fetches by the same marginal-
+	// utility apportionment as MaxConns (0 = disabled: every channel
+	// opens at the fabric's per-channel default). Each fetch's share
+	// sizes its fabric channels' receive windows live
+	// (Orchestrator.SetChannelWindow) and caps its request pipeline to
+	// the depth that window can admit (SetPipelineCap); the budget is
+	// also installed as each wire's aggregate ceiling
+	// (peermux.Config.WireWindow), so no single wire can oversubscribe
+	// it. Every fetch keeps a small guaranteed window — size the budget
+	// with that floor (16 frames per concurrent fetch) in mind.
+	WindowBudget int
 	// Tick is the housekeeping cadence — gossip expiry, store budget
-	// enforcement over live working sets, connection rebalancing
-	// (default 100ms).
+	// enforcement over live working sets, connection and credit-window
+	// rebalancing (default 100ms).
 	Tick time.Duration
 	// GossipMaxAge ages directory entries nobody re-mentioned out of
 	// the node's gossip directory (default 2m; negative disables).
@@ -179,6 +191,7 @@ func New(opts Options) *Node {
 		n.fabric = peermux.NewFabric(dial, peermux.Config{
 			Timeout:    opts.Fetch.Timeout,
 			ListenAddr: opts.Listen,
+			WireWindow: opts.WindowBudget,
 			OnPeers: func(ads []protocol.PeerAd) {
 				for _, ad := range ads {
 					n.gossip.Learn(ad)
@@ -409,6 +422,11 @@ func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string
 		// assigns the real share.
 		fo.MaxPeers = 1
 	}
+	if n.opts.WindowBudget > 0 {
+		// Likewise for the window budget: open the first channels at the
+		// guaranteed floor and let the rebalance grow the share.
+		fo.ChannelWindow = minChannelWindow
+	}
 	st := &transferState{
 		id:   contentID,
 		o:    peer.NewOrchestrator(contentID, fo),
@@ -536,10 +554,12 @@ func (n *Node) housekeep() {
 }
 
 // rebalance samples every active fetch's progress rate and re-divides
-// the global connection budget (allocateSlots), applying shrinks before
-// grows so the combined live-session count never overshoots MaxConns.
+// the node's global budgets: connection slots (allocateSlots, under
+// MaxConns) and credit windows (allocateWindows, under WindowBudget) —
+// both applied live, shrinks before grows, so neither the combined
+// session count nor any wire's aggregate window overshoots its budget.
 func (n *Node) rebalance() {
-	if n.opts.MaxConns <= 0 {
+	if n.opts.MaxConns <= 0 && n.opts.WindowBudget <= 0 {
 		return
 	}
 	n.schedMu.Lock()
@@ -580,17 +600,46 @@ func (n *Node) rebalance() {
 		st.lastSig = sig
 		sigs[i] = sig
 	}
-	slots := allocateSlots(n.opts.MaxConns, sigs)
-	// Shrink first: the freed slots must exist before anyone grows into
-	// them, or the node would transiently exceed its own budget.
-	for i, st := range states {
-		if slots[i] < st.o.MaxPeers() {
-			st.o.SetMaxPeers(slots[i])
+	if n.opts.MaxConns > 0 {
+		slots := allocateSlots(n.opts.MaxConns, sigs)
+		// Shrink first: the freed slots must exist before anyone grows
+		// into them, or the node would transiently exceed its own budget.
+		for i, st := range states {
+			if slots[i] < st.o.MaxPeers() {
+				st.o.SetMaxPeers(slots[i])
+			}
+		}
+		for i, st := range states {
+			if slots[i] > st.o.MaxPeers() {
+				st.o.SetMaxPeers(slots[i])
+			}
 		}
 	}
-	for i, st := range states {
-		if slots[i] > st.o.MaxPeers() {
-			st.o.SetMaxPeers(slots[i])
+	if n.opts.WindowBudget > 0 {
+		wins := allocateWindows(n.opts.WindowBudget, sigs)
+		batch := n.opts.Fetch.Batch
+		if batch <= 0 {
+			batch = 64
+		}
+		maxDepth := n.opts.Fetch.MaxPipelineDepth
+		if maxDepth <= 0 {
+			maxDepth = peer.DefaultMaxPipelineDepth
+		}
+		// Shrink-before-grow again: the wires enforce the same budget as
+		// their aggregate ceiling (Config.WireWindow), so a grow applied
+		// before its sibling's shrink would be clamped against window the
+		// shrink is about to free.
+		for i, st := range states {
+			if wins[i] < st.o.ChannelWindow() {
+				st.o.SetChannelWindow(wins[i])
+				st.o.SetPipelineCap(depthCap(wins[i], batch, maxDepth))
+			}
+		}
+		for i, st := range states {
+			if wins[i] > st.o.ChannelWindow() {
+				st.o.SetChannelWindow(wins[i])
+				st.o.SetPipelineCap(depthCap(wins[i], batch, maxDepth))
+			}
 		}
 	}
 }

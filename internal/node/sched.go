@@ -1,16 +1,25 @@
 package node
 
-// sched.go is the cross-content scheduling policy: a pure function
-// dividing the node's global connection budget across its concurrent
-// fetches by marginal utility. Every active fetch keeps one slot (an
-// orchestrator with zero sessions winds itself down, which is a
-// completion decision, not a scheduling one); the remaining slots go
-// where they buy the most throughput — proportionally to each fetch's
-// recent progress rate — while starved fetches (no measurable progress,
-// so more connections to the same peers buy nothing) and near-complete
-// fetches (the decode tail needs few fresh symbols) yield their share
-// to fast-moving transfers. Keeping the policy a pure function makes it
-// table-testable without a swarm.
+// sched.go is the cross-content scheduling policy: pure functions
+// dividing the node's global budgets across its concurrent fetches by
+// marginal utility. Two budgets share one apportionment: connection
+// slots (how many sessions a fetch may run) and, since PR 9, credit
+// windows (how many symbol frames a fetch's channels may keep in
+// flight on the shared fabric wires). Every active fetch keeps a floor
+// share (a fetch with zero slots winds itself down, and a channel with
+// zero window cannot move); the rest goes where it buys the most
+// throughput — proportionally to each fetch's recent progress rate —
+// while starved fetches (no measurable progress, so a bigger share of
+// the same peers buys nothing) and near-complete fetches (the decode
+// tail needs few fresh symbols) yield their share to fast-moving
+// transfers. Keeping the policy pure functions makes it table-testable
+// without a swarm.
+
+// minChannelWindow is the per-fetch floor of a window apportionment, in
+// symbol frames: even a yielding fetch keeps enough window that one
+// round-trip of symbols is always in flight, so its sessions measure
+// progress instead of starving into a false "stalled" verdict.
+const minChannelWindow = 16
 
 // fetchSignal is one active fetch's scheduling inputs, sampled by the
 // node's housekeeping tick.
@@ -21,28 +30,66 @@ type fetchSignal struct {
 }
 
 // yielding reports whether the fetch should give up its share of the
-// extra slots.
+// extra budget.
 func (f fetchSignal) yielding() bool { return f.nearComplete || f.starved }
 
 // allocateSlots divides `total` connection slots across the given
 // fetches: one guaranteed slot each (total is effectively raised to the
 // fetch count when smaller — a fetch with zero slots would wind down,
-// not wait), the rest proportionally to progress rate with
-// largest-remainder rounding. Yielding fetches weigh zero; when every
-// fetch yields (startup, all stalled) the extra slots spread evenly.
-// The result is index-aligned with sigs and deterministic.
+// not wait), the rest proportionally to progress rate.
 func allocateSlots(total int, sigs []fetchSignal) []int {
+	return apportion(total, 1, sigs)
+}
+
+// allocateWindows divides a node-wide credit-window budget (symbol
+// frames) across the fetches, minChannelWindow guaranteed each — the
+// utility-sized windows the rebalance pushes down to every fetch's
+// fabric channels.
+func allocateWindows(budget int, sigs []fetchSignal) []int {
+	return apportion(budget, minChannelWindow, sigs)
+}
+
+// depthCap converts a fetch's window share into a pipeline-depth cap:
+// the number of `batch`-sized requests needed to cover the window
+// (rounded up — a truncated cap would leave part of the window
+// permanently idle), clamped to [1, maxDepth]. Requests beyond that
+// would solicit symbols the window cannot admit — duplicates-in-waiting
+// the AIMD ramp would otherwise have to discover by backing off.
+func depthCap(window, batch, maxDepth int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	d := (window + batch - 1) / batch
+	if d < 1 {
+		d = 1
+	}
+	if maxDepth > 0 && d > maxDepth {
+		d = maxDepth
+	}
+	return d
+}
+
+// apportion divides `total` units across the fetches: `floor` units
+// guaranteed each (total is effectively raised to nf·floor when
+// smaller), the rest proportionally to progress rate with
+// largest-remainder rounding. Yielding fetches weigh zero; when no
+// fetch has a usable rate the extra spreads evenly across the
+// non-yielding fetches — a starved or near-complete fetch never absorbs
+// fallback share while a fresh sibling could use it — and across
+// everyone only when every fetch yields (all stalled). The result is
+// index-aligned with sigs and deterministic.
+func apportion(total, floor int, sigs []fetchSignal) []int {
 	nf := len(sigs)
 	if nf == 0 {
 		return nil
 	}
-	slots := make([]int, nf)
-	for i := range slots {
-		slots[i] = 1
+	shares := make([]int, nf)
+	for i := range shares {
+		shares[i] = floor
 	}
-	extra := total - nf
+	extra := total - nf*floor
 	if extra <= 0 {
-		return slots
+		return shares
 	}
 	weights := make([]float64, nf)
 	sum := 0.0
@@ -53,15 +100,28 @@ func allocateSlots(total int, sigs []fetchSignal) []int {
 		}
 	}
 	if sum == 0 {
-		// No signal to differentiate on: spread evenly, earlier fetches
-		// absorbing the remainder.
-		for i := 0; extra > 0; i = (i + 1) % nf {
-			slots[i]++
+		// No rate signal to differentiate on. Startup fetches (not yet
+		// measured) still deserve the budget; yielding fetches have told
+		// us more buys nothing, so they are excluded unless everyone is
+		// yielding. Earlier fetches absorb the remainder.
+		elig := make([]int, 0, nf)
+		for i, sig := range sigs {
+			if !sig.yielding() {
+				elig = append(elig, i)
+			}
+		}
+		if len(elig) == 0 {
+			for i := range sigs {
+				elig = append(elig, i)
+			}
+		}
+		for j := 0; extra > 0; j = (j + 1) % len(elig) {
+			shares[elig[j]]++
 			extra--
 		}
-		return slots
+		return shares
 	}
-	// Largest-remainder apportionment of the extra slots by rate.
+	// Largest-remainder apportionment of the extra by rate.
 	type rem struct {
 		idx  int
 		frac float64
@@ -71,7 +131,7 @@ func allocateSlots(total int, sigs []fetchSignal) []int {
 	for i, w := range weights {
 		exact := float64(extra) * w / sum
 		whole := int(exact)
-		slots[i] += whole
+		shares[i] += whole
 		assigned += whole
 		rems[i] = rem{idx: i, frac: exact - float64(whole)}
 	}
@@ -90,9 +150,9 @@ func allocateSlots(total int, sigs []fetchSignal) []int {
 		if best < 0 {
 			break
 		}
-		slots[rems[best].idx]++
+		shares[rems[best].idx]++
 		rems[best].idx = -1
 		assigned++
 	}
-	return slots
+	return shares
 }

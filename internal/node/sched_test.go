@@ -1,8 +1,10 @@
 package node
 
-// sched_test.go tables the cross-content slot allocator: guaranteed
-// minimums, proportional division by progress rate, yielding by starved
-// and near-complete fetches, and deterministic remainder handling.
+// sched_test.go tables the cross-content budget apportionment:
+// guaranteed minimums, proportional division by progress rate, yielding
+// by starved and near-complete fetches, deterministic remainder
+// handling — for both currencies, connection slots and credit windows —
+// and the window→pipeline-depth conversion.
 
 import "testing"
 
@@ -64,6 +66,29 @@ func TestAllocateSlotsTable(t *testing.T) {
 			want:  []int{2, 2},
 		},
 		{
+			// The satellite fix: with no rate signal, fallback share goes
+			// only to fetches that have not yielded — a starved fetch must
+			// not absorb slots a fresh sibling could use.
+			name:  "no-signal fallback skips yielding fetches",
+			total: 8,
+			sigs:  []fetchSignal{{starved: true}, {}, {nearComplete: true}, {}},
+			want:  []int{1, 3, 1, 3},
+		},
+		{
+			name:  "no-signal fallback remainder lands on earlier non-yielding fetch",
+			total: 6,
+			sigs:  []fetchSignal{{}, {starved: true}, {}},
+			want:  []int{3, 1, 2},
+		},
+		{
+			// A yielding fetch with a positive rate still weighs zero: the
+			// rate path must not resurrect its share either.
+			name:  "yielding rate ignored in weighted split",
+			total: 9,
+			sigs:  []fetchSignal{{rate: 100, starved: true}, {rate: 2}, {rate: 1}},
+			want:  []int{1, 5, 3},
+		},
+		{
 			name:  "equal rates tie-break to earlier fetch",
 			total: 5,
 			sigs:  []fetchSignal{{rate: 2}, {rate: 2}},
@@ -102,5 +127,76 @@ func TestAllocateSlotsTable(t *testing.T) {
 				t.Fatalf("allocated %d slots, want %d", sum, max)
 			}
 		})
+	}
+}
+
+func TestAllocateWindowsTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget int
+		sigs   []fetchSignal
+		want   []int
+	}{
+		{
+			name:   "budget below the floors still guarantees the minimum",
+			budget: 8,
+			sigs:   []fetchSignal{{rate: 5}, {}},
+			want:   []int{minChannelWindow, minChannelWindow},
+		},
+		{
+			name:   "proportional to rate above the floors",
+			budget: 128,
+			// Floors take 32; the extra 96 splits 72/24.
+			sigs: []fetchSignal{{rate: 30}, {rate: 10}},
+			want: []int{88, 40},
+		},
+		{
+			name:   "starved fetch keeps only its floor",
+			budget: 96,
+			sigs:   []fetchSignal{{rate: 10}, {starved: true}},
+			want:   []int{80, 16},
+		},
+		{
+			name:   "no-signal fallback skips yielding fetches",
+			budget: 64,
+			sigs:   []fetchSignal{{}, {nearComplete: true}},
+			want:   []int{48, 16},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := allocateWindows(c.budget, c.sigs)
+			if len(got) != len(c.want) {
+				t.Fatalf("allocateWindows = %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("allocateWindows = %v, want %v", got, c.want)
+				}
+				if got[i] < minChannelWindow {
+					t.Fatalf("fetch %d allocated window %d < floor %d", i, got[i], minChannelWindow)
+				}
+			}
+		})
+	}
+}
+
+func TestDepthCap(t *testing.T) {
+	cases := []struct {
+		window, batch, maxDepth, want int
+	}{
+		{window: 256, batch: 64, maxDepth: 16, want: 4},
+		{window: 64, batch: 64, maxDepth: 16, want: 1},
+		{window: 16, batch: 64, maxDepth: 16, want: 1},  // floor: never zero
+		{window: 40, batch: 16, maxDepth: 16, want: 3},  // rounds up: 2 would idle 8 frames
+		{window: 4096, batch: 64, maxDepth: 16, want: 16}, // clamped to max
+		{window: 4096, batch: 64, maxDepth: 0, want: 64},  // no max configured
+		{window: 128, batch: 0, maxDepth: 8, want: 8},     // degenerate batch
+	}
+	for _, c := range cases {
+		if got := depthCap(c.window, c.batch, c.maxDepth); got != c.want {
+			t.Errorf("depthCap(%d, %d, %d) = %d, want %d",
+				c.window, c.batch, c.maxDepth, got, c.want)
+		}
 	}
 }

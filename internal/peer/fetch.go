@@ -128,17 +128,28 @@ type FetchOptions struct {
 	// is then only used by the fabric itself (bind it when constructing
 	// the fabric). Nil keeps the one-connection-per-session engine.
 	Fabric *peermux.Fabric
-	// PipelineDepth sets how many request batches a fabric session keeps
-	// in flight: 0 (default) adapts AIMD-style between 1 and
+	// PipelineDepth sets how many request batches a session keeps in
+	// flight: 0 (default) adapts AIMD-style between 1 and
 	// MaxPipelineDepth, 1 forces stop-and-wait, larger values fix the
-	// depth. Non-fabric sessions always run stop-and-wait (their wire
-	// has no demux reader to absorb pipelined writes).
+	// depth. A fixed depth past MaxPipelineDepth fails the session with
+	// ErrPipelineDepth. Dedicated (non-fabric) connections ride the same
+	// ramp: an asynchronous frame queue drains them while requests are
+	// in flight.
 	PipelineDepth int
-	// MaxPipelineDepth caps the adaptive request ramp (default 16).
+	// MaxPipelineDepth caps the adaptive request ramp (default 16). A
+	// scheduler can bind it tighter, live, via
+	// Orchestrator.SetPipelineCap.
 	MaxPipelineDepth int
 	// PipelineDupHigh is the per-batch duplicate-symbol rate past which
 	// the adaptive ramp halves (default 0.5).
 	PipelineDupHigh float64
+	// ChannelWindow is the initial per-session credit window, in symbol
+	// frames, that fabric subchannels open with (0 = the wire's default,
+	// peermux.DefaultWindow; values clamp to the wire's per-channel
+	// maximum). Orchestrator.SetChannelWindow resizes live channels —
+	// together they are how a node scheduler spends one wire's bandwidth
+	// by marginal utility instead of evenly per channel.
+	ChannelWindow int
 }
 
 func (o FetchOptions) withDefaults() FetchOptions {

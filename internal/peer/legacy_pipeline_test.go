@@ -1,0 +1,103 @@
+package peer
+
+// legacy_pipeline_test.go pins the PR 9 lift of dedicated (non-fabric)
+// connections onto the pipelined request ramp. The transport is a
+// synchronous net.Pipe, which is the adversarial case: without the
+// asynchronous frame reader, a session that writes REQUEST k+1 while
+// the server is still streaming batch k deadlocks the pipe. These tests
+// prove the deep-ramp exchange completes and that an over-cap fixed
+// depth is rejected as a terminal configuration error, not clamped.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"icd/internal/testutil"
+)
+
+func TestLegacyConnPipelinedDepthCompletes(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	info, data := testContent(t, 160, 64)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := newPipeNet()
+	defer pn.close()
+	addr := pn.add("full-1", srv)
+
+	res, err := Fetch([]string{addr}, info.ID, FetchOptions{
+		Batch:         8,
+		PipelineDepth: 4, // fixed, > 1: every batch boundary has requests in flight
+		Timeout:       5 * time.Second,
+		Dial:          pn.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch over pipelined dedicated conn")
+	}
+	if res.Peers[0].Err != nil {
+		t.Fatalf("session error: %v", res.Peers[0].Err)
+	}
+}
+
+func TestLegacyConnAdaptiveRampCompletes(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	info, data := testContent(t, 200, 64)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := newPipeNet()
+	defer pn.close()
+	addr := pn.add("full-1", srv)
+
+	// Adaptive ramp (depth 0) with a small batch so the ramp actually
+	// climbs well past stop-and-wait before the transfer completes.
+	res, err := Fetch([]string{addr}, info.ID, FetchOptions{
+		Batch:            4,
+		MaxPipelineDepth: 8,
+		Timeout:          5 * time.Second,
+		Dial:             pn.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("content mismatch over adaptive ramp")
+	}
+}
+
+func TestLegacyConnFixedDepthOverCapIsTerminal(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	info, data := testContent(t, 40, 64)
+	srv, err := NewFullServer(info, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := newPipeNet()
+	defer pn.close()
+	addr := pn.add("full-1", srv)
+
+	_, err = Fetch([]string{addr}, info.ID, FetchOptions{
+		Batch:            8,
+		PipelineDepth:    9,
+		MaxPipelineDepth: 8,
+		Timeout:          2 * time.Second,
+		MaxReconnects:    3, // must not burn redials on a config error
+		Dial:             pn.dial,
+	})
+	if err == nil {
+		t.Fatal("fixed depth over cap fetched successfully, want ErrPipelineDepth")
+	}
+	if !errors.Is(err, ErrPipelineDepth) {
+		t.Fatalf("err = %v, want ErrPipelineDepth", err)
+	}
+	if got := pn.dialCount(addr); got != 1 {
+		t.Fatalf("config error burned %d dials, want 1 (terminal, no redial)", got)
+	}
+}

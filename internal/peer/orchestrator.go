@@ -28,6 +28,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/keyset"
+	"icd/internal/peermux"
 	"icd/internal/protocol"
 	"icd/internal/recode"
 )
@@ -82,6 +83,19 @@ type Orchestrator struct {
 	// streams never run dry, so emptiness cannot be the signal).
 	progress atomic.Int64
 
+	// chanWin is the per-session receive-window target for fabric
+	// subchannels, in symbol frames (0 = the wire's default). New
+	// channels open at it; SetChannelWindow moves it and resizes every
+	// live channel — the credit-denominated scheduler's bandwidth knob.
+	chanWin atomic.Int64
+	// pipeCap, when positive, caps every session's adaptive pipeline
+	// ramp (sessions apply it at each batch boundary via
+	// PipelineController.SetMax).
+	pipeCap atomic.Int64
+	// channels tracks each session's live fabric subchannel (guarded by
+	// mu) so SetChannelWindow can reach them mid-transfer.
+	channels map[*session]*peermux.Channel
+
 	scratch struct { // decode-loop batch scratch, reused every iteration
 		ins  []incoming
 		syms []fountain.Symbol
@@ -103,9 +117,11 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 		rdec:      recode.NewDecoder(true),
 		maxPeers:  opts.MaxPeers,
 		sessions:  make(map[string]*session),
+		channels:  make(map[*session]*peermux.Channel),
 		attempted: make(map[string]bool),
 		dialFails: make(map[string]int),
 	}
+	o.chanWin.Store(int64(opts.ChannelWindow))
 	o.penalties = opts.Penalties
 	if o.penalties == nil {
 		o.penalties = NewPenaltyBox()
@@ -423,6 +439,59 @@ func (o *Orchestrator) MaxPeers() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.maxPeers
+}
+
+// SetChannelWindow re-sizes this fetch's per-session credit windows to
+// n symbol frames — the second half of a node scheduler's currency:
+// where SetMaxPeers moves whole sessions between fetches,
+// SetChannelWindow moves wire bandwidth between the subchannels already
+// sharing a wire. New fabric channels open at n; every live channel is
+// resized immediately via its regrant path (Channel.SetWindow clamps
+// to the wire's limits). n <= 0 restores the wire default for new
+// channels and leaves live ones alone.
+func (o *Orchestrator) SetChannelWindow(n int) {
+	o.chanWin.Store(int64(n))
+	if n <= 0 {
+		return
+	}
+	o.mu.Lock()
+	chs := make([]*peermux.Channel, 0, len(o.channels))
+	for _, ch := range o.channels {
+		chs = append(chs, ch)
+	}
+	o.mu.Unlock()
+	for _, ch := range chs {
+		ch.SetWindow(n)
+	}
+}
+
+// ChannelWindow returns the current per-session window target (0 = the
+// wire default).
+func (o *Orchestrator) ChannelWindow() int { return int(o.chanWin.Load()) }
+
+// SetPipelineCap bounds every session's adaptive request ramp at n
+// in-flight batches (0 removes the bound; the FetchOptions cap still
+// applies). Sessions pick the new cap up at their next batch boundary.
+func (o *Orchestrator) SetPipelineCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	o.pipeCap.Store(int64(n))
+}
+
+// trackChannel registers a session's live fabric subchannel for
+// SetChannelWindow resizes; untrackChannel removes it when the
+// connection ends.
+func (o *Orchestrator) trackChannel(s *session, ch *peermux.Channel) {
+	o.mu.Lock()
+	o.channels[s] = ch
+	o.mu.Unlock()
+}
+
+func (o *Orchestrator) untrackChannel(s *session) {
+	o.mu.Lock()
+	delete(o.channels, s)
+	o.mu.Unlock()
 }
 
 // Progress returns the count of distinct encoded symbols decoded into

@@ -1,13 +1,28 @@
 package peer
 
 // pipeline_test.go pins the AIMD request ramp: additive increase on
-// useful batches, multiplicative back-off on useless or duplicate-heavy
-// ones, the [1, max] clamp, and fixed-depth (stop-and-wait) mode.
+// useful batches, multiplicative back-off on useless, duplicate-heavy,
+// or NaN-rate batches, the [1, max] clamp, fixed-depth (stop-and-wait)
+// mode, the rejection of a fixed depth past the cap, and the live
+// SetMax re-cap a credit scheduler drives.
 
-import "testing"
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustController(t *testing.T, depth, max int, dupHigh float64) *PipelineController {
+	t.Helper()
+	c, err := NewPipelineController(depth, max, dupHigh)
+	if err != nil {
+		t.Fatalf("NewPipelineController(%d, %d, %g): %v", depth, max, dupHigh, err)
+	}
+	return c
+}
 
 func TestPipelineControllerAdaptiveRamp(t *testing.T) {
-	c := NewPipelineController(0, 8, 0.5)
+	c := mustController(t, 0, 8, 0.5)
 	if c.Depth() != 1 {
 		t.Fatalf("adaptive ramp starts at %d, want 1", c.Depth())
 	}
@@ -37,8 +52,25 @@ func TestPipelineControllerAdaptiveRamp(t *testing.T) {
 	}
 }
 
+func TestPipelineControllerNaNBacksOff(t *testing.T) {
+	c := mustController(t, 0, 8, 0.5)
+	for i := 0; i < 8; i++ {
+		c.Observe(0, true)
+	}
+	if c.Depth() != 8 {
+		t.Fatalf("setup: depth %d, want 8", c.Depth())
+	}
+	// A 0-symbol batch's 0/0 duplicate rate is NaN; every comparison
+	// against the threshold is false, which used to read as "healthy,
+	// grow". It must back off like a useless batch instead.
+	c.Observe(math.NaN(), true)
+	if c.Depth() != 4 {
+		t.Fatalf("NaN dup rate grew the ramp: depth %d, want 4", c.Depth())
+	}
+}
+
 func TestPipelineControllerFixedDepth(t *testing.T) {
-	c := NewPipelineController(1, 16, 0.5)
+	c := mustController(t, 1, 16, 0.5)
 	for i := 0; i < 10; i++ {
 		c.Observe(0, true)
 		c.Observe(1, false)
@@ -46,14 +78,52 @@ func TestPipelineControllerFixedDepth(t *testing.T) {
 	if c.Depth() != 1 {
 		t.Fatalf("fixed depth drifted to %d, want 1 (stop-and-wait)", c.Depth())
 	}
-	// A fixed depth above max clamps to max.
-	if d := NewPipelineController(99, 16, 0.5).Depth(); d != 16 {
-		t.Fatalf("fixed depth 99 clamped to %d, want 16", d)
+	// A fixed depth above max is a configuration error, not a silent
+	// clamp.
+	if _, err := NewPipelineController(99, 16, 0.5); !errors.Is(err, ErrPipelineDepth) {
+		t.Fatalf("fixed depth 99 over cap 16: err %v, want ErrPipelineDepth", err)
+	}
+	// At the cap is fine.
+	if c := mustController(t, 16, 16, 0.5); c.Depth() != 16 {
+		t.Fatalf("fixed depth at cap: %d, want 16", c.Depth())
+	}
+}
+
+func TestPipelineControllerSetMax(t *testing.T) {
+	c := mustController(t, 0, 16, 0.5)
+	for i := 0; i < 20; i++ {
+		c.Observe(0, true)
+	}
+	if c.Depth() != 16 {
+		t.Fatalf("setup: depth %d, want 16", c.Depth())
+	}
+	// Lowering the cap pulls the current depth down with it.
+	c.SetMax(4)
+	if c.Depth() != 4 || c.Max() != 4 {
+		t.Fatalf("after SetMax(4): depth %d max %d, want 4/4", c.Depth(), c.Max())
+	}
+	// Raising it lets the ramp grow again.
+	c.SetMax(8)
+	for i := 0; i < 10; i++ {
+		c.Observe(0, true)
+	}
+	if c.Depth() != 8 {
+		t.Fatalf("after SetMax(8) and growth: depth %d, want 8", c.Depth())
+	}
+	// Nonsense caps are ignored; fixed controllers ignore SetMax.
+	c.SetMax(0)
+	if c.Max() != 8 {
+		t.Fatalf("SetMax(0) moved the cap to %d, want 8", c.Max())
+	}
+	f := mustController(t, 3, 16, 0.5)
+	f.SetMax(1)
+	if f.Depth() != 3 {
+		t.Fatalf("SetMax on a fixed controller moved depth to %d, want 3", f.Depth())
 	}
 }
 
 func TestPipelineControllerDefaults(t *testing.T) {
-	c := NewPipelineController(0, 0, 0)
+	c := mustController(t, 0, 0, 0)
 	for i := 0; i < 100; i++ {
 		c.Observe(0, true)
 	}

@@ -1,0 +1,125 @@
+package peer
+
+// reader.go gives dedicated (non-fabric) connections an asynchronous
+// frame reader, which is what lets them ride the same pipelined request
+// ramp as fabric subchannels. Without it a session that writes REQUEST
+// k+1 while the server is still streaming batch k deadlocks a
+// synchronous in-process pipe: the server blocks writing symbols nobody
+// reads, the session blocks writing a request the server never gets to.
+// The frameQueue's goroutine keeps draining the conn whatever the
+// session is doing, copying each frame out of the FrameReader's scratch
+// into pooled buffers — the same valid-until-next-Next contract the
+// peermux channel queue and protocol.FrameReader itself give — and the
+// queue is sized for the deepest ramp's worth of batches so the reader
+// never parks against a server that is still streaming.
+
+import (
+	"sync"
+
+	"icd/internal/protocol"
+)
+
+// readBufs recycles queued frame payload buffers (the frameQueue's
+// analog of peermux's channel-queue pool).
+var readBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+func getReadBuf(n int) *[]byte {
+	bp := readBufs.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putReadBuf(bp *[]byte) {
+	if cap(*bp) <= 1<<16 { // don't let one huge frame pin a large buffer
+		readBufs.Put(bp)
+	}
+}
+
+type queuedFrame struct {
+	t   protocol.Type
+	ver byte
+	buf *[]byte
+	err error
+}
+
+// frameQueue pumps a FrameReader from its own goroutine into a bounded
+// queue. Next is the session-side drain with FrameReader semantics: the
+// returned payload is valid until the following Next call, and a read
+// error is terminal (sticky). Close releases the pump goroutine; the
+// caller must also close the underlying conn (or expire its deadline)
+// to unblock a pump parked in a blocking read.
+type frameQueue struct {
+	frames chan queuedFrame
+	done   chan struct{}
+	once   sync.Once
+
+	// Session goroutine only.
+	prev *[]byte
+	err  error
+}
+
+// newFrameQueue starts the pump goroutine. depth bounds the frames
+// buffered ahead of the consumer; a full queue blocks the pump, which
+// is ordinary backpressure on the conn.
+func newFrameQueue(fr *protocol.FrameReader, depth int) *frameQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &frameQueue{
+		frames: make(chan queuedFrame, depth),
+		done:   make(chan struct{}),
+	}
+	go q.pump(fr)
+	return q
+}
+
+func (q *frameQueue) pump(fr *protocol.FrameReader) {
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			select {
+			case q.frames <- queuedFrame{err: err}:
+			case <-q.done:
+			}
+			return
+		}
+		bp := getReadBuf(len(f.Payload))
+		copy(*bp, f.Payload)
+		select {
+		case q.frames <- queuedFrame{t: f.Type, ver: f.Version, buf: bp}:
+		case <-q.done:
+			putReadBuf(bp)
+			return
+		}
+	}
+}
+
+// Next returns the next frame read off the conn. The payload is valid
+// only until the following Next call. After a read error the queue is
+// dead: the error is returned now and on every later call.
+func (q *frameQueue) Next() (protocol.Frame, error) {
+	if q.prev != nil {
+		putReadBuf(q.prev)
+		q.prev = nil
+	}
+	if q.err != nil {
+		return protocol.Frame{}, q.err
+	}
+	qf := <-q.frames
+	if qf.err != nil {
+		q.err = qf.err
+		return protocol.Frame{}, qf.err
+	}
+	q.prev = qf.buf
+	return protocol.Frame{Type: qf.t, Version: qf.ver, Payload: *qf.buf}, nil
+}
+
+// Close releases the pump goroutine once it unblocks from its current
+// read (close the conn or expire its deadline to force that) and stops
+// Next from being usable. Idempotent.
+func (q *frameQueue) Close() {
+	q.once.Do(func() { close(q.done) })
+}

@@ -100,7 +100,7 @@ func newSession(o *Orchestrator, addr string) *session {
 // reconnect-backoff budget (and, via runConn, are never charged).
 func terminalSessionError(err error) bool {
 	return errors.Is(err, ErrUnknownContent) || errors.Is(err, ErrRefused) ||
-		errors.Is(err, protocol.ErrVersion)
+		errors.Is(err, protocol.ErrVersion) || errors.Is(err, ErrPipelineDepth)
 }
 
 // dropLocked marks the session evicted and interrupts its connection.
@@ -305,12 +305,12 @@ func (s *session) openChannel() (*peermux.Channel, *keyset.Set, int64, error) {
 		return nil, nil, 0, fmt.Errorf("%w: %s", errDialSuppressed, s.addr)
 	}
 	held, heldVersion := o.heldSnapshot()
-	ch, err := o.opts.Fabric.Open(s.addr, protocol.Hello{
+	ch, err := o.opts.Fabric.OpenWindow(s.addr, protocol.Hello{
 		ContentID:   o.contentID,
 		Symbols:     uint64(held.Len()),
 		SummaryMask: o.opts.summaryMask(),
 		ListenAddr:  o.opts.AdvertiseAddr,
-	}, o.opts.Timeout)
+	}, int(o.chanWin.Load()), o.opts.Timeout)
 	if err == nil {
 		o.breaker.Success(s.addr)
 		o.mu.Lock()
@@ -359,7 +359,14 @@ func (s *session) serveChannel(ch *peermux.Channel, held *keyset.Set, heldVersio
 	watchStop := make(chan struct{})
 	defer close(watchStop)
 	go s.watch(ch, watchStop)
-	pc := NewPipelineController(o.opts.PipelineDepth, o.opts.MaxPipelineDepth, o.opts.PipelineDupHigh)
+	pc, err := NewPipelineController(o.opts.PipelineDepth, o.opts.MaxPipelineDepth, o.opts.PipelineDupHigh)
+	if err != nil {
+		return err
+	}
+	// Register the live channel so the scheduler's SetChannelWindow can
+	// resize its receive window mid-transfer.
+	o.trackChannel(s, ch)
+	defer o.untrackChannel(s)
 	return s.serveNegotiated(ch, ch.Next, ch.RemoteHello(), held, heldVersion, pc)
 }
 
@@ -536,11 +543,20 @@ func (s *session) serveConn(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	// Legacy connections always run stop-and-wait (depth 1): without a
-	// demux reader on the far side, pipelined request writes against an
-	// in-flight symbol stream would deadlock a synchronous pipe.
-	return s.serveNegotiated(conn, fr.Next, hello, held, heldVersion,
-		NewPipelineController(1, 1, o.opts.PipelineDupHigh))
+	// Dedicated connections ride the same pipelined ramp as fabric
+	// subchannels: the frameQueue's pump goroutine keeps draining the
+	// conn while the session writes, so pipelined REQUESTs against an
+	// in-flight symbol stream no longer deadlock a synchronous pipe.
+	// The queue is sized for the deepest ramp's worth of batches (plus
+	// DONE and gossip frames) so the pump itself never parks against a
+	// server mid-stream.
+	pc, err := NewPipelineController(o.opts.PipelineDepth, o.opts.MaxPipelineDepth, o.opts.PipelineDupHigh)
+	if err != nil {
+		return err
+	}
+	q := newFrameQueue(fr, o.opts.MaxPipelineDepth*(o.opts.Batch+2)+8)
+	defer q.Close()
+	return s.serveNegotiated(conn, q.Next, hello, held, heldVersion, pc)
 }
 
 // serveNegotiated owns the handshaken session: decoder setup, summary
@@ -671,11 +687,24 @@ func (s *session) serveNegotiated(lk link, next func() (protocol.Frame, error),
 		// flight. Depth 1 is exactly the old stop-and-wait exchange. Each
 		// iteration of the outer loop retires one batch (one DONE), so
 		// batch-boundary accounting below is unchanged — it just lags the
-		// wire by the pipeline depth.
+		// wire by the pipeline depth. A scheduler's live depth cap
+		// (Orchestrator.SetPipelineCap) binds the adaptive ramp here, at
+		// the batch boundary.
+		if pcap := o.pipeCap.Load(); pcap > 0 {
+			pc.SetMax(int(pcap))
+		}
 		deadline()
 		progressBefore := o.progress.Load()
 		for inflight < pc.Depth() {
 			if err := protocol.WriteFrame(lk, protocol.EncodeRequest(uint32(o.opts.Batch))); err != nil {
+				// A pipelined REQUEST blocks against a server that is still
+				// streaming the previous batch, so the transfer can complete
+				// (and the watchdog expire the deadline) while this write is
+				// parked — the same self-inflicted unblock the read path
+				// below classifies as a clean end.
+				if s.ended() {
+					return nil
+				}
 				return err
 			}
 			inflight++

@@ -61,6 +61,10 @@ type Channel struct {
 	credits  uint32 // sender side: symbol frames we may still send
 	avail    uint32 // receiver side: grant the remote may still spend
 	consumed uint32 // drained since the last replenishing CREDIT
+	window   uint32 // receiver side: current target receive window
+	deficit  uint32 // shrink debt: regrants withheld until paid down
+	granted  bool   // the initial window has been opened (grantInitial ran)
+	retired  bool   // window released from the wire's aggregate sum
 	deadline time.Time
 	dnotify  chan struct{} // closed+replaced on deadline change
 	err      error         // terminal error, set before rclosed closes
@@ -74,16 +78,34 @@ type Channel struct {
 	onClose func() // fabric refcount hook
 }
 
-func newChannel(w *Wire, id uint16) *Channel {
+// newChannel builds a channel whose local receive window opens at
+// window symbol frames (0 selects the Config.Window default; values are
+// clamped to [1, Config.Window] — the inbound queue is sized for the
+// configured maximum, so no window may exceed it). The queue capacity is
+// the invariant bound on in-flight data frames: regrants and SetWindow
+// keep the sender's outstanding allowance (window + deficit) at or
+// below Config.Window at all times.
+func newChannel(w *Wire, id uint16, window int) *Channel {
 	return &Channel{
 		w:       w,
 		id:      id,
+		window:  clampWindow(window, w.cfg.Window),
 		in:      make(chan inFrame, w.cfg.Window+queueSlack),
 		dnotify: make(chan struct{}),
 		creditc: make(chan struct{}, 1),
 		rclosed: make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
+}
+
+// clampWindow resolves a requested window against the per-channel
+// maximum: 0 (unset) selects the maximum itself, everything else lands
+// in [1, max].
+func clampWindow(n, max int) uint32 {
+	if n <= 0 || n > max {
+		return uint32(max)
+	}
+	return uint32(n)
 }
 
 // ID returns the channel id.
@@ -117,14 +139,113 @@ func (c *Channel) Reject(msg string) {
 	c.Close()
 }
 
-// grantInitial opens the receive window: the peer may send Window
-// symbol frames before our consumer has drained anything.
+// grantInitial opens the receive window: the peer may send window
+// symbol frames before our consumer has drained anything. The grant is
+// registered in the wire's aggregate window sum first, so a wire-level
+// budget (Config.WireWindow) can clamp it — never below one frame, or
+// the channel could not move at all.
 func (c *Channel) grantInitial() error {
-	n := uint32(c.w.cfg.Window)
 	c.mu.Lock()
-	c.avail += n
+	want := int(c.window)
 	c.mu.Unlock()
-	return c.w.writeFrame(protocol.EncodeCredit(c.id, n))
+	n := uint32(c.w.reserveWindow(want, 1))
+	c.mu.Lock()
+	c.window = n
+	c.avail += n
+	c.granted = true
+	c.mu.Unlock()
+	return c.writeGrant(n)
+}
+
+// writeGrant sends a CREDIT frame carrying n and surfaces a write
+// failure as the channel's terminal error: a grant that never reached
+// the wire would strand the remote sender at zero credits, so the local
+// consumer must see the failure on its next read instead of blocking
+// against a silently dead replenish path.
+func (c *Channel) writeGrant(n uint32) error {
+	if n == 0 {
+		return nil
+	}
+	if err := c.w.writeFrame(protocol.EncodeCredit(c.id, n)); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Window returns the channel's current local receive-window target in
+// symbol frames.
+func (c *Channel) Window() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.window)
+}
+
+// SetWindow resizes the channel's local receive window to n symbol
+// frames, live — the regrant path a credit-denominated scheduler uses
+// to shift one wire's bandwidth between subchannels mid-transfer. n is
+// clamped to [1, Config.Window] (the inbound queue is sized for the
+// configured maximum) and growth further respects the wire's aggregate
+// budget. Growth is granted immediately as an unsolicited CREDIT;
+// credits already granted cannot be revoked, so a shrink is paid down
+// by withholding replenishment grants until the sender's outstanding
+// allowance has drained to the new window. Safe to call from any
+// goroutine, on either side, at any point after the channel opened.
+func (c *Channel) SetWindow(n int) error {
+	target := int(clampWindow(n, c.w.cfg.Window))
+	c.mu.Lock()
+	if !c.granted {
+		// Window not opened yet (pre-Accept): just move the target that
+		// grantInitial will grant.
+		c.window = uint32(target)
+		c.mu.Unlock()
+		return nil
+	}
+	delta := target - int(c.window)
+	if delta == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	if delta < 0 {
+		// Shrink: the sender keeps its in-flight allowance; future
+		// regrants are withheld until the debt drains. The aggregate sum
+		// tracks the target, so the freed share is immediately available
+		// to siblings.
+		c.deficit += uint32(-delta)
+		c.window = uint32(target)
+		if !c.retired {
+			defer c.w.reserveWindow(delta, 0)
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	grown := c.w.reserveWindow(delta, 0)
+	if grown <= 0 {
+		return nil // no aggregate headroom: keep the current window
+	}
+	c.mu.Lock()
+	if c.retired {
+		// Lost a race with Close/fail: the retire already settled the
+		// aggregate sum at the old window; hand the reservation back.
+		c.mu.Unlock()
+		c.w.reserveWindow(-grown, 0)
+		return c.finalErr()
+	}
+	c.window += uint32(grown)
+	// Growth first cancels shrink debt (those withheld regrants now fit
+	// the larger window); only the remainder is new allowance to grant.
+	send := uint32(grown)
+	if send <= c.deficit {
+		c.deficit -= send
+		send = 0
+	} else {
+		send -= c.deficit
+		c.deficit = 0
+	}
+	c.avail += send
+	c.mu.Unlock()
+	return c.writeGrant(send)
 }
 
 // deliver queues one inbound frame (called by the wire's reader; must
@@ -175,10 +296,17 @@ func (c *Channel) addCredits(n uint32) {
 // noteConsumed replenishes the sender once a quantum of data frames has
 // actually been drained by the consumer — the backpressure edge: a slow
 // consumer stops granting, its sender blocks, siblings keep flowing.
+// A window shrink's deficit is paid down here: drained frames cancel
+// debt before any new grant goes out, which is how the sender's
+// outstanding allowance converges onto the smaller window without ever
+// revoking a credit. A grant that fails to reach the wire is surfaced
+// as the channel's terminal error (writeGrant), not dropped — the
+// remote sender is stranded at zero credits either way, and the local
+// consumer must find out on its next read.
 func (c *Channel) noteConsumed() {
 	c.mu.Lock()
 	c.consumed++
-	quantum := uint32(c.w.cfg.Window / 4)
+	quantum := c.window / 4
 	if quantum == 0 {
 		quantum = 1
 	}
@@ -188,6 +316,14 @@ func (c *Channel) noteConsumed() {
 	}
 	n := c.consumed
 	c.consumed = 0
+	if c.deficit > 0 {
+		pay := c.deficit
+		if pay > n {
+			pay = n
+		}
+		c.deficit -= pay
+		n -= pay
+	}
 	c.avail += n
 	c.mu.Unlock()
 	select {
@@ -195,7 +331,7 @@ func (c *Channel) noteConsumed() {
 		return
 	default:
 	}
-	c.w.writeFrame(protocol.EncodeCredit(c.id, n))
+	c.writeGrant(n)
 }
 
 // Next returns the next inbound frame. The frame's payload is valid
@@ -364,6 +500,7 @@ func (c *Channel) SendPeers(ads []protocol.PeerAd) error { return c.w.SendPeers(
 func (c *Channel) Close() error {
 	c.clOnce.Do(func() {
 		close(c.closed)
+		c.retireWindow()
 		c.w.release(c.id, true)
 		c.drainQueued()
 		if c.onClose != nil {
@@ -373,19 +510,35 @@ func (c *Channel) Close() error {
 	return nil
 }
 
+// retireWindow releases this channel's share of the wire's aggregate
+// window sum, exactly once, when the channel ends (Close or fail).
+func (c *Channel) retireWindow() {
+	c.mu.Lock()
+	n := 0
+	if c.granted && !c.retired {
+		c.retired = true
+		n = int(c.window)
+	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.w.reserveWindow(-n, 0)
+	}
+}
+
 // remoteClosedNow marks the inbound direction finished: Next drains the
 // queue then reports io.EOF.
 func (c *Channel) remoteClosedNow() {
 	c.rcOnce.Do(func() { close(c.rclosed) })
 }
 
-// fail terminates the channel with err (wire death).
+// fail terminates the channel with err (wire death, failed grant).
 func (c *Channel) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
 	c.mu.Unlock()
+	c.retireWindow()
 	c.rcOnce.Do(func() { close(c.rclosed) })
 }
 

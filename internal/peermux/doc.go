@@ -41,6 +41,22 @@
 // unknown channel id, is charged to the penalty box via Config.Penalize
 // and the offending frame is dropped without wedging the stream.
 //
+// Windows are live-resizable scheduling currency, not a fixed
+// constant. Channel.SetWindow retargets a channel mid-transfer: a grow
+// grants the delta as an unsolicited CREDIT immediately (after paying
+// down any pending shrink), a shrink accumulates a deficit that is
+// paid by withholding replenishment as frames drain — credits already
+// granted are never revoked, so the sender's view of its window only
+// ever tells the truth. OpenWindow opens a channel at a non-default
+// initial window, and Config.WireWindow imposes a per-wire aggregate
+// ceiling: grants for new channels and grows are clamped to the
+// remaining headroom (Wire.WindowSum reads the ledger), never below a
+// 1-frame floor, and a channel's outstanding grant is retired back to
+// the ledger exactly once when it closes or fails. The multi-content
+// node uses all three together (node.Options.WindowBudget) to
+// re-divide one frame budget across its fetches by marginal utility
+// every housekeeping tick.
+//
 // # Channel lifecycle
 //
 // Open (dialer picks id, sends OPEN_CHANNEL) → Accept/Reject (acceptor

@@ -59,13 +59,20 @@ func (f *Fabric) SetPenalize(fn func(addr string, weight float64)) {
 // the first does the handshake, the rest wait on it. A wire that died
 // between lookup and Open is replaced once.
 func (f *Fabric) Open(addr string, h protocol.Hello, timeout time.Duration) (*Channel, error) {
+	return f.OpenWindow(addr, h, 0, timeout)
+}
+
+// OpenWindow is Open with an explicit initial receive window (see
+// Wire.OpenWindow): the channel starts at the scheduler's size instead
+// of the Config default.
+func (f *Fabric) OpenWindow(addr string, h protocol.Hello, window int, timeout time.Duration) (*Channel, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		wr, err := f.wireFor(addr)
 		if err != nil {
 			return nil, err
 		}
-		ch, err := wr.wire.Open(h, timeout)
+		ch, err := wr.wire.OpenWindow(h, window, timeout)
 		if err != nil {
 			if wr.wire.Err() != nil {
 				// The shared wire is dead (stale entry or it died mid

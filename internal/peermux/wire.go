@@ -78,10 +78,20 @@ type Config struct {
 	// peer (default 64). Announced in MUX_HELLO; openers respect the
 	// peer's announcement.
 	MaxChannels int
-	// Window is the per-channel credit window in symbol frames
+	// Window is the per-channel credit-window maximum in symbol frames
 	// (default 512): how many SYMBOL/RECODED frames the remote sender
-	// may have in flight before the local consumer drains them.
+	// may have in flight before the local consumer drains them. It is
+	// both the default initial grant and the hard ceiling any
+	// Channel.SetWindow resize is clamped to (the inbound queues are
+	// sized for it).
 	Window int
+	// WireWindow, when positive, caps the aggregate of all local
+	// receive windows on one wire: window grows (and initial grants
+	// beyond the first frame) are clamped to the remaining headroom, so
+	// a scheduler handing out per-channel windows cannot oversubscribe
+	// the wire no matter how many channels it opens. 0 leaves the
+	// aggregate unbounded (each channel still clamps to Window).
+	WireWindow int
 	// ListenAddr is advertised in the MUX_HELLO for gossip attribution
 	// (empty: not dialable).
 	ListenAddr string
@@ -124,6 +134,13 @@ type Wire struct {
 	// wmu serializes writes on conn. Never acquired while holding mu.
 	wmu     sync.Mutex
 	sentAds map[protocol.PeerAd]bool
+
+	// winMu guards winSum, the aggregate of every open channel's local
+	// receive-window target — the wire-level credit ledger a scheduler
+	// reads (WindowSum) and Config.WireWindow budgets. Leaf lock: held
+	// only across the sum arithmetic, never while taking mu or wmu.
+	winMu  sync.Mutex
+	winSum int
 
 	mu      sync.Mutex
 	chans   map[uint16]*Channel
@@ -265,6 +282,35 @@ func (w *Wire) Channels() int {
 	return len(w.chans)
 }
 
+// WindowSum returns the aggregate of every open channel's local
+// receive-window target, in symbol frames — the wire's total credit
+// exposure toward the peer, the quantity Config.WireWindow budgets.
+func (w *Wire) WindowSum() int {
+	w.winMu.Lock()
+	defer w.winMu.Unlock()
+	return w.winSum
+}
+
+// reserveWindow adjusts the aggregate window sum by delta, clamping a
+// positive delta to the WireWindow headroom (when budgeted) but never
+// below min — grantInitial passes min=1 so a new channel can always
+// move at least one frame at a time. It returns the delta actually
+// applied; callers adopt that value as their granted share.
+func (w *Wire) reserveWindow(delta, min int) int {
+	w.winMu.Lock()
+	defer w.winMu.Unlock()
+	if delta > 0 && w.cfg.WireWindow > 0 {
+		if head := w.cfg.WireWindow - w.winSum; delta > head {
+			delta = head
+		}
+		if delta < min {
+			delta = min
+		}
+	}
+	w.winSum += delta
+	return delta
+}
+
 // Close tears the wire down: the conn is closed, every channel fails
 // with ErrClosed, pending opens abort.
 func (w *Wire) Close() error {
@@ -276,8 +322,18 @@ func (w *Wire) Close() error {
 // HELLO) and blocks until the peer accepts or rejects it, the wire
 // dies, or timeout passes. On accept, the channel's RemoteHello carries
 // the peer's content metadata and an initial credit window has been
-// granted both ways.
+// granted both ways. The local receive window opens at the Config
+// default; use OpenWindow to start it elsewhere.
 func (w *Wire) Open(h protocol.Hello, timeout time.Duration) (*Channel, error) {
+	return w.OpenWindow(h, 0, timeout)
+}
+
+// OpenWindow is Open with an explicit initial receive window in symbol
+// frames (0 selects the Config.Window default; values clamp to
+// [1, Config.Window] and, under a WireWindow budget, to the remaining
+// aggregate headroom). A scheduler that already knows a channel's worth
+// opens it at size instead of granting the default and resizing after.
+func (w *Wire) OpenWindow(h protocol.Hello, window int, timeout time.Duration) (*Channel, error) {
 	if !w.dialer {
 		return nil, errors.New("peermux: only the dialing side opens channels")
 	}
@@ -294,7 +350,7 @@ func (w *Wire) Open(h protocol.Hello, timeout time.Duration) (*Channel, error) {
 	}
 	id := w.nextID
 	w.nextID += 2
-	c := newChannel(w, id)
+	c := newChannel(w, id, window)
 	w.chans[id] = c
 	w.pend[id] = reply
 	w.mu.Unlock()
@@ -604,7 +660,7 @@ func (w *Wire) handleOpen(f protocol.Frame) {
 		w.writeFrame(protocol.EncodeRejectChannel(id, "busy (channel limit)"))
 		return
 	}
-	c := newChannel(w, id)
+	c := newChannel(w, id, 0)
 	c.remoteHello = hello
 	w.chans[id] = c
 	w.mu.Unlock()

@@ -152,7 +152,13 @@ func DecodeCloseChannel(f Frame) (uint16, error) {
 const MaxCreditGrant = 1 << 20
 
 // EncodeCredit marshals a flow-control grant: the receiver on channel
-// ch permits the sender n more symbol-bearing frames.
+// ch permits the sender n more symbol-bearing frames. Grants are
+// strictly additive — there is no frame that revokes or resets credit,
+// so a receiver that wants a smaller window shrinks it by withholding
+// replenishment until the drained frames have paid the difference, and
+// a window update in the growing direction is just an unsolicited
+// CREDIT for the delta. The sender needs no window-resize protocol at
+// all: it spends whatever it has been granted and blocks at zero.
 func EncodeCredit(ch uint16, n uint32) Frame {
 	buf := make([]byte, 6)
 	binary.LittleEndian.PutUint16(buf, ch)

@@ -14,6 +14,7 @@ import (
 	"icd/internal/fountain"
 	"icd/internal/keyset"
 	"icd/internal/minwise"
+	"icd/internal/obs"
 	"icd/internal/peer"
 	"icd/internal/prng"
 	"icd/internal/recode"
@@ -84,6 +85,24 @@ func runMicro(jsonPath string) {
 	row("minwise build 10k keys", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = minwise.Build(7, minwise.DefaultSize, set)
+		}
+	})
+
+	// Observability registry hot path (PR 10): one counter add and one
+	// histogram observe, the costs every instrumented subsystem pays per
+	// event. Both rows must report 0 allocs/op (obs pins this with
+	// testing.AllocsPerRun too).
+	oreg := obs.NewRegistry()
+	octr := oreg.Counter("bench.counter")
+	ohist := oreg.Histogram("bench.histogram", obs.DurationBuckets)
+	row("obs counter add", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			octr.Add(1)
+		}
+	})
+	row("obs histogram observe", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ohist.Observe(float64(i % 1000))
 		}
 	})
 

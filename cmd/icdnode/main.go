@@ -41,12 +41,23 @@
 //	    -serve 0xF00D=big.iso,0xBEEF=other.iso \
 //	    -fetch 0xCAFE=third.iso,0xD00D=fourth.iso \
 //	    -seed 127.0.0.1:9100 -max-conns 8
+//
+// Add -debug-addr to the node subcommand to watch it live: /metrics is
+// the Prometheus text snapshot, /vars the same as flat JSON, /trace the
+// recent lifecycle events, and /debug/pprof the standard profiles:
+//
+//	icdnode node -listen 127.0.0.1:9000 -serve 0xF00D=big.iso \
+//	    -debug-addr 127.0.0.1:9090
+//	curl -s http://127.0.0.1:9090/metrics
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +66,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/node"
+	"icd/internal/obs"
 	"icd/internal/peer"
 )
 
@@ -301,6 +313,7 @@ func runNode(args []string) {
 		retries     = fs.Int("retries", 3, "redials per failed session (exponential backoff)")
 		adaptive    = fs.Bool("adaptive-refresh", true, "steer the summary-refresh cadence by observed duplicate rate")
 		linger      = fs.Duration("linger", 10*time.Second, "keep serving after all fetches complete (ignored with no -fetch: a pure server runs until interrupted)")
+		debugAddr   = fs.String("debug-addr", "", "serve live observability on this address: /metrics (Prometheus), /vars (JSON), /trace, /debug/pprof (empty = off)")
 	)
 	fs.Parse(args)
 	serves := parseSpecs("-serve", *serveSpec)
@@ -355,6 +368,20 @@ func runNode(args []string) {
 			fmt.Fprintln(os.Stderr, "icdnode: listener:", err)
 		}
 	}()
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer dln.Close()
+		fmt.Printf("icdnode: debug endpoints on http://%s/ (/metrics /vars /trace /debug/pprof)\n", dln.Addr())
+		go func() {
+			err := http.Serve(dln, obs.DebugMux(n.Obs()))
+			if err != nil && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "icdnode: debug listener:", err)
+			}
+		}()
+	}
 	fmt.Printf("icdnode: node on %s — %d served, %d to fetch (max-conns %d)\n",
 		*listen, len(serves), len(fetches), *maxConns)
 

@@ -32,6 +32,36 @@ type LabRow struct {
 	Churned        int     `json:"churned"`
 	Failed         int     `json:"failed"`
 	ElapsedMs      float64 `json:"elapsed_ms"`
+	// Series is the run's swarm time-series, sampled from every live
+	// node's metrics registry — the convergence curve behind the
+	// endpoint scalars above.
+	Series []SeriesPoint `json:"series,omitempty"`
+}
+
+// SeriesPoint is one sampled tick of a lab run's swarm time-series.
+type SeriesPoint struct {
+	OffsetMs        float64 `json:"offset_ms"`
+	UsefulPerSec    float64 `json:"useful_per_sec"`
+	DuplicatePerSec float64 `json:"duplicate_per_sec"`
+	LiveConns       int64   `json:"live_conns"`
+	BannedPeers     int64   `json:"banned_peers"`
+	WindowInFlight  int64   `json:"window_in_flight"`
+}
+
+// seriesPoints converts a run's samples to the artifact schema.
+func seriesPoints(samples []scenario.Sample) []SeriesPoint {
+	pts := make([]SeriesPoint, 0, len(samples))
+	for _, s := range samples {
+		pts = append(pts, SeriesPoint{
+			OffsetMs:        ms(s.Offset),
+			UsefulPerSec:    s.UsefulPerSec,
+			DuplicatePerSec: s.DuplicatePerSec,
+			LiveConns:       s.LiveConns,
+			BannedPeers:     s.BannedPeers,
+			WindowInFlight:  s.WindowInFlight,
+		})
+	}
+	return pts
 }
 
 // LabSizes returns the node counts a lab run measures. maxNodes caps
@@ -89,6 +119,7 @@ func LabResults(o Options, maxNodes int) ([]LabRow, error) {
 				Churned:        res.Churned,
 				Failed:         res.Failed,
 				ElapsedMs:      ms(res.Elapsed),
+				Series:         seriesPoints(res.Series),
 			})
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"icd/internal/testutil"
@@ -83,7 +84,16 @@ func TestLabSmallRunAllPresets(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 3 || back[0] != rows[0] {
+	if len(back) != 3 || !reflect.DeepEqual(back[0], rows[0]) {
 		t.Fatalf("artifact round trip changed rows: %+v vs %+v", back, rows)
+	}
+	for _, r := range rows {
+		if len(r.Series) == 0 {
+			t.Fatalf("scenario %q row carries no swarm time-series", r.Scenario)
+		}
+		last := r.Series[len(r.Series)-1]
+		if last.OffsetMs <= 0 {
+			t.Fatalf("scenario %q series never advanced: %+v", r.Scenario, last)
+		}
 	}
 }

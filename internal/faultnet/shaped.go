@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"icd/internal/obs"
 	"icd/internal/prng"
 )
 
@@ -91,6 +92,17 @@ type ShapedNet struct {
 	classes  map[string]LinkClass
 	dials    map[connKey]uint64 // per-(src,dst) dial counts: order-independent conn seeds
 	delivery bool               // delivery-time propagation mode (see delay.go)
+	obs      *obs.Registry      // per-class shaping metrics (SetObs)
+	conns    []connRec          // every dialed connection's shapers, for LinkStats
+}
+
+// connRec remembers one connection's two direction shapers and their
+// endpoints so LinkStats can aggregate per-endpoint, per-direction
+// totals after the fact. One small record per dial — a scenario run's
+// dial count bounds it.
+type connRec struct {
+	src, dst string
+	up, down *shapedDir
 }
 
 type connKey struct{ src, dst string }
@@ -138,6 +150,55 @@ func (s *ShapedNet) Class(addr string) LinkClass {
 		return c
 	}
 	return s.def
+}
+
+// SetObs attaches an observability registry: every connection dialed
+// afterwards reports per-link-class shaped traffic — bytes, loss
+// events, and a shaped-delay histogram per chunk — under
+// faultnet.bytes{class=X}, faultnet.losses{class=X} and
+// faultnet.shaped_delay_ms{class=X}, where X is the sending endpoint's
+// class name ("default" for an unnamed class).
+func (s *ShapedNet) SetObs(r *obs.Registry) {
+	s.mu.Lock()
+	s.obs = r
+	s.mu.Unlock()
+}
+
+// EndpointStats is one endpoint's aggregate shaping record, split by
+// direction: Up is everything the endpoint sent (its uplink), Down
+// everything it received — the split that makes asymmetric-link
+// saturation visible in lab time-series.
+type EndpointStats struct {
+	Up, Down LinkStats
+}
+
+// LinkStats aggregates the shaping records of every connection addr
+// participated in (as dialer or listener), per direction.
+func (s *ShapedNet) LinkStats(addr string) EndpointStats {
+	s.mu.Lock()
+	conns := make([]connRec, len(s.conns))
+	copy(conns, s.conns)
+	s.mu.Unlock()
+	var es EndpointStats
+	accum := func(dst *LinkStats, st LinkStats) {
+		dst.Bytes += st.Bytes
+		dst.Chunks += st.Chunks
+		dst.Losses += st.Losses
+		dst.ShapedDelay += st.ShapedDelay
+	}
+	for _, c := range conns {
+		// The up shaper carries src→dst traffic (src's uplink, dst's
+		// downlink); the down shaper carries the reverse.
+		if c.src == addr {
+			accum(&es.Up, c.up.snapshot())
+			accum(&es.Down, c.down.snapshot())
+		}
+		if c.dst == addr {
+			accum(&es.Up, c.down.snapshot())
+			accum(&es.Down, c.up.snapshot())
+		}
+	}
+	return es
 }
 
 // Listen binds addr as an endpoint (PipeNet semantics).
@@ -192,10 +253,18 @@ func (s *ShapedNet) dialFrom(src, dst string) (net.Conn, error) {
 	s.mu.Lock()
 	clock := s.clock
 	delivery := s.delivery
+	reg := s.obs
 	s.mu.Unlock()
 	sc, dc := s.Class(src), s.Class(dst)
 	up := newShapedDir(sc, dc, clock, prng.New(seed^0x75706C6B))   // src sends: src up, dst down
 	down := newShapedDir(dc, sc, clock, prng.New(seed^0x646F776E)) // src receives: dst up, src down
+	if reg != nil {
+		up.met = newDirMetrics(reg, sc.Name)
+		down.met = newDirMetrics(reg, dc.Name)
+	}
+	s.mu.Lock()
+	s.conns = append(s.conns, connRec{src: src, dst: dst, up: up, down: down})
+	s.mu.Unlock()
 	if delivery {
 		return newDelayConn(inner, up, down), nil
 	}
@@ -262,12 +331,34 @@ type shapedDir struct {
 	loss        float64
 	lossPenalty time.Duration
 
+	met dirMetrics // registry handles; zero value is a no-op
+
 	mu      sync.Mutex
 	rng     *prng.Rand
 	started bool
 	debt    time.Duration
 	horizon time.Time // delivery mode: when the last chunk surfaces
 	stats   LinkStats
+}
+
+// dirMetrics holds the per-link-class registry handles one direction
+// shaper updates; same name → same metric, so every shaper of a class
+// feeds one class-wide tally.
+type dirMetrics struct {
+	bytes  *obs.Counter
+	losses *obs.Counter
+	delay  *obs.Histogram
+}
+
+func newDirMetrics(r *obs.Registry, class string) dirMetrics {
+	if class == "" {
+		class = "default"
+	}
+	return dirMetrics{
+		bytes:  r.Counter("faultnet.bytes{class=" + class + "}"),
+		losses: r.Counter("faultnet.losses{class=" + class + "}"),
+		delay:  r.Histogram("faultnet.shaped_delay_ms{class="+class+"}", obs.DurationBuckets),
+	}
 }
 
 // newShapedDir builds the shaper for data flowing from the endpoint of
@@ -330,9 +421,11 @@ func (d *shapedDir) shape(n int) {
 	if d.rate > 0 {
 		owed += time.Duration(float64(n) / d.rate * float64(time.Second))
 	}
+	lost := false
 	if d.loss > 0 && d.rng.Float64() < d.loss {
 		owed += d.lossPenalty
 		d.stats.Losses++
+		lost = true
 	}
 	d.stats.Bytes += int64(n)
 	d.stats.Chunks++
@@ -343,6 +436,11 @@ func (d *shapedDir) shape(n int) {
 		pay, d.debt = d.debt, 0
 	}
 	d.mu.Unlock()
+	d.met.bytes.Add(int64(n))
+	if lost {
+		d.met.losses.Add(1)
+	}
+	d.met.delay.Observe(float64(owed) / float64(time.Millisecond))
 	if pay > 0 {
 		d.clock.Sleep(pay)
 	}

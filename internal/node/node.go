@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"icd/internal/faultnet"
+	"icd/internal/obs"
 	"icd/internal/peer"
 	"icd/internal/peermux"
 	"icd/internal/protocol"
@@ -98,6 +99,10 @@ type Options struct {
 	// AdvertiseAddr and (under a MaxConns budget) MaxPeers are
 	// overridden per fetch by the node.
 	Fetch peer.FetchOptions
+	// Obs is the node's observability registry. Nil creates a private
+	// one — a node always has a registry, so the mux, the fabric and
+	// every fetch feed one snapshot (Node.Obs) and one trace ring.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +126,8 @@ type Node struct {
 	mux       *peer.ServerMux
 	penalties *peer.PenaltyBox // node-wide misbehavior box (mux + every fetch)
 	fabric    *peermux.Fabric  // shared outbound wires: one per peer, all contents
+	obs       *obs.Registry    // node-wide metrics registry and trace ring
+	met       nodeMetrics
 
 	schedMu sync.Mutex // serializes rebalance passes (tick vs StartFetch)
 
@@ -161,6 +168,13 @@ func New(opts Options) *Node {
 		fetches: make(map[uint64]*transferState),
 		stop:    make(chan struct{}),
 	}
+	// One registry for the whole node: the mux, the fabric and every
+	// fetch report into the same snapshot and trace ring.
+	n.obs = opts.Obs
+	if n.obs == nil {
+		n.obs = obs.NewRegistry()
+	}
+	n.met = newNodeMetrics(n.obs)
 	// One penalty box for the whole node: misbehavior seen by any fetch
 	// session or on any inbound connection feeds one verdict, and banned
 	// addresses are refused on both planes.
@@ -170,6 +184,7 @@ func New(opts Options) *Node {
 	}
 	n.mux.SetGossip(n.gossip)
 	n.mux.SetPenalties(n.penalties)
+	n.mux.SetObs(n.obs)
 	if !opts.DisableFabric {
 		// One wire per peer, shared by every fetch: the fabric dials
 		// through the same transport sessions would have used, advertises
@@ -192,6 +207,7 @@ func New(opts Options) *Node {
 			Timeout:    opts.Fetch.Timeout,
 			ListenAddr: opts.Listen,
 			WireWindow: opts.WindowBudget,
+			Obs:        n.obs,
 			OnPeers: func(ads []protocol.PeerAd) {
 				for _, ad := range ads {
 					n.gossip.Learn(ad)
@@ -212,10 +228,16 @@ func New(opts Options) *Node {
 			n.store.Touch(id)
 		}
 	})
+	n.registerGauges()
 	n.ticker.Add(1)
 	go n.run()
 	return n
 }
+
+// Obs returns the node-wide observability registry: every subsystem's
+// metrics in one snapshot, plus the lifecycle trace ring. Serve it over
+// HTTP with obs.DebugMux.
+func (n *Node) Obs() *obs.Registry { return n.obs }
 
 // Gossip returns the node-wide peer directory (shared by the listener
 // and every orchestrator).
@@ -317,6 +339,8 @@ func (n *Node) addReplica(srv *peer.Server, bytes int64, pin bool) error {
 	// check above and this registration.
 	evicted := n.store.Put(id, bytes, pin, false)
 	n.mu.Unlock()
+	n.met.storeAdmits.Add(1)
+	n.traceContent(obs.EvStoreAdmit, id, fmt.Sprintf("bytes=%d pin=%v", bytes, pin))
 	n.dropReplicas(evicted)
 	return nil
 }
@@ -325,6 +349,8 @@ func (n *Node) addReplica(srv *peer.Server, bytes int64, pin bool) error {
 // served (new handshakes naming them get the unknown-content answer).
 func (n *Node) dropReplicas(ids []uint64) {
 	for _, id := range ids {
+		n.met.storeEvictions.Add(1)
+		n.traceContent(obs.EvStoreEvict, id, "budget")
 		n.mux.Unregister(id)
 	}
 }
@@ -414,6 +440,7 @@ func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string
 	fo.AdvertiseAddr = n.opts.Listen
 	fo.Penalties = n.penalties
 	fo.Fabric = n.fabric // nil when DisableFabric: dedicated connections
+	fo.Obs = n.obs       // every fetch reports into the node's registry
 	if fo.Dial == nil && n.opts.Transport != nil {
 		fo.Dial = n.opts.Transport.Dial
 	}
@@ -437,6 +464,8 @@ func (n *Node) StartFetch(ctx context.Context, contentID uint64, addrs ...string
 	n.mu.Unlock()
 
 	n.store.Put(contentID, 0, false, true) // active: shielded from eviction
+	n.met.storeAdmits.Add(1)
+	n.traceContent(obs.EvStoreAdmit, contentID, "fetch")
 	// Until the first handshake registers a live server, inbound HELLOs
 	// for this content get a retryable "pending" answer instead of the
 	// terminal unknown-content one — a peer that dials us during the
@@ -602,6 +631,11 @@ func (n *Node) rebalance() {
 	}
 	if n.opts.MaxConns > 0 {
 		slots := allocateSlots(n.opts.MaxConns, sigs)
+		total := 0
+		for _, s := range slots {
+			total += s
+		}
+		n.met.slotsAlloc.Set(int64(total))
 		// Shrink first: the freed slots must exist before anyone grows
 		// into them, or the node would transiently exceed its own budget.
 		for i, st := range states {
@@ -617,6 +651,11 @@ func (n *Node) rebalance() {
 	}
 	if n.opts.WindowBudget > 0 {
 		wins := allocateWindows(n.opts.WindowBudget, sigs)
+		total := 0
+		for _, w := range wins {
+			total += w
+		}
+		n.met.windowAlloc.Set(int64(total))
 		batch := n.opts.Fetch.Batch
 		if batch <= 0 {
 			batch = 64

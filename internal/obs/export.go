@@ -1,0 +1,169 @@
+package obs
+
+// export.go renders a registry snapshot in the two wire formats the
+// debug endpoint serves: Prometheus text exposition (/metrics) and a
+// flat JSON object (/vars), plus the trace ring as JSON (/trace).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry snapshot in Prometheus text
+// exposition format. subsystem.metric{label} names become
+// icd_subsystem_metric{label="value"} families; histograms expand to
+// the conventional _bucket/_sum/_count series with le labels.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	typed := make(map[string]bool)
+	for _, m := range r.Snapshot() {
+		base, labels := splitName(m.Name)
+		fam := promBase(base)
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.Kind); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindHistogram:
+			for _, b := range m.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Le, 1) {
+					le = formatFloat(b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					fam, promLabels(labels, "le", le), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, promLabels(labels), formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, promLabels(labels), m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, promLabels(labels), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// varsHistogram is the /vars JSON shape of one histogram.
+type varsHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// WriteVars writes the registry snapshot as one flat JSON object keyed
+// by metric name: counters and gauges map to numbers, histograms to
+// {count, sum, buckets} objects with cumulative bucket counts keyed by
+// upper bound.
+func WriteVars(w io.Writer, r *Registry) error {
+	vars := make(map[string]any)
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case KindHistogram:
+			h := varsHistogram{Count: m.Count, Sum: m.Sum, Buckets: make(map[string]uint64, len(m.Buckets))}
+			for _, b := range m.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.Le, 1) {
+					le = formatFloat(b.Le)
+				}
+				h.Buckets[le] = b.Count
+			}
+			vars[m.Name] = h
+		default:
+			vars[m.Name] = m.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(vars)
+}
+
+// traceEvent is the /trace JSON shape of one ring entry.
+type traceEvent struct {
+	Seq     uint64 `json:"seq"`
+	TimeMs  int64  `json:"time_unix_ms"`
+	Event   string `json:"event"`
+	Subject string `json:"subject,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// WriteTrace writes the tracer's retained events oldest-first as a
+// JSON array.
+func WriteTrace(w io.Writer, t *Tracer) error {
+	events := t.Events()
+	out := make([]traceEvent, len(events))
+	for i, ev := range events {
+		out[i] = traceEvent{
+			Seq:     ev.Seq,
+			TimeMs:  ev.Time.UnixMilli(),
+			Event:   ev.Event,
+			Subject: ev.Subject,
+			Detail:  ev.Detail,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// splitName separates "base{k=v,...}" into base and the raw label
+// list; a name without a trailing {...} has no labels.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promBase mangles a dotted metric base into a Prometheus family name.
+func promBase(base string) string {
+	var b strings.Builder
+	b.WriteString("icd_")
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a raw "k=v,k2=v2" label list (plus optional extra
+// key/value pairs) as a Prometheus label set, or "" when empty.
+func promLabels(raw string, extra ...string) string {
+	var parts []string
+	if raw != "" {
+		for _, kv := range strings.Split(raw, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				k, v = kv, ""
+			}
+			parts = append(parts, fmt.Sprintf("%s=%q", strings.TrimSpace(k), strings.TrimSpace(v)))
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a float compactly (no trailing zeros).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

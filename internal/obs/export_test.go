@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("peer.symbols{kind=useful}").Add(42)
+	r.Counter("peer.symbols{kind=received}").Add(50)
+	r.Gauge("node.store_bytes").Set(1 << 20)
+	h := r.Histogram("faultnet.shaped_delay_ms{class=dsl}", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	r.Trace(EvDial, "p1", "")
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE icd_peer_symbols counter",
+		`icd_peer_symbols{kind="useful"} 42`,
+		`icd_peer_symbols{kind="received"} 50`,
+		"# TYPE icd_node_store_bytes gauge",
+		"icd_node_store_bytes 1048576",
+		"# TYPE icd_faultnet_shaped_delay_ms histogram",
+		`icd_faultnet_shaped_delay_ms_bucket{class="dsl",le="1"} 1`,
+		`icd_faultnet_shaped_delay_ms_bucket{class="dsl",le="10"} 2`,
+		`icd_faultnet_shaped_delay_ms_bucket{class="dsl",le="+Inf"} 3`,
+		`icd_faultnet_shaped_delay_ms_sum{class="dsl"} 55.5`,
+		`icd_faultnet_shaped_delay_ms_count{class="dsl"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with two labeled series.
+	if strings.Count(out, "# TYPE icd_peer_symbols ") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestWriteVars(t *testing.T) {
+	var b strings.Builder
+	if err := WriteVars(&b, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &vars); err != nil {
+		t.Fatalf("invalid /vars JSON: %v\n%s", err, b.String())
+	}
+	if vars["peer.symbols{kind=useful}"].(float64) != 42 {
+		t.Fatalf("counter value: %v", vars["peer.symbols{kind=useful}"])
+	}
+	h, ok := vars["faultnet.shaped_delay_ms{class=dsl}"].(map[string]any)
+	if !ok || h["count"].(float64) != 3 || h["sum"].(float64) != 55.5 {
+		t.Fatalf("histogram object: %v", vars["faultnet.shaped_delay_ms{class=dsl}"])
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(testRegistry()))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if !strings.Contains(get("/metrics"), "icd_peer_symbols") {
+		t.Fatal("/metrics missing registry data")
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/vars")), &vars); err != nil || len(vars) == 0 {
+		t.Fatalf("/vars not well-formed JSON: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(get("/trace")), &events); err != nil || len(events) != 1 {
+		t.Fatalf("/trace: %v (%d events)", err, len(events))
+	}
+	if !strings.Contains(get("/debug/pprof/cmdline"), "") { // reachable, 200 checked above
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+// http.go assembles the debug endpoint icdnode serves on -debug-addr:
+// /metrics (Prometheus text), /vars (JSON snapshot), /trace (lifecycle
+// ring) and the stdlib pprof handlers under /debug/pprof/.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug HTTP handler for a registry: GET /metrics
+// serves the Prometheus text exposition, GET /vars the flat JSON
+// snapshot, GET /trace the retained lifecycle events, and
+// /debug/pprof/ the standard runtime profiles.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteVars(w, r)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteTrace(w, r.Tracer())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,212 @@
+// registry.go is the metric directory: get-or-create handles by name
+// (same name, same metric — the aggregation rule), callback gauges
+// evaluated at snapshot time, and the stable sorted Snapshot view the
+// exporters render.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind discriminates the metric types in a Snapshot.
+type Kind uint8
+
+// The three metric kinds a Registry holds.
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level (may go down).
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String names the kind for exporters and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric is one entry of a Snapshot: a stable, self-describing copy of
+// a metric's state at the sample instant.
+type Metric struct {
+	// Name is the registered subsystem.metric{label} name.
+	Name string
+	// Kind tells which of the value fields are meaningful.
+	Kind Kind
+	// Value carries a counter's total or a gauge's level.
+	Value int64
+	// Count and Sum summarize a histogram's observations.
+	Count uint64
+	Sum   float64
+	// Buckets are a histogram's cumulative bucket counts in ascending
+	// upper-bound order; the final bucket's bound is +Inf.
+	Buckets []Bucket
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to the upper bound Le.
+type Bucket struct {
+	Le    float64
+	Count uint64
+}
+
+// Registry is a node-wide metric namespace. All methods are safe for
+// concurrent use; the lookup methods are get-or-create, so every caller
+// naming the same metric shares one underlying instance — that is how
+// per-fetch and per-server tallies aggregate into node totals.
+//
+// A nil *Registry is a valid no-op sink: lookups return unregistered
+// metrics that still count (callers can read them back), Trace drops
+// events, and Snapshot returns nil.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	funcs   map[string]func() int64
+	tracer  *Tracer
+}
+
+// NewRegistry builds an empty registry with a DefaultTraceCapacity
+// event tracer attached.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]any),
+		funcs:   make(map[string]func() int64),
+		tracer:  NewTracer(DefaultTraceCapacity),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. On a nil registry — or when name is already taken by a
+// different kind — it returns a functional unregistered counter, so
+// callers can cache the handle unconditionally.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if c, ok := m.(*Counter); ok {
+			return c
+		}
+		return new(Counter)
+	}
+	c := new(Counter)
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use (same nil and kind-collision contract as Counter).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if g, ok := m.(*Gauge); ok {
+			return g
+		}
+		return new(Gauge)
+	}
+	g := new(Gauge)
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use; later lookups reuse
+// the first call's buckets. Same nil and kind-collision contract as
+// Counter.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(buckets)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if h, ok := m.(*Histogram); ok {
+			return h
+		}
+		return NewHistogram(buckets)
+	}
+	h := NewHistogram(buckets)
+	r.metrics[name] = h
+	return h
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at Snapshot
+// time, which is how sampled levels (store bytes, live wires, banned
+// peers) appear without a write on every change. Re-registering a name
+// replaces the callback. No-op on a nil registry or nil fn.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Tracer returns the registry's event ring (nil on a nil registry;
+// Tracer methods are themselves nil-safe).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Trace records one lifecycle event in the registry's ring. No-op on a
+// nil registry; never blocks.
+func (r *Registry) Trace(event, subject, detail string) {
+	if r == nil {
+		return
+	}
+	r.tracer.Trace(event, subject, detail)
+}
+
+// Snapshot returns a consistent-enough copy of every registered metric,
+// sorted by name — the stable view the exporters and the scenario
+// lab's samplers iterate. Counters and gauges are read atomically;
+// callback gauges are evaluated outside the registry lock (so a
+// callback may itself read other metrics or take subsystem locks).
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.metrics)+len(r.funcs))
+	for name, m := range r.metrics {
+		switch v := m.(type) {
+		case *Counter:
+			out = append(out, Metric{Name: name, Kind: KindCounter, Value: v.Value()})
+		case *Gauge:
+			out = append(out, Metric{Name: name, Kind: KindGauge, Value: v.Value()})
+		case *Histogram:
+			out = append(out, v.metric(name))
+		}
+	}
+	fns := make([]func() int64, 0, len(r.funcs))
+	names := make([]string, 0, len(r.funcs))
+	for name, fn := range r.funcs {
+		names = append(names, name)
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	for i, fn := range fns {
+		out = append(out, Metric{Name: names[i], Kind: KindGauge, Value: fn()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingBoundedOverwriteOrder(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Trace("ev", fmt.Sprintf("s%d", i), "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring must retain its capacity: got %d events", len(evs))
+	}
+	// Oldest-first, contiguous, ending at Seq()-1: events 6..9 survive.
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Subject != fmt.Sprintf("s%d", wantSeq) {
+			t.Fatalf("event %d: seq=%d subject=%q, want seq=%d", i, ev.Seq, ev.Subject, wantSeq)
+		}
+	}
+	if tr.Seq() != 10 {
+		t.Fatalf("Seq must count overwritten events: got %d", tr.Seq())
+	}
+}
+
+func TestTracePartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Trace("a", "", "")
+	tr.Trace("b", "", "")
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Event != "a" || evs[1].Event != "b" {
+		t.Fatalf("partial ring: %+v", evs)
+	}
+	if tr.Cap() != 8 {
+		t.Fatalf("cap: %d", tr.Cap())
+	}
+}
+
+func TestTraceConcurrentWriters(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Trace(EvRedial, fmt.Sprintf("w%d", w), "")
+				if i%100 == 0 {
+					tr.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Seq() != workers*each {
+		t.Fatalf("lost events: %d/%d", tr.Seq(), workers*each)
+	}
+	evs := tr.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained: %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot not contiguous at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestTraceFullRingNeverBlocks drives a full ring from one writer
+// while a reader snapshots continuously; the writer must finish a
+// large burst promptly (overwrite, never block) — the property that
+// makes tracing safe on session hot paths.
+func TestTraceFullRingNeverBlocks(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 8; i++ {
+		tr.Trace("fill", "", "")
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Events()
+			}
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100000; i++ {
+			tr.Trace(EvStall, "hot", "")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tracer blocked a hot-path writer on a full ring")
+	}
+	close(stop)
+	rg.Wait()
+	if tr.Seq() != 8+100000 {
+		t.Fatalf("events lost: %d", tr.Seq())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Trace("x", "y", "z")
+	if tr.Events() != nil || tr.Seq() != 0 || tr.Cap() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"icd/internal/obs"
 	"icd/internal/peermux"
 	"icd/internal/protocol"
 )
@@ -150,6 +151,12 @@ type FetchOptions struct {
 	// together they are how a node scheduler spends one wire's bandwidth
 	// by marginal utility instead of evenly per channel.
 	ChannelWindow int
+
+	// Obs is the node-wide observability registry the orchestrator and
+	// its sessions publish into (symbol counters, session lifecycle
+	// gauges, trace events). Nil disables nothing: metrics still count
+	// into unregistered handles, traces are dropped.
+	Obs *obs.Registry
 }
 
 func (o FetchOptions) withDefaults() FetchOptions {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"icd/internal/obs"
 	"icd/internal/peermux"
 	"icd/internal/protocol"
 )
@@ -46,13 +47,18 @@ type ServerMux struct {
 	closed    bool
 	wg        sync.WaitGroup
 
+	// stats are the private registry-typed counters behind Stats();
+	// obsm, when set via SetObs, is a second node-registry set the same
+	// paths add into (node-wide mux.* metrics).
 	stats struct {
-		connections atomic.Int64
-		rejected    atomic.Int64
-		busy        atomic.Int64
-		banned      atomic.Int64
-		malformed   atomic.Int64
+		connections obs.Counter
+		rejected    obs.Counter
+		busy        obs.Counter
+		banned      obs.Counter
+		malformed   obs.Counter
 	}
+	obsm atomic.Pointer[muxMetrics]
+	obs  atomic.Pointer[obs.Registry] // shared into registered servers
 }
 
 // MuxStats exposes a ServerMux's connection counters.
@@ -137,6 +143,62 @@ func (m *ServerMux) penaltyBox() *PenaltyBox {
 	return m.penalties
 }
 
+// SetObs attaches the node-wide observability registry: the mux's
+// counters additionally feed the registry's mux.* metrics, and every
+// currently and subsequently registered Server shares the registry
+// (like SetGossip) so serve-plane counters aggregate node-wide.
+func (m *ServerMux) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	om := newMuxMetrics(r)
+	m.obsm.Store(&om)
+	m.obs.Store(r)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.servers {
+		s.SetObs(r)
+	}
+}
+
+// The count* helpers bump one private counter and, when a registry is
+// attached, its node-wide twin.
+
+func (m *ServerMux) countConnection() {
+	m.stats.connections.Add(1)
+	if om := m.obsm.Load(); om != nil {
+		om.connections.Add(1)
+	}
+}
+
+func (m *ServerMux) countRejected() {
+	m.stats.rejected.Add(1)
+	if om := m.obsm.Load(); om != nil {
+		om.rejected.Add(1)
+	}
+}
+
+func (m *ServerMux) countBusy() {
+	m.stats.busy.Add(1)
+	if om := m.obsm.Load(); om != nil {
+		om.busy.Add(1)
+	}
+}
+
+func (m *ServerMux) countBanned() {
+	m.stats.banned.Add(1)
+	if om := m.obsm.Load(); om != nil {
+		om.banned.Add(1)
+	}
+}
+
+func (m *ServerMux) countMalformed() {
+	m.stats.malformed.Add(1)
+	if om := m.obsm.Load(); om != nil {
+		om.malformed.Add(1)
+	}
+}
+
 // SetLookupHook installs fn to run on every routed HELLO with the
 // requested content id and whether it was found — the signal a content
 // store uses to track per-replica serve demand. Call before Serve.
@@ -165,6 +227,9 @@ func (m *ServerMux) Register(s *Server) error {
 	}
 	if m.penalties != nil {
 		s.SetPenalties(m.penalties)
+	}
+	if r := m.obs.Load(); r != nil {
+		s.SetObs(r)
 	}
 	m.servers[id] = s
 	return nil
@@ -206,11 +271,11 @@ func (m *ServerMux) Contents() []uint64 {
 // Stats returns a snapshot of the connection counters.
 func (m *ServerMux) Stats() MuxStats {
 	return MuxStats{
-		Connections: m.stats.connections.Load(),
-		Rejected:    m.stats.rejected.Load(),
-		Busy:        m.stats.busy.Load(),
-		Banned:      m.stats.banned.Load(),
-		Malformed:   m.stats.malformed.Load(),
+		Connections: m.stats.connections.Value(),
+		Rejected:    m.stats.rejected.Value(),
+		Busy:        m.stats.busy.Value(),
+		Banned:      m.stats.banned.Value(),
+		Malformed:   m.stats.malformed.Value(),
 	}
 }
 
@@ -294,10 +359,10 @@ func (m *ServerMux) Close() error {
 // frame reader) to that server's session loop. Exported so tests and
 // in-process networks can serve over net.Pipe.
 func (m *ServerMux) ServeConn(conn net.Conn) error {
-	m.stats.connections.Add(1)
+	m.countConnection()
 	key := remoteKey(conn)
 	if m.penaltyBox().Banned(key) {
-		m.stats.banned.Add(1)
+		m.countBanned()
 		refuse(conn, m.timeout)
 		return fmt.Errorf("peer: refused banned client %s", key)
 	}
@@ -309,7 +374,7 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 	n := m.active.Add(1)
 	if max := m.maxConns.Load(); max > 0 && n > max {
 		m.active.Add(-1)
-		m.stats.busy.Add(1)
+		m.countBusy()
 		writeRefusal(conn, protocol.EncodeError("busy (inbound connection limit reached)"), m.timeout)
 		return errors.New("peer: inbound connection limit reached")
 	}
@@ -324,7 +389,7 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 			protocol.WriteFrame(conn, protocol.EncodeErrorBadVersion())
 		}
 		if errors.Is(err, protocol.ErrCorrupt) {
-			m.stats.malformed.Add(1)
+			m.countMalformed()
 			m.penaltyBox().Penalize(key, PenaltyCorrupt)
 		}
 		return err
@@ -341,7 +406,7 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 	hello, err := protocol.DecodeHello(f)
 	if err != nil {
 		if errors.Is(err, protocol.ErrCorrupt) {
-			m.stats.malformed.Add(1)
+			m.countMalformed()
 			m.penaltyBox().Penalize(key, PenaltyCorrupt)
 		}
 		return err
@@ -356,7 +421,7 @@ func (m *ServerMux) ServeConn(conn net.Conn) error {
 			writeRefusal(wconn, protocol.EncodeError(pendingMessage(hello.ContentID)), m.timeout)
 			return fmt.Errorf("peer: content %#x pending", hello.ContentID)
 		}
-		m.stats.rejected.Add(1)
+		m.countRejected()
 		writeRefusal(wconn, protocol.EncodeErrorUnknownContent(hello.ContentID), m.timeout)
 		return fmt.Errorf("peer: no server for content %#x", hello.ContentID)
 	}
@@ -393,7 +458,7 @@ func (m *ServerMux) serveFabric(conn net.Conn, fr *protocol.FrameReader, f proto
 	mh, err := protocol.DecodeMuxHello(f)
 	if err != nil {
 		if errors.Is(err, protocol.ErrCorrupt) {
-			m.stats.malformed.Add(1)
+			m.countMalformed()
 			m.penaltyBox().Penalize(key, PenaltyCorrupt)
 		}
 		return err
@@ -405,7 +470,7 @@ func (m *ServerMux) serveFabric(conn net.Conn, fr *protocol.FrameReader, f proto
 		Timeout:    m.timeout,
 		ListenAddr: m.Addr(),
 		Penalize: func(weight float64) {
-			m.stats.malformed.Add(1)
+			m.countMalformed()
 			m.penaltyBox().Penalize(key, weight)
 		},
 	}
@@ -430,7 +495,7 @@ func (m *ServerMux) serveFabric(conn net.Conn, fr *protocol.FrameReader, f proto
 // the fabric analog of a dedicated connection's HELLO lookup, answering
 // with the same canonical reject vocabulary.
 func (m *ServerMux) serveChannel(ch *peermux.Channel) {
-	m.stats.connections.Add(1)
+	m.countConnection()
 	id := ch.RemoteHello().ContentID
 	s, pending, found := m.route(id)
 	if !found {
@@ -438,7 +503,7 @@ func (m *ServerMux) serveChannel(ch *peermux.Channel) {
 			ch.Reject(pendingMessage(id))
 			return
 		}
-		m.stats.rejected.Add(1)
+		m.countRejected()
 		ch.Reject(fmt.Sprintf("%s %#x", protocol.ReasonUnknownContent, id))
 		return
 	}

@@ -1,0 +1,105 @@
+package peer
+
+// obs.go binds the fetch and serve planes to the node-wide
+// observability registry (internal/obs). Every handle is resolved once
+// at construction — hot paths touch prebuilt counters, never the
+// registry map — and a nil registry yields unregistered but functional
+// metrics, so instrumentation costs one atomic op whether or not a
+// node wired it up.
+
+import "icd/internal/obs"
+
+// fetchMetrics are the orchestrator/session plane's registry handles.
+// Metrics are node-wide aggregates: every orchestrator sharing a
+// registry (all fetches of one node) feeds the same counters.
+type fetchMetrics struct {
+	received      *obs.Counter // peer.symbols{kind=received}
+	useful        *obs.Counter // peer.symbols{kind=useful}
+	live          *obs.Gauge   // peer.sessions{state=live}
+	started       *obs.Counter // peer.sessions{event=started}
+	evicted       *obs.Counter // peer.sessions{event=evicted}
+	redials       *obs.Counter // peer.redials
+	dialFailures  *obs.Counter // peer.dial_failures
+	stalls        *obs.Counter // peer.stalls
+	resets        *obs.Counter // peer.resets
+	corrupt       *obs.Counter // peer.corrupt_frames
+	refreshes     *obs.Counter // peer.refreshes_sent
+	bans          *obs.Counter // peer.bans
+	gossipAdmit   *obs.Counter // peer.gossip{event=admit}
+	gossipDefer   *obs.Counter // peer.gossip{event=defer}
+	gossipPromote *obs.Counter // peer.gossip{event=promote}
+}
+
+func newFetchMetrics(r *obs.Registry) fetchMetrics {
+	return fetchMetrics{
+		received:      r.Counter("peer.symbols{kind=received}"),
+		useful:        r.Counter("peer.symbols{kind=useful}"),
+		live:          r.Gauge("peer.sessions{state=live}"),
+		started:       r.Counter("peer.sessions{event=started}"),
+		evicted:       r.Counter("peer.sessions{event=evicted}"),
+		redials:       r.Counter("peer.redials"),
+		dialFailures:  r.Counter("peer.dial_failures"),
+		stalls:        r.Counter("peer.stalls"),
+		resets:        r.Counter("peer.resets"),
+		corrupt:       r.Counter("peer.corrupt_frames"),
+		refreshes:     r.Counter("peer.refreshes_sent"),
+		bans:          r.Counter("peer.bans"),
+		gossipAdmit:   r.Counter("peer.gossip{event=admit}"),
+		gossipDefer:   r.Counter("peer.gossip{event=defer}"),
+		gossipPromote: r.Counter("peer.gossip{event=promote}"),
+	}
+}
+
+// trace records one lifecycle event in the orchestrator's registry
+// ring (no-op without one).
+func (o *Orchestrator) trace(event, subject, detail string) {
+	o.obs.Trace(event, subject, detail)
+}
+
+// serveMetrics are one Server's serving-plane counters. Each Server
+// carries a private set backing its Stats() accessor; SetObs attaches
+// a second, registry-shared set so all servers of a node aggregate
+// into node totals. The zero value (all-nil counters) is a no-op sink.
+type serveMetrics struct {
+	connections *obs.Counter // serve.connections
+	symbolsSent *obs.Counter // serve.symbols_sent
+	rejected    *obs.Counter // serve.rejected
+	malformed   *obs.Counter // serve.malformed
+}
+
+// privateServeMetrics builds the standalone counters behind a Server's
+// Stats() accessor.
+func privateServeMetrics() serveMetrics { return newServeMetrics(nil) }
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		connections: r.Counter("serve.connections"),
+		symbolsSent: r.Counter("serve.symbols_sent"),
+		rejected:    r.Counter("serve.rejected"),
+		malformed:   r.Counter("serve.malformed"),
+	}
+}
+
+// muxMetrics are the inbound router's counters, same private/shared
+// split as serveMetrics.
+type muxMetrics struct {
+	connections *obs.Counter // mux.connections
+	rejected    *obs.Counter // mux.rejected
+	busy        *obs.Counter // mux.busy
+	banned      *obs.Counter // mux.banned
+	malformed   *obs.Counter // mux.malformed
+}
+
+// privateMuxMetrics builds the standalone counters behind a
+// ServerMux's Stats() accessor.
+func privateMuxMetrics() muxMetrics { return newMuxMetrics(nil) }
+
+func newMuxMetrics(r *obs.Registry) muxMetrics {
+	return muxMetrics{
+		connections: r.Counter("mux.connections"),
+		rejected:    r.Counter("mux.rejected"),
+		busy:        r.Counter("mux.busy"),
+		banned:      r.Counter("mux.banned"),
+		malformed:   r.Counter("mux.malformed"),
+	}
+}

@@ -1,0 +1,131 @@
+package peer
+
+// obs_test.go pins the registry migration of the serve-plane stats
+// (PR 10): the public Stats() accessors keep their per-instance
+// semantics on top of obs counters, every hot-path increment lands in
+// BOTH the private tally and the registry-shared one once SetObs wired
+// a registry, and concurrent Stats() readers against mutating counters
+// are race-clean (run under -race in CI).
+
+import (
+	"sync"
+	"testing"
+
+	"icd/internal/obs"
+)
+
+// TestServerStatsDualCount hammers the server's count helpers from many
+// goroutines while a reader polls Stats(), then checks the private and
+// registry tallies agree exactly.
+func TestServerStatsDualCount(t *testing.T) {
+	var s Server
+	r := obs.NewRegistry()
+	s.SetObs(r)
+
+	const workers, per = 8, 500
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		// Torn-read audit: Stats() must be safe against concurrent
+		// increments (each field is an independent atomic; -race is the
+		// judge here, monotonicity the assertion).
+		defer readers.Done()
+		var last ServerStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := s.Stats()
+			if st.Connections < last.Connections || st.SymbolsSent < last.SymbolsSent ||
+				st.Rejected < last.Rejected || st.Malformed < last.Malformed {
+				t.Error("Stats() went backwards under concurrent increments")
+				return
+			}
+			last = st
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.countConnection()
+				s.countSymbolSent()
+				s.countRejected()
+				s.countMalformed()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	want := int64(workers * per)
+	st := s.Stats()
+	if st.Connections != want || st.SymbolsSent != want || st.Rejected != want || st.Malformed != want {
+		t.Fatalf("private stats lost increments: %+v, want %d each", st, want)
+	}
+	for _, name := range []string{
+		"serve.connections", "serve.symbols_sent", "serve.rejected", "serve.malformed",
+	} {
+		if got := r.Counter(name).Value(); got != want {
+			t.Fatalf("registry %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMuxStatsDualCount is the same audit for the mux's admission-plane
+// tallies, plus the SetObs propagation rule: a registry installed on
+// the mux reaches servers registered before AND after the call.
+func TestMuxStatsDualCount(t *testing.T) {
+	m := NewServerMux()
+	r := obs.NewRegistry()
+	m.SetObs(r)
+
+	const workers, per = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.countConnection()
+				m.countRejected()
+				m.countBusy()
+				m.countBanned()
+				m.countMalformed()
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := int64(workers * per)
+	st := m.Stats()
+	if st.Connections != want || st.Rejected != want || st.Busy != want ||
+		st.Banned != want || st.Malformed != want {
+		t.Fatalf("private mux stats lost increments: %+v, want %d each", st, want)
+	}
+	for _, name := range []string{
+		"mux.connections", "mux.rejected", "mux.busy", "mux.banned", "mux.malformed",
+	} {
+		if got := r.Counter(name).Value(); got != want {
+			t.Fatalf("registry %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestServerWithoutObsStillCounts pins the unwired path: a zero-value
+// server (no registry) keeps exact private tallies and never panics.
+func TestServerWithoutObsStillCounts(t *testing.T) {
+	var s Server
+	for i := 0; i < 3; i++ {
+		s.countConnection()
+	}
+	if got := s.Stats().Connections; got != 3 {
+		t.Fatalf("unwired server counted %d connections, want 3", got)
+	}
+}

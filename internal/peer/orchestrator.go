@@ -28,6 +28,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/keyset"
+	"icd/internal/obs"
 	"icd/internal/peermux"
 	"icd/internal/protocol"
 	"icd/internal/recode"
@@ -61,6 +62,12 @@ type Orchestrator struct {
 	// breaker is the per-address dial circuit breaker (nil when the
 	// breaker is disabled; all Breaker methods are nil-safe).
 	breaker *Breaker
+
+	// obs is the node-wide observability registry (nil when the caller
+	// did not wire one; Trace on nil drops) and met the prebuilt metric
+	// handles hot paths add into — always functional, registered or not.
+	obs *obs.Registry
+	met fetchMetrics
 
 	mu            sync.Mutex
 	rdec          *recode.Decoder
@@ -122,6 +129,8 @@ func NewOrchestrator(contentID uint64, opts FetchOptions) *Orchestrator {
 		dialFails: make(map[string]int),
 	}
 	o.chanWin.Store(int64(opts.ChannelWindow))
+	o.obs = opts.Obs
+	o.met = newFetchMetrics(opts.Obs)
 	o.penalties = opts.Penalties
 	if o.penalties == nil {
 		o.penalties = NewPenaltyBox()
@@ -183,6 +192,7 @@ func (o *Orchestrator) sessionExited(s *session) {
 	if s != nil && o.sessions[s.addr] == s {
 		delete(o.sessions, s.addr)
 	}
+	o.met.live.Set(int64(len(o.sessions)))
 	o.active--
 	if s != nil {
 		o.maybeRequeueLocked(s)
@@ -239,6 +249,8 @@ func (o *Orchestrator) startSessionLocked(addr string, discovered bool) {
 	o.sessions[addr] = s
 	o.stats = append(o.stats, s.stats)
 	o.active++
+	o.met.started.Inc()
+	o.met.live.Set(int64(len(o.sessions)))
 	go s.run()
 }
 
@@ -270,9 +282,13 @@ func (o *Orchestrator) considerDiscovered(ad protocol.PeerAd) bool {
 		if len(o.candidates) < o.opts.MaxCandidates {
 			o.candidates = append(o.candidates, gossipCandidate{ad: ad, seq: o.candidateSeq})
 			o.candidateSeq++
+			o.met.gossipDefer.Inc()
+			o.trace(obs.EvGossipDefer, ad.Addr, "")
 		}
 		return false
 	}
+	o.met.gossipAdmit.Inc()
+	o.trace(obs.EvGossipAdmit, ad.Addr, "")
 	o.startSessionLocked(ad.Addr, true)
 	return true
 }
@@ -322,6 +338,8 @@ func (o *Orchestrator) promoteCandidateLocked() {
 	}
 	ad := o.candidates[best].ad
 	o.candidates = append(o.candidates[:best], o.candidates[best+1:]...)
+	o.met.gossipPromote.Inc()
+	o.trace(obs.EvGossipPromote, ad.Addr, "")
 	o.startSessionLocked(ad.Addr, true)
 }
 
@@ -539,6 +557,9 @@ func (o *Orchestrator) evictLowestLocked() {
 	if victim != nil {
 		victim.dropLocked()
 		delete(o.sessions, victim.addr) // a replacement may reuse the address slot
+		o.met.evicted.Inc()
+		o.met.live.Set(int64(len(o.sessions)))
+		o.trace(obs.EvEvict, victim.addr, "lowest utility")
 	}
 }
 
@@ -842,6 +863,7 @@ func (o *Orchestrator) processBatch(batch []incoming, seeded *bool) (bool, error
 		newIDs = append(newIDs, o.rdec.KnownIDs()...)
 	}
 	var decodeErr error
+	var batchRecv, batchUseful int64
 	for i, in := range batch {
 		before := o.rdec.KnownCount()
 		if !in.recoded {
@@ -865,6 +887,8 @@ func (o *Orchestrator) processBatch(batch []incoming, seeded *bool) (bool, error
 			}
 			newIDs = append(newIDs, ids...)
 		}
+		batchRecv++
+		batchUseful += int64(o.rdec.KnownCount() - before)
 		if in.stats != nil {
 			in.stats.SymbolsReceived++
 			in.stats.UsefulSymbols += o.rdec.KnownCount() - before
@@ -881,6 +905,10 @@ func (o *Orchestrator) processBatch(batch []incoming, seeded *bool) (bool, error
 	known := o.rdec.KnownCount()
 	o.mu.Unlock()
 	o.scratch.ids = newIDs[:0]
+	// One add per counter per batch: instrumentation stays off the
+	// per-symbol path.
+	o.met.received.Add(batchRecv)
+	o.met.useful.Add(batchUseful)
 
 	if decodeErr != nil {
 		o.finish()

@@ -188,6 +188,26 @@ func (p *PenaltyBox) Banned(addr string) bool {
 	return e.score >= p.banScore
 }
 
+// BannedCount returns the number of addresses whose decayed score is
+// currently at or past the ban threshold — the quantity a node-level
+// gauge reports.
+func (p *PenaltyBox) BannedCount() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	n := 0
+	for _, e := range p.entries {
+		p.decayLocked(e, now)
+		if e.score >= p.banScore {
+			n++
+		}
+	}
+	return n
+}
+
 // Len returns the number of addresses with a recorded score.
 func (p *PenaltyBox) Len() int {
 	if p == nil {

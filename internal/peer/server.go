@@ -11,6 +11,7 @@ import (
 
 	"icd/internal/fountain"
 	"icd/internal/keyset"
+	"icd/internal/obs"
 	"icd/internal/peermux"
 	"icd/internal/prng"
 	"icd/internal/protocol"
@@ -96,12 +97,16 @@ type Server struct {
 	penalties *PenaltyBox // shared misbehavior box (nil = no penalty plane)
 
 	streamSeed atomic.Uint64
-	stats      struct {
-		connections atomic.Int64
-		symbolsSent atomic.Int64
-		malformed   atomic.Int64
-		rejected    atomic.Int64
+	// stats are the private registry-typed counters behind Stats();
+	// obsm, when set, is a second node-registry set the same hot paths
+	// add into so every server of a node aggregates into node totals.
+	stats struct {
+		connections obs.Counter
+		symbolsSent obs.Counter
+		malformed   obs.Counter
+		rejected    obs.Counter
 	}
+	obsm atomic.Pointer[serveMetrics]
 }
 
 // NewFullServer builds a full sender from the content bytes themselves.
@@ -226,11 +231,55 @@ func (s *Server) SetPenalties(p *PenaltyBox) {
 	s.mu.Unlock()
 }
 
+// SetObs attaches the node-wide observability registry: the server's
+// counters additionally feed the registry's shared serve.* metrics, so
+// every server of a node aggregates into node totals. The private
+// counters behind Stats() are unaffected.
+func (s *Server) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	m := newServeMetrics(r)
+	s.obsm.Store(&m)
+}
+
 // penaltyBox returns the installed penalty box (nil-safe to use).
 func (s *Server) penaltyBox() *PenaltyBox {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.penalties
+}
+
+// The count* helpers bump one private counter and, when a registry is
+// attached (SetObs), its node-wide twin — one atomic load and branch
+// when unwired, so the serve hot loops stay effectively free.
+
+func (s *Server) countConnection() {
+	s.stats.connections.Add(1)
+	if m := s.obsm.Load(); m != nil {
+		m.connections.Add(1)
+	}
+}
+
+func (s *Server) countRejected() {
+	s.stats.rejected.Add(1)
+	if m := s.obsm.Load(); m != nil {
+		m.rejected.Add(1)
+	}
+}
+
+func (s *Server) countMalformed() {
+	s.stats.malformed.Add(1)
+	if m := s.obsm.Load(); m != nil {
+		m.malformed.Add(1)
+	}
+}
+
+func (s *Server) countSymbolSent() {
+	s.stats.symbolsSent.Add(1)
+	if m := s.obsm.Load(); m != nil {
+		m.symbolsSent.Add(1)
+	}
 }
 
 // addrHost returns the host portion of a peer address: "host" for a
@@ -311,10 +360,10 @@ func (s *Server) Info() ContentInfo { return s.info }
 // Stats returns a snapshot of the transfer counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Connections: s.stats.connections.Load(),
-		SymbolsSent: s.stats.symbolsSent.Load(),
-		Malformed:   s.stats.malformed.Load(),
-		Rejected:    s.stats.rejected.Load(),
+		Connections: s.stats.connections.Value(),
+		SymbolsSent: s.stats.symbolsSent.Value(),
+		Malformed:   s.stats.malformed.Value(),
+		Rejected:    s.stats.rejected.Value(),
 	}
 }
 
@@ -355,7 +404,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
-			s.stats.connections.Add(1)
+			s.countConnection()
 			_ = s.ServeConn(conn) // per-connection errors end that session only
 		}()
 	}
@@ -439,14 +488,14 @@ func readClientHello(conn net.Conn, fr *protocol.FrameReader, timeout time.Durat
 func (s *Server) admit(conn net.Conn) error {
 	key := remoteKey(conn)
 	if s.penaltyBox().Banned(key) {
-		s.stats.rejected.Add(1)
+		s.countRejected()
 		refuse(conn, s.timeout)
 		return fmt.Errorf("peer: refused banned client %s", key)
 	}
 	n := s.active.Add(1)
 	if max := s.maxConns.Load(); max > 0 && n > max {
 		s.active.Add(-1)
-		s.stats.rejected.Add(1)
+		s.countRejected()
 		writeRefusal(conn, protocol.EncodeError("busy (inbound connection limit reached)"), s.timeout)
 		return errors.New("peer: inbound connection limit reached")
 	}
@@ -466,7 +515,7 @@ func (s *Server) noteMalformed(remoteHost, listenAddr string, err error) {
 	if !errors.Is(err, protocol.ErrCorrupt) {
 		return
 	}
-	s.stats.malformed.Add(1)
+	s.countMalformed()
 	box := s.penaltyBox()
 	box.Penalize(remoteHost, PenaltyCorrupt)
 	if verifiedListenAddr(listenAddr, remoteHost) && listenAddr != remoteHost {
@@ -510,7 +559,7 @@ func (s *Server) serveClient(conn net.Conn, fr *protocol.FrameReader, clientHell
 	// banned, refuse the session: a peer banned under its dialable
 	// address must not keep being served just by connecting inbound.
 	if la := clientHello.ListenAddr; verifiedListenAddr(la, key) && s.penaltyBox().Banned(la) {
-		s.stats.rejected.Add(1)
+		s.countRejected()
 		writeRefusal(conn, protocol.EncodeErrorRefused(), s.timeout)
 		return fmt.Errorf("peer: refused banned client %s", la)
 	}
@@ -542,11 +591,11 @@ func (s *Server) ServeChannel(ch *peermux.Channel) error {
 	}
 	clientHello := ch.RemoteHello()
 	if la := clientHello.ListenAddr; verifiedListenAddr(la, key) && s.penaltyBox().Banned(la) {
-		s.stats.rejected.Add(1)
+		s.countRejected()
 		ch.Reject(protocol.ReasonRefused + " (address penalized)")
 		return fmt.Errorf("peer: refused banned client %s", la)
 	}
-	s.stats.connections.Add(1)
+	s.countConnection()
 	deadline := func() {
 		if s.timeout > 0 {
 			ch.SetDeadline(time.Now().Add(s.timeout))
@@ -732,7 +781,7 @@ func (s *Server) sendFull(w io.Writer, enc *fountain.Encoder, n int) error {
 		if err != nil {
 			return err
 		}
-		s.stats.symbolsSent.Add(1)
+		s.countSymbolSent()
 	}
 	return protocol.WriteFrame(w, protocol.EncodeDone())
 }
@@ -809,7 +858,7 @@ func (s *Server) sendRecoded(w io.Writer, sr *sessionRecoders, n int) error {
 		if err != nil {
 			return err
 		}
-		s.stats.symbolsSent.Add(1)
+		s.countSymbolSent()
 	}
 	return protocol.WriteFrame(w, protocol.EncodeDone())
 }

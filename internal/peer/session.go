@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"icd/internal/keyset"
+	"icd/internal/obs"
 	"icd/internal/peermux"
 	"icd/internal/prng"
 	"icd/internal/protocol"
@@ -189,12 +190,19 @@ func (s *session) run() {
 		s.o.mu.Lock()
 		s.stats.Reconnects++
 		s.o.mu.Unlock()
+		s.o.met.redials.Inc()
+		s.o.trace(obs.EvRedial, s.addr, "")
 	}
+	banned := s.o.penalties.Banned(s.addr)
 	s.o.mu.Lock()
 	s.stats.Err = terminal
 	s.stats.Utility = s.utilityLocked()
-	s.stats.Banned = s.o.penalties.Banned(s.addr)
+	s.stats.Banned = banned
 	s.o.mu.Unlock()
+	if banned {
+		s.o.met.bans.Inc()
+		s.o.trace(obs.EvBan, s.addr, "")
+	}
 }
 
 // sleepBackoff waits out a redial delay, interruptible by the transfer
@@ -302,6 +310,7 @@ func (s *session) openChannel() (*peermux.Channel, *keyset.Set, int64, error) {
 		o.mu.Lock()
 		s.stats.DialFailures++
 		o.mu.Unlock()
+		o.met.dialFailures.Inc()
 		return nil, nil, 0, fmt.Errorf("%w: %s", errDialSuppressed, s.addr)
 	}
 	held, heldVersion := o.heldSnapshot()
@@ -316,6 +325,7 @@ func (s *session) openChannel() (*peermux.Channel, *keyset.Set, int64, error) {
 		o.mu.Lock()
 		s.connected = true
 		o.mu.Unlock()
+		o.trace(obs.EvDial, s.addr, "fabric")
 		return ch, held, heldVersion, nil
 	}
 	var rej *peermux.RejectError
@@ -345,6 +355,8 @@ func (s *session) openChannel() (*peermux.Channel, *keyset.Set, int64, error) {
 	o.mu.Lock()
 	s.stats.DialFailures++
 	o.mu.Unlock()
+	o.met.dialFailures.Inc()
+	o.trace(obs.EvDialFail, s.addr, err.Error())
 	return nil, nil, 0, err
 }
 
@@ -396,6 +408,7 @@ func (s *session) dialConn() (net.Conn, error) {
 		o.mu.Lock()
 		s.stats.DialFailures++
 		o.mu.Unlock()
+		o.met.dialFailures.Inc()
 		return nil, fmt.Errorf("%w: %s", errDialSuppressed, s.addr)
 	}
 	conn, err := o.opts.Dial(s.addr)
@@ -405,12 +418,15 @@ func (s *session) dialConn() (net.Conn, error) {
 		o.mu.Lock()
 		s.stats.DialFailures++
 		o.mu.Unlock()
+		o.met.dialFailures.Inc()
+		o.trace(obs.EvDialFail, s.addr, err.Error())
 		return nil, err
 	}
 	o.breaker.Success(s.addr)
 	o.mu.Lock()
 	s.connected = true
 	o.mu.Unlock()
+	o.trace(obs.EvDial, s.addr, "dedicated")
 	return conn, nil
 }
 
@@ -421,13 +437,19 @@ func (s *session) noteConnError(err error) {
 	o := s.o
 	weight := PenaltyReset
 	o.mu.Lock()
-	if errors.Is(err, protocol.ErrCorrupt) {
+	corrupt := errors.Is(err, protocol.ErrCorrupt)
+	if corrupt {
 		s.stats.CorruptFrames++
 		weight = PenaltyCorrupt
 	} else {
 		s.stats.Resets++
 	}
 	o.mu.Unlock()
+	if corrupt {
+		o.met.corrupt.Inc()
+	} else {
+		o.met.resets.Inc()
+	}
 	o.penalties.Penalize(s.addr, weight)
 }
 
@@ -484,6 +506,8 @@ func (s *session) watch(lk link, stop chan struct{}) {
 			s.stats.Stalls++
 			s.stalled = true
 			o.mu.Unlock()
+			o.met.stalls.Inc()
+			o.trace(obs.EvStall, s.addr, "")
 			o.penalties.Penalize(s.addr, PenaltyStall)
 		}
 		lk.SetDeadline(time.Now())
@@ -593,6 +617,7 @@ func (s *session) serveNegotiated(lk link, next func() (protocol.Frame, error),
 		s.stats.Summary = method.String()
 	}
 	o.mu.Unlock()
+	o.trace(obs.EvHandshake, s.addr, method.String())
 	if method != protocol.SummaryNone {
 		blob, err := strategy.BuildSummary(method, held, s.summaryConfig())
 		if err != nil {
@@ -676,6 +701,7 @@ func (s *session) serveNegotiated(lk link, next func() (protocol.Frame, error),
 					return err
 				}
 				heldVersion = version
+				o.met.refreshes.Inc()
 				o.mu.Lock()
 				s.stats.Summary = method.String()
 				s.stats.RefreshesSent++

@@ -135,6 +135,7 @@ func (c *Channel) Accept(h protocol.Hello) error {
 // Reject declines a peer-opened channel with a canonical reason and
 // retires it.
 func (c *Channel) Reject(msg string) {
+	c.w.met.rejected.Add(1)
 	c.w.writeFrame(protocol.EncodeRejectChannel(c.id, msg))
 	c.Close()
 }
@@ -154,6 +155,7 @@ func (c *Channel) grantInitial() error {
 	c.avail += n
 	c.granted = true
 	c.mu.Unlock()
+	c.w.noteChanOpen(c.id, int(n))
 	return c.writeGrant(n)
 }
 
@@ -217,6 +219,7 @@ func (c *Channel) SetWindow(n int) error {
 			defer c.w.reserveWindow(delta, 0)
 		}
 		c.mu.Unlock()
+		c.noteResize(target)
 		return nil
 	}
 	c.mu.Unlock()
@@ -245,6 +248,7 @@ func (c *Channel) SetWindow(n int) error {
 	}
 	c.avail += send
 	c.mu.Unlock()
+	c.noteResize(int(c.window))
 	return c.writeGrant(send)
 }
 
@@ -267,6 +271,7 @@ func (c *Channel) deliver(inner protocol.Frame) {
 	copy(*bp, inner.Payload)
 	select {
 	case c.in <- inFrame{t: inner.Type, buf: bp}:
+		c.w.met.queueDepth.Observe(float64(len(c.in)))
 	default:
 		putBuf(bp)
 		c.w.penalize(WeightViolation)
@@ -522,6 +527,7 @@ func (c *Channel) retireWindow() {
 	c.mu.Unlock()
 	if n > 0 {
 		c.w.reserveWindow(-n, 0)
+		c.w.noteChanClose(c.id, n)
 	}
 }
 

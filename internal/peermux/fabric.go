@@ -183,6 +183,22 @@ func (f *Fabric) Wires() int {
 	return len(f.wires)
 }
 
+// TotalWindow sums every live wire's aggregate receive-window exposure
+// in symbol frames — the node's total credit in flight across the
+// fabric, the quantity a node-level gauge reports against the sum of
+// per-wire ceilings.
+func (f *Fabric) TotalWindow() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, wr := range f.wires {
+		if wr.wire != nil {
+			total += wr.wire.WindowSum()
+		}
+	}
+	return total
+}
+
 // Close tears down every wire; subsequent Opens fail with ErrClosed.
 func (f *Fabric) Close() error {
 	f.mu.Lock()

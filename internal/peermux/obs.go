@@ -1,0 +1,70 @@
+package peermux
+
+// obs.go binds a wire to the node-wide observability registry: credit
+// occupancy against the wire budget, channel population, inbound queue
+// depths, and the lifecycle trace (channel open/resize/close). A wire
+// without a registry pays one nil check per lifecycle event and a
+// nil-receiver no-op per frame — nothing else.
+
+import (
+	"fmt"
+
+	"icd/internal/obs"
+)
+
+// wireMetrics caches the registry handles a wire updates. The zero
+// value (no registry configured) is fully operational: every handle is
+// nil and the obs package treats nil metrics as no-ops.
+type wireMetrics struct {
+	chansOpen  *obs.Gauge     // peermux.channels{state=open}
+	opened     *obs.Counter   // peermux.channels{event=opened}
+	closed     *obs.Counter   // peermux.channels{event=closed}
+	rejected   *obs.Counter   // peermux.channels{event=rejected}
+	windowSum  *obs.Gauge     // peermux.window_inflight
+	ceiling    *obs.Gauge     // peermux.window_ceiling
+	queueDepth *obs.Histogram // peermux.queue_depth
+}
+
+func newWireMetrics(r *obs.Registry) wireMetrics {
+	if r == nil {
+		return wireMetrics{}
+	}
+	return wireMetrics{
+		chansOpen:  r.Gauge("peermux.channels{state=open}"),
+		opened:     r.Counter("peermux.channels{event=opened}"),
+		closed:     r.Counter("peermux.channels{event=closed}"),
+		rejected:   r.Counter("peermux.channels{event=rejected}"),
+		windowSum:  r.Gauge("peermux.window_inflight"),
+		ceiling:    r.Gauge("peermux.window_ceiling"),
+		queueDepth: r.Histogram("peermux.queue_depth", obs.CountBuckets),
+	}
+}
+
+// noteChanOpen records a channel whose credit window just opened — the
+// point a subchannel becomes live, symmetric between the dialing side
+// (OpenWindow) and the accepting side (Accept), both via grantInitial.
+func (w *Wire) noteChanOpen(id uint16, window int) {
+	w.met.opened.Add(1)
+	w.met.chansOpen.Add(1)
+	if r := w.cfg.Obs; r != nil {
+		r.Trace(obs.EvChanOpen, w.raddr, fmt.Sprintf("id=%d window=%d", id, window))
+	}
+}
+
+// noteChanClose mirrors noteChanOpen when the window retires (local
+// close, remote close, or wire death) — exactly once per live channel,
+// anchored on the same granted/retired flags retireWindow settles.
+func (w *Wire) noteChanClose(id uint16, window int) {
+	w.met.closed.Add(1)
+	w.met.chansOpen.Add(-1)
+	if r := w.cfg.Obs; r != nil {
+		r.Trace(obs.EvChanClose, w.raddr, fmt.Sprintf("id=%d window=%d", id, window))
+	}
+}
+
+// noteResize records a live receive-window resize in the trace ring.
+func (c *Channel) noteResize(target int) {
+	if r := c.w.cfg.Obs; r != nil {
+		r.Trace(obs.EvChanResize, c.w.raddr, fmt.Sprintf("id=%d window=%d", c.id, target))
+	}
+}

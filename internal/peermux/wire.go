@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"icd/internal/obs"
 	"icd/internal/protocol"
 )
 
@@ -101,6 +102,11 @@ type Config struct {
 	Penalize func(weight float64)
 	// OnPeers, when non-nil, receives wire-level gossip advertisements.
 	OnPeers func(ads []protocol.PeerAd)
+	// Obs, when non-nil, receives wire metrics (credit occupancy vs the
+	// wire budget, channel population, queue depths) and lifecycle
+	// trace events (channel open/resize/close). Fabric copies it to
+	// every wire it dials.
+	Obs *obs.Registry
 
 	// onDead is the fabric's teardown hook (set internally).
 	onDead func()
@@ -130,6 +136,8 @@ type Wire struct {
 	dialer  bool
 	remote  protocol.MuxHello
 	handler func(*Channel)
+	met     wireMetrics
+	raddr   string // cached RemoteAddr().String() for trace subjects
 
 	// wmu serializes writes on conn. Never acquired while holding mu.
 	wmu     sync.Mutex
@@ -142,14 +150,14 @@ type Wire struct {
 	winMu  sync.Mutex
 	winSum int
 
-	mu      sync.Mutex
-	chans   map[uint16]*Channel
-	pend    map[uint16]chan openReply
-	drain   map[uint16]struct{}
-	drainq  []uint16
-	nextID  uint16
-	err     error
-	dead    bool
+	mu       sync.Mutex
+	chans    map[uint16]*Channel
+	pend     map[uint16]chan openReply
+	drain    map[uint16]struct{}
+	drainq   []uint16
+	nextID   uint16
+	err      error
+	dead     bool
 	deadOnce sync.Once
 
 	done chan struct{} // closed when the wire fails or closes
@@ -237,6 +245,8 @@ func newWire(conn net.Conn, fr *protocol.FrameReader, cfg Config, dialer bool, r
 		cfg:     cfg,
 		dialer:  dialer,
 		remote:  remote,
+		met:     newWireMetrics(cfg.Obs),
+		raddr:   conn.RemoteAddr().String(),
 		sentAds: make(map[protocol.PeerAd]bool),
 		chans:   make(map[uint16]*Channel),
 		pend:    make(map[uint16]chan openReply),
@@ -246,6 +256,7 @@ func newWire(conn net.Conn, fr *protocol.FrameReader, cfg Config, dialer bool, r
 	if dialer {
 		w.nextID = 1
 	}
+	w.met.ceiling.Add(int64(cfg.WireWindow))
 	return w
 }
 
@@ -308,6 +319,7 @@ func (w *Wire) reserveWindow(delta, min int) int {
 		}
 	}
 	w.winSum += delta
+	w.met.windowSum.Add(int64(delta))
 	return delta
 }
 
@@ -383,6 +395,12 @@ func (w *Wire) OpenWindow(h protocol.Hello, window int, timeout time.Duration) (
 		w.abortOpen(id)
 		return nil, fmt.Errorf("peermux: channel open timed out after %v", timeout)
 	}
+}
+
+// rejectChannel declines a peer-opened channel id and counts it.
+func (w *Wire) rejectChannel(id uint16, msg string) {
+	w.met.rejected.Add(1)
+	w.writeFrame(protocol.EncodeRejectChannel(id, msg))
 }
 
 // abortOpen retires a half-open channel id.
@@ -493,6 +511,7 @@ func (w *Wire) fail(err error) {
 		if w.cfg.onDead != nil {
 			w.cfg.onDead()
 		}
+		w.met.ceiling.Add(-int64(w.cfg.WireWindow))
 	})
 }
 
@@ -640,24 +659,24 @@ func (w *Wire) handleOpen(f protocol.Frame) {
 		// We dialed this wire for fetching; the peer must not open
 		// channels toward us.
 		w.penalize(WeightViolation)
-		w.writeFrame(protocol.EncodeRejectChannel(id, protocol.ReasonRefused+" (not serving)"))
+		w.rejectChannel(id, protocol.ReasonRefused+" (not serving)")
 		return
 	}
 	if id%2 != 1 {
 		w.penalize(WeightViolation)
-		w.writeFrame(protocol.EncodeRejectChannel(id, "invalid channel id (dialer ids are odd)"))
+		w.rejectChannel(id, "invalid channel id (dialer ids are odd)")
 		return
 	}
 	w.mu.Lock()
 	if _, dup := w.chans[id]; dup {
 		w.mu.Unlock()
 		w.penalize(WeightViolation)
-		w.writeFrame(protocol.EncodeRejectChannel(id, "duplicate channel id"))
+		w.rejectChannel(id, "duplicate channel id")
 		return
 	}
 	if len(w.chans) >= w.cfg.MaxChannels {
 		w.mu.Unlock()
-		w.writeFrame(protocol.EncodeRejectChannel(id, "busy (channel limit)"))
+		w.rejectChannel(id, "busy (channel limit)")
 		return
 	}
 	c := newChannel(w, id, 0)

@@ -42,6 +42,10 @@ type Result struct {
 	Offload float64
 	// Elapsed is the whole run's wall-clock time, teardown included.
 	Elapsed time.Duration
+	// Series is the swarm-wide time-series sampled every
+	// Spec.SampleEvery from each live node's metrics registry (nil when
+	// sampling is disabled).
+	Series []Sample
 }
 
 // runningNode is one live node and its fetch handle.
@@ -229,8 +233,30 @@ func RunPlan(plan *Plan) (*Result, error) {
 		}
 	}
 
+	// Sample the swarm's registries on the spec cadence while the
+	// fetchers run; the final fold lands after teardown begins.
+	samplec := make(chan []Sample, 1)
+	sampstop := make(chan struct{})
+	if every := spec.SampleEvery.D(); every > 0 {
+		go func() {
+			samplec <- sampleSwarm(every, start, sampstop, func() []*node.Node {
+				mu.Lock()
+				defer mu.Unlock()
+				nodes := make([]*node.Node, 0, len(running))
+				for _, rn := range running {
+					nodes = append(nodes, rn.n)
+				}
+				return nodes
+			})
+		}()
+	} else {
+		samplec <- nil
+	}
+
 	fetchers.Wait()
 	close(outcomes)
+	close(sampstop)
+	series := <-samplec
 
 	// Teardown: no more joins, then close every node still up. Closing
 	// a node stops its ticker and listener; cancelled fetch contexts
@@ -253,7 +279,7 @@ func RunPlan(plan *Plan) (*Result, error) {
 		rn.n.Close()
 	}
 
-	res := &Result{Name: spec.Name, Nodes: spec.Nodes(), Converged: true}
+	res := &Result{Name: spec.Name, Nodes: spec.Nodes(), Converged: true, Series: series}
 	var finishes []time.Duration
 	var totalUseful, seedUseful int64
 	for out := range outcomes {

@@ -170,6 +170,10 @@ type Spec struct {
 	// Timeout bounds each fetch; a fetcher that cannot finish inside it
 	// fails the run's convergence (default 2m).
 	Timeout Duration `json:"timeout,omitempty"`
+	// SampleEvery is the cadence at which the runner snapshots every
+	// live node's metrics registry into the run's swarm time-series
+	// (default 1s; negative disables sampling).
+	SampleEvery Duration `json:"sample_every,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -196,6 +200,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Timeout <= 0 {
 		s.Timeout = Duration(2 * time.Minute)
+	}
+	if s.SampleEvery == 0 {
+		s.SampleEvery = Duration(time.Second)
 	}
 	return s
 }
